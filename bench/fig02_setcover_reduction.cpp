@@ -1,0 +1,73 @@
+/// \file fig02_setcover_reduction.cpp
+/// Experiment E3 — exercises the Theorem 1 / Figure 2 gadget empirically:
+/// for random MINIMUM-SET-COVER instances we build the COMPACT-MULTICAST
+/// platform and check, with exact solvers on both sides, that a single
+/// multicast tree of throughput >= 1 exists iff a cover of size <= B does.
+/// This is the NP-completeness reduction run as executable mathematics.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/api.hpp"
+#include "graph/rng.hpp"
+#include "setcover/reductions.hpp"
+
+using namespace pmcast;
+using Clock = std::chrono::steady_clock;
+
+int main() {
+  std::printf("=== Figure 2 gadget: set cover <-> single-tree multicast ===\n\n");
+  const int trials = bench::full_mode() ? 40 : 15;
+  Rng rng(20040214);
+
+  bench::Table table({"trial", "N", "|C|", "B", "min cover", "best tree thpt",
+                      "thpt>=1", "cover<=B", "agree"});
+  int agreements = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    int universe = static_cast<int>(rng.uniform_int(3, 5));
+    int sets = static_cast<int>(rng.uniform_int(3, 5));
+    setcover::Instance inst =
+        setcover::random_instance(universe, sets, 0.4, rng);
+    auto min_cover = setcover::exact_min_cover(inst);
+    int bound = static_cast<int>(rng.uniform_int(1, sets));
+    auto red = setcover::reduce_to_multicast(inst, bound);
+    core::MulticastProblem problem(red.graph, red.source, red.element_nodes);
+    auto best = core::exact_best_single_tree(problem);
+    bool tree_side = best.ok && best.throughput >= 1.0 - 1e-9;
+    bool cover_side = setcover::has_cover_of_size(inst, bound);
+    bool agree = tree_side == cover_side;
+    agreements += agree;
+    table.add_row({std::to_string(trial), std::to_string(universe),
+                   std::to_string(sets), std::to_string(bound),
+                   min_cover ? std::to_string(min_cover->size()) : "-",
+                   bench::fmt(best.throughput), tree_side ? "yes" : "no",
+                   cover_side ? "yes" : "no", agree ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf("\nreduction agreement: %d/%d (Theorem 1 predicts %d/%d)\n",
+              agreements, trials, trials, trials);
+
+  // Scaling evidence: exact tree search blows up with instance size while
+  // greedy stays instant (the reduction transports NP-hardness).
+  std::printf("\nexact-tree search cost vs gadget size:\n");
+  bench::Table scale({"N=|C|", "trees enumerated", "exact (ms)",
+                      "greedy cover (ms)"});
+  for (int n : {3, 4, 5, 6}) {
+    setcover::Instance inst = setcover::random_instance(n, n, 0.5, rng);
+    auto red = setcover::reduce_to_multicast(inst, std::max(1, n / 2));
+    core::MulticastProblem problem(red.graph, red.source, red.element_nodes);
+    auto t0 = Clock::now();
+    auto best = core::exact_best_single_tree(problem);
+    auto t1 = Clock::now();
+    auto greedy = setcover::greedy_cover(inst);
+    auto t2 = Clock::now();
+    scale.add_row(
+        {std::to_string(n), std::to_string(best.trees_enumerated),
+         bench::fmt(std::chrono::duration<double, std::milli>(t1 - t0).count()),
+         bench::fmt(std::chrono::duration<double, std::milli>(t2 - t1).count(),
+                    4)});
+  }
+  scale.print();
+  return agreements == trials ? 0 : 1;
+}

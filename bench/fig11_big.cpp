@@ -1,0 +1,25 @@
+/// \file fig11_big.cpp
+/// Experiment E8 — Figure 11 (c)/(d): the heuristic comparison on "big"
+/// Tiers platforms (65 nodes, 47 LAN nodes, the paper's configuration).
+
+#include "bench/fig11_runner.hpp"
+
+int main() {
+  pmcast::bench::Fig11Config config;
+  config.label = "big platforms, 65 nodes";
+  config.params = pmcast::topo::TiersParams::big65();
+  config.seed_base = 2001;
+  if (pmcast::bench::full_mode()) {
+    config.platforms = 10;
+    config.densities = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  } else {
+    // Broadcast-EB LPs on 65-node platforms take ~10 s each, so the
+    // default run demonstrates a single density point on one platform with
+    // tightly capped heuristic probing (EXPERIMENTS.md discusses scale).
+    config.platforms = 1;
+    config.densities = {0.5};
+    config.heuristics.max_rounds = 2;
+    config.heuristics.max_candidates = 2;
+  }
+  return pmcast::bench::run_fig11(config);
+}

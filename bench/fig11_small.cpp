@@ -1,0 +1,24 @@
+/// \file fig11_small.cpp
+/// Experiment E7 — Figure 11 (a)/(b): the heuristic comparison on "small"
+/// Tiers platforms (30 nodes, 17 LAN nodes, the paper's configuration).
+
+#include "bench/fig11_runner.hpp"
+
+int main() {
+  pmcast::bench::Fig11Config config;
+  config.label = "small platforms, 30 nodes";
+  config.params = pmcast::topo::TiersParams::small30();
+  config.seed_base = 1001;
+  if (pmcast::bench::full_mode()) {
+    config.platforms = 10;
+    config.densities = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  } else {
+    // The LP heuristics solve a broadcast LP per probed node; the default
+    // demo keeps that budget tight (EXPERIMENTS.md discusses scale).
+    config.platforms = 2;
+    config.densities = {0.3, 0.7};
+    config.heuristics.max_rounds = 2;
+    config.heuristics.max_candidates = 3;
+  }
+  return pmcast::bench::run_fig11(config);
+}

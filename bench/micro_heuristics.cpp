@@ -1,0 +1,84 @@
+/// \file micro_heuristics.cpp
+/// Experiment E10 (part 3) — micro-benchmarks of the heuristics on a small
+/// Tiers platform, quantifying the paper's remark that MCPH "is very close
+/// to [the LP heuristics] and its execution is shorter since it does not
+/// require to solve linear programs".
+
+#include <benchmark/benchmark.h>
+
+#include "core/api.hpp"
+#include "graph/rng.hpp"
+#include "topology/tiers.hpp"
+
+using namespace pmcast;
+using namespace pmcast::core;
+
+namespace {
+
+MulticastProblem small_problem() {
+  topo::TiersParams params;
+  params.wan_nodes = 4;
+  params.mans = 2;
+  params.man_nodes = 3;
+  params.lans = 3;
+  params.lan_nodes = 10;
+  topo::Platform platform = topo::generate_tiers(params, 5);
+  Rng rng(55);
+  auto targets = topo::sample_targets(platform, 0.5, rng);
+  return MulticastProblem(platform.graph, platform.source, targets);
+}
+
+void BM_Mcph(benchmark::State& state) {
+  MulticastProblem p = small_problem();
+  for (auto _ : state) {
+    auto tree = mcph(p);
+    benchmark::DoNotOptimize(tree.has_value());
+  }
+}
+BENCHMARK(BM_Mcph)->Unit(benchmark::kMicrosecond);
+
+void BM_PrunedDijkstra(benchmark::State& state) {
+  MulticastProblem p = small_problem();
+  for (auto _ : state) {
+    auto tree = pruned_dijkstra(p);
+    benchmark::DoNotOptimize(tree.has_value());
+  }
+}
+BENCHMARK(BM_PrunedDijkstra)->Unit(benchmark::kMicrosecond);
+
+void BM_Kmb(benchmark::State& state) {
+  MulticastProblem p = small_problem();
+  for (auto _ : state) {
+    auto tree = kmb(p);
+    benchmark::DoNotOptimize(tree.has_value());
+  }
+}
+BENCHMARK(BM_Kmb)->Unit(benchmark::kMicrosecond);
+
+void BM_AugmentedSources(benchmark::State& state) {
+  MulticastProblem p = small_problem();
+  HeuristicOptions options;
+  options.max_rounds = 2;
+  options.max_candidates = 4;
+  for (auto _ : state) {
+    auto result = augmented_sources(p, options);
+    benchmark::DoNotOptimize(result.period);
+  }
+}
+BENCHMARK(BM_AugmentedSources)->Unit(benchmark::kMillisecond);
+
+void BM_ReducedBroadcast(benchmark::State& state) {
+  MulticastProblem p = small_problem();
+  HeuristicOptions options;
+  options.max_rounds = 2;
+  options.max_candidates = 4;
+  for (auto _ : state) {
+    auto result = reduced_broadcast(p, options);
+    benchmark::DoNotOptimize(result.period);
+  }
+}
+BENCHMARK(BM_ReducedBroadcast)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+/// \file micro_lp.cpp
+/// Experiment E10 (part 1) — google-benchmark micro-benchmarks of the LP
+/// substrate: simplex solve times for the paper's formulations at several
+/// platform scales. These quantify the polynomial column of the Section 4
+/// complexity table.
+
+#include <benchmark/benchmark.h>
+
+#include "core/api.hpp"
+#include "graph/rng.hpp"
+#include "topology/tiers.hpp"
+
+using namespace pmcast;
+using namespace pmcast::core;
+
+namespace {
+
+MulticastProblem make_problem(int lan_nodes, double density,
+                              std::uint64_t seed) {
+  topo::TiersParams params;
+  params.wan_nodes = 4;
+  params.mans = 2;
+  params.man_nodes = 3;
+  params.lans = std::max(2, lan_nodes / 5);
+  params.lan_nodes = lan_nodes;
+  topo::Platform platform = topo::generate_tiers(params, seed);
+  Rng rng(seed + 17);
+  auto targets = topo::sample_targets(platform, density, rng);
+  return MulticastProblem(platform.graph, platform.source, targets);
+}
+
+void BM_MulticastLb(benchmark::State& state) {
+  MulticastProblem p =
+      make_problem(static_cast<int>(state.range(0)), 0.5, 11);
+  for (auto _ : state) {
+    auto sol = solve_multicast_lb(p);
+    benchmark::DoNotOptimize(sol.period);
+  }
+}
+BENCHMARK(BM_MulticastLb)->Arg(6)->Arg(10)->Arg(17)->Unit(
+    benchmark::kMillisecond);
+
+void BM_MulticastUb(benchmark::State& state) {
+  MulticastProblem p =
+      make_problem(static_cast<int>(state.range(0)), 0.5, 11);
+  for (auto _ : state) {
+    auto sol = solve_multicast_ub(p);
+    benchmark::DoNotOptimize(sol.period);
+  }
+}
+BENCHMARK(BM_MulticastUb)->Arg(6)->Arg(10)->Arg(17)->Unit(
+    benchmark::kMillisecond);
+
+void BM_BroadcastEb(benchmark::State& state) {
+  MulticastProblem p =
+      make_problem(static_cast<int>(state.range(0)), 0.5, 11);
+  for (auto _ : state) {
+    auto sol = solve_broadcast_eb(p.graph, p.source);
+    benchmark::DoNotOptimize(sol.period);
+  }
+}
+BENCHMARK(BM_BroadcastEb)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_SimplexDense(benchmark::State& state) {
+  // A dense random LP stressing pricing and the eta file.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  lp::Model model(lp::Sense::Maximize);
+  for (int j = 0; j < n; ++j) model.add_variable(0, 10, rng.uniform_real());
+  for (int i = 0; i < n; ++i) {
+    int r = model.add_row_le(5.0 + rng.uniform_real() * 5.0);
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.3)) {
+        model.add_entry(r, j, rng.uniform_real(-1.0, 2.0));
+      }
+    }
+  }
+  for (auto _ : state) {
+    auto sol = lp::solve(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(20)->Arg(60)->Arg(120)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

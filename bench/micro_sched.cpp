@@ -1,0 +1,73 @@
+/// \file micro_sched.cpp
+/// Experiment E10 (part 2) — micro-benchmarks of the orchestration
+/// substrate: weighted König edge colouring and schedule validation. The
+/// colouring is the certificate-checking step of Theorems 1/3, so its
+/// polynomial cost matters for the "COMPACT-MULTICAST is in NP" argument.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/rng.hpp"
+#include "sched/edge_coloring.hpp"
+#include "sched/schedule.hpp"
+
+using namespace pmcast;
+using namespace pmcast::sched;
+
+namespace {
+
+std::vector<Communication> random_comms(int nodes, int count,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Communication> comms;
+  while (static_cast<int>(comms.size()) < count) {
+    auto a = static_cast<NodeId>(rng.uniform(static_cast<uint64_t>(nodes)));
+    auto b = static_cast<NodeId>(rng.uniform(static_cast<uint64_t>(nodes)));
+    if (a == b) continue;
+    comms.push_back({a, b, rng.uniform_real(0.1, 3.0)});
+  }
+  return comms;
+}
+
+void BM_EdgeColoring(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  auto comms = random_comms(nodes, nodes * 4, 3);
+  for (auto _ : state) {
+    auto result = color_communications(comms, nodes);
+    benchmark::DoNotOptimize(result.slots.size());
+  }
+}
+BENCHMARK(BM_EdgeColoring)->Arg(8)->Arg(30)->Arg(65)->Arg(128)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_BuildSchedule(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  auto comms = random_comms(nodes, nodes * 4, 5);
+  std::vector<Transfer> transfers;
+  for (const auto& c : comms) {
+    transfers.push_back({c.sender, c.receiver, c.duration, 0, 0});
+  }
+  for (auto _ : state) {
+    auto schedule = build_schedule(transfers, nodes);
+    benchmark::DoNotOptimize(schedule.slots.size());
+  }
+}
+BENCHMARK(BM_BuildSchedule)->Arg(30)->Arg(65)->Unit(benchmark::kMicrosecond);
+
+void BM_ValidateSchedule(benchmark::State& state) {
+  const int nodes = 65;
+  auto comms = random_comms(nodes, nodes * 4, 7);
+  std::vector<Transfer> transfers;
+  for (const auto& c : comms) {
+    transfers.push_back({c.sender, c.receiver, c.duration, 0, 0});
+  }
+  auto schedule = build_schedule(transfers, nodes);
+  for (auto _ : state) {
+    auto err = validate_schedule(schedule, nodes);
+    benchmark::DoNotOptimize(err.size());
+  }
+}
+BENCHMARK(BM_ValidateSchedule)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+/// \file table1_complexity_gap.cpp
+/// Experiment E2 — the Section 4 complexity table, run empirically:
+///
+///                    |  best tree        | combination of weighted trees
+///   broadcast        |  NP-hard          | polynomial (Broadcast-EB LP)
+///   multicast        |  NP-hard          | NP-hard
+///
+/// We time, on growing random platforms: (a) the exhaustive best single
+/// tree and the exhaustive tree-combination optimum (exponential tree
+/// enumeration), against (b) the polynomial Broadcast-EB LP. The
+/// exponential columns blow up with the relay count while the LP column
+/// scales smoothly — the empirical shadow of the complexity separation.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/api.hpp"
+#include "graph/rng.hpp"
+
+using namespace pmcast;
+using namespace pmcast::core;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+MulticastProblem random_platform(int nodes, int targets, Rng& rng) {
+  while (true) {
+    Digraph g(nodes);
+    for (int u = 0; u < nodes; ++u) {
+      for (int v = 0; v < nodes; ++v) {
+        if (u != v && rng.bernoulli(0.35)) {
+          g.add_edge(u, v, rng.uniform_real(0.5, 2.0));
+        }
+      }
+    }
+    std::vector<NodeId> tg;
+    std::vector<NodeId> pool;
+    for (int v = 1; v < nodes; ++v) pool.push_back(v);
+    rng.shuffle(pool);
+    for (int i = 0; i < targets && i < static_cast<int>(pool.size()); ++i) {
+      tg.push_back(pool[static_cast<size_t>(i)]);
+    }
+    MulticastProblem p(g, 0, tg);
+    if (p.feasible()) return p;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 4 table: where the complexity gap bites ===\n\n");
+  Rng rng(424242);
+  const int max_nodes = bench::full_mode() ? 9 : 8;
+
+  bench::Table table({"nodes", "relays", "trees", "best-tree (ms)",
+                      "tree-LP optimum (ms)", "Broadcast-EB LP (ms)",
+                      "opt thpt", "EB thpt"});
+  for (int nodes = 5; nodes <= max_nodes; ++nodes) {
+    MulticastProblem p = random_platform(nodes, std::max(2, nodes / 2), rng);
+    int relays = p.graph.node_count() - p.target_count() - 1;
+
+    auto t0 = Clock::now();
+    BestTreeSolution best = exact_best_single_tree(p);
+    double best_ms = ms_since(t0);
+
+    t0 = Clock::now();
+    ExactSolution exact = exact_optimal_throughput(p);
+    double exact_ms = ms_since(t0);
+
+    t0 = Clock::now();
+    FlowSolution eb = solve_broadcast_eb(p.graph, p.source);
+    double eb_ms = ms_since(t0);
+
+    table.add_row({std::to_string(nodes), std::to_string(relays),
+                   std::to_string(exact.trees_enumerated),
+                   bench::fmt(best_ms), bench::fmt(exact_ms),
+                   bench::fmt(eb_ms), bench::fmt(exact.throughput),
+                   eb.ok() ? bench::fmt(1.0 / eb.period) : "-"});
+    (void)best;
+  }
+  table.print();
+
+  std::printf("\nreading: the tree columns grow with the enumeration size "
+              "(exponential in the relay count, Theorems 1/3), while the "
+              "broadcast LP (polynomial, [6]) stays flat. Broadcast "
+              "throughput is also a lower bound on multicast throughput "
+              "(more receivers, never faster).\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+/// \file pmcast_cli.cpp
+/// Command-line front end: read a platform file (see src/graph/io.hpp for
+/// the format), compute the LP bounds and run the requested heuristics.
+///
+/// Usage:
+///   pmcast_cli <platform-file> [--all] [--bounds] [--mcph] [--multisource]
+///              [--reduced-broadcast] [--augmented-multicast] [--exact]
+///   pmcast_cli --demo          # run on the paper's Figure 1 platform
+///
+/// With no selection flags, --bounds --mcph is assumed.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "core/api.hpp"
+#include "graph/io.hpp"
+
+using namespace pmcast;
+using namespace pmcast::core;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pmcast_cli <platform-file> [--all] [--bounds] "
+               "[--mcph] [--multisource] [--reduced-broadcast] "
+               "[--augmented-multicast] [--exact]\n"
+               "       pmcast_cli --demo [flags]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::set<std::string> flags;
+  std::string file;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      flags.insert(argv[i]);
+    } else if (file.empty()) {
+      file = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  bool all = flags.count("--all") > 0;
+  bool defaults = !all && flags.count("--bounds") == 0 &&
+                  flags.count("--mcph") == 0 &&
+                  flags.count("--multisource") == 0 &&
+                  flags.count("--reduced-broadcast") == 0 &&
+                  flags.count("--augmented-multicast") == 0 &&
+                  flags.count("--exact") == 0;
+  auto want = [&](const char* flag) {
+    return all || flags.count(flag) > 0 ||
+           (defaults && (std::strcmp(flag, "--bounds") == 0 ||
+                         std::strcmp(flag, "--mcph") == 0));
+  };
+
+  MulticastProblem problem;
+  if (flags.count("--demo") > 0) {
+    problem = figure1_example();
+    std::printf("demo platform (paper Figure 1)\n");
+  } else {
+    if (file.empty()) return usage();
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 1;
+    }
+    std::string error;
+    auto parsed = parse_platform(in, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(), error.c_str());
+      return 1;
+    }
+    problem = MulticastProblem(std::move(parsed->graph), parsed->source,
+                               std::move(parsed->targets));
+  }
+
+  std::printf("platform: %d nodes, %d edges, %d targets, source %s\n",
+              problem.graph.node_count(), problem.graph.edge_count(),
+              problem.target_count(),
+              problem.graph.node_name(problem.source).c_str());
+  if (!problem.feasible()) {
+    std::fprintf(stderr, "error: some target is unreachable\n");
+    return 1;
+  }
+
+  if (want("--bounds")) {
+    FlowSolution lb = solve_multicast_lb(problem);
+    FlowSolution ub = solve_multicast_ub(problem);
+    std::printf("LP bounds on the period: %.6g <= OPT <= %.6g  "
+                "(throughput %.6g .. %.6g)\n",
+                lb.period, ub.period, 1.0 / ub.period, 1.0 / lb.period);
+  }
+  if (want("--mcph")) {
+    if (auto tree = mcph(problem)) {
+      std::printf("MCPH tree: period %.6g (throughput %.6g, %zu edges)\n",
+                  tree_period(problem.graph, *tree),
+                  1.0 / tree_period(problem.graph, *tree),
+                  tree->edges.size());
+    }
+  }
+  if (want("--multisource")) {
+    AugmentedSourcesResult r = augmented_sources(problem);
+    std::printf("multisource: period %.6g with %zu sources (%d LP solves)\n",
+                r.period, r.sources.size(), r.lp_solves);
+  }
+  if (want("--reduced-broadcast")) {
+    PlatformHeuristicResult r = reduced_broadcast(problem);
+    int kept = 0;
+    for (char c : r.platform) kept += c;
+    std::printf("reduced broadcast: period %.6g on %d nodes (%d LP solves)\n",
+                r.period, kept, r.lp_solves);
+  }
+  if (want("--augmented-multicast")) {
+    PlatformHeuristicResult r = augmented_multicast(problem);
+    int kept = 0;
+    for (char c : r.platform) kept += c;
+    std::printf("augmented multicast: period %.6g on %d nodes "
+                "(%d LP solves)\n",
+                r.period, kept, r.lp_solves);
+  }
+  if (want("--exact")) {
+    ExactSolution exact = exact_optimal_throughput(problem);
+    if (exact.ok) {
+      std::printf("exact optimum: throughput %.6g (period %.6g) with %zu "
+                  "trees out of %zu enumerated\n",
+                  exact.throughput, 1.0 / exact.throughput,
+                  exact.combination.trees.size(), exact.trees_enumerated);
+    } else {
+      std::printf("exact optimum: platform too large to enumerate\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// \file steiner_comparison.cpp
+/// Section 6/8 in practice: the classic Steiner-tree heuristics optimise
+/// the *sum* of edge costs, but the steady-state metric is the *max port
+/// time*. This example pits the paper's MCPH (bottleneck metric with
+/// dynamic surcharges) against Pruned Dijkstra and the Distance-Network
+/// (KMB) heuristic on a batch of platforms, reporting both metrics — and
+/// showing that the cheapest Steiner tree is often a mediocre pipeline.
+///
+/// Run:  ./steiner_comparison [platforms]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/api.hpp"
+#include "graph/rng.hpp"
+#include "topology/tiers.hpp"
+
+using namespace pmcast;
+using namespace pmcast::core;
+
+namespace {
+
+double steiner_cost(const Digraph& g, const MulticastTree& tree) {
+  double sum = 0.0;
+  for (EdgeId e : tree.edges) sum += g.edge(e).cost;
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int platforms = argc > 1 ? std::atoi(argv[1]) : 5;
+  std::printf("%-10s %14s %14s %14s %14s %14s %14s\n", "platform",
+              "MCPH period", "PD period", "KMB period", "MCPH cost",
+              "PD cost", "KMB cost");
+
+  int mcph_wins = 0, runs = 0;
+  for (int pi = 0; pi < platforms; ++pi) {
+    topo::Platform platform = topo::generate_tiers(
+        topo::TiersParams::small30(), 9000 + static_cast<std::uint64_t>(pi));
+    Rng rng(31 + static_cast<std::uint64_t>(pi));
+    auto targets = topo::sample_targets(platform, 0.6, rng);
+    MulticastProblem problem(platform.graph, platform.source, targets);
+    if (!problem.feasible()) continue;
+
+    auto t_mcph = mcph(problem);
+    auto t_pd = pruned_dijkstra(problem);
+    auto t_kmb = kmb(problem);
+    if (!t_mcph || !t_pd || !t_kmb) continue;
+    ++runs;
+
+    double p1 = tree_period(problem.graph, *t_mcph);
+    double p2 = tree_period(problem.graph, *t_pd);
+    double p3 = tree_period(problem.graph, *t_kmb);
+    if (p1 <= p2 + 1e-9 && p1 <= p3 + 1e-9) ++mcph_wins;
+    std::printf("%-10d %14.1f %14.1f %14.1f %14.1f %14.1f %14.1f\n", pi, p1,
+                p2, p3, steiner_cost(problem.graph, *t_mcph),
+                steiner_cost(problem.graph, *t_pd),
+                steiner_cost(problem.graph, *t_kmb));
+  }
+  std::printf("\nMCPH has the best (or tied) steady-state period on %d/%d "
+              "platforms, even where its Steiner cost is higher: the "
+              "one-port metric rewards spreading the sending load, not "
+              "saving total wire.\n",
+              mcph_wins, runs);
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "collective/collective.hpp"
+
+namespace pmcast::collective {
+
+Digraph transpose(const Digraph& g) {
+  Digraph t(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    t.set_node_name(v, g.node_name(v));
+  }
+  // Edge ids are preserved: edge e of the transpose is edge e reversed.
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    t.add_edge(edge.to, edge.from, edge.cost);
+  }
+  return t;
+}
+
+core::FlowSolution solve_series_scatter(
+    const core::MulticastProblem& problem,
+    const core::FormulationOptions& options) {
+  // Distinct per-target messages: exactly the sum-aggregated program.
+  return core::solve_multicast_ub(problem, options);
+}
+
+core::FlowSolution solve_series_gather(
+    const core::MulticastProblem& problem,
+    const core::FormulationOptions& options) {
+  core::MulticastProblem reversed(transpose(problem.graph), problem.source,
+                                  problem.targets);
+  return core::solve_multicast_ub(reversed, options);
+}
+
+core::FlowSolution solve_series_reduce(
+    const core::MulticastProblem& problem,
+    const core::FormulationOptions& options) {
+  // Whole-platform reduce (every node contributes a unit-size combinable
+  // partial): each used link carries one combined unit per operation, so
+  // the communication pattern is a broadcast on the transposed platform —
+  // the classic reduce/broadcast duality. (A reduce from a strict subset
+  // would inherit multicast's NP-hardness by the same symmetry.)
+  Digraph reversed = transpose(problem.graph);
+  return core::solve_broadcast_eb(reversed, problem.source, options);
+}
+
+core::FlowSolution solve_series_broadcast(
+    const core::MulticastProblem& problem,
+    const core::FormulationOptions& options) {
+  return core::solve_broadcast_eb(problem.graph, problem.source, options);
+}
+
+CollectiveComparison compare_collectives(
+    const core::MulticastProblem& problem,
+    const core::FormulationOptions& options) {
+  CollectiveComparison out;
+  core::FlowSolution scatter = solve_series_scatter(problem, options);
+  core::FlowSolution gather = solve_series_gather(problem, options);
+  core::FlowSolution reduce = solve_series_reduce(problem, options);
+  core::FlowSolution broadcast = solve_series_broadcast(problem, options);
+  core::FlowSolution lb = core::solve_multicast_lb(problem, options);
+  if (!scatter.ok() || !gather.ok() || !reduce.ok() || !broadcast.ok() ||
+      !lb.ok()) {
+    return out;
+  }
+  out.scatter = scatter.period;
+  out.gather = gather.period;
+  out.reduce = reduce.period;
+  out.broadcast = broadcast.period;
+  out.multicast_lb = lb.period;
+  out.multicast_ub = scatter.period;  // UB == scatter by definition
+  out.ok = true;
+  return out;
+}
+
+}  // namespace pmcast::collective

@@ -1,0 +1,75 @@
+#pragma once
+/// \file collective.hpp
+/// Steady-state series of the *other* collective operations the paper
+/// builds on (Section 4.2 intro and [22, 21, 6, 5]): scatter, gather,
+/// reduce and broadcast. For all of these the optimal steady-state
+/// throughput is computable in polynomial time — the complexity cliff is
+/// specific to multicast — and this module makes that contrast executable:
+///
+///  * series of SCATTERS: the source sends a *distinct* unit message to
+///    every target per operation. This is exactly the Multicast-UB
+///    program (sum aggregation), and it is achievable.
+///  * series of GATHERS: every target sends a distinct unit message to the
+///    source; by reversing every edge this is a scatter on the transposed
+///    platform.
+///  * series of REDUCES: every target's value is combined (associative op,
+///    unit-size partials) into the source. A relay merges everything it
+///    has received with its own contribution into one unit-size message,
+///    so per operation each used link carries at most one unit — the
+///    communication pattern of a *broadcast on the transposed platform*,
+///    which gives the classic reduce/broadcast duality.
+///  * series of BROADCASTS: Broadcast-EB, re-exported for symmetry.
+///
+/// All functions return the optimal steady-state *period* per operation.
+
+#include <optional>
+
+#include "core/formulations.hpp"
+#include "core/problem.hpp"
+#include "graph/digraph.hpp"
+
+namespace pmcast::collective {
+
+/// The transposed platform (every edge reversed, costs kept).
+Digraph transpose(const Digraph& g);
+
+/// Optimal steady-state scatter period: source -> each target, distinct
+/// messages (achievable; equals Multicast-UB).
+core::FlowSolution solve_series_scatter(
+    const core::MulticastProblem& problem,
+    const core::FormulationOptions& options = {});
+
+/// Optimal steady-state gather period: each target -> source, distinct
+/// messages (scatter on the transposed platform).
+core::FlowSolution solve_series_gather(
+    const core::MulticastProblem& problem,
+    const core::FormulationOptions& options = {});
+
+/// Optimal steady-state reduce period with unit-size combinable partials:
+/// broadcast-EB on the transposed platform restricted to the participants.
+core::FlowSolution solve_series_reduce(
+    const core::MulticastProblem& problem,
+    const core::FormulationOptions& options = {});
+
+/// Optimal steady-state broadcast period of the whole platform
+/// (Broadcast-EB; achievable per [6, 5]).
+core::FlowSolution solve_series_broadcast(
+    const core::MulticastProblem& problem,
+    const core::FormulationOptions& options = {});
+
+/// Periods of all four collectives plus the multicast bounds, for the
+/// comparison example/bench.
+struct CollectiveComparison {
+  double scatter = 0.0;
+  double gather = 0.0;
+  double reduce = 0.0;
+  double broadcast = 0.0;
+  double multicast_lb = 0.0;
+  double multicast_ub = 0.0;
+  bool ok = false;
+};
+CollectiveComparison compare_collectives(
+    const core::MulticastProblem& problem,
+    const core::FormulationOptions& options = {});
+
+}  // namespace pmcast::collective

@@ -1,0 +1,24 @@
+#pragma once
+/// \file api.hpp
+/// Umbrella header: the complete public API of the pmcast core library.
+///
+/// Quick tour (see README.md for a walkthrough):
+///   MulticastProblem      — platform + source + targets (problem.hpp)
+///   solve_multicast_lb/ub — the paper's LP bounds (formulations.hpp)
+///   solve_broadcast_eb    — optimal whole-platform broadcast period
+///   mcph/pruned_dijkstra/kmb — tree heuristics (tree_heuristics.hpp)
+///   reduced_broadcast/augmented_multicast/augmented_sources
+///                         — LP-based heuristics (lp_heuristics.hpp)
+///   exact_optimal_throughput/exact_best_single_tree — exact solvers
+///   build_tree_schedule/build_flow_schedule — runnable periodic schedules
+///   sched::simulate       — one-port discrete-event verification
+
+#include "core/certificate.hpp"
+#include "core/exact.hpp"
+#include "core/flows.hpp"
+#include "core/formulations.hpp"
+#include "core/lp_heuristics.hpp"
+#include "core/paper_examples.hpp"
+#include "core/problem.hpp"
+#include "core/tree.hpp"
+#include "core/tree_heuristics.hpp"

@@ -1,0 +1,89 @@
+#include "core/certificate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "sched/simulator.hpp"
+
+namespace pmcast::core {
+
+CertificateResult verify_certificate(const MulticastProblem& problem,
+                                     const WeightedTreeSet& certificate,
+                                     int simulate_periods) {
+  CertificateResult result;
+  std::ostringstream reason;
+  const Digraph& g = problem.graph;
+
+  if (certificate.trees.size() != certificate.rates.size()) {
+    result.reason = "trees/rates size mismatch";
+    return result;
+  }
+  if (certificate.trees.empty()) {
+    result.reason = "empty certificate";
+    return result;
+  }
+  // Check 1: structure (proof: "rooted in Psource, has all processors in
+  // Ptarget, made up of valid edges").
+  for (size_t k = 0; k < certificate.trees.size(); ++k) {
+    const MulticastTree& tree = certificate.trees[k];
+    if (tree.source != problem.source) {
+      reason << "tree " << k << " not rooted at the source";
+      result.reason = reason.str();
+      return result;
+    }
+    std::string err = validate_tree(g, tree);
+    if (!err.empty()) {
+      reason << "tree " << k << ": " << err;
+      result.reason = reason.str();
+      return result;
+    }
+    if (!tree_spans(g, tree, problem.targets)) {
+      reason << "tree " << k << " misses a target";
+      result.reason = reason.str();
+      return result;
+    }
+    if (certificate.rates[k] <= 0.0) {
+      reason << "tree " << k << " has non-positive rate";
+      result.reason = reason.str();
+      return result;
+    }
+  }
+
+  // Check 2: orchestration. T is the max of recv_i/send_i over nodes; the
+  // weighted König colouring provides the explicit polynomial-size
+  // schedule within T (the "nice theorem from graph theory" of the proof).
+  TreeSchedule schedule = build_tree_schedule(g, certificate,
+                                              problem.targets);
+  if (!schedule.schedule.ok) {
+    result.reason = "orchestration failed";
+    return result;
+  }
+  std::string sched_err =
+      sched::validate_schedule(schedule.schedule, g.node_count());
+  if (!sched_err.empty()) {
+    result.reason = "schedule invalid: " + sched_err;
+    return result;
+  }
+  result.period = schedule.period;
+  result.throughput = schedule.throughput;
+  result.slots = static_cast<int>(schedule.schedule.slots.size());
+
+  // Check 3: replay.
+  if (simulate_periods > 0) {
+    auto report = sched::simulate(schedule.schedule, schedule.streams,
+                                  g.node_count(), simulate_periods);
+    if (!report.ok) {
+      result.reason = "simulation failed: " + report.error;
+      return result;
+    }
+    if (std::fabs(report.measured_throughput - schedule.throughput) >
+        1e-6 * std::max(1.0, schedule.throughput)) {
+      result.reason = "measured throughput disagrees with the certificate";
+      return result;
+    }
+  }
+  result.valid = true;
+  return result;
+}
+
+}  // namespace pmcast::core

@@ -1,0 +1,192 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lp/simplex.hpp"
+
+namespace pmcast::core {
+namespace {
+
+/// Enumerate every arborescence rooted at the source that spans *exactly*
+/// the node set \p members (mask) with every leaf a target. Trees are
+/// produced via parent assignment — each non-source member picks one
+/// incoming edge from inside the member set — followed by an acyclicity /
+/// connectivity check, so each tree is generated exactly once.
+class SubsetEnumerator {
+ public:
+  SubsetEnumerator(const Digraph& g, NodeId source,
+                   const std::vector<char>& targets,
+                   const std::vector<char>& members, std::size_t max_trees,
+                   std::vector<MulticastTree>& out)
+      : g_(g),
+        source_(source),
+        targets_(targets),
+        members_(members),
+        max_trees_(max_trees),
+        out_(out) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v != source && members[static_cast<size_t>(v)]) {
+        order_.push_back(v);
+      }
+    }
+    choice_.assign(order_.size(), kInvalidEdge);
+  }
+
+  /// Returns false when the tree limit was hit.
+  bool run() { return recurse(0); }
+
+ private:
+  bool recurse(size_t idx) {
+    if (idx == order_.size()) return emit();
+    NodeId v = order_[idx];
+    for (EdgeId e : g_.in_edges(v)) {
+      NodeId u = g_.edge(e).from;
+      if (!members_[static_cast<size_t>(u)]) continue;
+      choice_[idx] = e;
+      if (!recurse(idx + 1)) return false;
+    }
+    choice_[idx] = kInvalidEdge;
+    return true;
+  }
+
+  bool emit() {
+    // Connectivity: walk children from the source using the chosen parents.
+    std::vector<int> parent_of(static_cast<size_t>(g_.node_count()), -1);
+    for (size_t i = 0; i < order_.size(); ++i) {
+      parent_of[static_cast<size_t>(order_[i])] =
+          g_.edge(choice_[i]).from;
+    }
+    // Count children to detect non-target leaves early.
+    std::vector<int> children(static_cast<size_t>(g_.node_count()), 0);
+    for (size_t i = 0; i < order_.size(); ++i) {
+      ++children[static_cast<size_t>(g_.edge(choice_[i]).from)];
+    }
+    for (NodeId v : order_) {
+      if (children[static_cast<size_t>(v)] == 0 &&
+          !targets_[static_cast<size_t>(v)]) {
+        return true;  // a relay leaf: tree rejected, continue enumeration
+      }
+    }
+    // Reachability from the source through parent pointers.
+    for (NodeId v : order_) {
+      NodeId cur = v;
+      int steps = 0;
+      while (cur != source_) {
+        int p = parent_of[static_cast<size_t>(cur)];
+        if (p < 0 || ++steps > g_.node_count()) return true;  // cycle
+        cur = static_cast<NodeId>(p);
+      }
+    }
+    MulticastTree tree;
+    tree.source = source_;
+    tree.edges.assign(choice_.begin(), choice_.end());
+    out_.push_back(std::move(tree));
+    return out_.size() <= max_trees_;
+  }
+
+  const Digraph& g_;
+  NodeId source_;
+  const std::vector<char>& targets_;
+  const std::vector<char>& members_;
+  std::size_t max_trees_;
+  std::vector<MulticastTree>& out_;
+  std::vector<NodeId> order_;
+  std::vector<EdgeId> choice_;
+};
+
+}  // namespace
+
+std::optional<std::vector<MulticastTree>> enumerate_multicast_trees(
+    const MulticastProblem& problem, const EnumerationLimits& limits) {
+  const Digraph& g = problem.graph;
+  if (problem.target_count() == 0) return std::vector<MulticastTree>{};
+  std::vector<char> target_mask = problem.target_mask();
+
+  // Relay nodes (neither source nor target) may or may not participate.
+  std::vector<NodeId> relays;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v != problem.source && !target_mask[static_cast<size_t>(v)]) {
+      relays.push_back(v);
+    }
+  }
+  if (relays.size() > 24) return std::nullopt;  // subset blow-up guard
+
+  std::vector<MulticastTree> trees;
+  const auto subsets = 1ULL << relays.size();
+  for (std::uint64_t mask = 0; mask < subsets; ++mask) {
+    std::vector<char> members = target_mask;
+    members[static_cast<size_t>(problem.source)] = 1;
+    for (size_t i = 0; i < relays.size(); ++i) {
+      if (mask & (1ULL << i)) {
+        members[static_cast<size_t>(relays[i])] = 1;
+      }
+    }
+    SubsetEnumerator enumerator(g, problem.source, target_mask, members,
+                                limits.max_trees, trees);
+    if (!enumerator.run()) return std::nullopt;
+  }
+  return trees;
+}
+
+ExactSolution exact_optimal_throughput(const MulticastProblem& problem,
+                                       const EnumerationLimits& limits) {
+  ExactSolution out;
+  auto trees = enumerate_multicast_trees(problem, limits);
+  if (!trees || trees->empty()) return out;
+  out.trees_enumerated = trees->size();
+
+  const Digraph& g = problem.graph;
+  lp::Model model(lp::Sense::Maximize);
+  for (size_t k = 0; k < trees->size(); ++k) {
+    model.add_variable(0.0, lp::kInf, 1.0);
+  }
+  // Port rows: one send row and one receive row per node.
+  std::vector<int> send_row(static_cast<size_t>(g.node_count()));
+  std::vector<int> recv_row(static_cast<size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    send_row[static_cast<size_t>(v)] = model.add_row_le(1.0);
+    recv_row[static_cast<size_t>(v)] = model.add_row_le(1.0);
+  }
+  for (size_t k = 0; k < trees->size(); ++k) {
+    for (EdgeId e : (*trees)[k].edges) {
+      const Edge& edge = g.edge(e);
+      model.add_entry(send_row[static_cast<size_t>(edge.from)],
+                      static_cast<int>(k), edge.cost);
+      model.add_entry(recv_row[static_cast<size_t>(edge.to)],
+                      static_cast<int>(k), edge.cost);
+    }
+  }
+  lp::Solution sol = lp::solve(model);
+  if (!sol.optimal()) return out;
+  out.ok = true;
+  out.throughput = sol.objective;
+  for (size_t k = 0; k < trees->size(); ++k) {
+    if (sol.x[k] > 1e-9) {
+      out.combination.trees.push_back((*trees)[k]);
+      out.combination.rates.push_back(sol.x[k]);
+    }
+  }
+  return out;
+}
+
+BestTreeSolution exact_best_single_tree(const MulticastProblem& problem,
+                                        const EnumerationLimits& limits) {
+  BestTreeSolution out;
+  auto trees = enumerate_multicast_trees(problem, limits);
+  if (!trees || trees->empty()) return out;
+  out.trees_enumerated = trees->size();
+  double best_period = kInfinity;
+  for (const MulticastTree& tree : *trees) {
+    double period = tree_period(problem.graph, tree);
+    if (period < best_period) {
+      best_period = period;
+      out.tree = tree;
+    }
+  }
+  out.ok = best_period < kInfinity;
+  out.throughput = out.ok ? 1.0 / best_period : 0.0;
+  return out;
+}
+
+}  // namespace pmcast::core

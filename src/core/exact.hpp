@@ -1,0 +1,61 @@
+#pragma once
+/// \file exact.hpp
+/// Exact solvers for small instances.
+///
+/// Theorem 4 of the paper shows the optimal steady-state throughput is
+/// attained by a weighted combination of at most 2|E| multicast trees. For
+/// small platforms we can therefore compute the true optimum exactly:
+/// enumerate every irredundant multicast tree (arborescence rooted at the
+/// source, spanning the targets, all leaves targets) and solve
+///     maximise   sum_k y_k
+///     subject to sum_k y_k * send_k(v) <= 1   for every node v
+///                sum_k y_k * recv_k(v) <= 1   for every node v
+/// where send_k / recv_k are the one-port port times of tree k per message.
+/// (Edge occupation constraints are dominated by the sender port times.)
+///
+/// Tree enumeration is exponential — this is exactly the NP-hardness of the
+/// problem — so these functions guard against blow-ups via explicit limits
+/// and are used for tests, the worked examples (Figs. 1/4/5) and the
+/// complexity-gap bench (E2).
+
+#include <optional>
+
+#include "core/problem.hpp"
+#include "core/tree.hpp"
+
+namespace pmcast::core {
+
+struct EnumerationLimits {
+  std::size_t max_trees = 2'000'000;  ///< abort when exceeded
+};
+
+/// All irredundant multicast trees (each enumerated exactly once). Returns
+/// nullopt when the limit is exceeded.
+std::optional<std::vector<MulticastTree>> enumerate_multicast_trees(
+    const MulticastProblem& problem, const EnumerationLimits& limits = {});
+
+struct ExactSolution {
+  bool ok = false;
+  double throughput = 0.0;       ///< optimal steady-state throughput
+  WeightedTreeSet combination;   ///< optimal weighted tree combination
+  std::size_t trees_enumerated = 0;
+};
+
+/// The exact optimal steady-state throughput (COMPACT-WEIGHTED-MULTICAST
+/// optimum) by LP over all enumerated trees.
+ExactSolution exact_optimal_throughput(const MulticastProblem& problem,
+                                       const EnumerationLimits& limits = {});
+
+struct BestTreeSolution {
+  bool ok = false;
+  double throughput = 0.0;  ///< 1 / best single-tree period
+  MulticastTree tree;
+  std::size_t trees_enumerated = 0;
+};
+
+/// The best *single* multicast tree (the COMPACT-MULTICAST optimum with
+/// S = 2, i.e. one tree) by exhaustive search.
+BestTreeSolution exact_best_single_tree(const MulticastProblem& problem,
+                                        const EnumerationLimits& limits = {});
+
+}  // namespace pmcast::core

@@ -1,0 +1,320 @@
+#include "core/formulations.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace pmcast::core {
+namespace {
+
+/// Index helpers for the x[t][e] variable block.
+struct VarLayout {
+  int targets = 0;
+  int edges = 0;
+  int x(int t, int e) const { return t * edges + e; }
+  int n(int e) const { return targets * edges + e; }
+  int period() const { return targets * edges + edges; }
+};
+
+/// Build and solve the single-source formulation with the given edge-load
+/// aggregation.
+FlowSolution solve_single_source(const MulticastProblem& problem,
+                                 EdgeAggregation aggregation,
+                                 const FormulationOptions& options) {
+  FlowSolution out;
+  const Digraph& g = problem.graph;
+  const int E = g.edge_count();
+  const int T = problem.target_count();
+  if (T == 0) {
+    out.status = lp::SolveStatus::Optimal;
+    out.period = 0.0;
+    out.edge_load.assign(static_cast<size_t>(E), 0.0);
+    return out;
+  }
+  if (!problem.feasible()) {
+    out.status = lp::SolveStatus::Infeasible;
+    return out;
+  }
+
+  VarLayout layout{T, E};
+  lp::Model model(lp::Sense::Minimize);
+  // x variables, then n variables, then T*. Flow into the source and flow
+  // out of a commodity's own target are pinned to zero: the constraints
+  // (1,2,3) alone would admit "bounce" solutions (one unit shipped to a
+  // neighbour and straight back satisfies the emission row; a target can
+  // likewise feed its own inflow through a local 2-cycle) that skip the
+  // intermediate path entirely and underestimate the period.
+  for (int t = 0; t < T; ++t) {
+    NodeId tv = problem.targets[static_cast<size_t>(t)];
+    for (int e = 0; e < E; ++e) {
+      const Edge& edge = g.edge(e);
+      bool banned = edge.to == problem.source || edge.from == tv;
+      model.add_variable(0.0, banned ? 0.0 : lp::kInf, 0.0);
+    }
+  }
+  for (int e = 0; e < E; ++e) model.add_variable(0.0, lp::kInf, 0.0);
+  model.add_variable(0.0, lp::kInf, 1.0, "T");
+
+  // (1) full message leaves the source; (2) full message reaches target;
+  // (3) conservation elsewhere.
+  for (int t = 0; t < T; ++t) {
+    NodeId tv = problem.targets[static_cast<size_t>(t)];
+    int r1 = model.add_row_eq(1.0);
+    for (EdgeId e : g.out_edges(problem.source)) {
+      model.add_entry(r1, layout.x(t, e), 1.0);
+    }
+    int r2 = model.add_row_eq(1.0);
+    for (EdgeId e : g.in_edges(tv)) {
+      model.add_entry(r2, layout.x(t, e), 1.0);
+    }
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      if (j == problem.source || j == tv) continue;
+      int r = model.add_row_eq(0.0);
+      for (EdgeId e : g.out_edges(j)) model.add_entry(r, layout.x(t, e), 1.0);
+      for (EdgeId e : g.in_edges(j)) model.add_entry(r, layout.x(t, e), -1.0);
+    }
+  }
+
+  // Edge-load aggregation: (10') n_e >= x_{t,e}  or  (10) n_e = sum_t x.
+  if (aggregation == EdgeAggregation::Max) {
+    for (int t = 0; t < T; ++t) {
+      for (int e = 0; e < E; ++e) {
+        int r = model.add_row_ge(0.0);
+        model.add_entry(r, layout.n(e), 1.0);
+        model.add_entry(r, layout.x(t, e), -1.0);
+      }
+    }
+  } else {
+    for (int e = 0; e < E; ++e) {
+      int r = model.add_row_eq(0.0);
+      model.add_entry(r, layout.n(e), 1.0);
+      for (int t = 0; t < T; ++t) model.add_entry(r, layout.x(t, e), -1.0);
+    }
+  }
+
+  // (4,7) edge occupation; (5,8) in-ports; (6,9) out-ports.
+  for (int e = 0; e < E; ++e) {
+    int r = model.add_row_ge(0.0);
+    model.add_entry(r, layout.period(), 1.0);
+    model.add_entry(r, layout.n(e), -g.edge(e).cost);
+  }
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    int rin = model.add_row_ge(0.0);
+    model.add_entry(rin, layout.period(), 1.0);
+    for (EdgeId e : g.in_edges(j)) {
+      model.add_entry(rin, layout.n(e), -g.edge(e).cost);
+    }
+    int rout = model.add_row_ge(0.0);
+    model.add_entry(rout, layout.period(), 1.0);
+    for (EdgeId e : g.out_edges(j)) {
+      model.add_entry(rout, layout.n(e), -g.edge(e).cost);
+    }
+  }
+
+  lp::Solution sol = lp::solve(model, options.solver);
+  out.status = sol.status;
+  if (!sol.optimal()) return out;
+  out.period = sol.objective;
+  out.x.assign(static_cast<size_t>(T),
+               std::vector<double>(static_cast<size_t>(E), 0.0));
+  out.edge_load.assign(static_cast<size_t>(E), 0.0);
+  for (int t = 0; t < T; ++t) {
+    for (int e = 0; e < E; ++e) {
+      out.x[static_cast<size_t>(t)][static_cast<size_t>(e)] =
+          sol.x[static_cast<size_t>(layout.x(t, e))];
+    }
+  }
+  for (int e = 0; e < E; ++e) {
+    out.edge_load[static_cast<size_t>(e)] =
+        sol.x[static_cast<size_t>(layout.n(e))];
+  }
+  return out;
+}
+
+}  // namespace
+
+double FlowSolution::node_inflow(const Digraph& g, NodeId m) const {
+  double total = 0.0;
+  for (const auto& xt : x) {
+    for (EdgeId e : g.in_edges(m)) total += xt[static_cast<size_t>(e)];
+  }
+  return total;
+}
+
+FlowSolution solve_multicast_lb(const MulticastProblem& problem,
+                                const FormulationOptions& options) {
+  return solve_single_source(problem, EdgeAggregation::Max, options);
+}
+
+FlowSolution solve_multicast_ub(const MulticastProblem& problem,
+                                const FormulationOptions& options) {
+  return solve_single_source(problem, EdgeAggregation::Sum, options);
+}
+
+FlowSolution solve_broadcast_eb(const Digraph& graph, NodeId source,
+                                const FormulationOptions& options) {
+  MulticastProblem broadcast(graph, source, {});
+  return solve_single_source(broadcast.as_broadcast(), EdgeAggregation::Max,
+                             options);
+}
+
+std::optional<double> broadcast_eb_period(const Digraph& graph, NodeId source,
+                                          std::span<const char> keep,
+                                          const FormulationOptions& options) {
+  assert(keep[static_cast<size_t>(source)]);
+  SubgraphResult sub = graph.induced_subgraph(keep);
+  NodeId sub_source = sub.old_to_new[static_cast<size_t>(source)];
+  // Paper convention: if some kept node is unreachable, EB = +infinity.
+  std::vector<char> all(static_cast<size_t>(sub.graph.node_count()), 1);
+  if (!sub.graph.reaches_all(sub_source, all)) return std::nullopt;
+  FlowSolution sol = solve_broadcast_eb(sub.graph, sub_source, options);
+  if (!sol.ok()) return std::nullopt;
+  return sol.period;
+}
+
+double MultiSourceSolution::node_inflow(const Digraph& g, NodeId m) const {
+  double total = 0.0;
+  for (const auto& flow : flows) {
+    for (EdgeId e : g.in_edges(m)) total += flow[static_cast<size_t>(e)];
+  }
+  return total;
+}
+
+MultiSourceSolution solve_multisource_ub(const MulticastProblem& problem,
+                                         std::span<const NodeId> sources,
+                                         const FormulationOptions& options) {
+  MultiSourceSolution out;
+  const Digraph& g = problem.graph;
+  const int E = g.edge_count();
+  assert(!sources.empty() && sources[0] == problem.source);
+
+  std::vector<char> is_source(static_cast<size_t>(g.node_count()), 0);
+  for (NodeId s : sources) is_source[static_cast<size_t>(s)] = 1;
+
+  // Commodities: (origin o, dest s_i) for o < i — intermediate sources must
+  // acquire the message from strictly earlier sources — and (o, t) for every
+  // origin o and every target t that is not itself a source.
+  for (size_t i = 1; i < sources.size(); ++i) {
+    for (size_t o = 0; o < i; ++o) {
+      out.commodities.push_back({static_cast<int>(o), sources[i]});
+    }
+  }
+  for (NodeId t : problem.targets) {
+    if (is_source[static_cast<size_t>(t)]) continue;
+    for (size_t o = 0; o < sources.size(); ++o) {
+      out.commodities.push_back({static_cast<int>(o), t});
+    }
+  }
+  const int K = static_cast<int>(out.commodities.size());
+  if (K == 0) {
+    out.status = lp::SolveStatus::Optimal;
+    out.period = 0.0;
+    return out;
+  }
+
+  lp::Model model(lp::Sense::Minimize);
+  auto xvar = [&](int k, int e) { return k * E + e; };
+  const int nvar0 = K * E;
+  const int period_var = nvar0 + E;
+  // As in the single-source programs, pin flow into a commodity's origin
+  // and out of its destination to zero to exclude "bounce" pseudo-flows.
+  for (int k = 0; k < K; ++k) {
+    NodeId origin = sources[static_cast<size_t>(
+        out.commodities[static_cast<size_t>(k)].origin)];
+    NodeId dest = out.commodities[static_cast<size_t>(k)].dest;
+    for (int e = 0; e < E; ++e) {
+      const Edge& edge = g.edge(e);
+      bool banned = edge.to == origin || edge.from == dest;
+      model.add_variable(0.0, banned ? 0.0 : lp::kInf, 0.0);
+    }
+  }
+  for (int e = 0; e < E; ++e) model.add_variable(0.0, lp::kInf, 0.0);
+  model.add_variable(0.0, lp::kInf, 1.0, "T");
+
+  // (1)/(1b) and (2)/(2b): for each destination, one full unit is emitted
+  // by its allowed origins and one full unit arrives. Both row families are
+  // needed: dropping the emission rows would let a destination satisfy its
+  // inflow with a local cycle it feeds itself.
+  {
+    std::vector<std::vector<int>> by_dest;
+    std::vector<NodeId> dests;
+    for (int k = 0; k < K; ++k) {
+      NodeId d = out.commodities[static_cast<size_t>(k)].dest;
+      size_t idx = 0;
+      for (; idx < dests.size(); ++idx) {
+        if (dests[idx] == d) break;
+      }
+      if (idx == dests.size()) {
+        dests.push_back(d);
+        by_dest.emplace_back();
+      }
+      by_dest[idx].push_back(k);
+    }
+    for (size_t di = 0; di < dests.size(); ++di) {
+      int remit = model.add_row_eq(1.0);
+      int rrecv = model.add_row_eq(1.0);
+      for (int k : by_dest[di]) {
+        NodeId origin = sources[static_cast<size_t>(
+            out.commodities[static_cast<size_t>(k)].origin)];
+        for (EdgeId e : g.out_edges(origin)) {
+          model.add_entry(remit, xvar(k, e), 1.0);
+        }
+        for (EdgeId e : g.in_edges(dests[di])) {
+          model.add_entry(rrecv, xvar(k, e), 1.0);
+        }
+      }
+    }
+  }
+
+  // (3)/(3b): per-commodity conservation away from origin and destination.
+  for (int k = 0; k < K; ++k) {
+    const auto& commodity = out.commodities[static_cast<size_t>(k)];
+    NodeId origin = sources[static_cast<size_t>(commodity.origin)];
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      if (j == origin || j == commodity.dest) continue;
+      int r = model.add_row_eq(0.0);
+      for (EdgeId e : g.out_edges(j)) model.add_entry(r, xvar(k, e), 1.0);
+      for (EdgeId e : g.in_edges(j)) model.add_entry(r, xvar(k, e), -1.0);
+    }
+  }
+
+  // (10): scatter aggregation n_e = sum over commodities.
+  for (int e = 0; e < E; ++e) {
+    int r = model.add_row_eq(0.0);
+    model.add_entry(r, nvar0 + e, 1.0);
+    for (int k = 0; k < K; ++k) model.add_entry(r, xvar(k, e), -1.0);
+  }
+  // (7,8,9): edge and port occupation under T*.
+  for (int e = 0; e < E; ++e) {
+    int r = model.add_row_ge(0.0);
+    model.add_entry(r, period_var, 1.0);
+    model.add_entry(r, nvar0 + e, -g.edge(e).cost);
+  }
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    int rin = model.add_row_ge(0.0);
+    model.add_entry(rin, period_var, 1.0);
+    for (EdgeId e : g.in_edges(j)) {
+      model.add_entry(rin, nvar0 + e, -g.edge(e).cost);
+    }
+    int rout = model.add_row_ge(0.0);
+    model.add_entry(rout, period_var, 1.0);
+    for (EdgeId e : g.out_edges(j)) {
+      model.add_entry(rout, nvar0 + e, -g.edge(e).cost);
+    }
+  }
+
+  lp::Solution sol = lp::solve(model, options.solver);
+  out.status = sol.status;
+  if (!sol.optimal()) return out;
+  out.period = sol.objective;
+  out.flows.assign(static_cast<size_t>(K),
+                   std::vector<double>(static_cast<size_t>(E), 0.0));
+  for (int k = 0; k < K; ++k) {
+    for (int e = 0; e < E; ++e) {
+      out.flows[static_cast<size_t>(k)][static_cast<size_t>(e)] =
+          sol.x[static_cast<size_t>(xvar(k, e))];
+    }
+  }
+  return out;
+}
+
+}  // namespace pmcast::core

@@ -1,0 +1,103 @@
+#pragma once
+/// \file formulations.hpp
+/// The paper's LP formulations (Section 5.1):
+///
+///  * Multicast-LB — per-target unit flows x_i^{jk}; the load of an edge is
+///    the *maximum* fraction over targets (optimistic sharing: every packet
+///    on the edge is a sub-message of the largest one). Lower bound on the
+///    achievable period; not achievable in general (Fig. 4).
+///  * Multicast-UB — same flows, but the edge load is the *sum* over
+///    targets (a scatter: as if every target received a distinct message).
+///    Always achievable, hence an upper bound; at most |Ptarget| times the
+///    lower bound (tight, Fig. 5).
+///  * Broadcast-EB — Multicast-LB with every node a target; this value is
+///    achievable by prior work [Beaumont et al., IPDPS'04], in polynomial
+///    time, and is the paper's "broadcast the whole platform" heuristic.
+///  * MulticastMultiSource-UB — the UB formulation generalised to an
+///    ordered set of intermediate sources (Section 5.2.3): source s_i first
+///    acquires the full message from earlier sources, then helps serve the
+///    targets. Scatter aggregation keeps it reconstructible.
+///
+/// All programs minimise the period T* of a unit-size message under the
+/// one-port constraints (7,8,9). The t and n variables of the paper are
+/// folded into the rows (DESIGN.md §5).
+
+#include <optional>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "lp/simplex.hpp"
+
+namespace pmcast::core {
+
+/// How the per-target fractions on an edge aggregate into the edge load
+/// n_jk: Max = equation (10') (lower bound), Sum = equation (10) (upper
+/// bound / scatter).
+enum class EdgeAggregation { Max, Sum };
+
+/// Solution of one of the single-source formulations.
+struct FlowSolution {
+  lp::SolveStatus status = lp::SolveStatus::Numerical;
+  double period = 0.0;  ///< optimal T*; throughput = 1/period
+
+  /// x[t][e] = fraction of target t's message crossing edge e
+  /// (t indexes MulticastProblem::targets).
+  std::vector<std::vector<double>> x;
+  /// n[e] = total edge load (per the chosen aggregation).
+  std::vector<double> edge_load;
+
+  bool ok() const { return status == lp::SolveStatus::Optimal; }
+
+  /// Sum over targets of the flow entering node m — the heuristics' score
+  /// for how much node m contributes to the propagation (Section 5.2).
+  double node_inflow(const Digraph& g, NodeId m) const;
+};
+
+struct FormulationOptions {
+  lp::SolverOptions solver;
+};
+
+/// Multicast-LB(P, Ptarget): lower bound on the period.
+FlowSolution solve_multicast_lb(const MulticastProblem& problem,
+                                const FormulationOptions& options = {});
+
+/// Multicast-UB(P, Ptarget): achievable scatter-style upper bound.
+FlowSolution solve_multicast_ub(const MulticastProblem& problem,
+                                const FormulationOptions& options = {});
+
+/// Broadcast-EB(P): optimal broadcast period of the whole platform
+/// (Multicast-LB with all nodes as targets — achievable per [6,5]).
+FlowSolution solve_broadcast_eb(const Digraph& graph, NodeId source,
+                                const FormulationOptions& options = {});
+
+/// Broadcast-EB on the sub-platform induced by \p keep (the source must be
+/// kept). Returns nullopt when some kept node is unreachable from the
+/// source inside the sub-platform (the paper's "+infinity" convention).
+std::optional<double> broadcast_eb_period(const Digraph& graph, NodeId source,
+                                          std::span<const char> keep,
+                                          const FormulationOptions& options = {});
+
+/// Solution of MulticastMultiSource-UB.
+struct MultiSourceSolution {
+  lp::SolveStatus status = lp::SolveStatus::Numerical;
+  double period = 0.0;
+
+  /// Commodity k is (origin_index o, destination node d): flows[k][e].
+  struct Commodity {
+    int origin = 0;       ///< index into the ordered source list
+    NodeId dest = kInvalidNode;
+  };
+  std::vector<Commodity> commodities;
+  std::vector<std::vector<double>> flows;
+
+  bool ok() const { return status == lp::SolveStatus::Optimal; }
+  double node_inflow(const Digraph& g, NodeId m) const;
+};
+
+/// MulticastMultiSource-UB(P, Ptarget, Psource): \p sources is the ordered
+/// list of intermediate sources, sources[0] being the original source.
+MultiSourceSolution solve_multisource_ub(
+    const MulticastProblem& problem, std::span<const NodeId> sources,
+    const FormulationOptions& options = {});
+
+}  // namespace pmcast::core

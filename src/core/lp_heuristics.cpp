@@ -1,0 +1,244 @@
+#include "core/lp_heuristics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pmcast::core {
+namespace {
+
+constexpr double kImprovementTol = 1e-9;
+
+/// Solve Broadcast-EB on the sub-platform \p keep and return the per-node
+/// inflow scores (original node ids) alongside the period. Returns false
+/// when the sub-platform is disconnected.
+struct SubBroadcast {
+  bool ok = false;
+  double period = kInfinity;
+  std::vector<double> inflow;  ///< indexed by original node id
+};
+
+SubBroadcast broadcast_with_scores(const Digraph& graph, NodeId source,
+                                   const std::vector<char>& keep,
+                                   const FormulationOptions& lp) {
+  SubBroadcast out;
+  out.inflow.assign(static_cast<size_t>(graph.node_count()), 0.0);
+  SubgraphResult sub = graph.induced_subgraph(keep);
+  NodeId sub_source = sub.old_to_new[static_cast<size_t>(source)];
+  std::vector<char> all(static_cast<size_t>(sub.graph.node_count()), 1);
+  if (!sub.graph.reaches_all(sub_source, all)) return out;
+  FlowSolution sol = solve_broadcast_eb(sub.graph, sub_source, lp);
+  if (!sol.ok()) return out;
+  out.ok = true;
+  out.period = sol.period;
+  for (NodeId v = 0; v < sub.graph.node_count(); ++v) {
+    out.inflow[static_cast<size_t>(sub.new_to_old[static_cast<size_t>(v)])] =
+        sol.node_inflow(sub.graph, v);
+  }
+  return out;
+}
+
+std::vector<NodeId> sorted_by_score(const std::vector<NodeId>& candidates,
+                                    const std::vector<double>& score,
+                                    bool ascending) {
+  std::vector<NodeId> sorted = candidates;
+  std::stable_sort(sorted.begin(), sorted.end(), [&](NodeId a, NodeId b) {
+    double sa = score[static_cast<size_t>(a)];
+    double sb = score[static_cast<size_t>(b)];
+    return ascending ? sa < sb : sa > sb;
+  });
+  return sorted;
+}
+
+}  // namespace
+
+PlatformHeuristicResult reduced_broadcast(const MulticastProblem& problem,
+                                          const HeuristicOptions& options) {
+  PlatformHeuristicResult result;
+  const Digraph& g = problem.graph;
+  std::vector<char> target_mask = problem.target_mask();
+  result.platform.assign(static_cast<size_t>(g.node_count()), 1);
+
+  SubBroadcast current =
+      broadcast_with_scores(g, problem.source, result.platform, options.lp);
+  ++result.lp_solves;
+  if (!current.ok) return result;
+  result.ok = true;
+  result.period = current.period;
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    // Removable nodes: in the platform, neither source nor target, sorted by
+    // increasing inflow (they contribute least to the propagation).
+    std::vector<NodeId> removable;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (result.platform[static_cast<size_t>(v)] && v != problem.source &&
+          !target_mask[static_cast<size_t>(v)]) {
+        removable.push_back(v);
+      }
+    }
+    std::vector<NodeId> order =
+        sorted_by_score(removable, current.inflow, /*ascending=*/true);
+
+    bool improved = false;
+    int probed = 0;
+    for (NodeId m : order) {
+      if (++probed > options.max_candidates) break;
+      std::vector<char> trial = result.platform;
+      trial[static_cast<size_t>(m)] = 0;
+      SubBroadcast candidate =
+          broadcast_with_scores(g, problem.source, trial, options.lp);
+      ++result.lp_solves;
+      if (candidate.ok &&
+          candidate.period < result.period - kImprovementTol) {
+        result.platform = std::move(trial);
+        result.period = candidate.period;
+        current = std::move(candidate);
+        improved = true;
+        break;
+      }
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+PlatformHeuristicResult augmented_multicast(const MulticastProblem& problem,
+                                            const HeuristicOptions& options) {
+  PlatformHeuristicResult result;
+  const Digraph& g = problem.graph;
+  std::vector<char> target_mask = problem.target_mask();
+
+  // Scores come from the Multicast-LB solution on the full platform and
+  // stay fixed (Fig. 7 sorts against that one solution).
+  FlowSolution lb = solve_multicast_lb(problem, options.lp);
+  ++result.lp_solves;
+  std::vector<double> inflow(static_cast<size_t>(g.node_count()), 0.0);
+  if (lb.ok()) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      inflow[static_cast<size_t>(v)] = lb.node_inflow(g, v);
+    }
+  }
+
+  result.platform = target_mask;
+  result.platform[static_cast<size_t>(problem.source)] = 1;
+
+  // Connectivity phase. The paper's "<=" acceptance admits nodes while the
+  // sub-platform broadcast is still infinite; since Broadcast-EB of a
+  // disconnected platform is +inf *without solving any LP* (reachability
+  // short-circuit), we run that phase to completion here: keep adding the
+  // highest-inflow missing node until every kept node is reachable.
+  auto connected = [&](const std::vector<char>& keep) {
+    SubgraphResult sub = g.induced_subgraph(keep);
+    NodeId sub_source = sub.old_to_new[static_cast<size_t>(problem.source)];
+    std::vector<char> all(static_cast<size_t>(sub.graph.node_count()), 1);
+    return sub.graph.reaches_all(sub_source, all);
+  };
+  {
+    std::vector<NodeId> addable;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!result.platform[static_cast<size_t>(v)]) addable.push_back(v);
+    }
+    std::vector<NodeId> order =
+        sorted_by_score(addable, inflow, /*ascending=*/false);
+    size_t next = 0;
+    while (!connected(result.platform) && next < order.size()) {
+      result.platform[static_cast<size_t>(order[next++])] = 1;
+    }
+  }
+  {
+    auto initial = broadcast_eb_period(g, problem.source, result.platform,
+                                       options.lp);
+    ++result.lp_solves;
+    if (initial) {
+      result.ok = true;
+      result.period = *initial;
+    }
+  }
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    std::vector<NodeId> addable;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!result.platform[static_cast<size_t>(v)]) addable.push_back(v);
+    }
+    std::vector<NodeId> order =
+        sorted_by_score(addable, inflow, /*ascending=*/false);
+
+    bool improved = false;
+    int probed = 0;
+    for (NodeId m : order) {
+      if (++probed > options.max_candidates) break;
+      std::vector<char> trial = result.platform;
+      trial[static_cast<size_t>(m)] = 1;
+      auto candidate =
+          broadcast_eb_period(g, problem.source, trial, options.lp);
+      ++result.lp_solves;
+      // While the sub-platform is still disconnected (period infinite) the
+      // paper's "<=" acceptance keeps adding high-inflow nodes; once finite
+      // we demand strict improvement (see header note).
+      bool accept = result.period == kInfinity
+                        ? true
+                        : candidate &&
+                              *candidate < result.period - kImprovementTol;
+      if (accept) {
+        result.platform = std::move(trial);
+        if (candidate) {
+          result.period = *candidate;
+          result.ok = true;
+        }
+        improved = true;
+        break;
+      }
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+AugmentedSourcesResult augmented_sources(const MulticastProblem& problem,
+                                         const HeuristicOptions& options) {
+  AugmentedSourcesResult result;
+  const Digraph& g = problem.graph;
+  result.sources = {problem.source};
+  result.solution = solve_multisource_ub(problem, result.sources, options.lp);
+  ++result.lp_solves;
+  if (!result.solution.ok()) return result;
+  result.ok = true;
+  result.period = result.solution.period;
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    std::vector<char> is_source(static_cast<size_t>(g.node_count()), 0);
+    for (NodeId s : result.sources) is_source[static_cast<size_t>(s)] = 1;
+    std::vector<NodeId> candidates;
+    std::vector<double> inflow(static_cast<size_t>(g.node_count()), 0.0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!is_source[static_cast<size_t>(v)]) {
+        candidates.push_back(v);
+        inflow[static_cast<size_t>(v)] = result.solution.node_inflow(g, v);
+      }
+    }
+    std::vector<NodeId> order =
+        sorted_by_score(candidates, inflow, /*ascending=*/false);
+
+    bool improved = false;
+    int probed = 0;
+    for (NodeId m : order) {
+      if (++probed > options.max_candidates) break;
+      std::vector<NodeId> trial = result.sources;
+      trial.push_back(m);
+      MultiSourceSolution candidate =
+          solve_multisource_ub(problem, trial, options.lp);
+      ++result.lp_solves;
+      if (candidate.ok() &&
+          candidate.period < result.period - kImprovementTol) {
+        result.sources = std::move(trial);
+        result.period = candidate.period;
+        result.solution = std::move(candidate);
+        improved = true;
+        break;
+      }
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+}  // namespace pmcast::core

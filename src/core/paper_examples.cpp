@@ -1,0 +1,114 @@
+#include "core/paper_examples.hpp"
+
+#include <cassert>
+
+namespace pmcast::core {
+
+MulticastProblem figure1_example() {
+  Digraph g;
+  NodeId src = g.add_node("Psource");
+  std::vector<NodeId> p(14, kInvalidNode);
+  for (int i = 1; i <= 13; ++i) {
+    p[static_cast<size_t>(i)] = g.add_node("P" + std::to_string(i));
+  }
+  // Relay mesh. Edge times follow the text: c(src,P1) = c(P2,P1) =
+  // c(P3,P2) = c(P6,P7) = 1 (saturation arguments of the proof), the P3
+  // branch is fast (1/2), P4 -> P5 is the slow "2" edge of the figure.
+  g.add_edge(src, p[1], 1.0);
+  g.add_edge(src, p[3], 0.5);
+  g.add_edge(p[3], p[2], 1.0);
+  g.add_edge(p[2], p[1], 1.0);
+  g.add_edge(p[3], p[4], 0.5);
+  g.add_edge(p[4], p[5], 2.0);
+  g.add_edge(p[5], p[6], 1.0);
+  g.add_edge(p[2], p[6], 1.0);
+  g.add_edge(p[6], p[7], 1.0);
+  g.add_edge(p[1], p[11], 1.0);
+  // Target LANs: P7..P10 chained at 1/5, P11..P13 chained at 1/10.
+  g.add_edge(p[7], p[8], 0.2);
+  g.add_edge(p[8], p[9], 0.2);
+  g.add_edge(p[9], p[10], 0.2);
+  g.add_edge(p[11], p[12], 0.1);
+  g.add_edge(p[12], p[13], 0.1);
+
+  std::vector<NodeId> targets;
+  for (int i = 7; i <= 13; ++i) targets.push_back(p[static_cast<size_t>(i)]);
+  return MulticastProblem(std::move(g), src, std::move(targets));
+}
+
+Figure1Trees figure1_optimal_trees(const MulticastProblem& problem) {
+  const Digraph& g = problem.graph;
+  auto edge = [&](const char* from, const char* to) {
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (g.node_name(g.edge(e).from) == from &&
+          g.node_name(g.edge(e).to) == to) {
+        return e;
+      }
+    }
+    assert(false && "edge not found");
+    return kInvalidEdge;
+  };
+  Figure1Trees trees;
+  // Tree 1 (Fig. 1b): source feeds P1 and the P3 -> P4 -> P5 -> P6 branch.
+  trees.tree1 = {
+      edge("Psource", "P1"), edge("Psource", "P3"), edge("P3", "P4"),
+      edge("P4", "P5"),      edge("P5", "P6"),      edge("P6", "P7"),
+      edge("P7", "P8"),      edge("P8", "P9"),      edge("P9", "P10"),
+      edge("P1", "P11"),     edge("P11", "P12"),    edge("P12", "P13"),
+  };
+  // Tree 2 (Fig. 1c): source feeds P3; P2 relays to both P1 and P6.
+  trees.tree2 = {
+      edge("Psource", "P3"), edge("P3", "P2"),   edge("P2", "P1"),
+      edge("P2", "P6"),      edge("P6", "P7"),   edge("P7", "P8"),
+      edge("P8", "P9"),      edge("P9", "P10"),  edge("P1", "P11"),
+      edge("P11", "P12"),    edge("P12", "P13"),
+  };
+  return trees;
+}
+
+MulticastProblem figure4_example() {
+  // Reconstruction found by randomised search (tools/find_gap_instance,
+  // seed 7, iteration 6638): 6 nodes, 12 edges, two targets, with
+  //   throughput(Multicast-LB) = 5/3  >  optimum = 3/2  >  UB = 1,
+  // i.e. exactly the Figure 4 phenomenon — neither LP bound is tight, the
+  // optimum strictly between them (the paper's own instance shows
+  // 2/3 > 1/2 > 1/3; the OPT/UB ratio 3/2 matches). Re-proved numerically
+  // in tests/core.
+  Digraph g;
+  NodeId src = g.add_node("Psource");    // node 0
+  NodeId r1 = g.add_node("Prelay1");     // node 1
+  NodeId t1 = g.add_node("Pt1");         // node 2
+  NodeId r2 = g.add_node("Prelay2");     // node 3
+  NodeId t2 = g.add_node("Pt2");         // node 4
+  NodeId r3 = g.add_node("Prelay3");     // node 5
+  g.add_edge(src, r2, 0.5);
+  g.add_edge(src, t2, 0.5);
+  g.add_edge(r1, t1, 0.5);
+  g.add_edge(r1, t2, 1.0);
+  g.add_edge(r1, r3, 0.5);
+  g.add_edge(t1, r3, 0.5);
+  g.add_edge(r2, t1, 0.5);
+  g.add_edge(r2, r3, 0.5);
+  g.add_edge(t2, src, 0.5);
+  g.add_edge(t2, r3, 0.5);
+  g.add_edge(r3, src, 1.0);
+  g.add_edge(r3, r1, 1.0);
+  return MulticastProblem(std::move(g), src, {t1, t2});
+}
+
+MulticastProblem figure5_example(int num_targets) {
+  assert(num_targets >= 1);
+  Digraph g;
+  NodeId src = g.add_node("Psource");
+  NodeId hub = g.add_node("Phub");
+  g.add_edge(src, hub, 1.0);
+  std::vector<NodeId> targets;
+  for (int i = 0; i < num_targets; ++i) {
+    NodeId t = g.add_node("Ptarget" + std::to_string(i + 1));
+    g.add_edge(hub, t, 1.0 / num_targets);
+    targets.push_back(t);
+  }
+  return MulticastProblem(std::move(g), src, std::move(targets));
+}
+
+}  // namespace pmcast::core

@@ -1,0 +1,65 @@
+#pragma once
+/// \file problem.hpp
+/// The Series-of-Multicasts problem instance (Section 2 of the paper):
+/// a platform graph, a source and a set of target nodes. The objective in
+/// every API of this library is the *period* T of a steady-state schedule
+/// for unit-size messages — the throughput is 1/T multicasts per time unit.
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace pmcast::core {
+
+struct MulticastProblem {
+  Digraph graph;
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> targets;
+
+  MulticastProblem() = default;
+  MulticastProblem(Digraph g, NodeId src, std::vector<NodeId> tgts)
+      : graph(std::move(g)), source(src), targets(std::move(tgts)) {
+    assert(source >= 0 && source < graph.node_count());
+#ifndef NDEBUG
+    for (NodeId t : targets) {
+      assert(t >= 0 && t < graph.node_count() && t != source);
+    }
+#endif
+  }
+
+  int target_count() const { return static_cast<int>(targets.size()); }
+
+  /// Boolean mask of the target set.
+  std::vector<char> target_mask() const {
+    std::vector<char> mask(static_cast<size_t>(graph.node_count()), 0);
+    for (NodeId t : targets) mask[static_cast<size_t>(t)] = 1;
+    return mask;
+  }
+
+  /// True when every node except the source is a target (broadcast case).
+  bool is_broadcast() const {
+    return target_count() == graph.node_count() - 1;
+  }
+
+  /// True when every target is reachable from the source.
+  bool feasible() const {
+    auto seen = graph.reachable_from(source);
+    for (NodeId t : targets) {
+      if (!seen[static_cast<size_t>(t)]) return false;
+    }
+    return true;
+  }
+
+  /// The broadcast variant of this problem (all nodes are targets).
+  MulticastProblem as_broadcast() const {
+    std::vector<NodeId> all;
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+      if (v != source) all.push_back(v);
+    }
+    return MulticastProblem(graph, source, std::move(all));
+  }
+};
+
+}  // namespace pmcast::core

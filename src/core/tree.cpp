@@ -1,0 +1,205 @@
+#include "core/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <sstream>
+
+namespace pmcast::core {
+
+std::string validate_tree(const Digraph& g, const MulticastTree& tree) {
+  std::ostringstream err;
+  if (tree.source < 0 || tree.source >= g.node_count()) {
+    return "invalid source";
+  }
+  std::vector<int> indeg(static_cast<size_t>(g.node_count()), 0);
+  for (EdgeId e : tree.edges) {
+    if (e < 0 || e >= g.edge_count()) {
+      err << "edge id " << e << " out of range";
+      return err.str();
+    }
+    ++indeg[static_cast<size_t>(g.edge(e).to)];
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (indeg[static_cast<size_t>(v)] > 1) {
+      err << "node " << v << " has " << indeg[static_cast<size_t>(v)]
+          << " incoming tree edges";
+      return err.str();
+    }
+  }
+  if (indeg[static_cast<size_t>(tree.source)] != 0) {
+    return "source has an incoming tree edge";
+  }
+  // Every edge must hang off the source-reachable part.
+  std::vector<char> reached(static_cast<size_t>(g.node_count()), 0);
+  reached[static_cast<size_t>(tree.source)] = 1;
+  size_t attached = 0;
+  bool progress = true;
+  std::vector<char> used(tree.edges.size(), 0);
+  while (progress && attached < tree.edges.size()) {
+    progress = false;
+    for (size_t i = 0; i < tree.edges.size(); ++i) {
+      if (used[i]) continue;
+      const Edge& e = g.edge(tree.edges[i]);
+      if (reached[static_cast<size_t>(e.from)]) {
+        used[i] = 1;
+        reached[static_cast<size_t>(e.to)] = 1;
+        ++attached;
+        progress = true;
+      }
+    }
+  }
+  if (attached != tree.edges.size()) {
+    return "tree edges not connected to the source";
+  }
+  return {};
+}
+
+std::vector<char> tree_nodes(const Digraph& g, const MulticastTree& tree) {
+  std::vector<char> mask(static_cast<size_t>(g.node_count()), 0);
+  mask[static_cast<size_t>(tree.source)] = 1;
+  for (EdgeId e : tree.edges) {
+    mask[static_cast<size_t>(g.edge(e).from)] = 1;
+    mask[static_cast<size_t>(g.edge(e).to)] = 1;
+  }
+  return mask;
+}
+
+bool tree_spans(const Digraph& g, const MulticastTree& tree,
+                std::span<const NodeId> targets) {
+  auto mask = tree_nodes(g, tree);
+  for (NodeId t : targets) {
+    if (!mask[static_cast<size_t>(t)]) return false;
+  }
+  return true;
+}
+
+bool leaves_are_targets(const Digraph& g, const MulticastTree& tree,
+                        std::span<const NodeId> targets) {
+  std::vector<char> is_target(static_cast<size_t>(g.node_count()), 0);
+  for (NodeId t : targets) is_target[static_cast<size_t>(t)] = 1;
+  std::vector<int> outdeg(static_cast<size_t>(g.node_count()), 0);
+  for (EdgeId e : tree.edges) ++outdeg[static_cast<size_t>(g.edge(e).from)];
+  for (EdgeId e : tree.edges) {
+    NodeId v = g.edge(e).to;
+    if (outdeg[static_cast<size_t>(v)] == 0 &&
+        !is_target[static_cast<size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double tree_period(const Digraph& g, const MulticastTree& tree) {
+  std::vector<double> send(static_cast<size_t>(g.node_count()), 0.0);
+  double max_recv = 0.0;
+  for (EdgeId e : tree.edges) {
+    const Edge& edge = g.edge(e);
+    send[static_cast<size_t>(edge.from)] += edge.cost;
+    max_recv = std::max(max_recv, edge.cost);
+  }
+  double period = max_recv;
+  for (double s : send) period = std::max(period, s);
+  return period;
+}
+
+std::vector<int> tree_edge_depths(const Digraph& g,
+                                  const MulticastTree& tree) {
+  std::vector<int> node_depth(static_cast<size_t>(g.node_count()), -1);
+  node_depth[static_cast<size_t>(tree.source)] = 0;
+  std::vector<int> depth(tree.edges.size(), -1);
+  bool progress = true;
+  size_t done = 0;
+  while (progress && done < tree.edges.size()) {
+    progress = false;
+    for (size_t i = 0; i < tree.edges.size(); ++i) {
+      if (depth[i] >= 0) continue;
+      const Edge& e = g.edge(tree.edges[i]);
+      int df = node_depth[static_cast<size_t>(e.from)];
+      if (df >= 0) {
+        depth[i] = df + 1;
+        node_depth[static_cast<size_t>(e.to)] = df + 1;
+        ++done;
+        progress = true;
+      }
+    }
+  }
+  if (done != tree.edges.size()) return {};
+  return depth;
+}
+
+double tree_set_port_load(const Digraph& g, const WeightedTreeSet& set) {
+  assert(set.trees.size() == set.rates.size());
+  std::vector<double> send(static_cast<size_t>(g.node_count()), 0.0);
+  std::vector<double> recv(static_cast<size_t>(g.node_count()), 0.0);
+  for (size_t k = 0; k < set.trees.size(); ++k) {
+    double rate = set.rates[k];
+    for (EdgeId e : set.trees[k].edges) {
+      const Edge& edge = g.edge(e);
+      send[static_cast<size_t>(edge.from)] += rate * edge.cost;
+      recv[static_cast<size_t>(edge.to)] += rate * edge.cost;
+    }
+  }
+  double load = 0.0;
+  for (double v : send) load = std::max(load, v);
+  for (double v : recv) load = std::max(load, v);
+  return load;
+}
+
+TreeSchedule build_tree_schedule(const Digraph& g, const WeightedTreeSet& set,
+                                 std::span<const NodeId> targets,
+                                 long max_denominator) {
+  TreeSchedule out;
+  assert(set.trees.size() == set.rates.size());
+
+  // Rationalise every rate against one common denominator (an lcm of
+  // per-rate denominators can explode combinatorially). max_denominator is
+  // highly composite by default, so the frequent simple fractions (1/2,
+  // 1/3, ..., 1/10) stay exact.
+  const long period_units = max_denominator;
+  std::vector<std::pair<long, long>> fractions;
+  for (double rate : set.rates) {
+    fractions.push_back({std::lround(rate * static_cast<double>(period_units)),
+                         period_units});
+  }
+
+  // Keep only trees that ship at least one message per period; stream ids
+  // are re-indexed over the kept trees.
+  std::vector<sched::Transfer> transfers;
+  double total_msgs = 0.0;
+  for (size_t k = 0; k < set.trees.size(); ++k) {
+    const MulticastTree& tree = set.trees[k];
+    long msgs = fractions[k].first * (period_units / fractions[k].second);
+    if (msgs <= 0) continue;
+    std::vector<int> depths = tree_edge_depths(g, tree);
+    assert(!depths.empty() || tree.edges.empty());
+    int stream_id = static_cast<int>(out.streams.size());
+    for (size_t i = 0; i < tree.edges.size(); ++i) {
+      const Edge& e = g.edge(tree.edges[i]);
+      transfers.push_back({e.from, e.to, static_cast<double>(msgs) * e.cost,
+                           stream_id, depths[i] - 1});
+    }
+    sched::StreamInfo stream;
+    stream.source = tree.source;
+    stream.msgs_per_period = static_cast<int>(msgs);
+    for (NodeId t : targets) stream.sinks.push_back(t);
+    out.streams.push_back(std::move(stream));
+    total_msgs += static_cast<double>(msgs);
+  }
+
+  out.schedule = sched::build_schedule(std::move(transfers), g.node_count());
+  if (!out.schedule.ok) return out;
+  // The colouring compresses the communications into the max port load,
+  // which may be shorter than the nominal period (idle ports). Keep the
+  // nominal period so the realised throughput matches the requested rates;
+  // if the rates were infeasible (load > 1), the makespan wins.
+  out.period = std::max(out.schedule.period,
+                        static_cast<double>(period_units));
+  out.schedule.period = out.period;
+  out.throughput = out.period > 0.0 ? total_msgs / out.period : 0.0;
+  return out;
+}
+
+}  // namespace pmcast::core

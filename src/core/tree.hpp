@@ -1,0 +1,90 @@
+#pragma once
+/// \file tree.hpp
+/// Multicast trees and weighted combinations of trees.
+///
+/// A multicast tree is an arborescence rooted at the source whose node set
+/// contains every target. Under the one-port model, a tree shipping one
+/// message per period costs every node v
+///     send(v) = sum over children edges of c(v, child)
+///     recv(v) = c(parent(v), v)
+/// and its smallest feasible period is max over nodes of those port times —
+/// this is the metric the paper's tree heuristics minimise (Section 6), and
+/// the per-tree coefficient of the exact tree LP (Theorem 4).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "sched/schedule.hpp"
+#include "sched/simulator.hpp"
+
+namespace pmcast::core {
+
+struct MulticastTree {
+  NodeId source = kInvalidNode;
+  std::vector<EdgeId> edges;
+};
+
+/// Structural validation: every tree edge exists, every non-source node
+/// reached has exactly one incoming tree edge, and all tree edges are
+/// reachable from the source. Returns an empty string when valid.
+std::string validate_tree(const Digraph& g, const MulticastTree& tree);
+
+/// Mask of the nodes touched by the tree (always includes the source).
+std::vector<char> tree_nodes(const Digraph& g, const MulticastTree& tree);
+
+/// True when every node of \p targets appears in the tree.
+bool tree_spans(const Digraph& g, const MulticastTree& tree,
+                std::span<const NodeId> targets);
+
+/// True when every leaf of the tree is a target (no useless relays).
+bool leaves_are_targets(const Digraph& g, const MulticastTree& tree,
+                        std::span<const NodeId> targets);
+
+/// One-port period of the tree at rate one message per period.
+double tree_period(const Digraph& g, const MulticastTree& tree);
+
+/// Depth (1-based) of every tree edge: root edges have depth 1. Order
+/// matches tree.edges. Returns empty on invalid trees.
+std::vector<int> tree_edge_depths(const Digraph& g, const MulticastTree& tree);
+
+/// A weighted combination of multicast trees: tree k ships rates[k]
+/// messages per time unit. Its aggregated throughput is sum(rates), valid
+/// whenever every port load is at most 1 (checked by tree_set_feasible).
+struct WeightedTreeSet {
+  std::vector<MulticastTree> trees;
+  std::vector<double> rates;
+
+  double throughput() const {
+    double sum = 0.0;
+    for (double r : rates) sum += r;
+    return sum;
+  }
+};
+
+/// Maximum port load per unit time of the weighted combination; the set is
+/// feasible iff this is <= 1.
+double tree_set_port_load(const Digraph& g, const WeightedTreeSet& set);
+
+/// A fully orchestrated periodic schedule for a weighted tree set together
+/// with the stream metadata needed to simulate it.
+struct TreeSchedule {
+  sched::Schedule schedule;
+  std::vector<sched::StreamInfo> streams;
+  double period = 0.0;
+  double throughput = 0.0;  ///< messages per time unit of the realisation
+};
+
+/// Realise a weighted tree set as a periodic schedule: every rate is
+/// rationalised against the common denominator \p max_denominator (highly
+/// composite by default so simple fractions stay exact), the period is
+/// that denominator in time units, and the per-period communications are
+/// orchestrated by weighted edge colouring. The realised throughput can
+/// differ from set.throughput() by at most the rationalisation error
+/// (<= trees / (2 * max_denominator)).
+TreeSchedule build_tree_schedule(const Digraph& g, const WeightedTreeSet& set,
+                                 std::span<const NodeId> targets,
+                                 long max_denominator = 2520);
+
+}  // namespace pmcast::core

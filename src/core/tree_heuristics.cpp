@@ -1,0 +1,195 @@
+#include "core/tree_heuristics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+
+#include "graph/paths.hpp"
+
+namespace pmcast::core {
+namespace {
+
+/// Attach the edges of \p path_edges (a path leaving the current tree) to
+/// \p tree, updating the membership mask.
+void attach_path(const Digraph& g, std::span<const EdgeId> path_edges,
+                 MulticastTree& tree, std::vector<char>& in_tree) {
+  for (EdgeId e : path_edges) {
+    tree.edges.push_back(e);
+    in_tree[static_cast<size_t>(g.edge(e).to)] = 1;
+  }
+}
+
+}  // namespace
+
+std::optional<MulticastTree> mcph(const MulticastProblem& problem) {
+  const Digraph& g = problem.graph;
+  if (!problem.feasible()) return std::nullopt;
+
+  // Dynamic edge costs c(i,j) (Fig. 9, line 1).
+  std::vector<double> cost(static_cast<size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    cost[static_cast<size_t>(e)] = g.edge(e).cost;
+  }
+
+  MulticastTree tree;
+  tree.source = problem.source;
+  std::vector<char> in_tree(static_cast<size_t>(g.node_count()), 0);
+  in_tree[static_cast<size_t>(problem.source)] = 1;
+  std::vector<NodeId> remaining = problem.targets;
+
+  while (!remaining.empty()) {
+    // Bottleneck shortest paths from the whole current tree (lines 5-8):
+    // the path metric is the max dynamic cost along the path.
+    std::vector<NodeId> tree_node_list;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (in_tree[static_cast<size_t>(v)]) tree_node_list.push_back(v);
+    }
+    ShortestPaths sp = dijkstra_bottleneck_multi(g, tree_node_list, cost);
+
+    size_t best_idx = remaining.size();
+    double best_cost = kInfinity;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      double c = sp.dist[static_cast<size_t>(remaining[i])];
+      if (c < best_cost) {
+        best_cost = c;
+        best_idx = i;
+      }
+    }
+    if (best_idx == remaining.size()) return std::nullopt;  // disconnected
+
+    NodeId chosen = remaining[best_idx];
+    std::vector<EdgeId> path = extract_path_edges(g, sp, chosen);
+    // A target already absorbed into the tree has an empty path; just drop
+    // it from the remaining list.
+    attach_path(g, path, tree, in_tree);
+    remaining.erase(remaining.begin() + static_cast<long>(best_idx));
+
+    // Cost update (lines 11-13): every edge (i,k) leaving a node of the
+    // path is surcharged by c(i,j) — node i now spends that long serving
+    // the tree — and the chosen edge itself becomes free.
+    for (EdgeId e : path) {
+      const Edge& edge = g.edge(e);
+      double c = cost[static_cast<size_t>(e)];
+      if (c == 0.0) continue;
+      for (EdgeId sibling : g.out_edges(edge.from)) {
+        cost[static_cast<size_t>(sibling)] += c;
+      }
+      cost[static_cast<size_t>(e)] = 0.0;
+    }
+  }
+  assert(validate_tree(g, tree).empty());
+  return tree;
+}
+
+std::optional<MulticastTree> pruned_dijkstra(const MulticastProblem& problem) {
+  const Digraph& g = problem.graph;
+  ShortestPaths sp = dijkstra_additive(g, problem.source);
+  MulticastTree tree;
+  tree.source = problem.source;
+  std::set<EdgeId> kept;
+  for (NodeId t : problem.targets) {
+    if (sp.dist[static_cast<size_t>(t)] == kInfinity) return std::nullopt;
+    for (EdgeId e : extract_path_edges(g, sp, t)) kept.insert(e);
+  }
+  tree.edges.assign(kept.begin(), kept.end());
+  assert(validate_tree(g, tree).empty());
+  return tree;
+}
+
+namespace {
+
+/// Greedy (Prim-style) spanning arborescence rooted at node 0 of a dense
+/// terminal graph: repeatedly attach the non-tree terminal with the
+/// cheapest arc from the tree. dist[i][j] = cost of arc i->j (+inf when
+/// absent). On metric closures this is the standard KMB spanning step for
+/// digraphs. Returns parent[] (parent[0] unused), or empty on disconnection.
+std::vector<int> min_arborescence(std::vector<std::vector<double>> dist) {
+  const int n = static_cast<int>(dist.size());
+  std::vector<int> parent(static_cast<size_t>(n), -1);
+  std::vector<char> in_tree(static_cast<size_t>(n), 0);
+  in_tree[0] = 1;
+  for (int step = 1; step < n; ++step) {
+    // Cheapest arc from the tree to a non-tree node (Prim-flavoured; on a
+    // metric closure obeying the triangle inequality this matches the
+    // arborescence built by Edmonds up to ties).
+    double best = std::numeric_limits<double>::infinity();
+    int bu = -1, bv = -1;
+    for (int u = 0; u < n; ++u) {
+      if (!in_tree[static_cast<size_t>(u)]) continue;
+      for (int v = 0; v < n; ++v) {
+        if (in_tree[static_cast<size_t>(v)]) continue;
+        if (dist[static_cast<size_t>(u)][static_cast<size_t>(v)] < best) {
+          best = dist[static_cast<size_t>(u)][static_cast<size_t>(v)];
+          bu = u;
+          bv = v;
+        }
+      }
+    }
+    if (bv < 0) return {};
+    parent[static_cast<size_t>(bv)] = bu;
+    in_tree[static_cast<size_t>(bv)] = 1;
+  }
+  return parent;
+}
+
+}  // namespace
+
+std::optional<MulticastTree> kmb(const MulticastProblem& problem) {
+  const Digraph& g = problem.graph;
+  // Terminals: source first, then targets.
+  std::vector<NodeId> terminals;
+  terminals.push_back(problem.source);
+  for (NodeId t : problem.targets) terminals.push_back(t);
+  const int k = static_cast<int>(terminals.size());
+
+  // Metric closure via one Dijkstra per terminal.
+  std::vector<ShortestPaths> sps;
+  sps.reserve(static_cast<size_t>(k));
+  for (NodeId t : terminals) sps.push_back(dijkstra_additive(g, t));
+  std::vector<std::vector<double>> dist(
+      static_cast<size_t>(k),
+      std::vector<double>(static_cast<size_t>(k), kInfinity));
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      dist[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          sps[static_cast<size_t>(i)]
+              .dist[static_cast<size_t>(terminals[static_cast<size_t>(j)])];
+    }
+  }
+  std::vector<int> parent = min_arborescence(dist);
+  if (parent.empty() && k > 1) return std::nullopt;
+
+  // Expand closure arcs back into platform paths; the union may overlap, so
+  // prune by running a shortest-path tree inside the union subgraph.
+  std::vector<char> union_edges(static_cast<size_t>(g.edge_count()), 0);
+  for (int v = 1; v < k; ++v) {
+    int u = parent[static_cast<size_t>(v)];
+    if (u < 0) return std::nullopt;
+    const ShortestPaths& sp = sps[static_cast<size_t>(u)];
+    for (EdgeId e :
+         extract_path_edges(g, sp, terminals[static_cast<size_t>(v)])) {
+      union_edges[static_cast<size_t>(e)] = 1;
+    }
+  }
+  std::vector<double> restricted(static_cast<size_t>(g.edge_count()),
+                                 kInfinity);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (union_edges[static_cast<size_t>(e)]) {
+      restricted[static_cast<size_t>(e)] = g.edge(e).cost;
+    }
+  }
+  ShortestPaths inside = dijkstra_additive(g, problem.source, restricted);
+  MulticastTree tree;
+  tree.source = problem.source;
+  std::set<EdgeId> kept;
+  for (NodeId t : problem.targets) {
+    if (inside.dist[static_cast<size_t>(t)] == kInfinity) return std::nullopt;
+    for (EdgeId e : extract_path_edges(g, inside, t)) kept.insert(e);
+  }
+  tree.edges.assign(kept.begin(), kept.end());
+  assert(validate_tree(g, tree).empty());
+  return tree;
+}
+
+}  // namespace pmcast::core

@@ -1,0 +1,39 @@
+#pragma once
+/// \file tree_heuristics.hpp
+/// Tree-building heuristics for the Series-of-Multicasts problem.
+///
+/// * mcph() is the paper's adaptation (Fig. 9) of the Minimum Cost Path
+///   Heuristic to the one-port steady-state metric: grow the tree by
+///   repeatedly attaching the target with the cheapest *bottleneck* path
+///   under dynamically updated costs — after a path is chosen, every other
+///   edge leaving a node of the path is surcharged by that node's new
+///   sending time, and the chosen edges become free.
+/// * pruned_dijkstra() and kmb() are the classic Steiner baselines from the
+///   related-work section, adapted to directed platforms. They optimise the
+///   Steiner cost, not the one-port period, so they serve as ablation
+///   baselines in the benches.
+///
+/// All heuristics return a multicast tree spanning the targets (or an empty
+/// optional when some target is unreachable).
+
+#include <optional>
+
+#include "core/problem.hpp"
+#include "core/tree.hpp"
+
+namespace pmcast::core {
+
+/// The paper's MCPH tree heuristic (Fig. 9).
+std::optional<MulticastTree> mcph(const MulticastProblem& problem);
+
+/// Shortest-path tree from the source (additive costs), pruned to the paths
+/// that serve targets ("Pruned Dijkstra" Steiner heuristic).
+std::optional<MulticastTree> pruned_dijkstra(const MulticastProblem& problem);
+
+/// Distance-network (KMB) Steiner heuristic for digraphs: build the metric
+/// closure on {source} U targets, extract a spanning arborescence rooted at
+/// the source (greedy cheapest-attachment on the closure), re-expand its
+/// edges into shortest paths, and prune the union back into a tree.
+std::optional<MulticastTree> kmb(const MulticastProblem& problem);
+
+}  // namespace pmcast::core

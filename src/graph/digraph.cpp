@@ -1,0 +1,109 @@
+#include "graph/digraph.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace pmcast {
+
+NodeId Digraph::add_node(std::string name) {
+  NodeId id = node_count();
+  if (name.empty()) name = "P" + std::to_string(id);
+  node_names_.push_back(std::move(name));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+NodeId Digraph::add_nodes(int n) {
+  assert(n >= 0);
+  NodeId first = node_count();
+  for (int i = 0; i < n; ++i) add_node();
+  return first;
+}
+
+EdgeId Digraph::add_edge(NodeId from, NodeId to, double cost) {
+  assert(from >= 0 && from < node_count());
+  assert(to >= 0 && to < node_count());
+  assert(from != to && "self-loops carry no information in this model");
+  assert(cost > 0.0 && cost < kInfinity);
+  EdgeId id = edge_count();
+  edges_.push_back(Edge{from, to, cost});
+  out_[static_cast<size_t>(from)].push_back(id);
+  in_[static_cast<size_t>(to)].push_back(id);
+  return id;
+}
+
+void Digraph::add_bidirectional(NodeId u, NodeId v, double cost) {
+  add_edge(u, v, cost);
+  add_edge(v, u, cost);
+}
+
+std::optional<EdgeId> Digraph::find_edge(NodeId u, NodeId v) const {
+  for (EdgeId e : out_edges(u)) {
+    if (edges_[static_cast<size_t>(e)].to == v) return e;
+  }
+  return std::nullopt;
+}
+
+double Digraph::cost(NodeId u, NodeId v) const {
+  auto e = find_edge(u, v);
+  return e ? edges_[static_cast<size_t>(*e)].cost : kInfinity;
+}
+
+std::vector<char> Digraph::reachable_from(NodeId src,
+                                          std::span<const char> allowed) const {
+  std::vector<char> seen(static_cast<size_t>(node_count()), 0);
+  auto ok = [&](NodeId v) {
+    return allowed.empty() || allowed[static_cast<size_t>(v)];
+  };
+  if (!ok(src)) return seen;
+  std::deque<NodeId> queue{src};
+  seen[static_cast<size_t>(src)] = 1;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (EdgeId e : out_edges(u)) {
+      NodeId v = edges_[static_cast<size_t>(e)].to;
+      if (!seen[static_cast<size_t>(v)] && ok(v)) {
+        seen[static_cast<size_t>(v)] = 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+bool Digraph::reaches_all(NodeId src, std::span<const char> required,
+                          std::span<const char> allowed) const {
+  std::vector<char> seen = reachable_from(src, allowed);
+  for (int v = 0; v < node_count(); ++v) {
+    if (required[static_cast<size_t>(v)] && !seen[static_cast<size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SubgraphResult Digraph::induced_subgraph(
+    std::span<const char> keep) const {
+  assert(static_cast<int>(keep.size()) == node_count());
+  SubgraphResult result;
+  result.old_to_new.assign(static_cast<size_t>(node_count()), kInvalidNode);
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (keep[static_cast<size_t>(v)]) {
+      NodeId nv = result.graph.add_node(node_name(v));
+      result.old_to_new[static_cast<size_t>(v)] = nv;
+      result.new_to_old.push_back(v);
+    }
+  }
+  for (const Edge& e : edges_) {
+    NodeId nf = result.old_to_new[static_cast<size_t>(e.from)];
+    NodeId nt = result.old_to_new[static_cast<size_t>(e.to)];
+    if (nf != kInvalidNode && nt != kInvalidNode) {
+      result.graph.add_edge(nf, nt, e.cost);
+    }
+  }
+  return result;
+}
+
+}  // namespace pmcast

@@ -1,0 +1,121 @@
+#pragma once
+/// \file digraph.hpp
+/// Directed, edge-weighted platform graph. This is the central data type of
+/// the library: a platform G = (V, E, c) where c(j,k) is the time needed to
+/// ship one unit-size message across edge (j,k) (Section 2 of the paper).
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pmcast {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A directed edge Pj -> Pk labelled with the per-unit-message
+/// communication time c(j,k).
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double cost = 0.0;  ///< time to transfer one unit-size message
+};
+
+struct SubgraphResult;
+
+/// Directed, edge-weighted graph with stable node/edge ids and O(1) access
+/// to incidence lists. Multiple parallel edges are allowed (they can arise
+/// from subgraph operations); cycles are allowed and common.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Create a graph with \p n unnamed nodes.
+  explicit Digraph(int n) { add_nodes(n); }
+
+  /// Add a single node; returns its id. Name is optional (used by DOT dumps).
+  NodeId add_node(std::string name = {});
+
+  /// Add \p n nodes at once; returns id of the first.
+  NodeId add_nodes(int n);
+
+  /// Add edge from -> to with communication time \p cost (> 0, finite).
+  /// Returns the new edge id.
+  EdgeId add_edge(NodeId from, NodeId to, double cost);
+
+  /// Add both (u,v,cost) and (v,u,cost).
+  void add_bidirectional(NodeId u, NodeId v, double cost);
+
+  int node_count() const { return static_cast<int>(node_names_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  const Edge& edge(EdgeId e) const { return edges_[static_cast<size_t>(e)]; }
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Ids of edges leaving \p v.
+  std::span<const EdgeId> out_edges(NodeId v) const {
+    return out_[static_cast<size_t>(v)];
+  }
+  /// Ids of edges entering \p v.
+  std::span<const EdgeId> in_edges(NodeId v) const {
+    return in_[static_cast<size_t>(v)];
+  }
+
+  int out_degree(NodeId v) const {
+    return static_cast<int>(out_[static_cast<size_t>(v)].size());
+  }
+  int in_degree(NodeId v) const {
+    return static_cast<int>(in_[static_cast<size_t>(v)].size());
+  }
+
+  const std::string& node_name(NodeId v) const {
+    return node_names_[static_cast<size_t>(v)];
+  }
+  void set_node_name(NodeId v, std::string name) {
+    node_names_[static_cast<size_t>(v)] = std::move(name);
+  }
+
+  /// First edge id from \p u to \p v, if any.
+  std::optional<EdgeId> find_edge(NodeId u, NodeId v) const;
+
+  /// Communication time from u to v (+inf when no edge exists), i.e. the
+  /// paper's convention c(j,k) = +inf for non-neighbours.
+  double cost(NodeId u, NodeId v) const;
+
+  /// Nodes reachable from \p src following directed edges, optionally
+  /// restricted to nodes where \p allowed is true (allowed may be empty =
+  /// all allowed). Result is a boolean mask of size node_count().
+  std::vector<char> reachable_from(NodeId src,
+                                   std::span<const char> allowed = {}) const;
+
+  /// True when every node of \p required (mask) is reachable from src while
+  /// travelling through allowed nodes only.
+  bool reaches_all(NodeId src, std::span<const char> required,
+                   std::span<const char> allowed = {}) const;
+
+  /// Induced subgraph on the nodes where \p keep is true. Returns the new
+  /// graph plus old->new node mapping (kInvalidNode for dropped nodes).
+  SubgraphResult induced_subgraph(std::span<const char> keep) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  std::vector<std::string> node_names_;
+};
+
+/// Result of Digraph::induced_subgraph.
+struct SubgraphResult {
+  Digraph graph;
+  std::vector<NodeId> old_to_new;  ///< kInvalidNode for dropped nodes
+  std::vector<NodeId> new_to_old;
+};
+
+}  // namespace pmcast

@@ -1,0 +1,67 @@
+#include "graph/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace pmcast {
+namespace {
+
+bool mask_at(const std::vector<char>& mask, NodeId v) {
+  return static_cast<size_t>(v) < mask.size() &&
+         mask[static_cast<size_t>(v)] != 0;
+}
+
+}  // namespace
+
+void to_dot(std::ostream& os, const Digraph& g, const DotOptions& options) {
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=TB;\n  node [fontsize=10];\n  edge [fontsize=9];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v << " [label=\"" << g.node_name(v) << "\"";
+    if (v == options.source) {
+      os << ", shape=box, style=bold";
+    } else if (mask_at(options.highlight_nodes, v)) {
+      os << ", shape=diamond, style=filled, fillcolor=lightyellow";
+    } else if (mask_at(options.targets, v)) {
+      os << ", style=filled, fillcolor=lightgrey";
+    }
+    os << "];\n";
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    const bool have_used = !options.edge_used.empty();
+    const bool used =
+        have_used && options.edge_used[static_cast<size_t>(e)] != 0;
+    os << "  n" << edge.from << " -> n" << edge.to << " [";
+    bool first = true;
+    auto sep = [&]() {
+      if (!first) os << ", ";
+      first = false;
+    };
+    std::ostringstream label;
+    if (options.show_costs) label << edge.cost;
+    if (!options.edge_value.empty()) {
+      double v = options.edge_value[static_cast<size_t>(e)];
+      if (options.show_costs) label << " (" << v << ")";
+      else label << v;
+    }
+    if (!label.str().empty()) {
+      sep();
+      os << "label=\"" << label.str() << "\"";
+    }
+    if (have_used) {
+      sep();
+      os << (used ? "style=bold, color=black" : "style=dotted, color=grey");
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot_string(const Digraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  to_dot(os, g, options);
+  return os.str();
+}
+
+}  // namespace pmcast

@@ -1,0 +1,33 @@
+#pragma once
+/// \file dot.hpp
+/// Graphviz DOT export for platform graphs, used by the Fig. 12 case-study
+/// bench to dump the topology, the MCPH tree, and the multi-source flow.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace pmcast {
+
+/// Rendering options for to_dot().
+struct DotOptions {
+  std::string graph_name = "platform";
+  NodeId source = kInvalidNode;              ///< drawn as a box
+  std::vector<char> targets;                 ///< mask; drawn filled grey
+  std::vector<char> highlight_nodes;         ///< mask; drawn with a diamond
+  std::vector<double> edge_value;            ///< optional per-edge label value
+  std::vector<char> edge_used;               ///< mask; only these edges drawn
+                                             ///  in bold (others dotted)
+  bool show_costs = true;                    ///< label edges with c(j,k)
+};
+
+/// Serialise \p g as a DOT digraph.
+void to_dot(std::ostream& os, const Digraph& g, const DotOptions& options = {});
+
+/// Convenience: render to a string.
+std::string to_dot_string(const Digraph& g, const DotOptions& options = {});
+
+}  // namespace pmcast

@@ -1,0 +1,147 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace pmcast {
+namespace {
+
+bool fail(std::string* error, int line, const std::string& message) {
+  if (error != nullptr) {
+    std::ostringstream os;
+    os << "line " << line << ": " << message;
+    *error = os.str();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<PlatformFile> parse_platform(std::istream& in,
+                                           std::string* error) {
+  PlatformFile platform;
+  bool have_nodes = false;
+  std::string line;
+  int line_no = 0;
+  auto check_node = [&](long id) {
+    return id >= 0 && id < platform.graph.node_count();
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank line
+
+    if (keyword == "nodes") {
+      long count = -1;
+      if (!(ls >> count) || count < 1 || count > 1'000'000) {
+        fail(error, line_no, "nodes needs a positive count");
+        return std::nullopt;
+      }
+      if (have_nodes) {
+        fail(error, line_no, "duplicate nodes directive");
+        return std::nullopt;
+      }
+      platform.graph.add_nodes(static_cast<int>(count));
+      have_nodes = true;
+    } else if (keyword == "name") {
+      long id;
+      std::string label;
+      if (!(ls >> id >> label) || !check_node(id)) {
+        fail(error, line_no, "name needs a valid node id and a label");
+        return std::nullopt;
+      }
+      platform.graph.set_node_name(static_cast<NodeId>(id), label);
+    } else if (keyword == "edge" || keyword == "link") {
+      long from, to;
+      double cost;
+      if (!(ls >> from >> to >> cost) || !check_node(from) ||
+          !check_node(to) || from == to || !(cost > 0.0)) {
+        fail(error, line_no, keyword + " needs: <from> <to> <cost>0>");
+        return std::nullopt;
+      }
+      if (keyword == "edge") {
+        platform.graph.add_edge(static_cast<NodeId>(from),
+                                static_cast<NodeId>(to), cost);
+      } else {
+        platform.graph.add_bidirectional(static_cast<NodeId>(from),
+                                         static_cast<NodeId>(to), cost);
+      }
+    } else if (keyword == "source") {
+      long id;
+      if (!(ls >> id) || !check_node(id)) {
+        fail(error, line_no, "source needs a valid node id");
+        return std::nullopt;
+      }
+      platform.source = static_cast<NodeId>(id);
+    } else if (keyword == "target") {
+      long id;
+      bool any = false;
+      while (ls >> id) {
+        if (!check_node(id)) {
+          fail(error, line_no, "target id out of range");
+          return std::nullopt;
+        }
+        platform.targets.push_back(static_cast<NodeId>(id));
+        any = true;
+      }
+      if (!any) {
+        fail(error, line_no, "target needs at least one node id");
+        return std::nullopt;
+      }
+    } else {
+      fail(error, line_no, "unknown directive '" + keyword + "'");
+      return std::nullopt;
+    }
+  }
+  if (!have_nodes) {
+    fail(error, line_no, "missing nodes directive");
+    return std::nullopt;
+  }
+  if (platform.source == kInvalidNode) {
+    fail(error, line_no, "missing source directive");
+    return std::nullopt;
+  }
+  for (NodeId t : platform.targets) {
+    if (t == platform.source) {
+      fail(error, line_no, "the source cannot be a target");
+      return std::nullopt;
+    }
+  }
+  return platform;
+}
+
+std::optional<PlatformFile> parse_platform_string(const std::string& text,
+                                                  std::string* error) {
+  std::istringstream in(text);
+  return parse_platform(in, error);
+}
+
+void write_platform(std::ostream& out, const PlatformFile& platform) {
+  const Digraph& g = platform.graph;
+  out << "nodes " << g.node_count() << "\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out << "name " << v << " " << g.node_name(v) << "\n";
+  }
+  out << "source " << platform.source << "\n";
+  if (!platform.targets.empty()) {
+    out << "target";
+    for (NodeId t : platform.targets) out << " " << t;
+    out << "\n";
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    out << "edge " << edge.from << " " << edge.to << " " << edge.cost << "\n";
+  }
+}
+
+std::string write_platform_string(const PlatformFile& platform) {
+  std::ostringstream os;
+  write_platform(os, platform);
+  return os.str();
+}
+
+}  // namespace pmcast

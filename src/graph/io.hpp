@@ -1,0 +1,48 @@
+#pragma once
+/// \file io.hpp
+/// Plain-text platform file format, so downstream users can run the
+/// heuristics on their own topologies via the CLI (examples/pmcast_cli).
+///
+/// Format (line oriented, '#' comments):
+///     nodes <count>
+///     name <id> <label>            # optional
+///     edge <from> <to> <cost>      # directed
+///     link <a> <b> <cost>          # both directions
+///     source <id>
+///     target <id> [<id> ...]
+///
+/// Example:
+///     nodes 4
+///     source 0
+///     edge 0 1 1.0
+///     link 1 2 0.5
+///     link 1 3 0.5
+///     target 2 3
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace pmcast {
+
+struct PlatformFile {
+  Digraph graph;
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> targets;
+};
+
+/// Parse a platform description; on error returns nullopt and fills
+/// \p error with a line-numbered diagnostic.
+std::optional<PlatformFile> parse_platform(std::istream& in,
+                                           std::string* error = nullptr);
+std::optional<PlatformFile> parse_platform_string(const std::string& text,
+                                                  std::string* error = nullptr);
+
+/// Serialise a platform in the same format (round-trips with the parser).
+void write_platform(std::ostream& out, const PlatformFile& platform);
+std::string write_platform_string(const PlatformFile& platform);
+
+}  // namespace pmcast

@@ -1,0 +1,119 @@
+#include "graph/paths.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace pmcast {
+namespace {
+
+struct QueueItem {
+  double dist;
+  NodeId node;
+  bool operator>(const QueueItem& o) const { return dist > o.dist; }
+};
+
+using MinQueue =
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
+
+// Shared Dijkstra skeleton. `combine(d_u, c_e)` computes the tentative
+// distance of v when reached from u via an edge of cost c_e: addition for
+// the classic metric, max for the bottleneck metric.
+template <typename Combine>
+ShortestPaths run_dijkstra(const Digraph& g, std::span<const NodeId> sources,
+                           std::span<const double> edge_cost,
+                           std::span<const char> allowed, Combine combine) {
+  const auto n = static_cast<size_t>(g.node_count());
+  ShortestPaths sp;
+  sp.dist.assign(n, kInfinity);
+  sp.parent_edge.assign(n, kInvalidEdge);
+  auto ok = [&](NodeId v) {
+    return allowed.empty() || allowed[static_cast<size_t>(v)];
+  };
+  auto cost_of = [&](EdgeId e) {
+    return edge_cost.empty() ? g.edge(e).cost
+                             : edge_cost[static_cast<size_t>(e)];
+  };
+
+  MinQueue queue;
+  for (NodeId s : sources) {
+    if (!ok(s)) continue;
+    sp.dist[static_cast<size_t>(s)] = 0.0;
+    queue.push({0.0, s});
+  }
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > sp.dist[static_cast<size_t>(u)]) continue;  // stale entry
+    for (EdgeId e : g.out_edges(u)) {
+      const Edge& edge = g.edge(e);
+      if (!ok(edge.to)) continue;
+      double c = cost_of(e);
+      if (c == kInfinity) continue;
+      double nd = combine(d, c);
+      if (nd < sp.dist[static_cast<size_t>(edge.to)]) {
+        sp.dist[static_cast<size_t>(edge.to)] = nd;
+        sp.parent_edge[static_cast<size_t>(edge.to)] = e;
+        queue.push({nd, edge.to});
+      }
+    }
+  }
+  return sp;
+}
+
+}  // namespace
+
+ShortestPaths dijkstra_additive(const Digraph& g, NodeId src,
+                                std::span<const double> edge_cost,
+                                std::span<const char> allowed) {
+  NodeId sources[] = {src};
+  return run_dijkstra(g, sources, edge_cost, allowed,
+                      [](double d, double c) { return d + c; });
+}
+
+ShortestPaths dijkstra_additive_multi(const Digraph& g,
+                                      std::span<const NodeId> sources,
+                                      std::span<const double> edge_cost,
+                                      std::span<const char> allowed) {
+  return run_dijkstra(g, sources, edge_cost, allowed,
+                      [](double d, double c) { return d + c; });
+}
+
+ShortestPaths dijkstra_bottleneck_multi(const Digraph& g,
+                                        std::span<const NodeId> sources,
+                                        std::span<const double> edge_cost,
+                                        std::span<const char> allowed) {
+  return run_dijkstra(g, sources, edge_cost, allowed,
+                      [](double d, double c) { return std::max(d, c); });
+}
+
+std::vector<EdgeId> extract_path_edges(const Digraph& g,
+                                       const ShortestPaths& sp,
+                                       NodeId target) {
+  std::vector<EdgeId> path;
+  if (sp.dist[static_cast<size_t>(target)] == kInfinity) return path;
+  NodeId v = target;
+  while (sp.parent_edge[static_cast<size_t>(v)] != kInvalidEdge) {
+    EdgeId e = sp.parent_edge[static_cast<size_t>(v)];
+    path.push_back(e);
+    v = g.edge(e).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<NodeId> extract_path(const Digraph& g, const ShortestPaths& sp,
+                                 NodeId target) {
+  std::vector<NodeId> nodes;
+  if (sp.dist[static_cast<size_t>(target)] == kInfinity) return nodes;
+  std::vector<EdgeId> edges = extract_path_edges(g, sp, target);
+  if (edges.empty()) {
+    nodes.push_back(target);
+    return nodes;
+  }
+  nodes.push_back(g.edge(edges.front()).from);
+  for (EdgeId e : edges) nodes.push_back(g.edge(e).to);
+  return nodes;
+}
+
+}  // namespace pmcast

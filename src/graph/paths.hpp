@@ -1,0 +1,56 @@
+#pragma once
+/// \file paths.hpp
+/// Shortest-path machinery on platform graphs. Two metrics matter here:
+///   * additive cost (classic Dijkstra) — used by the Steiner-tree baselines;
+///   * bottleneck ("minimise the maximum edge cost on the path") — used by
+///     the paper's MCPH heuristic, whose metric per path is
+///     max over edges of the (dynamically updated) edge cost (Fig. 9).
+
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace pmcast {
+
+/// Result of a single-source shortest-path computation.
+struct ShortestPaths {
+  std::vector<double> dist;       ///< dist[v], +inf if unreachable
+  std::vector<EdgeId> parent_edge;  ///< incoming edge on a best path, or -1
+};
+
+/// Classic Dijkstra with additive costs. \p edge_cost overrides the graph's
+/// own costs when non-empty (size = edge_count()); entries of +inf disable
+/// an edge. \p allowed optionally restricts the traversal to a node subset.
+ShortestPaths dijkstra_additive(const Digraph& g, NodeId src,
+                                std::span<const double> edge_cost = {},
+                                std::span<const char> allowed = {});
+
+/// Multi-source Dijkstra: distance from the *set* of sources (all start at
+/// distance 0). Used by tree-growing heuristics where the "current tree" is
+/// the source set.
+ShortestPaths dijkstra_additive_multi(const Digraph& g,
+                                      std::span<const NodeId> sources,
+                                      std::span<const double> edge_cost = {},
+                                      std::span<const char> allowed = {});
+
+/// Bottleneck (minimax) shortest paths: the length of a path is the maximum
+/// edge cost along it, and we minimise that. Multi-source variant, as MCPH
+/// grows a tree and repeatedly asks "which target has the cheapest-bottleneck
+/// path from the current tree?".
+ShortestPaths dijkstra_bottleneck_multi(const Digraph& g,
+                                        std::span<const NodeId> sources,
+                                        std::span<const double> edge_cost = {},
+                                        std::span<const char> allowed = {});
+
+/// Reconstruct the node sequence of the path ending at \p target from a
+/// ShortestPaths result (empty if unreachable). The first node is the source
+/// (or one of the multi-sources).
+std::vector<NodeId> extract_path(const Digraph& g, const ShortestPaths& sp,
+                                 NodeId target);
+
+/// Reconstruct the edge sequence of the path ending at \p target.
+std::vector<EdgeId> extract_path_edges(const Digraph& g,
+                                       const ShortestPaths& sp, NodeId target);
+
+}  // namespace pmcast

@@ -1,0 +1,101 @@
+#pragma once
+/// \file model.hpp
+/// Linear-program model builder. The paper's throughput formulations
+/// (Multicast-LB / Multicast-UB / Broadcast-EB / MulticastMultiSource-UB and
+/// the exact tree LP) are all expressed with this tiny interface and solved
+/// by the in-tree simplex solver (src/lp/simplex.hpp) — no external LP
+/// library is available in this environment (see DESIGN.md, substitutions).
+
+#include <cassert>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pmcast::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense { Minimize, Maximize };
+
+/// A linear program
+///     optimise  c^T x
+///     s.t.      lo_i <= (A x)_i <= hi_i      for every row i
+///               lb_j <=     x_j <= ub_j      for every variable j
+/// Rows and variables carry optional names to ease debugging.
+class Model {
+ public:
+  explicit Model(Sense sense = Sense::Minimize) : sense_(sense) {}
+
+  Sense sense() const { return sense_; }
+  void set_sense(Sense s) { sense_ = s; }
+
+  /// Add a variable with bounds [lb, ub] and objective coefficient obj.
+  int add_variable(double lb, double ub, double obj, std::string name = {}) {
+    assert(lb <= ub);
+    var_lb_.push_back(lb);
+    var_ub_.push_back(ub);
+    obj_.push_back(obj);
+    var_names_.push_back(std::move(name));
+    return num_vars() - 1;
+  }
+
+  /// Add a row constraining lo <= a.x <= hi. Use lo == hi for equalities,
+  /// lo = -kInf for pure "<=", hi = +kInf for pure ">=".
+  int add_row(double lo, double hi, std::string name = {}) {
+    assert(lo <= hi);
+    row_lo_.push_back(lo);
+    row_hi_.push_back(hi);
+    row_names_.push_back(std::move(name));
+    return num_rows() - 1;
+  }
+
+  int add_row_le(double rhs, std::string name = {}) {
+    return add_row(-kInf, rhs, std::move(name));
+  }
+  int add_row_ge(double rhs, std::string name = {}) {
+    return add_row(rhs, kInf, std::move(name));
+  }
+  int add_row_eq(double rhs, std::string name = {}) {
+    return add_row(rhs, rhs, std::move(name));
+  }
+
+  /// Append a coefficient A[row][var] += value. Duplicate (row,var) entries
+  /// are summed when the model is handed to the solver.
+  void add_entry(int row, int var, double value) {
+    assert(row >= 0 && row < num_rows());
+    assert(var >= 0 && var < num_vars());
+    if (value != 0.0) entries_.push_back({row, var, value});
+  }
+
+  int num_vars() const { return static_cast<int>(obj_.size()); }
+  int num_rows() const { return static_cast<int>(row_lo_.size()); }
+  std::size_t num_entries() const { return entries_.size(); }
+
+  struct Entry {
+    int row;
+    int var;
+    double value;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  double var_lb(int j) const { return var_lb_[static_cast<size_t>(j)]; }
+  double var_ub(int j) const { return var_ub_[static_cast<size_t>(j)]; }
+  double obj(int j) const { return obj_[static_cast<size_t>(j)]; }
+  double row_lo(int i) const { return row_lo_[static_cast<size_t>(i)]; }
+  double row_hi(int i) const { return row_hi_[static_cast<size_t>(i)]; }
+  const std::string& var_name(int j) const {
+    return var_names_[static_cast<size_t>(j)];
+  }
+  const std::string& row_name(int i) const {
+    return row_names_[static_cast<size_t>(i)];
+  }
+
+ private:
+  Sense sense_;
+  std::vector<double> var_lb_, var_ub_, obj_;
+  std::vector<double> row_lo_, row_hi_;
+  std::vector<std::string> var_names_, row_names_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pmcast::lp

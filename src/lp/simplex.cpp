@@ -1,0 +1,738 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+namespace pmcast::lp {
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::Optimal: return "optimal";
+    case SolveStatus::Infeasible: return "infeasible";
+    case SolveStatus::Unbounded: return "unbounded";
+    case SolveStatus::IterationLimit: return "iteration-limit";
+    case SolveStatus::Numerical: return "numerical";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kDropTol = 1e-11;  // eta entries below this are discarded
+
+enum VarStatus : signed char {
+  kNonbasicLower = 0,
+  kNonbasicUpper = 1,
+  kBasic = 2,
+  kNonbasicFree = 3,
+};
+
+struct SparseCol {
+  std::vector<int> idx;
+  std::vector<double> val;
+};
+
+/// Product-form eta: the basis changed by replacing the column pivoted at
+/// row r with a column whose FTRANed image is (val at idx, pivot at r).
+struct Eta {
+  int r = -1;
+  double pivot = 0.0;
+  std::vector<int> idx;   // excludes r
+  std::vector<double> val;
+};
+
+class Simplex {
+ public:
+  Simplex(const Model& model, const SolverOptions& opt)
+      : opt_(opt),
+        m_(model.num_rows()),
+        n_(model.num_vars()),
+        nt_(m_ + n_) {
+    build(model);
+  }
+
+  Solution run(const Model& model);
+
+ private:
+  void build(const Model& model);
+  void apply_scaling();
+
+  // --- basis linear algebra (PFI) ---
+  void ftran(std::vector<double>& v) const {
+    for (const Eta& e : etas_) {
+      double t = v[static_cast<size_t>(e.r)];
+      if (t == 0.0) continue;
+      t /= e.pivot;
+      v[static_cast<size_t>(e.r)] = t;
+      const size_t k = e.idx.size();
+      for (size_t i = 0; i < k; ++i) {
+        v[static_cast<size_t>(e.idx[i])] -= e.val[i] * t;
+      }
+    }
+  }
+  void btran(std::vector<double>& y) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      const Eta& e = *it;
+      double t = y[static_cast<size_t>(e.r)];
+      const size_t k = e.idx.size();
+      for (size_t i = 0; i < k; ++i) {
+        t -= e.val[i] * y[static_cast<size_t>(e.idx[i])];
+      }
+      y[static_cast<size_t>(e.r)] = t / e.pivot;
+    }
+  }
+
+  void scatter_column(int var, std::vector<double>& dense) const {
+    const SparseCol& c = cols_[static_cast<size_t>(var)];
+    for (size_t k = 0; k < c.idx.size(); ++k) {
+      dense[static_cast<size_t>(c.idx[k])] += c.val[k];
+    }
+  }
+
+  double dot_column(int var, const std::vector<double>& y) const {
+    const SparseCol& c = cols_[static_cast<size_t>(var)];
+    double s = 0.0;
+    for (size_t k = 0; k < c.idx.size(); ++k) {
+      s += c.val[k] * y[static_cast<size_t>(c.idx[k])];
+    }
+    return s;
+  }
+
+  bool reinvert();
+  void compute_basic_values();
+  double total_infeasibility() const;
+
+  // --- iteration machinery ---
+  struct Pricing {
+    int var = -1;
+    int direction = 0;  // +1 increase, -1 decrease
+    double score = 0.0;
+  };
+  Pricing price(const std::vector<double>& y, bool phase1) const;
+
+  struct Ratio {
+    bool unbounded = false;
+    bool bound_flip = false;
+    int leave_pos = -1;
+    double step = 0.0;
+    signed char leave_status = kNonbasicLower;  // bound the leaver lands on
+  };
+  Ratio ratio_test(int enter, int direction, const std::vector<double>& w,
+                   bool phase1) const;
+
+  void apply_step(int enter, int direction, const Ratio& r,
+                  std::vector<double>& w);
+
+  bool is_fixed(int j) const {
+    return ub_[static_cast<size_t>(j)] - lb_[static_cast<size_t>(j)] <
+           opt_.feas_tol;
+  }
+
+  enum class LoopResult { Converged, IterLimit, Unbounded, Numerical };
+  LoopResult iterate(bool phase1);
+
+  SolverOptions opt_;
+  int m_, n_, nt_;
+  double sense_sign_ = 1.0;  // +1 Minimize, -1 Maximize
+
+  std::vector<SparseCol> cols_;       // nt_ columns (logical i = column -e_i)
+  std::vector<double> lb_, ub_;       // nt_
+  std::vector<double> cost_;          // nt_, minimisation costs (scaled)
+  std::vector<double> row_scale_, col_scale_;
+
+  std::vector<int> basic_;            // m_: var basic at row position p
+  std::vector<int> basic_pos_;        // nt_: position or -1
+  std::vector<signed char> status_;   // nt_
+  std::vector<double> value_;         // nt_
+
+  std::vector<Eta> etas_;
+  size_t etas_base_ = 0;
+  size_t base_nnz_ = 0;    // eta nnz produced by the last reinversion
+  size_t update_nnz_ = 0;  // eta nnz appended by pivots since then
+
+  int iterations_ = 0;
+  int max_iters_ = 0;
+  int degenerate_run_ = 0;
+  bool bland_ = false;
+};
+
+void Simplex::build(const Model& model) {
+  sense_sign_ = (model.sense() == Sense::Minimize) ? 1.0 : -1.0;
+
+  cols_.assign(static_cast<size_t>(nt_), {});
+  lb_.resize(static_cast<size_t>(nt_));
+  ub_.resize(static_cast<size_t>(nt_));
+  cost_.assign(static_cast<size_t>(nt_), 0.0);
+
+  for (int j = 0; j < n_; ++j) {
+    lb_[static_cast<size_t>(j)] = model.var_lb(j);
+    ub_[static_cast<size_t>(j)] = model.var_ub(j);
+    cost_[static_cast<size_t>(j)] = sense_sign_ * model.obj(j);
+  }
+  for (int i = 0; i < m_; ++i) {
+    int j = n_ + i;
+    lb_[static_cast<size_t>(j)] = model.row_lo(i);
+    ub_[static_cast<size_t>(j)] = model.row_hi(i);
+    cols_[static_cast<size_t>(j)].idx.push_back(i);
+    cols_[static_cast<size_t>(j)].val.push_back(-1.0);
+  }
+
+  // Accumulate duplicate entries, then build CSC columns.
+  std::vector<Model::Entry> entries = model.entries();
+  std::sort(entries.begin(), entries.end(),
+            [](const Model::Entry& a, const Model::Entry& b) {
+              return std::tie(a.var, a.row) < std::tie(b.var, b.row);
+            });
+  for (size_t k = 0; k < entries.size();) {
+    size_t k2 = k;
+    double sum = 0.0;
+    while (k2 < entries.size() && entries[k2].var == entries[k].var &&
+           entries[k2].row == entries[k].row) {
+      sum += entries[k2].value;
+      ++k2;
+    }
+    if (sum != 0.0) {
+      cols_[static_cast<size_t>(entries[k].var)].idx.push_back(entries[k].row);
+      cols_[static_cast<size_t>(entries[k].var)].val.push_back(sum);
+    }
+    k = k2;
+  }
+
+  row_scale_.assign(static_cast<size_t>(m_), 1.0);
+  col_scale_.assign(static_cast<size_t>(n_), 1.0);
+  if (opt_.scale) apply_scaling();
+
+  // Initial point: structurals nonbasic at a finite bound, logicals basic.
+  status_.assign(static_cast<size_t>(nt_), kNonbasicLower);
+  value_.assign(static_cast<size_t>(nt_), 0.0);
+  basic_pos_.assign(static_cast<size_t>(nt_), -1);
+  basic_.resize(static_cast<size_t>(m_));
+  for (int j = 0; j < n_; ++j) {
+    auto sj = static_cast<size_t>(j);
+    if (std::isfinite(lb_[sj])) {
+      status_[sj] = kNonbasicLower;
+      value_[sj] = lb_[sj];
+    } else if (std::isfinite(ub_[sj])) {
+      status_[sj] = kNonbasicUpper;
+      value_[sj] = ub_[sj];
+    } else {
+      status_[sj] = kNonbasicFree;
+      value_[sj] = 0.0;
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    int j = n_ + i;
+    basic_[static_cast<size_t>(i)] = j;
+    basic_pos_[static_cast<size_t>(j)] = i;
+    status_[static_cast<size_t>(j)] = kBasic;
+  }
+
+  max_iters_ = opt_.max_iterations > 0 ? opt_.max_iterations
+                                       : 20000 + 40 * (m_ + n_);
+}
+
+void Simplex::apply_scaling() {
+  // Geometric-mean equilibration, two sweeps.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    std::vector<double> rmin(static_cast<size_t>(m_), kInf);
+    std::vector<double> rmax(static_cast<size_t>(m_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      const SparseCol& c = cols_[static_cast<size_t>(j)];
+      for (size_t k = 0; k < c.idx.size(); ++k) {
+        double a = std::fabs(c.val[k]);
+        auto r = static_cast<size_t>(c.idx[k]);
+        rmin[r] = std::min(rmin[r], a);
+        rmax[r] = std::max(rmax[r], a);
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      auto si = static_cast<size_t>(i);
+      if (rmax[si] <= 0.0) continue;
+      double s = 1.0 / std::sqrt(rmin[si] * rmax[si]);
+      if (!std::isfinite(s) || s <= 0.0) continue;
+      row_scale_[si] *= s;
+      for (int j = 0; j < n_; ++j) {
+        SparseCol& c = cols_[static_cast<size_t>(j)];
+        for (size_t k = 0; k < c.idx.size(); ++k) {
+          if (c.idx[k] == i) c.val[k] *= s;
+        }
+      }
+    }
+    for (int j = 0; j < n_; ++j) {
+      SparseCol& c = cols_[static_cast<size_t>(j)];
+      double cmin = kInf, cmax = 0.0;
+      for (double v : c.val) {
+        double a = std::fabs(v);
+        cmin = std::min(cmin, a);
+        cmax = std::max(cmax, a);
+      }
+      if (cmax <= 0.0) continue;
+      double s = 1.0 / std::sqrt(cmin * cmax);
+      if (!std::isfinite(s) || s <= 0.0) continue;
+      col_scale_[static_cast<size_t>(j)] *= s;
+      for (double& v : c.val) v *= s;
+    }
+  }
+  // Substitute x_j = col_scale_j * x'_j and multiply each row by its scale:
+  // variable bounds shrink by the column scale, costs grow by it; logical
+  // bounds grow by the row scale.
+  for (int j = 0; j < n_; ++j) {
+    auto sj = static_cast<size_t>(j);
+    double s = col_scale_[sj];
+    if (std::isfinite(lb_[sj])) lb_[sj] /= s;
+    if (std::isfinite(ub_[sj])) ub_[sj] /= s;
+    cost_[sj] *= s;
+  }
+  for (int i = 0; i < m_; ++i) {
+    auto si = static_cast<size_t>(i);
+    auto j = static_cast<size_t>(n_ + i);
+    double s = row_scale_[si];
+    if (std::isfinite(lb_[j])) lb_[j] *= s;
+    if (std::isfinite(ub_[j])) ub_[j] *= s;
+  }
+}
+
+bool Simplex::reinvert() {
+  etas_.clear();
+  std::vector<int> vars = basic_;
+  // Logical columns first (their etas are singletons), then structurals by
+  // ascending column count to curb fill-in.
+  std::sort(vars.begin(), vars.end(), [&](int a, int b) {
+    bool la = a >= n_, lbv = b >= n_;
+    if (la != lbv) return la;
+    size_t na = cols_[static_cast<size_t>(a)].idx.size();
+    size_t nb = cols_[static_cast<size_t>(b)].idx.size();
+    if (na != nb) return na < nb;
+    return a < b;
+  });
+
+  std::vector<char> pivoted(static_cast<size_t>(m_), 0);
+  std::vector<int> new_basic(static_cast<size_t>(m_), -1);
+  std::vector<double> w(static_cast<size_t>(m_));
+  std::vector<int> dropped;
+
+  auto pivot_column = [&](int var) -> bool {
+    std::fill(w.begin(), w.end(), 0.0);
+    scatter_column(var, w);
+    ftran(w);
+    int best = -1;
+    double best_abs = opt_.pivot_tol;
+    for (int i = 0; i < m_; ++i) {
+      if (pivoted[static_cast<size_t>(i)]) continue;
+      double a = std::fabs(w[static_cast<size_t>(i)]);
+      if (a > best_abs) {
+        best_abs = a;
+        best = i;
+      }
+    }
+    if (best < 0) return false;
+    Eta e;
+    e.r = best;
+    e.pivot = w[static_cast<size_t>(best)];
+    for (int i = 0; i < m_; ++i) {
+      double v = w[static_cast<size_t>(i)];
+      if (i != best && std::fabs(v) > kDropTol) {
+        e.idx.push_back(i);
+        e.val.push_back(v);
+      }
+    }
+    etas_.push_back(std::move(e));
+    pivoted[static_cast<size_t>(best)] = 1;
+    new_basic[static_cast<size_t>(best)] = var;
+    return true;
+  };
+
+  for (int var : vars) {
+    if (!pivot_column(var)) dropped.push_back(var);
+  }
+  // Basis repair: replace numerically dependent columns with the logical of
+  // a still-unpivoted row.
+  for (int var : dropped) {
+    int row = -1;
+    for (int i = 0; i < m_; ++i) {
+      if (!pivoted[static_cast<size_t>(i)]) {
+        row = i;
+        break;
+      }
+    }
+    if (row < 0) return false;
+    auto sv = static_cast<size_t>(var);
+    // Demote the dependent variable to the nearest finite bound.
+    basic_pos_[sv] = -1;
+    if (std::isfinite(lb_[sv]) &&
+        (!std::isfinite(ub_[sv]) ||
+         std::fabs(value_[sv] - lb_[sv]) <= std::fabs(value_[sv] - ub_[sv]))) {
+      status_[sv] = kNonbasicLower;
+      value_[sv] = lb_[sv];
+    } else if (std::isfinite(ub_[sv])) {
+      status_[sv] = kNonbasicUpper;
+      value_[sv] = ub_[sv];
+    } else {
+      status_[sv] = kNonbasicFree;
+      value_[sv] = 0.0;
+    }
+    int logical = n_ + row;
+    if (basic_pos_[static_cast<size_t>(logical)] >= 0) return false;
+    if (!pivot_column(logical)) return false;
+    status_[static_cast<size_t>(logical)] = kBasic;
+  }
+
+  basic_ = new_basic;
+  for (int i = 0; i < m_; ++i) {
+    basic_pos_[static_cast<size_t>(basic_[static_cast<size_t>(i)])] = i;
+  }
+  etas_base_ = etas_.size();
+  base_nnz_ = 0;
+  for (const Eta& e : etas_) base_nnz_ += e.idx.size() + 1;
+  update_nnz_ = 0;
+  return true;
+}
+
+void Simplex::compute_basic_values() {
+  std::vector<double> rhs(static_cast<size_t>(m_), 0.0);
+  for (int j = 0; j < nt_; ++j) {
+    auto sj = static_cast<size_t>(j);
+    if (status_[sj] == kBasic) continue;
+    double v = value_[sj];
+    if (v == 0.0) continue;
+    const SparseCol& c = cols_[sj];
+    for (size_t k = 0; k < c.idx.size(); ++k) {
+      rhs[static_cast<size_t>(c.idx[k])] -= c.val[k] * v;
+    }
+  }
+  ftran(rhs);
+  for (int i = 0; i < m_; ++i) {
+    value_[static_cast<size_t>(basic_[static_cast<size_t>(i)])] =
+        rhs[static_cast<size_t>(i)];
+  }
+}
+
+double Simplex::total_infeasibility() const {
+  double sum = 0.0;
+  for (int i = 0; i < m_; ++i) {
+    auto j = static_cast<size_t>(basic_[static_cast<size_t>(i)]);
+    double v = value_[j];
+    if (v < lb_[j]) sum += lb_[j] - v;
+    if (v > ub_[j]) sum += v - ub_[j];
+  }
+  return sum;
+}
+
+Simplex::Pricing Simplex::price(const std::vector<double>& y,
+                                bool phase1) const {
+  Pricing best;
+  for (int j = 0; j < nt_; ++j) {
+    auto sj = static_cast<size_t>(j);
+    signed char st = status_[sj];
+    if (st == kBasic) continue;
+    if (is_fixed(j)) continue;
+    double cj = phase1 ? 0.0 : cost_[sj];
+    double d = cj - dot_column(j, y);
+    double score = 0.0;
+    int dir = 0;
+    if (st == kNonbasicLower) {
+      if (d < -opt_.opt_tol) {
+        score = -d;
+        dir = +1;
+      }
+    } else if (st == kNonbasicUpper) {
+      if (d > opt_.opt_tol) {
+        score = d;
+        dir = -1;
+      }
+    } else {  // free
+      if (d < -opt_.opt_tol) {
+        score = -d;
+        dir = +1;
+      } else if (d > opt_.opt_tol) {
+        score = d;
+        dir = -1;
+      }
+    }
+    if (dir == 0) continue;
+    if (bland_) return Pricing{j, dir, score};  // lowest index wins
+    if (score > best.score) best = Pricing{j, dir, score};
+  }
+  return best;
+}
+
+Simplex::Ratio Simplex::ratio_test(int enter, int direction,
+                                   const std::vector<double>& w,
+                                   bool phase1) const {
+  Ratio r;
+  auto se = static_cast<size_t>(enter);
+  double best = kInf;
+  if (std::isfinite(lb_[se]) && std::isfinite(ub_[se])) {
+    best = ub_[se] - lb_[se];  // bound flip distance
+    r.bound_flip = true;
+  }
+  double best_pivot = 0.0;
+  const double sigma = static_cast<double>(direction);
+  for (int p = 0; p < m_; ++p) {
+    double wp = w[static_cast<size_t>(p)];
+    if (std::fabs(wp) <= opt_.pivot_tol) continue;
+    auto j = static_cast<size_t>(basic_[static_cast<size_t>(p)]);
+    double v = value_[j];
+    double rate = -sigma * wp;  // dv/dt of this basic variable
+    double limit = kInf;
+    signed char land = kNonbasicLower;
+    const bool above = v > ub_[j] + opt_.feas_tol;
+    const bool below = v < lb_[j] - opt_.feas_tol;
+    if (phase1 && above) {
+      if (rate < 0.0) {
+        limit = (v - ub_[j]) / -rate;
+        land = kNonbasicUpper;
+      }
+    } else if (phase1 && below) {
+      if (rate > 0.0) {
+        limit = (lb_[j] - v) / rate;
+        land = kNonbasicLower;
+      }
+    } else {
+      if (rate > 0.0 && std::isfinite(ub_[j])) {
+        limit = (ub_[j] - v) / rate;
+        land = kNonbasicUpper;
+      } else if (rate < 0.0 && std::isfinite(lb_[j])) {
+        limit = (v - lb_[j]) / -rate;
+        land = kNonbasicLower;
+      }
+    }
+    if (limit == kInf) continue;
+    limit = std::max(limit, 0.0);
+    bool take;
+    if (bland_) {
+      // Bland: strictly smaller step, or equal step with smaller var index.
+      take = limit < best - 1e-12 ||
+             (!r.bound_flip && r.leave_pos >= 0 && limit <= best + 1e-12 &&
+              basic_[static_cast<size_t>(p)] <
+                  basic_[static_cast<size_t>(r.leave_pos)]);
+      if (r.bound_flip && limit <= best) take = true;
+    } else {
+      // Prefer clearly smaller steps; on near-ties keep the largest pivot.
+      take = limit < best - 1e-9 ||
+             (limit <= best + 1e-9 && std::fabs(wp) > best_pivot);
+    }
+    if (take) {
+      best = limit;
+      best_pivot = std::fabs(wp);
+      r.leave_pos = p;
+      r.leave_status = land;
+      r.bound_flip = false;
+    }
+  }
+  if (best == kInf) {
+    r.unbounded = true;
+    return r;
+  }
+  r.step = best;
+  return r;
+}
+
+void Simplex::apply_step(int enter, int direction, const Ratio& r,
+                         std::vector<double>& w) {
+  auto se = static_cast<size_t>(enter);
+  const double sigma = static_cast<double>(direction);
+  const double t = r.step;
+  if (t != 0.0) {
+    for (int p = 0; p < m_; ++p) {
+      double wp = w[static_cast<size_t>(p)];
+      if (wp == 0.0) continue;
+      auto j = static_cast<size_t>(basic_[static_cast<size_t>(p)]);
+      value_[j] -= sigma * t * wp;
+    }
+  }
+  if (r.bound_flip) {
+    value_[se] += sigma * t;
+    status_[se] = (direction > 0) ? kNonbasicUpper : kNonbasicLower;
+    value_[se] = (direction > 0) ? ub_[se] : lb_[se];
+    return;
+  }
+  // Pivot: `enter` becomes basic at position r.leave_pos.
+  int p = r.leave_pos;
+  auto lj = static_cast<size_t>(basic_[static_cast<size_t>(p)]);
+  status_[lj] = r.leave_status;
+  value_[lj] = (r.leave_status == kNonbasicUpper) ? ub_[lj] : lb_[lj];
+  basic_pos_[lj] = -1;
+
+  value_[se] += sigma * t;
+  status_[se] = kBasic;
+  basic_[static_cast<size_t>(p)] = enter;
+  basic_pos_[se] = p;
+
+  Eta e;
+  e.r = p;
+  e.pivot = w[static_cast<size_t>(p)];
+  for (int i = 0; i < m_; ++i) {
+    double v = w[static_cast<size_t>(i)];
+    if (i != p && std::fabs(v) > kDropTol) {
+      e.idx.push_back(i);
+      e.val.push_back(v);
+    }
+  }
+  update_nnz_ += e.idx.size() + 1;
+  etas_.push_back(std::move(e));
+}
+
+Simplex::LoopResult Simplex::iterate(bool phase1) {
+  std::vector<double> y(static_cast<size_t>(m_));
+  std::vector<double> w(static_cast<size_t>(m_));
+  while (true) {
+    if (iterations_ >= max_iters_) return LoopResult::IterLimit;
+    if (phase1 && total_infeasibility() <= opt_.feas_tol) {
+      return LoopResult::Converged;
+    }
+    // Dual vector for pricing: y = B^-T c_B (phase-1 costs are the
+    // violation signs of the basic variables).
+    std::fill(y.begin(), y.end(), 0.0);
+    for (int p = 0; p < m_; ++p) {
+      auto j = static_cast<size_t>(basic_[static_cast<size_t>(p)]);
+      double c;
+      if (phase1) {
+        double v = value_[j];
+        c = (v > ub_[j] + opt_.feas_tol)   ? 1.0
+            : (v < lb_[j] - opt_.feas_tol) ? -1.0
+                                           : 0.0;
+      } else {
+        c = cost_[j];
+      }
+      y[static_cast<size_t>(p)] = c;
+    }
+    btran(y);
+
+    Pricing pr = price(y, phase1);
+    if (pr.direction == 0) {
+      if (phase1 && total_infeasibility() > opt_.feas_tol) {
+        return LoopResult::Converged;  // converged-but-infeasible; caller checks
+      }
+      return LoopResult::Converged;
+    }
+
+    std::fill(w.begin(), w.end(), 0.0);
+    scatter_column(pr.var, w);
+    ftran(w);
+
+    Ratio r = ratio_test(pr.var, pr.direction, w, phase1);
+    if (r.unbounded) {
+      return phase1 ? LoopResult::Numerical : LoopResult::Unbounded;
+    }
+    apply_step(pr.var, pr.direction, r, w);
+    ++iterations_;
+
+    if (r.step <= 1e-10) {
+      if (++degenerate_run_ > 500) bland_ = true;
+    } else {
+      degenerate_run_ = 0;
+      bland_ = false;
+    }
+
+    // Reinvert when the update etas start to dominate the FTRAN/BTRAN cost
+    // (their fill is what actually grows — pivot columns become dense as
+    // the eta file lengthens) or at the hard count cap.
+    bool too_dense = update_nnz_ > std::max(base_nnz_,
+                                            8 * static_cast<size_t>(m_));
+    if (too_dense || etas_.size() - etas_base_ >=
+                         static_cast<size_t>(opt_.refactor_every)) {
+      if (!reinvert()) return LoopResult::Numerical;
+      compute_basic_values();
+    }
+  }
+}
+
+Solution Simplex::run(const Model& model) {
+  Solution sol;
+  sol.x.assign(static_cast<size_t>(n_), 0.0);
+  sol.row_value.assign(static_cast<size_t>(m_), 0.0);
+  sol.dual.assign(static_cast<size_t>(m_), 0.0);
+
+  if (!reinvert()) {
+    sol.status = SolveStatus::Numerical;
+    return sol;
+  }
+  compute_basic_values();
+
+  auto fail = [&](SolveStatus st) {
+    sol.status = st;
+    sol.iterations = iterations_;
+    return sol;
+  };
+
+  // Phase 1 (only if the logical start is out of bounds). One retry after a
+  // reinversion absorbs mild numerical drift; a persistent residual means
+  // the model is genuinely infeasible.
+  for (int attempt = 0; attempt < 2 && total_infeasibility() > opt_.feas_tol;
+       ++attempt) {
+    LoopResult lr = iterate(/*phase1=*/true);
+    if (lr == LoopResult::IterLimit) return fail(SolveStatus::IterationLimit);
+    if (lr != LoopResult::Converged) return fail(SolveStatus::Numerical);
+    if (!reinvert()) return fail(SolveStatus::Numerical);
+    compute_basic_values();
+    if (attempt == 1 && total_infeasibility() > opt_.feas_tol) {
+      return fail(SolveStatus::Infeasible);
+    }
+  }
+  if (total_infeasibility() > opt_.feas_tol) {
+    return fail(SolveStatus::Infeasible);
+  }
+
+  // Phase 2, with feasibility restoration on numerical drift.
+  sol.status = SolveStatus::Numerical;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    LoopResult lr = iterate(/*phase1=*/false);
+    if (lr == LoopResult::IterLimit) return fail(SolveStatus::IterationLimit);
+    if (lr == LoopResult::Unbounded) return fail(SolveStatus::Unbounded);
+    if (lr == LoopResult::Numerical) return fail(SolveStatus::Numerical);
+    if (!reinvert()) return fail(SolveStatus::Numerical);
+    compute_basic_values();
+    if (total_infeasibility() <= 10 * opt_.feas_tol) {
+      sol.status = SolveStatus::Optimal;
+      break;
+    }
+    // Drifted: restore feasibility and re-optimise.
+    LoopResult p1 = iterate(/*phase1=*/true);
+    if (p1 != LoopResult::Converged) return fail(SolveStatus::Numerical);
+  }
+
+  // Extract and unscale.
+  sol.iterations = iterations_;
+  for (int j = 0; j < n_; ++j) {
+    auto sj = static_cast<size_t>(j);
+    double v = value_[sj] * col_scale_[sj];
+    double lo = model.var_lb(j), hi = model.var_ub(j);
+    sol.x[sj] = std::min(std::max(v, lo), hi);
+  }
+  for (const auto& entry : model.entries()) {
+    sol.row_value[static_cast<size_t>(entry.row)] +=
+        entry.value * sol.x[static_cast<size_t>(entry.var)];
+  }
+  // Duals from the final basis (for the minimisation form), unscaled.
+  {
+    std::vector<double> y(static_cast<size_t>(m_), 0.0);
+    for (int p = 0; p < m_; ++p) {
+      auto j = static_cast<size_t>(basic_[static_cast<size_t>(p)]);
+      y[static_cast<size_t>(p)] = cost_[j];
+    }
+    btran(y);
+    for (int i = 0; i < m_; ++i) {
+      auto si = static_cast<size_t>(i);
+      sol.dual[si] = sense_sign_ * y[si] * row_scale_[si];
+    }
+  }
+  double obj = 0.0;
+  for (int j = 0; j < n_; ++j) {
+    obj += model.obj(j) * sol.x[static_cast<size_t>(j)];
+  }
+  sol.objective = obj;
+  return sol;
+}
+
+}  // namespace
+
+Solution solve(const Model& model, const SolverOptions& options) {
+  Simplex simplex(model, options);
+  return simplex.run(model);
+}
+
+}  // namespace pmcast::lp

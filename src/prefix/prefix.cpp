@@ -1,0 +1,125 @@
+#include "prefix/prefix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pmcast::prefix {
+
+SchemeFeasibility check_scheme(const PrefixProblem& problem,
+                               const Scheme& scheme, double period,
+                               double tol) {
+  SchemeFeasibility result;
+  const int n = problem.graph.node_count();
+  std::vector<double> send(static_cast<size_t>(n), 0.0);
+  std::vector<double> recv(static_cast<size_t>(n), 0.0);
+  std::vector<double> compute(static_cast<size_t>(n), 0.0);
+  std::ostringstream detail;
+
+  for (const SchemeComm& c : scheme.comms) {
+    double edge_cost = problem.graph.cost(c.from, c.to);
+    if (edge_cost == kInfinity) {
+      detail << "comm uses missing edge " << c.from << "->" << c.to;
+      result.detail = detail.str();
+      return result;
+    }
+    if (c.hi < c.lo || c.count < 0.0) {
+      result.detail = "malformed communication";
+      return result;
+    }
+    double busy = c.count * PrefixProblem::data_size(c.lo, c.hi) * edge_cost;
+    send[static_cast<size_t>(c.from)] += busy;
+    recv[static_cast<size_t>(c.to)] += busy;
+  }
+  for (const SchemeComp& c : scheme.comps) {
+    double w = problem.compute_weight[static_cast<size_t>(c.node)];
+    if (c.tasks > 0.0 && w == kInfinity) {
+      detail << "node " << c.node << " cannot compute";
+      result.detail = detail.str();
+      return result;
+    }
+    if (c.tasks > 0.0) compute[static_cast<size_t>(c.node)] += c.tasks * w;
+  }
+
+  for (int v = 0; v < n; ++v) {
+    result.max_send = std::max(result.max_send, send[static_cast<size_t>(v)]);
+    result.max_recv = std::max(result.max_recv, recv[static_cast<size_t>(v)]);
+    result.max_compute =
+        std::max(result.max_compute, compute[static_cast<size_t>(v)]);
+  }
+  double load =
+      std::max({result.max_send, result.max_recv, result.max_compute});
+  if (load <= period + tol) {
+    result.feasible = true;
+  } else {
+    detail << "load " << load << " exceeds period " << period;
+    result.detail = detail.str();
+  }
+  return result;
+}
+
+PrefixProblem problem_from_reduction(const setcover::PrefixReduction& red) {
+  PrefixProblem problem;
+  problem.graph = red.graph;
+  problem.compute_weight = red.compute_weight;
+  problem.participants.push_back(red.source);
+  for (NodeId v : red.prime_nodes) problem.participants.push_back(v);
+  return problem;
+}
+
+Scheme canonical_scheme(const setcover::PrefixReduction& red,
+                        std::span<const int> cover) {
+  Scheme scheme;
+  const int n = static_cast<int>(red.element_nodes.size());
+
+  // P_s -> C_i for every chosen set: message [0,0].
+  for (int ci : cover) {
+    scheme.comms.push_back(
+        {red.source, red.set_nodes[static_cast<size_t>(ci)], 0, 0, 1.0});
+  }
+
+  // C_i -> X_j for the *leftmost* chosen set containing j (proof's rule so
+  // each X_j receives [0,0] exactly once).
+  std::vector<int> sorted_cover(cover.begin(), cover.end());
+  std::sort(sorted_cover.begin(), sorted_cover.end());
+  std::vector<char> element_served(static_cast<size_t>(n), 0);
+  for (int ci : sorted_cover) {
+    NodeId c = red.set_nodes[static_cast<size_t>(ci)];
+    for (EdgeId e : red.graph.out_edges(c)) {
+      NodeId x = red.graph.edge(e).to;
+      for (int j = 0; j < n; ++j) {
+        if (red.element_nodes[static_cast<size_t>(j)] == x &&
+            !element_served[static_cast<size_t>(j)]) {
+          element_served[static_cast<size_t>(j)] = 1;
+          scheme.comms.push_back({c, x, 0, 0, 1.0});
+        }
+      }
+    }
+  }
+
+  // X_j -> X'_j: one [0,0] per period.
+  for (int j = 1; j <= n; ++j) {
+    scheme.comms.push_back({red.element_nodes[static_cast<size_t>(j - 1)],
+                            red.prime_nodes[static_cast<size_t>(j - 1)], 0, 0,
+                            1.0});
+  }
+
+  // X'_i -> X'_{i+1}: the i single values [1,1]..[i,i] (X'_i owns x_i and
+  // relays x_1..x_{i-1} received from its predecessor).
+  for (int i = 1; i < n; ++i) {
+    for (int k = 1; k <= i; ++k) {
+      scheme.comms.push_back({red.prime_nodes[static_cast<size_t>(i - 1)],
+                              red.prime_nodes[static_cast<size_t>(i)], k, k,
+                              1.0});
+    }
+  }
+
+  // X'_i computes y_i = (((x_0 + x_1) + x_2) ... ) + x_i: i unit tasks.
+  for (int i = 1; i <= n; ++i) {
+    scheme.comps.push_back({red.prime_nodes[static_cast<size_t>(i - 1)],
+                            static_cast<double>(i)});
+  }
+  return scheme;
+}
+
+}  // namespace pmcast::prefix

@@ -1,0 +1,82 @@
+#pragma once
+/// \file prefix.hpp
+/// Pipelined parallel-prefix operations (Section 4.2 of the paper).
+///
+/// Processors P_0..P_N own values x_0..x_N; P_i must end up with
+/// y_i = x_0 + x_1 + ... + x_i (non-commutative associative +). In
+/// steady state a *prefix allocation scheme* describes, per period, which
+/// partially-reduced intervals [k,m] travel on which edges and which
+/// reduction tasks run where. Data sizes follow the paper's model
+/// f(k,m) = m-k+1 and unit task weights g = 1.
+///
+/// The paper proves (Theorem 5) that maximising the steady-state throughput
+/// of such schemes is NP-complete, via the Fig. 3 gadget. This module
+/// provides the scheme representation, a feasibility checker (one-port
+/// communication loads + compute loads against a period), and the canonical
+/// scheme used in the proof's "cover => throughput 1" direction.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "setcover/reductions.hpp"
+
+namespace pmcast::prefix {
+
+/// The platform/application pair (G, P, f, g).
+struct PrefixProblem {
+  Digraph graph;
+  std::vector<NodeId> participants;    ///< P_0..P_N in order
+  std::vector<double> compute_weight;  ///< w(v); +inf when v cannot compute
+
+  /// Size of the partially reduced message [k,m] (paper: f(k,m) = m-k+1).
+  static double data_size(int k, int m) { return m - k + 1; }
+};
+
+/// One per-period communication of a scheme: the interval [lo,hi] shipped
+/// \p count times per period on edge from->to.
+struct SchemeComm {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  int lo = 0, hi = 0;
+  double count = 1.0;
+};
+
+/// Per-period computation: \p tasks unit reductions executed on \p node.
+struct SchemeComp {
+  NodeId node = kInvalidNode;
+  double tasks = 0.0;
+};
+
+struct Scheme {
+  std::vector<SchemeComm> comms;
+  std::vector<SchemeComp> comps;
+};
+
+struct SchemeFeasibility {
+  bool feasible = false;
+  double max_send = 0.0;     ///< max per-node send-port occupation
+  double max_recv = 0.0;     ///< max per-node receive-port occupation
+  double max_compute = 0.0;  ///< max per-node compute occupation
+  std::string detail;
+};
+
+/// Check one period of \p scheme against period length \p period: every
+/// send port, receive port and compute unit must be occupied at most
+/// \p period time units. Edges used must exist in the platform.
+SchemeFeasibility check_scheme(const PrefixProblem& problem,
+                               const Scheme& scheme, double period,
+                               double tol = 1e-9);
+
+/// Wrap the Fig. 3 gadget as a PrefixProblem (participants = {P_s, X'_i}).
+PrefixProblem problem_from_reduction(const setcover::PrefixReduction& red);
+
+/// The canonical throughput-1 scheme of the Theorem 5 proof for a chosen
+/// cover: x_0 fans out through the chosen C_i to every X_j, crosses to X'_j,
+/// the X'-chain forwards the partial values and each X'_i reduces y_i.
+/// Feasible with period 1 iff \p cover is a cover of size <= B.
+Scheme canonical_scheme(const setcover::PrefixReduction& red,
+                        std::span<const int> cover);
+
+}  // namespace pmcast::prefix

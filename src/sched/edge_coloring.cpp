@@ -1,0 +1,279 @@
+#include "sched/edge_coloring.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace pmcast::sched {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Kuhn's augmenting-path maximum bipartite matching. Sizes here are tiny
+/// (ports of one platform), so the O(V·E) bound is more than enough.
+class BipartiteMatcher {
+ public:
+  BipartiteMatcher(int n_left, int n_right)
+      : adj_(static_cast<size_t>(n_left)),
+        match_left_(static_cast<size_t>(n_left), -1),
+        match_right_(static_cast<size_t>(n_right), -1) {}
+
+  void add_edge(int l, int r, int payload) {
+    adj_[static_cast<size_t>(l)].push_back({r, payload});
+  }
+
+  /// Returns the matching size; match_left()[l] = payload of matched edge.
+  int solve() {
+    int matched = 0;
+    for (int l = 0; l < static_cast<int>(adj_.size()); ++l) {
+      visited_.assign(match_right_.size(), 0);
+      if (try_augment(l)) ++matched;
+    }
+    return matched;
+  }
+
+  const std::vector<int>& match_left_payload() const { return payload_left_; }
+  int left_count() const { return static_cast<int>(adj_.size()); }
+
+  /// payload of the edge matched at left node l, or -1.
+  int matched_payload(int l) const {
+    return payload_left_.empty() ? -1 : payload_left_[static_cast<size_t>(l)];
+  }
+
+  void finalize_payloads() {
+    payload_left_.assign(adj_.size(), -1);
+    for (size_t l = 0; l < adj_.size(); ++l) {
+      if (match_left_[l] >= 0) {
+        for (const auto& [r, payload] : adj_[l]) {
+          if (r == match_left_[l]) {
+            payload_left_[l] = payload;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  int match_of_left(int l) const { return match_left_[static_cast<size_t>(l)]; }
+
+ private:
+  bool try_augment(int l) {
+    for (const auto& [r, payload] : adj_[static_cast<size_t>(l)]) {
+      auto sr = static_cast<size_t>(r);
+      if (visited_[sr]) continue;
+      visited_[sr] = 1;
+      if (match_right_[sr] < 0 || try_augment(match_right_[sr])) {
+        match_right_[sr] = l;
+        match_left_[static_cast<size_t>(l)] = r;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  struct Arc {
+    int to;
+    int payload;
+  };
+  std::vector<std::vector<std::pair<int, int>>> adj_;
+  std::vector<int> match_left_, match_right_;
+  std::vector<int> payload_left_;
+  std::vector<char> visited_;
+};
+
+}  // namespace
+
+double max_port_load(std::span<const Communication> comms, int node_count) {
+  std::vector<double> send(static_cast<size_t>(node_count), 0.0);
+  std::vector<double> recv(static_cast<size_t>(node_count), 0.0);
+  for (const Communication& c : comms) {
+    send[static_cast<size_t>(c.sender)] += c.duration;
+    recv[static_cast<size_t>(c.receiver)] += c.duration;
+  }
+  double load = 0.0;
+  for (int v = 0; v < node_count; ++v) {
+    load = std::max(load, send[static_cast<size_t>(v)]);
+    load = std::max(load, recv[static_cast<size_t>(v)]);
+  }
+  return load;
+}
+
+ColoringResult color_communications(std::span<const Communication> comms,
+                                    int node_count) {
+  ColoringResult result;
+  const double M = max_port_load(comms, node_count);
+  result.makespan = M;
+  if (M <= kEps) {
+    result.ok = true;
+    return result;
+  }
+
+  // Working edge list: real communications first, then dummy padding edges
+  // (payload -1) that regularise every port load to exactly M.
+  struct WorkEdge {
+    int sender;
+    int receiver;
+    double weight;
+    int payload;  // index into comms, or -1 for dummy
+  };
+  std::vector<WorkEdge> edges;
+  edges.reserve(comms.size() + 2 * static_cast<size_t>(node_count));
+  std::vector<double> send(static_cast<size_t>(node_count), 0.0);
+  std::vector<double> recv(static_cast<size_t>(node_count), 0.0);
+  for (size_t i = 0; i < comms.size(); ++i) {
+    const Communication& c = comms[i];
+    if (c.duration <= kEps) continue;
+    edges.push_back({c.sender, c.receiver, c.duration, static_cast<int>(i)});
+    send[static_cast<size_t>(c.sender)] += c.duration;
+    recv[static_cast<size_t>(c.receiver)] += c.duration;
+  }
+
+  // Regularise: greedily connect sender deficits to receiver deficits.
+  // Total sender deficit may differ from total receiver deficit, so pad with
+  // virtual ports (ids >= node_count) until both sides sum to the same value.
+  std::vector<std::pair<int, double>> sdef, rdef;
+  double total_sdef = 0.0, total_rdef = 0.0;
+  for (int v = 0; v < node_count; ++v) {
+    double ds = M - send[static_cast<size_t>(v)];
+    double dr = M - recv[static_cast<size_t>(v)];
+    if (ds > kEps) {
+      sdef.push_back({v, ds});
+      total_sdef += ds;
+    }
+    if (dr > kEps) {
+      rdef.push_back({v, dr});
+      total_rdef += dr;
+    }
+  }
+  int virtual_ports = node_count;
+  while (total_sdef + kEps < total_rdef) {
+    double d = std::min(M, total_rdef - total_sdef);
+    sdef.push_back({virtual_ports++, d});
+    total_sdef += d;
+  }
+  while (total_rdef + kEps < total_sdef) {
+    double d = std::min(M, total_sdef - total_rdef);
+    rdef.push_back({virtual_ports++, d});
+    total_rdef += d;
+  }
+  {
+    size_t si = 0, ri = 0;
+    while (si < sdef.size() && ri < rdef.size()) {
+      double d = std::min(sdef[si].second, rdef[ri].second);
+      if (d > kEps) {
+        edges.push_back({sdef[si].first, rdef[ri].first, d, -1});
+      }
+      sdef[si].second -= d;
+      rdef[ri].second -= d;
+      if (sdef[si].second <= kEps) ++si;
+      if (rdef[ri].second <= kEps) ++ri;
+    }
+  }
+
+  // Peel perfect matchings. Port ids are compacted to the ports that carry
+  // load (every compacted port has total load exactly M throughout).
+  std::vector<int> sender_id(static_cast<size_t>(virtual_ports), -1);
+  std::vector<int> receiver_id(static_cast<size_t>(virtual_ports), -1);
+  int n_send = 0, n_recv = 0;
+  for (const WorkEdge& e : edges) {
+    if (sender_id[static_cast<size_t>(e.sender)] < 0) {
+      sender_id[static_cast<size_t>(e.sender)] = n_send++;
+    }
+    if (receiver_id[static_cast<size_t>(e.receiver)] < 0) {
+      receiver_id[static_cast<size_t>(e.receiver)] = n_recv++;
+    }
+  }
+
+  double time_cursor = 0.0;
+  const size_t max_rounds = edges.size() + 8;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    // Remaining live edges.
+    std::vector<int> live;
+    bool real_left = false;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (edges[i].weight > kEps) {
+        live.push_back(static_cast<int>(i));
+        if (edges[i].payload >= 0) real_left = true;
+      }
+    }
+    if (!real_left) {
+      result.ok = true;
+      return result;
+    }
+
+    BipartiteMatcher matcher(n_send, n_recv);
+    for (int ei : live) {
+      const WorkEdge& e = edges[static_cast<size_t>(ei)];
+      matcher.add_edge(sender_id[static_cast<size_t>(e.sender)],
+                       receiver_id[static_cast<size_t>(e.receiver)], ei);
+    }
+    int size = matcher.solve();
+    if (size < std::min(n_send, n_recv)) {
+      // A perfect matching must exist on a regular bipartite weighted graph;
+      // reaching this point means numerical dust broke regularity. Bail out
+      // (caller can retry with cleaned weights).
+      result.ok = false;
+      return result;
+    }
+    matcher.finalize_payloads();
+
+    // Peel the minimum matched weight.
+    double delta = kInfinity;
+    std::vector<int> matched_edges;
+    for (int l = 0; l < n_send; ++l) {
+      int ei = matcher.matched_payload(l);
+      if (ei < 0) continue;
+      matched_edges.push_back(ei);
+      delta = std::min(delta, edges[static_cast<size_t>(ei)].weight);
+    }
+    if (matched_edges.empty() || delta == kInfinity || delta <= kEps) {
+      result.ok = false;
+      return result;
+    }
+    ColorSlot slot;
+    slot.start = time_cursor;
+    slot.length = delta;
+    for (int ei : matched_edges) {
+      WorkEdge& e = edges[static_cast<size_t>(ei)];
+      e.weight -= delta;
+      if (e.weight < kEps) e.weight = 0.0;
+      if (e.payload >= 0) slot.comm_indices.push_back(e.payload);
+    }
+    if (!slot.comm_indices.empty()) {
+      result.slots.push_back(std::move(slot));
+    }
+    time_cursor += delta;
+  }
+  result.ok = false;  // should be unreachable
+  return result;
+}
+
+bool validate_coloring(const ColoringResult& result,
+                       std::span<const Communication> comms, int node_count,
+                       double tol) {
+  if (!result.ok) return false;
+  std::vector<double> assigned(comms.size(), 0.0);
+  double cursor = 0.0;
+  for (const ColorSlot& slot : result.slots) {
+    if (slot.start < cursor - tol) return false;  // slots must not overlap
+    cursor = slot.start + slot.length;
+    if (cursor > result.makespan + tol) return false;
+    std::vector<char> sender_busy(static_cast<size_t>(node_count), 0);
+    std::vector<char> receiver_busy(static_cast<size_t>(node_count), 0);
+    for (int ci : slot.comm_indices) {
+      const Communication& c = comms[static_cast<size_t>(ci)];
+      if (sender_busy[static_cast<size_t>(c.sender)]) return false;
+      if (receiver_busy[static_cast<size_t>(c.receiver)]) return false;
+      sender_busy[static_cast<size_t>(c.sender)] = 1;
+      receiver_busy[static_cast<size_t>(c.receiver)] = 1;
+      assigned[static_cast<size_t>(ci)] += slot.length;
+    }
+  }
+  for (size_t i = 0; i < comms.size(); ++i) {
+    if (std::fabs(assigned[i] - comms[i].duration) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace pmcast::sched

@@ -1,0 +1,77 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pmcast::sched {
+
+Schedule build_schedule(std::vector<Transfer> transfers, int node_count) {
+  Schedule schedule;
+  schedule.transfers = std::move(transfers);
+
+  std::vector<Communication> comms;
+  comms.reserve(schedule.transfers.size());
+  for (const Transfer& t : schedule.transfers) {
+    comms.push_back({t.from, t.to, t.duration});
+  }
+  ColoringResult coloring = color_communications(comms, node_count);
+  if (!coloring.ok) return schedule;
+
+  schedule.period = coloring.makespan;
+  for (const ColorSlot& slot : coloring.slots) {
+    for (int ci : slot.comm_indices) {
+      schedule.slots.push_back({slot.start, slot.length, ci});
+    }
+  }
+  std::sort(schedule.slots.begin(), schedule.slots.end(),
+            [](const TimedSlot& a, const TimedSlot& b) {
+              return a.start < b.start;
+            });
+  schedule.ok = true;
+  return schedule;
+}
+
+std::string validate_schedule(const Schedule& schedule, int node_count,
+                              double tol) {
+  if (!schedule.ok) return "schedule not built";
+  std::ostringstream err;
+  std::vector<double> assigned(schedule.transfers.size(), 0.0);
+  for (size_t i = 0; i < schedule.slots.size(); ++i) {
+    const TimedSlot& s = schedule.slots[i];
+    if (s.start < -tol || s.start + s.length > schedule.period + tol) {
+      err << "slot " << i << " outside period";
+      return err.str();
+    }
+    assigned[static_cast<size_t>(s.transfer)] += s.length;
+  }
+  // Pairwise overlap check (slot counts are small: one period).
+  for (size_t i = 0; i < schedule.slots.size(); ++i) {
+    const TimedSlot& a = schedule.slots[i];
+    const Transfer& ta = schedule.transfers[static_cast<size_t>(a.transfer)];
+    for (size_t j = i + 1; j < schedule.slots.size(); ++j) {
+      const TimedSlot& b = schedule.slots[j];
+      const Transfer& tb = schedule.transfers[static_cast<size_t>(b.transfer)];
+      bool share_port = ta.from == tb.from || ta.to == tb.to;
+      if (!share_port) continue;
+      double overlap = std::min(a.start + a.length, b.start + b.length) -
+                       std::max(a.start, b.start);
+      if (overlap > tol) {
+        err << "one-port violation: slots " << i << " and " << j
+            << " overlap by " << overlap;
+        return err.str();
+      }
+    }
+  }
+  for (size_t t = 0; t < schedule.transfers.size(); ++t) {
+    if (std::fabs(assigned[t] - schedule.transfers[t].duration) > tol) {
+      err << "transfer " << t << " scheduled for " << assigned[t]
+          << " != duration " << schedule.transfers[t].duration;
+      return err.str();
+    }
+  }
+  (void)node_count;
+  return {};
+}
+
+}  // namespace pmcast::sched

@@ -1,0 +1,101 @@
+#include "setcover/reductions.hpp"
+
+#include <cassert>
+
+namespace pmcast::setcover {
+
+MulticastReduction reduce_to_multicast(const Instance& instance, int bound) {
+  assert(bound >= 1);
+  MulticastReduction red;
+  red.bound = bound;
+  const int n = instance.universe;
+  red.source = red.graph.add_node("Psource");
+  for (size_t i = 0; i < instance.sets.size(); ++i) {
+    NodeId c = red.graph.add_node("C" + std::to_string(i + 1));
+    red.set_nodes.push_back(c);
+    red.graph.add_edge(red.source, c, 1.0 / bound);
+  }
+  for (int j = 0; j < n; ++j) {
+    red.element_nodes.push_back(
+        red.graph.add_node("X" + std::to_string(j + 1)));
+  }
+  for (size_t i = 0; i < instance.sets.size(); ++i) {
+    for (int e : instance.sets[i]) {
+      red.graph.add_edge(red.set_nodes[i],
+                         red.element_nodes[static_cast<size_t>(e)],
+                         1.0 / n);
+    }
+  }
+  return red;
+}
+
+std::vector<int> decode_cover(const MulticastReduction& reduction,
+                              std::span<const char> tree_nodes) {
+  std::vector<int> cover;
+  for (size_t i = 0; i < reduction.set_nodes.size(); ++i) {
+    NodeId c = reduction.set_nodes[i];
+    if (tree_nodes[static_cast<size_t>(c)]) cover.push_back(static_cast<int>(i));
+  }
+  return cover;
+}
+
+double cover_tree_throughput(const MulticastReduction& reduction,
+                             std::span<const int> cover) {
+  // The source serialises |cover| sends of time 1/B each; every chosen C_i
+  // forwards to at most N elements of time 1/N each. The bottleneck is the
+  // source port: period = |cover| / B.
+  if (cover.empty()) return 0.0;
+  double period = static_cast<double>(cover.size()) /
+                  static_cast<double>(reduction.bound);
+  period = std::max(period, 1.0);  // each C_i may use up to N * 1/N = 1
+  return 1.0 / period;
+}
+
+PrefixReduction reduce_to_prefix(const Instance& instance, int bound) {
+  assert(bound >= 1);
+  PrefixReduction red;
+  red.bound = bound;
+  const int n = instance.universe;
+  Digraph& g = red.graph;
+
+  red.source = g.add_node("Ps");
+  for (size_t i = 0; i < instance.sets.size(); ++i) {
+    NodeId c = g.add_node("C" + std::to_string(i + 1));
+    red.set_nodes.push_back(c);
+    g.add_edge(red.source, c, 1.0 / bound);
+  }
+  for (int j = 0; j < n; ++j) {
+    red.element_nodes.push_back(g.add_node("X" + std::to_string(j + 1)));
+  }
+  for (size_t i = 0; i < instance.sets.size(); ++i) {
+    for (int e : instance.sets[i]) {
+      g.add_edge(red.set_nodes[i], red.element_nodes[static_cast<size_t>(e)],
+                 1.0 / n);
+    }
+  }
+  for (int j = 1; j <= n; ++j) {
+    red.prime_nodes.push_back(g.add_node("X'" + std::to_string(j)));
+  }
+  // X_i -> X'_i with u_i = 1/i - 1/(N+1).
+  for (int i = 1; i <= n; ++i) {
+    double u = 1.0 / i - 1.0 / (n + 1);
+    g.add_edge(red.element_nodes[static_cast<size_t>(i - 1)],
+               red.prime_nodes[static_cast<size_t>(i - 1)], u);
+  }
+  // X'_i -> X'_{i+1} with v_i = 1/(i+1) + 1/((N+1) i).
+  for (int i = 1; i < n; ++i) {
+    double v = 1.0 / (i + 1) + 1.0 / (static_cast<double>(n + 1) * i);
+    g.add_edge(red.prime_nodes[static_cast<size_t>(i - 1)],
+               red.prime_nodes[static_cast<size_t>(i)], v);
+  }
+
+  // Participants P_s and X'_i compute with weight 1/N; others do not.
+  red.compute_weight.assign(static_cast<size_t>(g.node_count()), kInfinity);
+  red.compute_weight[static_cast<size_t>(red.source)] = 1.0 / n;
+  for (NodeId v : red.prime_nodes) {
+    red.compute_weight[static_cast<size_t>(v)] = 1.0 / n;
+  }
+  return red;
+}
+
+}  // namespace pmcast::setcover

@@ -1,0 +1,60 @@
+#pragma once
+/// \file reductions.hpp
+/// The paper's two reduction gadgets from MINIMUM-SET-COVER.
+///
+/// * Figure 2 / Theorem 1: COMPACT-MULTICAST. The platform has a source,
+///   one node C_i per set (edge source->C_i of time 1/B) and one target X_j
+///   per universe element (edge C_i->X_j of time 1/N iff X_j in C_i). A
+///   single multicast tree of throughput 1 exists iff a cover of size <= B
+///   exists; more generally a tree using K set-nodes has throughput B/K.
+///
+/// * Figure 3 / Theorem 5: COMPACT-PREFIX. The same top gadget, plus the
+///   X_i -> X'_i edges of time u_i = 1/i - 1/(N+1) and the chain
+///   X'_i -> X'_{i+1} of time v_i = 1/(i+1) + 1/((N+1)i); participants are
+///   {P_s, X'_1..X'_N}, computation weight 1/N on participants.
+///
+/// Both builders are exact transcriptions of the proofs, used to validate
+/// the complexity results experimentally (benches E3/E4).
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "setcover/setcover.hpp"
+
+namespace pmcast::setcover {
+
+/// The Fig. 2 multicast gadget.
+struct MulticastReduction {
+  Digraph graph;
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> set_nodes;     ///< C_i, one per set
+  std::vector<NodeId> element_nodes; ///< X_j, one per element; the targets
+  int bound = 0;                     ///< B
+};
+
+MulticastReduction reduce_to_multicast(const Instance& instance, int bound);
+
+/// Given the node set of a multicast tree in the gadget, recover the chosen
+/// cover (the set nodes the tree uses).
+std::vector<int> decode_cover(const MulticastReduction& reduction,
+                              std::span<const char> tree_nodes);
+
+/// Throughput of the single multicast tree induced by a cover in the
+/// gadget: B / |cover| (each chosen C_i costs 1/B of the source's port).
+double cover_tree_throughput(const MulticastReduction& reduction,
+                             std::span<const int> cover);
+
+/// The Fig. 3 prefix gadget.
+struct PrefixReduction {
+  Digraph graph;
+  NodeId source = kInvalidNode;        ///< P_s (holds x_0)
+  std::vector<NodeId> set_nodes;       ///< C_i
+  std::vector<NodeId> element_nodes;   ///< X_j
+  std::vector<NodeId> prime_nodes;     ///< X'_j; participants P_1..P_N
+  std::vector<double> compute_weight;  ///< w(P) per node (+inf = no compute)
+  int bound = 0;                       ///< B
+};
+
+PrefixReduction reduce_to_prefix(const Instance& instance, int bound);
+
+}  // namespace pmcast::setcover

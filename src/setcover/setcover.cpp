@@ -1,0 +1,147 @@
+#include "setcover/setcover.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace pmcast::setcover {
+namespace {
+
+std::uint64_t set_mask(const std::vector<int>& set) {
+  std::uint64_t mask = 0;
+  for (int e : set) mask |= (1ULL << e);
+  return mask;
+}
+
+}  // namespace
+
+bool Instance::coverable() const {
+  assert(universe <= 63);
+  std::uint64_t all = (universe == 0) ? 0 : ((1ULL << universe) - 1);
+  std::uint64_t got = 0;
+  for (const auto& s : sets) got |= set_mask(s);
+  return got == all;
+}
+
+bool is_cover(const Instance& instance, std::span<const int> chosen) {
+  std::uint64_t all =
+      (instance.universe == 0) ? 0 : ((1ULL << instance.universe) - 1);
+  std::uint64_t got = 0;
+  for (int i : chosen) {
+    got |= set_mask(instance.sets[static_cast<size_t>(i)]);
+  }
+  return got == all;
+}
+
+std::vector<int> greedy_cover(const Instance& instance) {
+  std::uint64_t all =
+      (instance.universe == 0) ? 0 : ((1ULL << instance.universe) - 1);
+  std::vector<std::uint64_t> masks;
+  masks.reserve(instance.sets.size());
+  for (const auto& s : instance.sets) masks.push_back(set_mask(s));
+
+  std::vector<int> chosen;
+  std::uint64_t covered = 0;
+  while (covered != all) {
+    int best = -1;
+    int best_gain = 0;
+    for (size_t i = 0; i < masks.size(); ++i) {
+      int gain = std::popcount(masks[i] & ~covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) return {};  // not coverable
+    chosen.push_back(best);
+    covered |= masks[static_cast<size_t>(best)];
+  }
+  return chosen;
+}
+
+namespace {
+
+/// Branch on the lowest uncovered element: one branch per set containing it.
+void branch(const std::vector<std::uint64_t>& masks,
+            const std::vector<std::vector<int>>& containing,
+            std::uint64_t covered, std::uint64_t all, std::vector<int>& stack,
+            std::vector<int>& best) {
+  if (!best.empty() && stack.size() + 1 >= best.size()) {
+    // Even one more set cannot beat the incumbent unless it finishes now.
+    if (covered != all) {
+      int elem = std::countr_one(covered);
+      for (int si : containing[static_cast<size_t>(elem)]) {
+        if ((covered | masks[static_cast<size_t>(si)]) == all &&
+            stack.size() + 1 < best.size()) {
+          stack.push_back(si);
+          best = stack;
+          stack.pop_back();
+          return;
+        }
+      }
+      return;
+    }
+  }
+  if (covered == all) {
+    if (best.empty() || stack.size() < best.size()) best = stack;
+    return;
+  }
+  if (!best.empty() && stack.size() + 1 >= best.size()) return;
+  int elem = std::countr_one(covered);  // lowest uncovered element
+  for (int si : containing[static_cast<size_t>(elem)]) {
+    stack.push_back(si);
+    branch(masks, containing, covered | masks[static_cast<size_t>(si)], all,
+           stack, best);
+    stack.pop_back();
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> exact_min_cover(const Instance& instance) {
+  if (!instance.coverable()) return std::nullopt;
+  std::uint64_t all =
+      (instance.universe == 0) ? 0 : ((1ULL << instance.universe) - 1);
+  std::vector<std::uint64_t> masks;
+  for (const auto& s : instance.sets) masks.push_back(set_mask(s));
+  std::vector<std::vector<int>> containing(
+      static_cast<size_t>(instance.universe));
+  for (size_t i = 0; i < masks.size(); ++i) {
+    for (int e = 0; e < instance.universe; ++e) {
+      if (masks[i] & (1ULL << e)) {
+        containing[static_cast<size_t>(e)].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  std::vector<int> stack, best;
+  branch(masks, containing, 0, all, stack, best);
+  if (best.empty() && all != 0) return std::nullopt;
+  return best;
+}
+
+bool has_cover_of_size(const Instance& instance, int bound) {
+  auto best = exact_min_cover(instance);
+  return best.has_value() && static_cast<int>(best->size()) <= bound;
+}
+
+Instance random_instance(int universe, int sets, double density, Rng& rng) {
+  assert(universe >= 1 && universe <= 63 && sets >= 1);
+  Instance instance;
+  instance.universe = universe;
+  instance.sets.assign(static_cast<size_t>(sets), {});
+  for (int e = 0; e < universe; ++e) {
+    bool placed = false;
+    for (int s = 0; s < sets; ++s) {
+      if (rng.bernoulli(density)) {
+        instance.sets[static_cast<size_t>(s)].push_back(e);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      instance.sets[rng.uniform(static_cast<uint64_t>(sets))].push_back(e);
+    }
+  }
+  return instance;
+}
+
+}  // namespace pmcast::setcover

@@ -1,0 +1,47 @@
+#pragma once
+/// \file setcover.hpp
+/// MINIMUM-SET-COVER instances and solvers. The paper's NP-completeness
+/// results (Theorems 1, 3, 5) all reduce from MINIMUM-SET-COVER; this module
+/// provides the instances plus a greedy H_n-approximation and an exact
+/// branch-and-bound used to validate both directions of the reductions on
+/// small inputs.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/rng.hpp"
+
+namespace pmcast::setcover {
+
+/// A set-cover instance: universe {0, .., universe-1} and a collection of
+/// subsets. An instance is *coverable* when the union of all sets is the
+/// whole universe.
+struct Instance {
+  int universe = 0;
+  std::vector<std::vector<int>> sets;
+
+  bool coverable() const;
+};
+
+/// True when the union of sets[i] for i in \p chosen equals the universe.
+bool is_cover(const Instance& instance, std::span<const int> chosen);
+
+/// Greedy set cover (pick the set covering most uncovered elements). The
+/// classic ln(n)-approximation.
+std::vector<int> greedy_cover(const Instance& instance);
+
+/// Exact minimum cover by branch-and-bound (element-branching). Suitable for
+/// instances with up to ~25 sets. Returns nullopt when not coverable.
+std::optional<std::vector<int>> exact_min_cover(const Instance& instance);
+
+/// Exact decision: does a cover of size <= B exist?
+bool has_cover_of_size(const Instance& instance, int bound);
+
+/// Random coverable instance: \p sets subsets of a universe of \p universe
+/// elements, each element included in a set with probability \p density;
+/// each element is then forced into at least one set.
+Instance random_instance(int universe, int sets, double density, Rng& rng);
+
+}  // namespace pmcast::setcover

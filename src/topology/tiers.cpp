@@ -1,0 +1,128 @@
+#include "topology/tiers.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pmcast::topo {
+
+TiersParams TiersParams::small30() {
+  TiersParams p;
+  p.wan_nodes = 5;
+  p.mans = 2;
+  p.man_nodes = 4;
+  p.lans = 4;
+  p.lan_nodes = 17;
+  p.wan_redundancy = 2;
+  p.man_redundancy = 1;
+  return p;  // 5 + 8 + 17 = 30 nodes
+}
+
+TiersParams TiersParams::big65() {
+  TiersParams p;
+  p.wan_nodes = 6;
+  p.mans = 3;
+  p.man_nodes = 4;
+  p.lans = 9;
+  p.lan_nodes = 47;
+  p.wan_redundancy = 3;
+  p.man_redundancy = 1;
+  return p;  // 6 + 12 + 47 = 65 nodes
+}
+
+namespace {
+
+double sample_cost(Rng& rng, double lo, double hi) {
+  // Integer-valued times (as in the paper's figures) keep the LPs rational.
+  return std::floor(rng.uniform_real(lo, hi + 1.0));
+}
+
+/// Random tree over \p nodes by uniform attachment, plus \p redundancy extra
+/// edges between distinct non-adjacent pairs. All links bidirectional.
+void build_level(Digraph& g, const std::vector<NodeId>& nodes, int redundancy,
+                 double lo, double hi, Rng& rng) {
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    NodeId parent = nodes[rng.uniform(i)];
+    g.add_bidirectional(nodes[i], parent, sample_cost(rng, lo, hi));
+  }
+  int added = 0;
+  int guard = 0;
+  while (added < redundancy && guard++ < 64 && nodes.size() >= 3) {
+    NodeId a = nodes[rng.uniform(nodes.size())];
+    NodeId b = nodes[rng.uniform(nodes.size())];
+    if (a == b || g.find_edge(a, b).has_value()) continue;
+    g.add_bidirectional(a, b, sample_cost(rng, lo, hi));
+    ++added;
+  }
+}
+
+}  // namespace
+
+Platform generate_tiers(const TiersParams& params, std::uint64_t seed) {
+  assert(params.wan_nodes >= 1 && params.mans >= 1 && params.lans >= 1);
+  Rng rng(seed);
+  Platform platform;
+  Digraph& g = platform.graph;
+
+  // WAN backbone.
+  for (int i = 0; i < params.wan_nodes; ++i) {
+    platform.wan.push_back(g.add_node("wan" + std::to_string(i)));
+  }
+  build_level(g, platform.wan, params.wan_redundancy, params.wan_cost_lo,
+              params.wan_cost_hi, rng);
+
+  // MANs, each attached to a random WAN gateway.
+  std::vector<std::vector<NodeId>> man_groups;
+  for (int m = 0; m < params.mans; ++m) {
+    std::vector<NodeId> group;
+    for (int i = 0; i < params.man_nodes; ++i) {
+      NodeId v = g.add_node("man" + std::to_string(m) + "_" +
+                            std::to_string(i));
+      group.push_back(v);
+      platform.man.push_back(v);
+    }
+    build_level(g, group, params.man_redundancy, params.man_cost_lo,
+                params.man_cost_hi, rng);
+    NodeId gateway = platform.wan[rng.uniform(platform.wan.size())];
+    g.add_bidirectional(group[0], gateway,
+                        sample_cost(rng, params.wan_cost_lo,
+                                    params.wan_cost_hi));
+    man_groups.push_back(std::move(group));
+  }
+
+  // LAN stars: each LAN hangs off a random MAN node; leaves split the total
+  // LAN node budget as evenly as possible.
+  int remaining = params.lan_nodes;
+  for (int l = 0; l < params.lans; ++l) {
+    int lans_left = params.lans - l;
+    int count = (remaining + lans_left - 1) / lans_left;  // ceil split
+    count = std::min(count, remaining);
+    const auto& group = man_groups[rng.uniform(man_groups.size())];
+    NodeId hub = group[rng.uniform(group.size())];
+    for (int i = 0; i < count; ++i) {
+      NodeId leaf = g.add_node("lan" + std::to_string(l) + "_" +
+                               std::to_string(i));
+      platform.lan.push_back(leaf);
+      g.add_bidirectional(hub, leaf,
+                          sample_cost(rng, params.lan_cost_lo,
+                                      params.lan_cost_hi));
+    }
+    remaining -= count;
+  }
+  assert(remaining == 0);
+
+  platform.source = platform.wan[rng.uniform(platform.wan.size())];
+  return platform;
+}
+
+std::vector<NodeId> sample_targets(const Platform& platform, double density,
+                                   Rng& rng) {
+  assert(density >= 0.0 && density <= 1.0);
+  auto n = static_cast<size_t>(
+      std::lround(density * static_cast<double>(platform.lan.size())));
+  n = std::max<size_t>(n, 1);
+  n = std::min(n, platform.lan.size());
+  return rng.sample(platform.lan, n);
+}
+
+}  // namespace pmcast::topo

@@ -1,0 +1,131 @@
+#include "collective/collective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+#include "graph/rng.hpp"
+#include "topology/tiers.hpp"
+
+namespace pmcast::collective {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+TEST(Transpose, ReversesEveryEdge) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  Digraph t = transpose(g);
+  ASSERT_EQ(t.edge_count(), 2);
+  EXPECT_EQ(t.edge(0).from, 1);
+  EXPECT_EQ(t.edge(0).to, 0);
+  EXPECT_DOUBLE_EQ(t.edge(0).cost, 1.5);
+  EXPECT_EQ(t.edge(1).from, 2);
+  EXPECT_DOUBLE_EQ(t.edge(1).cost, 2.5);
+}
+
+TEST(Transpose, InvolutionPreservesCosts) {
+  core::MulticastProblem p = core::figure1_example();
+  Digraph tt = transpose(transpose(p.graph));
+  ASSERT_EQ(tt.edge_count(), p.graph.edge_count());
+  for (EdgeId e = 0; e < p.graph.edge_count(); ++e) {
+    EXPECT_EQ(tt.edge(e).from, p.graph.edge(e).from);
+    EXPECT_EQ(tt.edge(e).to, p.graph.edge(e).to);
+    EXPECT_DOUBLE_EQ(tt.edge(e).cost, p.graph.edge(e).cost);
+  }
+}
+
+TEST(Transpose, KeepsNodeNames) {
+  Digraph g;
+  g.add_node("alpha");
+  g.add_node("beta");
+  g.add_edge(0, 1, 1.0);
+  Digraph t = transpose(g);
+  EXPECT_EQ(t.node_name(0), "alpha");
+  EXPECT_EQ(t.node_name(1), "beta");
+}
+
+TEST(Collective, ScatterEqualsMulticastUb) {
+  core::MulticastProblem p = core::figure5_example(3);
+  auto scatter = solve_series_scatter(p);
+  auto ub = core::solve_multicast_ub(p);
+  ASSERT_TRUE(scatter.ok() && ub.ok());
+  EXPECT_NEAR(scatter.period, ub.period, kTol);
+}
+
+TEST(Collective, GatherEqualsScatterOnSymmetricPlatform) {
+  // Bidirectional links with equal costs: scatter and gather coincide.
+  Digraph g(4);
+  g.add_bidirectional(0, 1, 1.0);
+  g.add_bidirectional(1, 2, 0.5);
+  g.add_bidirectional(1, 3, 0.5);
+  core::MulticastProblem p(g, 0, {2, 3});
+  auto scatter = solve_series_scatter(p);
+  auto gather = solve_series_gather(p);
+  ASSERT_TRUE(scatter.ok() && gather.ok());
+  EXPECT_NEAR(scatter.period, gather.period, kTol);
+}
+
+TEST(Collective, GatherDiffersOnAsymmetricCosts) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);  // downlink fast
+  g.add_edge(1, 0, 4.0);  // uplink slow
+  core::MulticastProblem p(g, 0, {1});
+  auto scatter = solve_series_scatter(p);
+  auto gather = solve_series_gather(p);
+  ASSERT_TRUE(scatter.ok() && gather.ok());
+  EXPECT_NEAR(scatter.period, 1.0, kTol);
+  EXPECT_NEAR(gather.period, 4.0, kTol);
+}
+
+TEST(Collective, ReduceEqualsBroadcastOnSymmetricPlatform) {
+  Digraph g(4);
+  g.add_bidirectional(0, 1, 1.0);
+  g.add_bidirectional(1, 2, 2.0);
+  g.add_bidirectional(2, 3, 1.0);
+  core::MulticastProblem p(g, 0, {1, 2, 3});
+  auto reduce = solve_series_reduce(p);
+  auto broadcast = solve_series_broadcast(p);
+  ASSERT_TRUE(reduce.ok() && broadcast.ok());
+  EXPECT_NEAR(reduce.period, broadcast.period, kTol);
+}
+
+TEST(Collective, BroadcastDominatesMulticastLb) {
+  core::MulticastProblem p = core::figure1_example();
+  auto broadcast = solve_series_broadcast(p);
+  auto lb = core::solve_multicast_lb(p);
+  ASSERT_TRUE(broadcast.ok() && lb.ok());
+  EXPECT_GE(broadcast.period, lb.period - kTol);
+}
+
+class CollectiveOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollectiveOrdering, InvariantChainOnTiersPlatforms) {
+  topo::TiersParams params;
+  params.wan_nodes = 3;
+  params.mans = 1;
+  params.man_nodes = 3;
+  params.lans = 2;
+  params.lan_nodes = 6;
+  topo::Platform platform = topo::generate_tiers(params, GetParam());
+  Rng rng(GetParam() * 5 + 2);
+  auto targets = topo::sample_targets(platform, 0.5, rng);
+  core::MulticastProblem p(platform.graph, platform.source, targets);
+  ASSERT_TRUE(p.feasible());
+  CollectiveComparison c = compare_collectives(p);
+  ASSERT_TRUE(c.ok) << "seed " << GetParam();
+  // Multicast sits between its bounds; scatter == UB by construction.
+  EXPECT_LE(c.multicast_lb, c.multicast_ub + kTol);
+  EXPECT_NEAR(c.multicast_ub, c.scatter, kTol);
+  // Broadcast (all nodes, shareable content) can't beat the multicast LB.
+  EXPECT_GE(c.broadcast, c.multicast_lb - kTol);
+  // Tiers links are symmetric, so gather == scatter and reduce == broadcast.
+  EXPECT_NEAR(c.gather, c.scatter, kTol * c.scatter + kTol);
+  EXPECT_NEAR(c.reduce, c.broadcast, kTol * c.broadcast + kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveOrdering,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace pmcast::collective

@@ -1,0 +1,107 @@
+#include "core/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact.hpp"
+#include "core/paper_examples.hpp"
+#include "core/tree_heuristics.hpp"
+
+namespace pmcast::core {
+namespace {
+
+TEST(Certificate, Figure1TwoTreeCertificateAccepted) {
+  MulticastProblem p = figure1_example();
+  Figure1Trees fig = figure1_optimal_trees(p);
+  WeightedTreeSet cert;
+  cert.trees.push_back({p.source, fig.tree1});
+  cert.trees.push_back({p.source, fig.tree2});
+  cert.rates = {0.5, 0.5};
+  auto result = verify_certificate(p, cert);
+  ASSERT_TRUE(result.valid) << result.reason;
+  EXPECT_NEAR(result.throughput, 1.0, 1e-6);
+  EXPECT_GT(result.slots, 0);
+}
+
+TEST(Certificate, ExactSolutionIsAlwaysAValidCertificate) {
+  for (auto problem : {figure1_example(), figure4_example(),
+                       figure5_example(3)}) {
+    ExactSolution exact = exact_optimal_throughput(problem);
+    ASSERT_TRUE(exact.ok);
+    auto result = verify_certificate(problem, exact.combination);
+    EXPECT_TRUE(result.valid) << result.reason;
+    EXPECT_NEAR(result.throughput, exact.throughput,
+                1e-3 * exact.throughput + 1e-6);
+  }
+}
+
+TEST(Certificate, McphTreeIsAValidSingleTreeCertificate) {
+  MulticastProblem p = figure1_example();
+  auto tree = mcph(p);
+  ASSERT_TRUE(tree.has_value());
+  WeightedTreeSet cert;
+  cert.trees.push_back(*tree);
+  cert.rates = {1.0 / tree_period(p.graph, *tree)};
+  auto result = verify_certificate(p, cert);
+  ASSERT_TRUE(result.valid) << result.reason;
+  EXPECT_NEAR(result.throughput, cert.rates[0], 1e-6);
+}
+
+TEST(Certificate, RejectsEmpty) {
+  MulticastProblem p = figure5_example(2);
+  auto result = verify_certificate(p, {});
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(Certificate, RejectsWrongRoot) {
+  MulticastProblem p = figure5_example(2);
+  WeightedTreeSet cert;
+  MulticastTree tree;
+  tree.source = 1;  // the hub, not the source
+  for (EdgeId e : p.graph.out_edges(1)) tree.edges.push_back(e);
+  cert.trees.push_back(tree);
+  cert.rates = {1.0};
+  auto result = verify_certificate(p, cert);
+  EXPECT_FALSE(result.valid);
+  EXPECT_NE(result.reason.find("not rooted"), std::string::npos);
+}
+
+TEST(Certificate, RejectsNonSpanningTree) {
+  MulticastProblem p = figure5_example(3);
+  WeightedTreeSet cert;
+  MulticastTree tree;
+  tree.source = p.source;
+  tree.edges = {0};  // source -> hub only; misses all targets
+  cert.trees.push_back(tree);
+  cert.rates = {1.0};
+  auto result = verify_certificate(p, cert);
+  EXPECT_FALSE(result.valid);
+  EXPECT_NE(result.reason.find("misses a target"), std::string::npos);
+}
+
+TEST(Certificate, RejectsNonPositiveRate) {
+  MulticastProblem p = figure5_example(2);
+  WeightedTreeSet cert;
+  MulticastTree tree;
+  tree.source = p.source;
+  for (EdgeId e = 0; e < p.graph.edge_count(); ++e) tree.edges.push_back(e);
+  cert.trees.push_back(tree);
+  cert.rates = {0.0};
+  auto result = verify_certificate(p, cert);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(Certificate, RejectsTreeWithTwoParents) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 2, 1.0);
+  MulticastProblem p(g, 0, {2});
+  WeightedTreeSet cert;
+  cert.trees.push_back({0, {0, 1, 2}});  // node 2 has two parents
+  cert.rates = {0.5};
+  auto result = verify_certificate(p, cert);
+  EXPECT_FALSE(result.valid);
+}
+
+}  // namespace
+}  // namespace pmcast::core

@@ -1,0 +1,150 @@
+#include "core/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/formulations.hpp"
+#include "core/paper_examples.hpp"
+#include "graph/rng.hpp"
+
+namespace pmcast::core {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+TEST(Enumerate, ChainHasOneTree) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  MulticastProblem p(g, 0, {2});
+  auto trees = enumerate_multicast_trees(p);
+  ASSERT_TRUE(trees.has_value());
+  EXPECT_EQ(trees->size(), 1u);
+}
+
+TEST(Enumerate, DiamondHasTwoTrees) {
+  // 0->1->3 and 0->2->3, target 3: two trees (via 1 or via 2); trees using
+  // both relays would leave one as a non-target leaf and are rejected.
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(2, 3, 1.0);
+  MulticastProblem p(g, 0, {3});
+  auto trees = enumerate_multicast_trees(p);
+  ASSERT_TRUE(trees.has_value());
+  EXPECT_EQ(trees->size(), 2u);
+}
+
+TEST(Enumerate, AllTreesValidAndSpanning) {
+  MulticastProblem p = figure4_example();
+  auto trees = enumerate_multicast_trees(p);
+  ASSERT_TRUE(trees.has_value());
+  ASSERT_FALSE(trees->empty());
+  for (const MulticastTree& tree : *trees) {
+    EXPECT_TRUE(validate_tree(p.graph, tree).empty());
+    EXPECT_TRUE(tree_spans(p.graph, tree, p.targets));
+    EXPECT_TRUE(leaves_are_targets(p.graph, tree, p.targets));
+  }
+}
+
+TEST(Enumerate, NoDuplicates) {
+  MulticastProblem p = figure4_example();
+  auto trees = enumerate_multicast_trees(p);
+  ASSERT_TRUE(trees.has_value());
+  for (size_t i = 0; i < trees->size(); ++i) {
+    for (size_t j = i + 1; j < trees->size(); ++j) {
+      auto a = (*trees)[i].edges;
+      auto b = (*trees)[j].edges;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_NE(a, b) << "duplicate trees " << i << " and " << j;
+    }
+  }
+}
+
+TEST(Exact, Figure1OptimumIsOneAndNeedsTwoTrees) {
+  MulticastProblem p = figure1_example();
+  auto exact = exact_optimal_throughput(p);
+  ASSERT_TRUE(exact.ok);
+  EXPECT_NEAR(exact.throughput, 1.0, kTol);
+  EXPECT_GE(exact.combination.trees.size(), 2u);
+
+  auto single = exact_best_single_tree(p);
+  ASSERT_TRUE(single.ok);
+  EXPECT_LT(single.throughput, 1.0 - 0.05);       // one tree is not enough
+  EXPECT_NEAR(single.throughput, 2.0 / 3.0, kTol);  // the best tree gets 2/3
+}
+
+TEST(Exact, Figure4NeitherBoundTight) {
+  MulticastProblem p = figure4_example();
+  auto exact = exact_optimal_throughput(p);
+  auto lb = solve_multicast_lb(p);
+  auto ub = solve_multicast_ub(p);
+  ASSERT_TRUE(exact.ok && lb.ok() && ub.ok());
+  EXPECT_NEAR(1.0 / lb.period, 5.0 / 3.0, kTol);
+  EXPECT_NEAR(exact.throughput, 1.5, kTol);
+  EXPECT_NEAR(1.0 / ub.period, 1.0, kTol);
+  // The structural claim of Figure 4: strict on both sides.
+  EXPECT_GT(1.0 / lb.period, exact.throughput + 0.05);
+  EXPECT_GT(exact.throughput, 1.0 / ub.period + 0.05);
+}
+
+TEST(Exact, Figure5OptimumMatchesLowerBound) {
+  MulticastProblem p = figure5_example(3);
+  auto exact = exact_optimal_throughput(p);
+  auto lb = solve_multicast_lb(p);
+  ASSERT_TRUE(exact.ok && lb.ok());
+  EXPECT_NEAR(exact.throughput, 1.0, kTol);  // hub pipeline reaches 1
+  EXPECT_NEAR(1.0 / lb.period, 1.0, kTol);   // and the LB is tight here
+}
+
+TEST(Exact, CombinationIsFeasible) {
+  MulticastProblem p = figure1_example();
+  auto exact = exact_optimal_throughput(p);
+  ASSERT_TRUE(exact.ok);
+  EXPECT_LE(tree_set_port_load(p.graph, exact.combination), 1.0 + kTol);
+  for (const auto& tree : exact.combination.trees) {
+    EXPECT_TRUE(validate_tree(p.graph, tree).empty());
+    EXPECT_TRUE(tree_spans(p.graph, tree, p.targets));
+  }
+}
+
+class ExactVsBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactVsBounds, OptimumBetweenBoundsOnRandomPlatforms) {
+  Rng rng(GetParam() * 7919 + 11);
+  int n = static_cast<int>(rng.uniform_int(4, 6));
+  Digraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v && rng.bernoulli(0.45)) {
+        g.add_edge(u, v, rng.uniform(2) != 0u ? 0.5 : 1.0);
+      }
+    }
+  }
+  std::vector<NodeId> targets;
+  for (int v = 1; v < n; ++v) {
+    if (rng.bernoulli(0.6)) targets.push_back(v);
+  }
+  if (targets.empty()) targets.push_back(n - 1);
+  MulticastProblem p(g, 0, targets);
+  if (!p.feasible()) GTEST_SKIP() << "disconnected draw";
+  auto lb = solve_multicast_lb(p);
+  auto ub = solve_multicast_ub(p);
+  auto exact = exact_optimal_throughput(p);
+  ASSERT_TRUE(lb.ok() && ub.ok());
+  ASSERT_TRUE(exact.ok);
+  // Throughputs: LB bound >= OPT >= UB bound.
+  EXPECT_GE(1.0 / lb.period, exact.throughput - kTol) << "seed " << GetParam();
+  EXPECT_LE(1.0 / ub.period, exact.throughput + kTol) << "seed " << GetParam();
+  // Best single tree can never beat the weighted-combination optimum.
+  auto single = exact_best_single_tree(p);
+  ASSERT_TRUE(single.ok);
+  EXPECT_LE(single.throughput, exact.throughput + kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsBounds,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace pmcast::core

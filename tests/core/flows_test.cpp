@@ -1,0 +1,93 @@
+#include "core/flows.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+
+namespace pmcast::core {
+namespace {
+
+TEST(DecomposeFlow, SinglePath) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  std::vector<double> x{1.0, 1.0};
+  auto paths = decompose_flow(g, 0, 2, x);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_NEAR(paths[0].rate, 1.0, 1e-9);
+  EXPECT_EQ(paths[0].edges.size(), 2u);
+}
+
+TEST(DecomposeFlow, SplitFlowTwoPaths) {
+  Digraph g(4);
+  EdgeId e01 = g.add_edge(0, 1, 1.0);
+  EdgeId e13 = g.add_edge(1, 3, 1.0);
+  EdgeId e02 = g.add_edge(0, 2, 1.0);
+  EdgeId e23 = g.add_edge(2, 3, 1.0);
+  std::vector<double> x(4, 0.0);
+  x[static_cast<size_t>(e01)] = 0.7;
+  x[static_cast<size_t>(e13)] = 0.7;
+  x[static_cast<size_t>(e02)] = 0.3;
+  x[static_cast<size_t>(e23)] = 0.3;
+  auto paths = decompose_flow(g, 0, 3, x);
+  ASSERT_EQ(paths.size(), 2u);
+  double total = paths[0].rate + paths[1].rate;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DecomposeFlow, IgnoresDust) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  std::vector<double> x{1e-12};
+  auto paths = decompose_flow(g, 0, 1, x);
+  EXPECT_TRUE(paths.empty());
+}
+
+TEST(FlowSchedule, UbSolutionSimulates) {
+  MulticastProblem p = figure4_example();
+  auto ub = solve_multicast_ub(p);
+  ASSERT_TRUE(ub.ok());
+  FlowSchedule fs = build_flow_schedule(p, ub);
+  ASSERT_TRUE(fs.schedule.ok);
+  // The realised period can't exceed the LP period (coloring hits the max
+  // port load, which the LP constrained to <= T*).
+  EXPECT_LE(fs.period, ub.period + 1e-6);
+  // Every target's paths deliver the whole unit message each period.
+  for (NodeId t : p.targets) {
+    double total = 0.0;
+    for (const FlowPath& path : fs.paths) {
+      if (path.target == t) total += path.rate;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6) << "target " << t;
+  }
+  auto report =
+      sched::simulate(fs.schedule, fs.streams, p.graph.node_count(), 24);
+  ASSERT_TRUE(report.ok) << report.error;
+}
+
+TEST(FlowSchedule, Figure5UbIsTargetCount) {
+  MulticastProblem p = figure5_example(4);
+  auto ub = solve_multicast_ub(p);
+  ASSERT_TRUE(ub.ok());
+  FlowSchedule fs = build_flow_schedule(p, ub);
+  ASSERT_TRUE(fs.schedule.ok);
+  EXPECT_NEAR(fs.period, 4.0, 1e-5);
+  auto report =
+      sched::simulate(fs.schedule, fs.streams, p.graph.node_count(), 16);
+  ASSERT_TRUE(report.ok) << report.error;
+}
+
+TEST(FlowSchedule, MultisourceScheduleBuilds) {
+  MulticastProblem p = figure5_example(3);
+  std::vector<NodeId> sources{p.source, NodeId{1}};  // hub promoted
+  auto ms = solve_multisource_ub(p, sources);
+  ASSERT_TRUE(ms.ok());
+  FlowSchedule fs = build_multisource_schedule(p, sources, ms);
+  ASSERT_TRUE(fs.schedule.ok);
+  EXPECT_LE(fs.period, ms.period + 1e-6);
+  EXPECT_TRUE(
+      sched::validate_schedule(fs.schedule, p.graph.node_count()).empty());
+}
+
+}  // namespace
+}  // namespace pmcast::core

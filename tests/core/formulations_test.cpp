@@ -1,0 +1,171 @@
+#include "core/formulations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+#include "graph/rng.hpp"
+#include "topology/tiers.hpp"
+
+namespace pmcast::core {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+/// Two-node platform: source -> t with cost c. Everything equals c.
+TEST(Formulations, SingleEdgePlatform) {
+  Digraph g(2);
+  g.add_edge(0, 1, 3.0);
+  MulticastProblem p(g, 0, {1});
+  auto lb = solve_multicast_lb(p);
+  auto ub = solve_multicast_ub(p);
+  ASSERT_TRUE(lb.ok());
+  ASSERT_TRUE(ub.ok());
+  EXPECT_NEAR(lb.period, 3.0, kTol);
+  EXPECT_NEAR(ub.period, 3.0, kTol);
+}
+
+TEST(Formulations, SingleTargetBoundsCoincide) {
+  // With one target, max == sum, so LB == UB on any platform.
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 0.5);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(2, 3, 1.0);
+  MulticastProblem p(g, 0, {3});
+  auto lb = solve_multicast_lb(p);
+  auto ub = solve_multicast_ub(p);
+  ASSERT_TRUE(lb.ok() && ub.ok());
+  EXPECT_NEAR(lb.period, ub.period, kTol);
+}
+
+TEST(Formulations, TwoParallelPathsHalveThePeriod) {
+  // source -> t both directly (cost 1) and via relay (costs 1) — the flow
+  // can split, so the bound drops below 1.
+  Digraph g(3);
+  g.add_edge(0, 2, 1.0);  // direct
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  MulticastProblem p(g, 0, {2});
+  auto lb = solve_multicast_lb(p);
+  ASSERT_TRUE(lb.ok());
+  // Split x on direct and 1-x via relay: source send = 1 regardless, but the
+  // receive port of t is x + (1-x) = 1 too... the true optimum is 1? No:
+  // times, not fractions: t receives x*1 + (1-x)*1 = 1. Period = 1.
+  EXPECT_NEAR(lb.period, 1.0, kTol);
+}
+
+TEST(Formulations, UnreachableTargetIsInfeasible) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  MulticastProblem p(g, 0, {1, 2});
+  auto lb = solve_multicast_lb(p);
+  EXPECT_EQ(lb.status, lp::SolveStatus::Infeasible);
+}
+
+TEST(Formulations, EmptyTargetsTrivial) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  MulticastProblem p(g, 0, {});
+  auto lb = solve_multicast_lb(p);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_DOUBLE_EQ(lb.period, 0.0);
+}
+
+TEST(Formulations, Figure5GapIsExactlyTargetCount) {
+  for (int n : {2, 3, 5, 8}) {
+    MulticastProblem p = figure5_example(n);
+    auto lb = solve_multicast_lb(p);
+    auto ub = solve_multicast_ub(p);
+    ASSERT_TRUE(lb.ok() && ub.ok());
+    EXPECT_NEAR(lb.period, 1.0, kTol) << n;
+    EXPECT_NEAR(ub.period, static_cast<double>(n), n * kTol) << n;
+  }
+}
+
+TEST(Formulations, Figure1LowerBoundIsOne) {
+  // P7's sole in-edge has cost 1, so no schedule beats period 1; the LB
+  // reaches exactly 1.
+  MulticastProblem p = figure1_example();
+  auto lb = solve_multicast_lb(p);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_NEAR(lb.period, 1.0, kTol);
+}
+
+TEST(Formulations, BroadcastEbEqualsLbWithAllTargets) {
+  MulticastProblem p = figure4_example();
+  auto eb = solve_broadcast_eb(p.graph, p.source);
+  auto lb = solve_multicast_lb(p.as_broadcast());
+  ASSERT_TRUE(eb.ok() && lb.ok());
+  EXPECT_NEAR(eb.period, lb.period, kTol);
+}
+
+TEST(Formulations, BroadcastEbPeriodSubplatform) {
+  MulticastProblem p = figure5_example(3);
+  std::vector<char> keep(static_cast<size_t>(p.graph.node_count()), 1);
+  auto full = broadcast_eb_period(p.graph, p.source, keep);
+  ASSERT_TRUE(full.has_value());
+  // Dropping the hub disconnects everything.
+  keep[1] = 0;
+  auto broken = broadcast_eb_period(p.graph, p.source, keep);
+  EXPECT_FALSE(broken.has_value());
+}
+
+TEST(Formulations, NodeInflowMatchesFlow) {
+  MulticastProblem p = figure5_example(2);
+  auto ub = solve_multicast_ub(p);
+  ASSERT_TRUE(ub.ok());
+  // Hub (node 1) relays both unit messages: inflow 2.
+  EXPECT_NEAR(ub.node_inflow(p.graph, 1), 2.0, kTol);
+}
+
+TEST(Formulations, MultiSourceWithSingleSourceEqualsUb) {
+  MulticastProblem p = figure4_example();
+  auto ub = solve_multicast_ub(p);
+  std::vector<NodeId> sources{p.source};
+  auto ms = solve_multisource_ub(p, sources);
+  ASSERT_TRUE(ub.ok() && ms.ok());
+  EXPECT_NEAR(ms.period, ub.period, kTol);
+}
+
+TEST(Formulations, ExtraSourceNeverHurts) {
+  MulticastProblem p = figure5_example(4);
+  std::vector<NodeId> one{p.source};
+  std::vector<NodeId> two{p.source, NodeId{1}};  // promote the hub
+  auto s1 = solve_multisource_ub(p, one);
+  auto s2 = solve_multisource_ub(p, two);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_LE(s2.period, s1.period + kTol);
+  // Promoting the hub collapses the scatter bottleneck: the hub serves all
+  // targets while the source only refills the hub.
+  EXPECT_LT(s2.period, s1.period - 0.5);
+}
+
+class BoundChainOnTiers : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundChainOnTiers, LbLeqUbLeqTargetsTimesLb) {
+  // Property (Section 5.1.4): LB <= UB <= |T| * LB, and LB <= EB.
+  topo::TiersParams params;  // a small custom platform to keep LPs tiny
+  params.wan_nodes = 3;
+  params.mans = 1;
+  params.man_nodes = 3;
+  params.lans = 2;
+  params.lan_nodes = 6;
+  topo::Platform platform = topo::generate_tiers(params, GetParam());
+  Rng rng(GetParam() * 13 + 1);
+  auto targets = topo::sample_targets(platform, 0.5, rng);
+  MulticastProblem p(platform.graph, platform.source, targets);
+  ASSERT_TRUE(p.feasible());
+  auto lb = solve_multicast_lb(p);
+  auto ub = solve_multicast_ub(p);
+  auto eb = solve_broadcast_eb(p.graph, p.source);
+  ASSERT_TRUE(lb.ok() && ub.ok() && eb.ok());
+  EXPECT_LE(lb.period, ub.period + kTol);
+  EXPECT_LE(ub.period, p.target_count() * lb.period + kTol);
+  EXPECT_LE(lb.period, eb.period + kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundChainOnTiers,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace pmcast::core

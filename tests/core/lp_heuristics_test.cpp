@@ -1,0 +1,129 @@
+#include "core/lp_heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact.hpp"
+#include "core/paper_examples.hpp"
+#include "graph/rng.hpp"
+#include "topology/tiers.hpp"
+
+namespace pmcast::core {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+topo::TiersParams tiny_params() {
+  topo::TiersParams params;
+  params.wan_nodes = 3;
+  params.mans = 1;
+  params.man_nodes = 2;
+  params.lans = 2;
+  params.lan_nodes = 5;
+  params.wan_redundancy = 1;
+  params.man_redundancy = 0;
+  return params;
+}
+
+TEST(ReducedBroadcast, NeverWorseThanFullBroadcast) {
+  MulticastProblem p = figure1_example();
+  auto eb = solve_broadcast_eb(p.graph, p.source);
+  ASSERT_TRUE(eb.ok());
+  auto result = reduced_broadcast(p);
+  ASSERT_TRUE(result.ok);
+  EXPECT_LE(result.period, eb.period + kTol);
+  // Targets and source always stay on the platform.
+  EXPECT_TRUE(result.platform[static_cast<size_t>(p.source)]);
+  for (NodeId t : p.targets) {
+    EXPECT_TRUE(result.platform[static_cast<size_t>(t)]);
+  }
+}
+
+TEST(ReducedBroadcast, RespectsLowerBound) {
+  MulticastProblem p = figure1_example();
+  auto lb = solve_multicast_lb(p);
+  auto result = reduced_broadcast(p);
+  ASSERT_TRUE(lb.ok() && result.ok);
+  EXPECT_GE(result.period, lb.period - kTol);
+}
+
+TEST(AugmentedMulticast, StartsFromTargetSubplatform) {
+  // On the hub star the targets-only platform is disconnected, so the
+  // heuristic must add the hub.
+  MulticastProblem p = figure5_example(3);
+  auto result = augmented_multicast(p);
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.platform[1]);  // hub added
+  EXPECT_NEAR(result.period, 1.0, kTol);
+}
+
+TEST(AugmentedMulticast, Figure1ReachesFiniteBroadcastPeriod) {
+  MulticastProblem p = figure1_example();
+  auto result = augmented_multicast(p);
+  ASSERT_TRUE(result.ok);
+  auto lb = solve_multicast_lb(p);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_GE(result.period, lb.period - kTol);
+}
+
+TEST(AugmentedSources, StartsAtUbAndImproves) {
+  MulticastProblem p = figure5_example(4);
+  auto ub = solve_multicast_ub(p);
+  ASSERT_TRUE(ub.ok());
+  auto result = augmented_sources(p);
+  ASSERT_TRUE(result.ok);
+  EXPECT_LE(result.period, ub.period + kTol);
+  // Promoting the hub to a source collapses the scatter bottleneck.
+  EXPECT_LT(result.period, ub.period - 0.5);
+  EXPECT_GE(result.sources.size(), 2u);
+}
+
+TEST(AugmentedSources, SourceListStartsWithOriginal) {
+  MulticastProblem p = figure4_example();
+  auto result = augmented_sources(p);
+  ASSERT_TRUE(result.ok);
+  ASSERT_FALSE(result.sources.empty());
+  EXPECT_EQ(result.sources[0], p.source);
+}
+
+class LpHeuristicsOnTiers : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpHeuristicsOnTiers, AllRespectTheLowerBound) {
+  topo::Platform platform = topo::generate_tiers(tiny_params(), GetParam());
+  Rng rng(GetParam() + 500);
+  auto targets = topo::sample_targets(platform, 0.6, rng);
+  MulticastProblem p(platform.graph, platform.source, targets);
+  ASSERT_TRUE(p.feasible());
+  auto lb = solve_multicast_lb(p);
+  ASSERT_TRUE(lb.ok());
+
+  auto rb = reduced_broadcast(p);
+  auto am = augmented_multicast(p);
+  auto as = augmented_sources(p);
+  ASSERT_TRUE(rb.ok);
+  ASSERT_TRUE(am.ok);
+  ASSERT_TRUE(as.ok);
+  EXPECT_GE(rb.period, lb.period - kTol) << "seed " << GetParam();
+  EXPECT_GE(am.period, lb.period - kTol) << "seed " << GetParam();
+  EXPECT_GE(as.period, lb.period - kTol) << "seed " << GetParam();
+
+  // Augmented sources can only improve on the plain scatter bound.
+  auto ub = solve_multicast_ub(p);
+  ASSERT_TRUE(ub.ok());
+  EXPECT_LE(as.period, ub.period + kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpHeuristicsOnTiers,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(LpHeuristics, SolveCountsReported) {
+  MulticastProblem p = figure5_example(2);
+  auto rb = reduced_broadcast(p);
+  auto am = augmented_multicast(p);
+  auto as = augmented_sources(p);
+  EXPECT_GE(rb.lp_solves, 1);
+  EXPECT_GE(am.lp_solves, 2);  // the LB solve plus the initial EB
+  EXPECT_GE(as.lp_solves, 1);
+}
+
+}  // namespace
+}  // namespace pmcast::core

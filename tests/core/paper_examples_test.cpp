@@ -1,0 +1,111 @@
+/// Structural tests of the worked-example reconstructions: every statement
+/// the paper's text makes about the Figure 1 platform must hold on our
+/// rebuild (DESIGN.md §2 records the reconstruction rules).
+
+#include "core/paper_examples.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/tree.hpp"
+
+namespace pmcast::core {
+namespace {
+
+NodeId by_name(const Digraph& g, const std::string& name) {
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.node_name(v) == name) return v;
+  }
+  ADD_FAILURE() << "node " << name << " not found";
+  return kInvalidNode;
+}
+
+TEST(Figure1, NodeAndTargetCounts) {
+  MulticastProblem p = figure1_example();
+  EXPECT_EQ(p.graph.node_count(), 14);
+  EXPECT_EQ(p.target_count(), 7);  // P7..P13
+  EXPECT_TRUE(p.feasible());
+}
+
+TEST(Figure1, P7InEdgeImpliesThroughputAtMostOne) {
+  MulticastProblem p = figure1_example();
+  NodeId p7 = by_name(p.graph, "P7");
+  ASSERT_EQ(p.graph.in_degree(p7), 1);
+  EXPECT_DOUBLE_EQ(p.graph.edge(p.graph.in_edges(p7)[0]).cost, 1.0);
+}
+
+TEST(Figure1, InNeighbourStructureMatchesProof) {
+  // The Section 3 contradiction argument relies on exactly these incoming
+  // neighbourhoods.
+  MulticastProblem p = figure1_example();
+  const Digraph& g = p.graph;
+  auto in_names = [&](const char* name) {
+    std::vector<std::string> names;
+    for (EdgeId e : g.in_edges(by_name(g, name))) {
+      names.push_back(g.node_name(g.edge(e).from));
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+  EXPECT_EQ(in_names("P1"), (std::vector<std::string>{"P2", "Psource"}));
+  EXPECT_EQ(in_names("P2"), (std::vector<std::string>{"P3"}));
+  EXPECT_EQ(in_names("P3"), (std::vector<std::string>{"Psource"}));
+  EXPECT_EQ(in_names("P6"), (std::vector<std::string>{"P2", "P5"}));
+}
+
+TEST(Figure1, SaturationEdgeCosts) {
+  MulticastProblem p = figure1_example();
+  const Digraph& g = p.graph;
+  EXPECT_DOUBLE_EQ(g.cost(by_name(g, "Psource"), by_name(g, "P1")), 1.0);
+  EXPECT_DOUBLE_EQ(g.cost(by_name(g, "P2"), by_name(g, "P1")), 1.0);
+  EXPECT_DOUBLE_EQ(g.cost(by_name(g, "P3"), by_name(g, "P2")), 1.0);
+  EXPECT_DOUBLE_EQ(g.cost(by_name(g, "P6"), by_name(g, "P7")), 1.0);
+}
+
+TEST(Figure1, LanChainCostsMatchFigure) {
+  MulticastProblem p = figure1_example();
+  const Digraph& g = p.graph;
+  EXPECT_DOUBLE_EQ(g.cost(by_name(g, "P7"), by_name(g, "P8")), 0.2);
+  EXPECT_DOUBLE_EQ(g.cost(by_name(g, "P11"), by_name(g, "P12")), 0.1);
+}
+
+TEST(Figure1, HandBuiltTreesHaveThroughputHalfEach) {
+  MulticastProblem p = figure1_example();
+  Figure1Trees fig = figure1_optimal_trees(p);
+  MulticastTree t1{p.source, fig.tree1};
+  MulticastTree t2{p.source, fig.tree2};
+  EXPECT_TRUE(validate_tree(p.graph, t1).empty());
+  EXPECT_TRUE(validate_tree(p.graph, t2).empty());
+  EXPECT_TRUE(tree_spans(p.graph, t1, p.targets));
+  EXPECT_TRUE(tree_spans(p.graph, t2, p.targets));
+  // Each tree alone sustains at most 1/2 message per time unit jointly:
+  // combined at rate 1/2 each, the load is exactly 1.
+  WeightedTreeSet set;
+  set.trees = {t1, t2};
+  set.rates = {0.5, 0.5};
+  EXPECT_NEAR(tree_set_port_load(p.graph, set), 1.0, 1e-12);
+  // And the rates cannot be scaled any higher.
+  set.rates = {0.5 + 1e-3, 0.5 + 1e-3};
+  EXPECT_GT(tree_set_port_load(p.graph, set), 1.0);
+}
+
+TEST(Figure4, SmallGapGadgetShape) {
+  MulticastProblem p = figure4_example();
+  EXPECT_EQ(p.graph.node_count(), 6);
+  EXPECT_EQ(p.graph.edge_count(), 12);
+  EXPECT_EQ(p.target_count(), 2);
+  EXPECT_TRUE(p.feasible());
+}
+
+TEST(Figure5, StarShape) {
+  MulticastProblem p = figure5_example(4);
+  EXPECT_EQ(p.graph.node_count(), 6);  // source + hub + 4 targets
+  NodeId hub = by_name(p.graph, "Phub");
+  EXPECT_EQ(p.graph.out_degree(hub), 4);
+  EXPECT_DOUBLE_EQ(p.graph.cost(p.source, hub), 1.0);
+  for (NodeId t : p.targets) {
+    EXPECT_DOUBLE_EQ(p.graph.cost(hub, t), 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace pmcast::core

@@ -1,0 +1,166 @@
+#include "core/tree_heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact.hpp"
+#include "core/formulations.hpp"
+#include "core/paper_examples.hpp"
+#include "graph/rng.hpp"
+#include "topology/tiers.hpp"
+
+namespace pmcast::core {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Mcph, TrivialChain) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  MulticastProblem p(g, 0, {2});
+  auto tree = mcph(p);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(tree_period(g, *tree), 2.0);
+}
+
+TEST(Mcph, PrefersLowBottleneck) {
+  // Two routes to the target: bottleneck 5 (short) vs bottleneck 2 (long).
+  Digraph g(4);
+  g.add_edge(0, 3, 5.0);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 2.0);
+  MulticastProblem p(g, 0, {3});
+  auto tree = mcph(p);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->edges.size(), 3u);  // the long cheap route
+  EXPECT_DOUBLE_EQ(tree_period(g, *tree), 2.0);
+}
+
+TEST(Mcph, SurchargeAvoidsOverloadingOneSender) {
+  // Star vs relay: after serving t1 directly, the dynamic surcharge makes
+  // the source's second direct edge cost 2, so routing t2 via t1 (cost 1)
+  // wins. Period drops from 2 (star) to 1 (chain).
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 2, 1.0);
+  MulticastProblem p(g, 0, {1, 2});
+  auto tree = mcph(p);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_DOUBLE_EQ(tree_period(g, *tree), 1.0);
+}
+
+TEST(Mcph, DisconnectedReturnsNullopt) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  MulticastProblem p(g, 0, {1, 2});
+  EXPECT_FALSE(mcph(p).has_value());
+}
+
+TEST(Mcph, Figure1ProducesValidSpanningTree) {
+  MulticastProblem p = figure1_example();
+  auto tree = mcph(p);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(validate_tree(p.graph, *tree).empty());
+  EXPECT_TRUE(tree_spans(p.graph, *tree, p.targets));
+  // No single tree reaches throughput 1 on this platform.
+  EXPECT_GE(tree_period(p.graph, *tree), 1.0 - kTol);
+}
+
+TEST(PrunedDijkstra, BuildsShortestPathTree) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(2, 3, 5.0);
+  MulticastProblem p(g, 0, {3});
+  auto tree = pruned_dijkstra(p);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->edges.size(), 2u);  // via node 1
+}
+
+TEST(Kmb, BuildsValidTreeOnFigure1) {
+  MulticastProblem p = figure1_example();
+  auto tree = kmb(p);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(validate_tree(p.graph, *tree).empty());
+  EXPECT_TRUE(tree_spans(p.graph, *tree, p.targets));
+}
+
+TEST(Kmb, DisconnectedReturnsNullopt) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  MulticastProblem p(g, 0, {2});
+  EXPECT_FALSE(kmb(p).has_value());
+}
+
+class TreeHeuristicsOnTiers : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TreeHeuristicsOnTiers, AllHeuristicsProduceValidTreesAboveLb) {
+  topo::Platform platform =
+      topo::generate_tiers(topo::TiersParams::small30(), GetParam());
+  Rng rng(GetParam() + 101);
+  auto targets = topo::sample_targets(platform, 0.4, rng);
+  MulticastProblem p(platform.graph, platform.source, targets);
+  ASSERT_TRUE(p.feasible());
+
+  auto check = [&](const std::optional<MulticastTree>& tree,
+                   const char* name) {
+    ASSERT_TRUE(tree.has_value()) << name;
+    EXPECT_TRUE(validate_tree(p.graph, *tree).empty()) << name;
+    EXPECT_TRUE(tree_spans(p.graph, *tree, p.targets)) << name;
+  };
+  auto t1 = mcph(p);
+  auto t2 = pruned_dijkstra(p);
+  auto t3 = kmb(p);
+  check(t1, "mcph");
+  check(t2, "pruned_dijkstra");
+  check(t3, "kmb");
+
+  // No tree can beat the LP lower bound.
+  auto lb = solve_multicast_lb(p);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_GE(tree_period(p.graph, *t1), lb.period - 1e-4);
+  EXPECT_GE(tree_period(p.graph, *t2), lb.period - 1e-4);
+  EXPECT_GE(tree_period(p.graph, *t3), lb.period - 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeHeuristicsOnTiers,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+class McphVsBestTree : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(McphVsBestTree, McphNeverBeatsExhaustiveBestTree) {
+  Rng rng(GetParam() * 31 + 7);
+  int n = static_cast<int>(rng.uniform_int(4, 6));
+  Digraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v && rng.bernoulli(0.5)) {
+        g.add_edge(u, v, rng.uniform_real(0.5, 2.0));
+      }
+    }
+  }
+  std::vector<NodeId> targets;
+  for (int v = 1; v < n; ++v) {
+    if (rng.bernoulli(0.5)) targets.push_back(v);
+  }
+  if (targets.empty()) targets.push_back(n - 1);
+  MulticastProblem p(g, 0, targets);
+  if (!p.feasible()) GTEST_SKIP();
+  auto heuristic = mcph(p);
+  auto best = exact_best_single_tree(p);
+  ASSERT_TRUE(heuristic.has_value());
+  ASSERT_TRUE(best.ok);
+  EXPECT_GE(tree_period(p.graph, *heuristic), (1.0 / best.throughput) - 1e-6)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McphVsBestTree,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace pmcast::core

@@ -1,0 +1,147 @@
+#include "core/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+
+namespace pmcast::core {
+namespace {
+
+Digraph chain4() {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 0.5);
+  g.add_edge(2, 3, 2.0);
+  return g;
+}
+
+TEST(Tree, ValidateChain) {
+  Digraph g = chain4();
+  MulticastTree tree{0, {0, 1, 2}};
+  EXPECT_TRUE(validate_tree(g, tree).empty());
+}
+
+TEST(Tree, RejectTwoParents) {
+  Digraph g(3);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 1, 1.0);
+  MulticastTree tree{0, {0, 1, 2}};  // node 2 has two incoming edges
+  EXPECT_FALSE(validate_tree(g, tree).empty());
+}
+
+TEST(Tree, RejectDisconnectedEdge) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);  // island
+  MulticastTree tree{0, {0, 1}};
+  EXPECT_FALSE(validate_tree(g, tree).empty());
+}
+
+TEST(Tree, RejectIncomingToSource) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 1.0);
+  MulticastTree tree{0, {0, 1}};
+  EXPECT_FALSE(validate_tree(g, tree).empty());
+}
+
+TEST(Tree, PeriodIsMaxPortTime) {
+  // Star: root sends 3 children with costs 1, 2, 3 -> send time 6; each
+  // child receives once (max 3).
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(0, 3, 3.0);
+  MulticastTree tree{0, {0, 1, 2}};
+  EXPECT_DOUBLE_EQ(tree_period(g, tree), 6.0);
+}
+
+TEST(Tree, PeriodOfChainIsMaxEdge) {
+  Digraph g = chain4();
+  MulticastTree tree{0, {0, 1, 2}};
+  EXPECT_DOUBLE_EQ(tree_period(g, tree), 2.0);
+}
+
+TEST(Tree, DepthsAlongChain) {
+  Digraph g = chain4();
+  MulticastTree tree{0, {0, 1, 2}};
+  auto depths = tree_edge_depths(g, tree);
+  EXPECT_EQ(depths, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Tree, SpansAndLeaves) {
+  Digraph g = chain4();
+  MulticastTree tree{0, {0, 1}};
+  std::vector<NodeId> t1{2};
+  std::vector<NodeId> t2{3};
+  EXPECT_TRUE(tree_spans(g, tree, t1));
+  EXPECT_FALSE(tree_spans(g, tree, t2));
+  EXPECT_TRUE(leaves_are_targets(g, tree, t1));
+  EXPECT_FALSE(leaves_are_targets(g, tree, t2));
+}
+
+TEST(TreeSet, PortLoadAggregatesRates) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  WeightedTreeSet set;
+  set.trees.push_back({0, {0}});
+  set.trees.push_back({0, {1}});
+  set.rates = {0.5, 0.25};
+  // Root sends 0.5*1 + 0.25*1 = 0.75 per unit time.
+  EXPECT_DOUBLE_EQ(tree_set_port_load(g, set), 0.75);
+  EXPECT_DOUBLE_EQ(set.throughput(), 0.75);
+}
+
+TEST(TreeSet, Figure1TwoTreeScheduleSimulates) {
+  MulticastProblem p = figure1_example();
+  Figure1Trees fig = figure1_optimal_trees(p);
+  WeightedTreeSet set;
+  set.trees.push_back({p.source, fig.tree1});
+  set.trees.push_back({p.source, fig.tree2});
+  set.rates = {0.5, 0.5};
+  ASSERT_TRUE(validate_tree(p.graph, set.trees[0]).empty());
+  ASSERT_TRUE(validate_tree(p.graph, set.trees[1]).empty());
+  EXPECT_TRUE(tree_spans(p.graph, set.trees[0], p.targets));
+  EXPECT_TRUE(tree_spans(p.graph, set.trees[1], p.targets));
+  // Combined port load is exactly 1 (the optimal schedule saturates).
+  EXPECT_NEAR(tree_set_port_load(p.graph, set), 1.0, 1e-9);
+
+  TreeSchedule ts = build_tree_schedule(p.graph, set, p.targets);
+  ASSERT_TRUE(ts.schedule.ok);
+  EXPECT_NEAR(ts.throughput, 1.0, 1e-6);
+  auto report = sched::simulate(ts.schedule, ts.streams,
+                                p.graph.node_count(), 24);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_NEAR(report.measured_throughput, 1.0, 1e-6);
+}
+
+TEST(TreeSet, SingleTreeScheduleMatchesTreePeriod) {
+  Digraph g = chain4();
+  MulticastTree tree{0, {0, 1, 2}};
+  WeightedTreeSet set;
+  set.trees.push_back(tree);
+  set.rates = {1.0 / tree_period(g, tree)};
+  std::vector<NodeId> targets{3};
+  TreeSchedule ts = build_tree_schedule(g, set, targets);
+  ASSERT_TRUE(ts.schedule.ok);
+  auto report = sched::simulate(ts.schedule, ts.streams, g.node_count(), 24);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_NEAR(report.measured_throughput, 1.0 / tree_period(g, tree), 1e-6);
+}
+
+TEST(TreeSet, RationalisationHandlesThirds) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  WeightedTreeSet set;
+  set.trees.push_back({0, {0}});
+  set.rates = {1.0 / 3.0};
+  std::vector<NodeId> targets{1};
+  TreeSchedule ts = build_tree_schedule(g, set, targets);
+  ASSERT_TRUE(ts.schedule.ok);
+  EXPECT_NEAR(ts.throughput, 1.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pmcast::core

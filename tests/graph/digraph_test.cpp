@@ -1,0 +1,129 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmcast {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+TEST(Digraph, AddNodesAssignsSequentialIds) {
+  Digraph g;
+  EXPECT_EQ(g.add_node(), 0);
+  EXPECT_EQ(g.add_node(), 1);
+  EXPECT_EQ(g.add_nodes(3), 2);
+  EXPECT_EQ(g.node_count(), 5);
+}
+
+TEST(Digraph, DefaultNodeNames) {
+  Digraph g(3);
+  EXPECT_EQ(g.node_name(0), "P0");
+  EXPECT_EQ(g.node_name(2), "P2");
+  g.set_node_name(1, "source");
+  EXPECT_EQ(g.node_name(1), "source");
+}
+
+TEST(Digraph, AddEdgeUpdatesIncidence) {
+  Digraph g(3);
+  EdgeId e = g.add_edge(0, 1, 2.5);
+  EXPECT_EQ(g.edge(e).from, 0);
+  EXPECT_EQ(g.edge(e).to, 1);
+  EXPECT_DOUBLE_EQ(g.edge(e).cost, 2.5);
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.in_degree(1), 1);
+  EXPECT_EQ(g.out_degree(1), 0);
+  EXPECT_EQ(g.in_degree(0), 0);
+}
+
+TEST(Digraph, BidirectionalAddsTwoEdges) {
+  Digraph g(2);
+  g.add_bidirectional(0, 1, 1.0);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_TRUE(g.find_edge(0, 1).has_value());
+  EXPECT_TRUE(g.find_edge(1, 0).has_value());
+}
+
+TEST(Digraph, CostOfMissingEdgeIsInfinite) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(g.cost(0, 1), 1.0);
+  EXPECT_EQ(g.cost(1, 0), kInfinity);
+  EXPECT_EQ(g.cost(0, 2), kInfinity);
+}
+
+TEST(Digraph, ParallelEdgesAllowed) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_EQ(g.out_degree(0), 2);
+  // find_edge returns the first one.
+  EXPECT_DOUBLE_EQ(g.edge(*g.find_edge(0, 1)).cost, 1.0);
+}
+
+TEST(Digraph, ReachabilityFollowsDirection) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  // node 3 is isolated
+  auto seen = g.reachable_from(0);
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_FALSE(seen[3]);
+  auto back = g.reachable_from(2);
+  EXPECT_FALSE(back[0]);
+}
+
+TEST(Digraph, ReachabilityRespectsAllowedMask) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 3, 1.0);
+  g.add_edge(3, 2, 1.0);
+  std::vector<char> allowed{1, 0, 1, 1};  // node 1 removed
+  auto seen = g.reachable_from(0, allowed);
+  EXPECT_TRUE(seen[2]);  // via node 3
+  EXPECT_FALSE(seen[1]);
+}
+
+TEST(Digraph, ReachesAll) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  std::vector<char> required{0, 0, 1, 0};
+  EXPECT_TRUE(g.reaches_all(0, required));
+  std::vector<char> required2{0, 0, 1, 1};
+  EXPECT_FALSE(g.reaches_all(0, required2));
+}
+
+TEST(Digraph, InducedSubgraphKeepsInternalEdges) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  std::vector<char> keep{1, 1, 1, 0};
+  auto sub = g.induced_subgraph(keep);
+  EXPECT_EQ(sub.graph.node_count(), 3);
+  EXPECT_EQ(sub.graph.edge_count(), 2);
+  EXPECT_EQ(sub.old_to_new[3], kInvalidNode);
+  EXPECT_EQ(sub.new_to_old[0], 0);
+  // Names survive the mapping.
+  EXPECT_EQ(sub.graph.node_name(2), g.node_name(2));
+}
+
+TEST(Digraph, InducedSubgraphPreservesCosts) {
+  Digraph g(3);
+  g.add_edge(0, 2, 7.5);
+  std::vector<char> keep{1, 0, 1};
+  auto sub = g.induced_subgraph(keep);
+  ASSERT_EQ(sub.graph.edge_count(), 1);
+  EXPECT_DOUBLE_EQ(sub.graph.edge(0).cost, 7.5);
+}
+
+}  // namespace
+}  // namespace pmcast

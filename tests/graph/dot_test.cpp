@@ -1,0 +1,78 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmcast {
+namespace {
+
+Digraph tiny() {
+  Digraph g;
+  g.add_node("src");
+  g.add_node("mid");
+  g.add_node("dst");
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  return g;
+}
+
+TEST(Dot, ContainsAllNodesAndEdges) {
+  std::string dot = to_dot_string(tiny());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"src\""), std::string::npos);
+  EXPECT_NE(dot.find("\"mid\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+}
+
+TEST(Dot, ShowsCostsByDefault) {
+  std::string dot = to_dot_string(tiny());
+  EXPECT_NE(dot.find("1.5"), std::string::npos);
+  EXPECT_NE(dot.find("2.5"), std::string::npos);
+}
+
+TEST(Dot, HidesCostsWhenDisabled) {
+  DotOptions options;
+  options.show_costs = false;
+  std::string dot = to_dot_string(tiny(), options);
+  EXPECT_EQ(dot.find("label=\"1.5\""), std::string::npos);
+}
+
+TEST(Dot, SourceDrawnAsBox) {
+  DotOptions options;
+  options.source = 0;
+  std::string dot = to_dot_string(tiny(), options);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+}
+
+TEST(Dot, TargetsFilled) {
+  DotOptions options;
+  options.targets = {0, 0, 1};
+  std::string dot = to_dot_string(tiny(), options);
+  EXPECT_NE(dot.find("fillcolor=lightgrey"), std::string::npos);
+}
+
+TEST(Dot, HighlightedNodesAreDiamonds) {
+  DotOptions options;
+  options.highlight_nodes = {0, 1, 0};
+  std::string dot = to_dot_string(tiny(), options);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+}
+
+TEST(Dot, UsedEdgesBoldOthersDotted) {
+  DotOptions options;
+  options.edge_used = {1, 0};
+  std::string dot = to_dot_string(tiny(), options);
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);
+}
+
+TEST(Dot, EdgeValuesAppendedToLabels) {
+  DotOptions options;
+  options.edge_value = {0.25, 0.75};
+  std::string dot = to_dot_string(tiny(), options);
+  EXPECT_NE(dot.find("(0.25)"), std::string::npos);
+  EXPECT_NE(dot.find("(0.75)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmcast

@@ -1,0 +1,101 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmcast {
+namespace {
+
+const char* kSample = R"(# demo platform
+nodes 4
+name 0 master
+source 0
+edge 0 1 1.0
+link 1 2 0.5
+link 1 3 0.5
+target 2 3
+)";
+
+TEST(PlatformIo, ParsesSample) {
+  std::string error;
+  auto p = parse_platform_string(kSample, &error);
+  ASSERT_TRUE(p.has_value()) << error;
+  EXPECT_EQ(p->graph.node_count(), 4);
+  EXPECT_EQ(p->graph.edge_count(), 5);  // 1 edge + 2 links
+  EXPECT_EQ(p->source, 0);
+  EXPECT_EQ(p->targets, (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(p->graph.node_name(0), "master");
+  EXPECT_DOUBLE_EQ(p->graph.cost(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(p->graph.cost(2, 1), 0.5);
+}
+
+TEST(PlatformIo, CommentsAndBlankLines) {
+  auto p = parse_platform_string("nodes 2\n\n# hi\nsource 0\nedge 0 1 2 # x\n");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->graph.cost(0, 1), 2.0);
+}
+
+TEST(PlatformIo, RejectsMissingNodes) {
+  std::string error;
+  EXPECT_FALSE(parse_platform_string("source 0\n", &error).has_value());
+  EXPECT_NE(error.find("valid node id"), std::string::npos);
+}
+
+TEST(PlatformIo, RejectsMissingSource) {
+  std::string error;
+  EXPECT_FALSE(parse_platform_string("nodes 2\nedge 0 1 1\n", &error));
+  EXPECT_NE(error.find("source"), std::string::npos);
+}
+
+TEST(PlatformIo, RejectsOutOfRangeIds) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_platform_string("nodes 2\nsource 0\nedge 0 5 1\n", &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos);
+}
+
+TEST(PlatformIo, RejectsSelfLoop) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_platform_string("nodes 2\nsource 0\nedge 1 1 1\n", &error));
+}
+
+TEST(PlatformIo, RejectsNonPositiveCost) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_platform_string("nodes 2\nsource 0\nedge 0 1 0\n", &error));
+  EXPECT_FALSE(
+      parse_platform_string("nodes 2\nsource 0\nedge 0 1 -2\n", &error));
+}
+
+TEST(PlatformIo, RejectsSourceAsTarget) {
+  std::string error;
+  EXPECT_FALSE(parse_platform_string(
+      "nodes 2\nsource 0\nedge 0 1 1\ntarget 0\n", &error));
+  EXPECT_NE(error.find("source cannot be a target"), std::string::npos);
+}
+
+TEST(PlatformIo, RejectsUnknownDirective) {
+  std::string error;
+  EXPECT_FALSE(parse_platform_string("nodes 2\nfrobnicate 3\n", &error));
+  EXPECT_NE(error.find("unknown directive"), std::string::npos);
+}
+
+TEST(PlatformIo, RoundTrip) {
+  std::string error;
+  auto p = parse_platform_string(kSample, &error);
+  ASSERT_TRUE(p.has_value());
+  std::string text = write_platform_string(*p);
+  auto q = parse_platform_string(text, &error);
+  ASSERT_TRUE(q.has_value()) << error;
+  EXPECT_EQ(q->graph.node_count(), p->graph.node_count());
+  EXPECT_EQ(q->graph.edge_count(), p->graph.edge_count());
+  EXPECT_EQ(q->source, p->source);
+  EXPECT_EQ(q->targets, p->targets);
+  for (EdgeId e = 0; e < p->graph.edge_count(); ++e) {
+    EXPECT_EQ(q->graph.edge(e).from, p->graph.edge(e).from);
+    EXPECT_DOUBLE_EQ(q->graph.edge(e).cost, p->graph.edge(e).cost);
+  }
+}
+
+}  // namespace
+}  // namespace pmcast

@@ -1,0 +1,120 @@
+#include "graph/paths.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmcast {
+namespace {
+
+Digraph diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3 with asymmetric costs.
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 5.0);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(2, 3, 2.0);
+  return g;
+}
+
+TEST(DijkstraAdditive, PicksCheapestTotal) {
+  Digraph g = diamond();
+  auto sp = dijkstra_additive(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[3], 4.0);  // via node 2
+  auto path = extract_path(g, sp, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], 2);
+}
+
+TEST(DijkstraBottleneck, PicksSmallestMaxEdge) {
+  Digraph g = diamond();
+  NodeId sources[] = {NodeId{0}};
+  auto sp = dijkstra_bottleneck_multi(g, sources);
+  // via 2: max(2,2)=2; via 1: max(1,5)=5.
+  EXPECT_DOUBLE_EQ(sp.dist[3], 2.0);
+  auto path = extract_path(g, sp, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[1], 2);
+}
+
+TEST(DijkstraAdditive, UnreachableIsInfinite) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  auto sp = dijkstra_additive(g, 0);
+  EXPECT_EQ(sp.dist[2], kInfinity);
+  EXPECT_TRUE(extract_path(g, sp, 2).empty());
+}
+
+TEST(DijkstraAdditive, SourceDistanceIsZero) {
+  Digraph g = diamond();
+  auto sp = dijkstra_additive(g, 0);
+  EXPECT_DOUBLE_EQ(sp.dist[0], 0.0);
+  auto path = extract_path(g, sp, 0);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 0);
+}
+
+TEST(DijkstraAdditive, EdgeCostOverride) {
+  Digraph g = diamond();
+  // Make the 0->2->3 route expensive via override.
+  std::vector<double> override_cost{1.0, 5.0, 100.0, 2.0};
+  auto sp = dijkstra_additive(g, 0, override_cost);
+  EXPECT_DOUBLE_EQ(sp.dist[3], 6.0);  // via node 1 now
+}
+
+TEST(DijkstraAdditive, InfiniteOverrideDisablesEdge) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  std::vector<double> override_cost{1.0, kInfinity};
+  auto sp = dijkstra_additive(g, 0, override_cost);
+  EXPECT_EQ(sp.dist[2], kInfinity);
+}
+
+TEST(DijkstraMulti, StartsFromAllSources) {
+  Digraph g(5);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  std::vector<NodeId> sources{0, 1};
+  auto sp = dijkstra_additive_multi(g, sources);
+  EXPECT_DOUBLE_EQ(sp.dist[2], 1.0);
+  EXPECT_DOUBLE_EQ(sp.dist[4], 3.0);
+  EXPECT_DOUBLE_EQ(sp.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(sp.dist[1], 0.0);
+}
+
+TEST(DijkstraMulti, AllowedMaskRestrictsRoute) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(2, 3, 5.0);
+  std::vector<NodeId> sources{0};
+  std::vector<char> allowed{1, 0, 1, 1};
+  auto sp = dijkstra_additive_multi(g, sources, {}, allowed);
+  EXPECT_DOUBLE_EQ(sp.dist[3], 10.0);
+}
+
+TEST(ExtractPathEdges, MatchesNodePath) {
+  Digraph g = diamond();
+  auto sp = dijkstra_additive(g, 0);
+  auto edges = extract_path_edges(g, sp, 3);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(g.edge(edges[0]).from, 0);
+  EXPECT_EQ(g.edge(edges[0]).to, 2);
+  EXPECT_EQ(g.edge(edges[1]).to, 3);
+}
+
+TEST(DijkstraBottleneck, TieOnBottleneckStillReaches) {
+  Digraph g(4);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(0, 2, 3.0);
+  g.add_edge(1, 3, 3.0);
+  g.add_edge(2, 3, 3.0);
+  NodeId sources[] = {NodeId{0}};
+  auto sp = dijkstra_bottleneck_multi(g, sources);
+  EXPECT_DOUBLE_EQ(sp.dist[3], 3.0);
+}
+
+}  // namespace
+}  // namespace pmcast

@@ -1,0 +1,55 @@
+#include "lp/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmcast::lp {
+namespace {
+
+TEST(Model, VariableBookkeeping) {
+  Model m;
+  int x = m.add_variable(0.0, kInf, 1.0, "x");
+  int y = m.add_variable(-1.0, 2.0, -3.0);
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 1);
+  EXPECT_EQ(m.num_vars(), 2);
+  EXPECT_DOUBLE_EQ(m.var_lb(y), -1.0);
+  EXPECT_DOUBLE_EQ(m.var_ub(y), 2.0);
+  EXPECT_DOUBLE_EQ(m.obj(y), -3.0);
+  EXPECT_EQ(m.var_name(x), "x");
+}
+
+TEST(Model, RowKinds) {
+  Model m;
+  int le = m.add_row_le(5.0);
+  int ge = m.add_row_ge(1.0);
+  int eq = m.add_row_eq(2.0);
+  int range = m.add_row(0.5, 1.5);
+  EXPECT_EQ(m.num_rows(), 4);
+  EXPECT_EQ(m.row_lo(le), -kInf);
+  EXPECT_DOUBLE_EQ(m.row_hi(le), 5.0);
+  EXPECT_DOUBLE_EQ(m.row_lo(ge), 1.0);
+  EXPECT_EQ(m.row_hi(ge), kInf);
+  EXPECT_DOUBLE_EQ(m.row_lo(eq), m.row_hi(eq));
+  EXPECT_DOUBLE_EQ(m.row_lo(range), 0.5);
+  EXPECT_DOUBLE_EQ(m.row_hi(range), 1.5);
+}
+
+TEST(Model, ZeroEntriesDropped) {
+  Model m;
+  int x = m.add_variable(0, 1, 0);
+  int r = m.add_row_le(1);
+  m.add_entry(r, x, 0.0);
+  EXPECT_EQ(m.num_entries(), 0u);
+  m.add_entry(r, x, 2.0);
+  EXPECT_EQ(m.num_entries(), 1u);
+}
+
+TEST(Model, SenseDefaultsToMinimize) {
+  Model m;
+  EXPECT_EQ(m.sense(), Sense::Minimize);
+  Model mx(Sense::Maximize);
+  EXPECT_EQ(mx.sense(), Sense::Maximize);
+}
+
+}  // namespace
+}  // namespace pmcast::lp

@@ -1,0 +1,209 @@
+/// Property test: on random small, bounded, feasible LPs the simplex result
+/// must equal the optimum found by brute-force vertex enumeration (every
+/// basic solution of n active hyperplanes drawn from rows and bounds).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "graph/rng.hpp"
+#include "lp/simplex.hpp"
+
+namespace pmcast::lp {
+namespace {
+
+struct RandomLp {
+  int n = 0;
+  std::vector<double> ub;               // var bounds [0, ub]
+  std::vector<double> c;                // maximise c.x
+  std::vector<std::vector<double>> a;   // rows a.x <= b
+  std::vector<double> b;
+};
+
+RandomLp make_random_lp(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomLp lp;
+  lp.n = static_cast<int>(rng.uniform_int(2, 4));
+  int m = static_cast<int>(rng.uniform_int(2, 5));
+  for (int j = 0; j < lp.n; ++j) {
+    lp.ub.push_back(static_cast<double>(rng.uniform_int(1, 5)));
+    lp.c.push_back(static_cast<double>(rng.uniform_int(-5, 5)));
+  }
+  for (int i = 0; i < m; ++i) {
+    std::vector<double> row;
+    for (int j = 0; j < lp.n; ++j) {
+      row.push_back(static_cast<double>(rng.uniform_int(-3, 3)));
+    }
+    lp.a.push_back(std::move(row));
+    lp.b.push_back(static_cast<double>(rng.uniform_int(0, 8)));  // 0 feasible
+  }
+  return lp;
+}
+
+/// Solve an n x n dense system by Gaussian elimination with partial
+/// pivoting; returns nullopt when (near-)singular.
+std::optional<std::vector<double>> dense_solve(
+    std::vector<std::vector<double>> a, std::vector<double> b) {
+  const int n = static_cast<int>(b.size());
+  for (int col = 0; col < n; ++col) {
+    int piv = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[piv][col])) piv = r;
+    }
+    if (std::fabs(a[piv][col]) < 1e-9) return std::nullopt;
+    std::swap(a[piv], a[col]);
+    std::swap(b[piv], b[col]);
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (int k = col; k < n; ++k) a[r][k] -= f * a[col][k];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) x[static_cast<size_t>(i)] = b[i] / a[i][i];
+  return x;
+}
+
+/// Brute-force optimum: enumerate all choices of n active hyperplanes among
+/// {rows tight} U {x_j = 0} U {x_j = ub_j}, keep feasible basic points.
+double brute_force_max(const RandomLp& lp) {
+  const int n = lp.n;
+  const int m = static_cast<int>(lp.b.size());
+  const int h = m + 2 * n;  // hyperplane count
+  double best = -1e300;
+  std::vector<int> pick(static_cast<size_t>(n));
+  // Enumerate combinations via simple counters.
+  std::vector<int> idx(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  auto advance = [&]() {
+    int i = n - 1;
+    while (i >= 0 && idx[static_cast<size_t>(i)] == h - n + i) --i;
+    if (i < 0) return false;
+    ++idx[static_cast<size_t>(i)];
+    for (int k = i + 1; k < n; ++k) {
+      idx[static_cast<size_t>(k)] = idx[static_cast<size_t>(k - 1)] + 1;
+    }
+    return true;
+  };
+  do {
+    std::vector<std::vector<double>> a;
+    std::vector<double> b;
+    for (int i = 0; i < n; ++i) {
+      int hp = idx[static_cast<size_t>(i)];
+      std::vector<double> row(static_cast<size_t>(n), 0.0);
+      double rhs;
+      if (hp < m) {
+        row = lp.a[static_cast<size_t>(hp)];
+        rhs = lp.b[static_cast<size_t>(hp)];
+      } else if (hp < m + n) {
+        row[static_cast<size_t>(hp - m)] = 1.0;
+        rhs = 0.0;
+      } else {
+        row[static_cast<size_t>(hp - m - n)] = 1.0;
+        rhs = lp.ub[static_cast<size_t>(hp - m - n)];
+      }
+      a.push_back(std::move(row));
+      b.push_back(rhs);
+    }
+    auto x = dense_solve(std::move(a), std::move(b));
+    if (!x) continue;
+    bool feasible = true;
+    for (int j = 0; j < n && feasible; ++j) {
+      double v = (*x)[static_cast<size_t>(j)];
+      feasible = v >= -1e-7 && v <= lp.ub[static_cast<size_t>(j)] + 1e-7;
+    }
+    for (int i = 0; i < m && feasible; ++i) {
+      double act = 0.0;
+      for (int j = 0; j < n; ++j) {
+        act += lp.a[static_cast<size_t>(i)][static_cast<size_t>(j)] *
+               (*x)[static_cast<size_t>(j)];
+      }
+      feasible = act <= lp.b[static_cast<size_t>(i)] + 1e-7;
+    }
+    if (!feasible) continue;
+    double obj = 0.0;
+    for (int j = 0; j < n; ++j) {
+      obj += lp.c[static_cast<size_t>(j)] * (*x)[static_cast<size_t>(j)];
+    }
+    best = std::max(best, obj);
+  } while (advance());
+  return best;
+}
+
+class SimplexVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexVsBruteForce, ObjectivesMatch) {
+  RandomLp lp = make_random_lp(GetParam());
+  Model m(Sense::Maximize);
+  for (int j = 0; j < lp.n; ++j) {
+    m.add_variable(0.0, lp.ub[static_cast<size_t>(j)],
+                   lp.c[static_cast<size_t>(j)]);
+  }
+  for (size_t i = 0; i < lp.b.size(); ++i) {
+    int r = m.add_row_le(lp.b[i]);
+    for (int j = 0; j < lp.n; ++j) {
+      m.add_entry(r, j, lp.a[i][static_cast<size_t>(j)]);
+    }
+  }
+  auto sol = solve(m);
+  ASSERT_TRUE(sol.optimal()) << to_string(sol.status);
+  double expected = brute_force_max(lp);
+  EXPECT_NEAR(sol.objective, expected, 1e-5)
+      << "seed=" << GetParam() << " n=" << lp.n;
+  // The reported point must itself be feasible.
+  for (int j = 0; j < lp.n; ++j) {
+    EXPECT_GE(sol.x[static_cast<size_t>(j)], -1e-6);
+    EXPECT_LE(sol.x[static_cast<size_t>(j)],
+              lp.ub[static_cast<size_t>(j)] + 1e-6);
+  }
+  for (size_t i = 0; i < lp.b.size(); ++i) {
+    EXPECT_LE(sol.row_value[i], lp.b[i] + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexVsBruteForce,
+                         ::testing::Range<std::uint64_t>(1, 61));
+
+/// Equality-constrained variant exercising phase 1 on random data:
+/// min 1.x s.t. A x = A x0 for a random feasible x0 (so always feasible).
+class SimplexPhase1Random : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexPhase1Random, FindsFeasiblePointAndWeakDuality) {
+  Rng rng(GetParam() * 977 + 3);
+  int n = static_cast<int>(rng.uniform_int(3, 6));
+  int m = static_cast<int>(rng.uniform_int(2, 4));
+  std::vector<double> x0;
+  for (int j = 0; j < n; ++j) {
+    x0.push_back(static_cast<double>(rng.uniform_int(0, 4)));
+  }
+  Model model;
+  for (int j = 0; j < n; ++j) model.add_variable(0, kInf, 1);
+  for (int i = 0; i < m; ++i) {
+    double rhs = 0.0;
+    std::vector<double> row;
+    for (int j = 0; j < n; ++j) {
+      double a = static_cast<double>(rng.uniform_int(-2, 3));
+      row.push_back(a);
+      rhs += a * x0[static_cast<size_t>(j)];
+    }
+    int r = model.add_row_eq(rhs);
+    for (int j = 0; j < n; ++j) model.add_entry(r, j, row[static_cast<size_t>(j)]);
+  }
+  auto sol = solve(model);
+  ASSERT_TRUE(sol.optimal()) << to_string(sol.status);
+  // x0 is feasible, so the minimum is at most sum(x0).
+  double x0_sum = 0.0;
+  for (double v : x0) x0_sum += v;
+  EXPECT_LE(sol.objective, x0_sum + 1e-6);
+  EXPECT_GE(sol.objective, -1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPhase1Random,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace pmcast::lp

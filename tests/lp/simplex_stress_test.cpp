@@ -1,0 +1,176 @@
+/// Stress and adversarial tests for the simplex substrate: classic cycling
+/// and worst-case instances, structured network LPs with known optima, and
+/// larger randomised transportation problems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/rng.hpp"
+#include "lp/simplex.hpp"
+
+namespace pmcast::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(SimplexStress, BealeCyclingExample) {
+  // Beale's example makes textbook Dantzig pricing cycle forever; the
+  // anti-cycling fallback must terminate at the optimum -1/20.
+  Model m;
+  int x1 = m.add_variable(0, kInf, -0.75);
+  int x2 = m.add_variable(0, kInf, 150.0);
+  int x3 = m.add_variable(0, kInf, -0.02);
+  int x4 = m.add_variable(0, kInf, 6.0);
+  int r1 = m.add_row_le(0.0);
+  m.add_entry(r1, x1, 0.25);
+  m.add_entry(r1, x2, -60.0);
+  m.add_entry(r1, x3, -1.0 / 25.0);
+  m.add_entry(r1, x4, 9.0);
+  int r2 = m.add_row_le(0.0);
+  m.add_entry(r2, x1, 0.5);
+  m.add_entry(r2, x2, -90.0);
+  m.add_entry(r2, x3, -1.0 / 50.0);
+  m.add_entry(r2, x4, 3.0);
+  int r3 = m.add_row_le(1.0);
+  m.add_entry(r3, x3, 1.0);
+  auto sol = solve(m);
+  ASSERT_TRUE(sol.optimal()) << to_string(sol.status);
+  EXPECT_NEAR(sol.objective, -0.05, kTol);
+}
+
+TEST(SimplexStress, KleeMintyCube) {
+  // Klee-Minty in dimension 5: max sum 2^(n-j) x_j with the twisted cube
+  // constraints; optimum 5^n at the last vertex.
+  const int n = 5;
+  Model m(Sense::Maximize);
+  std::vector<int> x;
+  for (int j = 1; j <= n; ++j) {
+    x.push_back(m.add_variable(0, kInf, std::pow(2.0, n - j)));
+  }
+  for (int i = 1; i <= n; ++i) {
+    int r = m.add_row_le(std::pow(5.0, i));
+    for (int j = 1; j < i; ++j) {
+      m.add_entry(r, x[static_cast<size_t>(j - 1)],
+                  2.0 * std::pow(2.0, i - j));
+    }
+    m.add_entry(r, x[static_cast<size_t>(i - 1)], 1.0);
+  }
+  auto sol = solve(m);
+  ASSERT_TRUE(sol.optimal()) << to_string(sol.status);
+  EXPECT_NEAR(sol.objective, std::pow(5.0, n), 1e-3);
+}
+
+TEST(SimplexStress, LargeAssignmentProblem) {
+  // n x n assignment with cost i==j ? 1 : 3: optimum n (highly degenerate).
+  const int n = 20;
+  Model m;
+  std::vector<std::vector<int>> x(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      x[static_cast<size_t>(i)].push_back(
+          m.add_variable(0, kInf, i == j ? 1.0 : 3.0));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    int r = m.add_row_eq(1.0);
+    for (int j = 0; j < n; ++j) {
+      m.add_entry(r, x[static_cast<size_t>(i)][static_cast<size_t>(j)], 1.0);
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    int r = m.add_row_eq(1.0);
+    for (int i = 0; i < n; ++i) {
+      m.add_entry(r, x[static_cast<size_t>(i)][static_cast<size_t>(j)], 1.0);
+    }
+  }
+  auto sol = solve(m);
+  ASSERT_TRUE(sol.optimal()) << to_string(sol.status);
+  EXPECT_NEAR(sol.objective, static_cast<double>(n), 1e-5);
+}
+
+class TransportationRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransportationRandom, BalancedSupplyDemandIsFeasibleAndBounded) {
+  Rng rng(GetParam() * 37 + 5);
+  const int suppliers = static_cast<int>(rng.uniform_int(3, 8));
+  const int consumers = static_cast<int>(rng.uniform_int(3, 8));
+  std::vector<double> supply, demand;
+  double total = 0.0;
+  for (int i = 0; i < suppliers; ++i) {
+    supply.push_back(static_cast<double>(rng.uniform_int(1, 20)));
+    total += supply.back();
+  }
+  double left = total;
+  for (int j = 0; j < consumers - 1; ++j) {
+    double d = std::floor(left / (consumers - j) * rng.uniform_real(0.5, 1.5));
+    d = std::max(0.0, std::min(d, left));
+    demand.push_back(d);
+    left -= d;
+  }
+  demand.push_back(left);
+
+  Model m;
+  std::vector<std::vector<int>> x(static_cast<size_t>(suppliers));
+  double min_cost = kInf;
+  for (int i = 0; i < suppliers; ++i) {
+    for (int j = 0; j < consumers; ++j) {
+      double c = static_cast<double>(rng.uniform_int(1, 9));
+      min_cost = std::min(min_cost, c);
+      x[static_cast<size_t>(i)].push_back(m.add_variable(0, kInf, c));
+    }
+  }
+  for (int i = 0; i < suppliers; ++i) {
+    int r = m.add_row_eq(supply[static_cast<size_t>(i)]);
+    for (int j = 0; j < consumers; ++j) {
+      m.add_entry(r, x[static_cast<size_t>(i)][static_cast<size_t>(j)], 1.0);
+    }
+  }
+  for (int j = 0; j < consumers; ++j) {
+    int r = m.add_row_eq(demand[static_cast<size_t>(j)]);
+    for (int i = 0; i < suppliers; ++i) {
+      m.add_entry(r, x[static_cast<size_t>(i)][static_cast<size_t>(j)], 1.0);
+    }
+  }
+  auto sol = solve(m);
+  ASSERT_TRUE(sol.optimal()) << to_string(sol.status) << " seed " << GetParam();
+  // Sanity: cost between min_cost*total and 9*total.
+  EXPECT_GE(sol.objective, min_cost * total - 1e-6);
+  EXPECT_LE(sol.objective, 9.0 * total + 1e-6);
+  // Row activities match supplies/demands.
+  for (int i = 0; i < suppliers; ++i) {
+    EXPECT_NEAR(sol.row_value[static_cast<size_t>(i)],
+                supply[static_cast<size_t>(i)], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportationRandom,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(SimplexStress, ManyRangeRows) {
+  // min sum x, 1 <= x_j + x_{j+1} <= 2 ring constraints.
+  const int n = 12;
+  Model m;
+  for (int j = 0; j < n; ++j) m.add_variable(0, kInf, 1.0);
+  for (int j = 0; j < n; ++j) {
+    int r = m.add_row(1.0, 2.0);
+    m.add_entry(r, j, 1.0);
+    m.add_entry(r, (j + 1) % n, 1.0);
+  }
+  auto sol = solve(m);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, n / 2.0, 1e-5);  // alternate 1,0,1,0,...
+}
+
+TEST(SimplexStress, TinyCoefficients) {
+  Model m;
+  int x = m.add_variable(0, kInf, 1.0);
+  int r = m.add_row_ge(1e-7);
+  m.add_entry(r, x, 1e-8);
+  auto sol = solve(m);
+  ASSERT_TRUE(sol.optimal()) << to_string(sol.status);
+  EXPECT_NEAR(sol.objective, 10.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace pmcast::lp

@@ -1,0 +1,88 @@
+/// Randomised agreement tests for the Theorem 5 gadget: across random
+/// set-cover instances and random set selections, the canonical scheme is
+/// feasible at period 1 and serves every element exactly when the selection
+/// is a cover of size <= B — the executable heart of the NP-completeness
+/// proof for pipelined parallel prefix.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "prefix/prefix.hpp"
+#include "setcover/setcover.hpp"
+
+namespace pmcast::prefix {
+namespace {
+
+class PrefixReductionRandom : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PrefixReductionRandom, CanonicalSchemeMirrorsCoverQuality) {
+  Rng rng(GetParam() * 613 + 29);
+  setcover::Instance inst = setcover::random_instance(
+      static_cast<int>(rng.uniform_int(3, 6)),
+      static_cast<int>(rng.uniform_int(3, 6)), 0.45, rng);
+  auto min_cover = setcover::exact_min_cover(inst);
+  ASSERT_TRUE(min_cover.has_value());
+  const int bound = static_cast<int>(min_cover->size());
+  auto red = setcover::reduce_to_prefix(inst, bound);
+  PrefixProblem problem = problem_from_reduction(red);
+
+  // Random selection of sets.
+  std::vector<int> chosen;
+  for (size_t s = 0; s < inst.sets.size(); ++s) {
+    if (rng.bernoulli(0.55)) chosen.push_back(static_cast<int>(s));
+  }
+  Scheme scheme = canonical_scheme(red, chosen);
+  SchemeFeasibility feas = check_scheme(problem, scheme, 1.0);
+
+  const bool covers = setcover::is_cover(inst, chosen);
+  const bool within_budget = static_cast<int>(chosen.size()) <= bound;
+
+  // Source port: |chosen|/B <= 1 iff within budget; that is the only load
+  // that can burst when every element is served once.
+  if (!within_budget) {
+    EXPECT_FALSE(feas.feasible) << "seed " << GetParam();
+  }
+  if (covers && within_budget) {
+    EXPECT_TRUE(feas.feasible) << feas.detail << " seed " << GetParam();
+  }
+  // Element service count == covered element count.
+  int fed = 0;
+  for (const SchemeComm& c : scheme.comms) {
+    for (NodeId set_node : red.set_nodes) {
+      if (c.from == set_node) ++fed;
+    }
+  }
+  std::uint64_t mask = 0;
+  for (int ci : chosen) {
+    for (int e : inst.sets[static_cast<size_t>(ci)]) mask |= 1ULL << e;
+  }
+  EXPECT_EQ(fed, std::popcount(mask)) << "seed " << GetParam();
+}
+
+TEST_P(PrefixReductionRandom, MinimumCoverAlwaysGivesThroughputOne) {
+  Rng rng(GetParam() * 7673 + 5);
+  setcover::Instance inst = setcover::random_instance(
+      static_cast<int>(rng.uniform_int(3, 7)),
+      static_cast<int>(rng.uniform_int(3, 6)), 0.5, rng);
+  auto min_cover = setcover::exact_min_cover(inst);
+  ASSERT_TRUE(min_cover.has_value());
+  auto red = setcover::reduce_to_prefix(
+      inst, static_cast<int>(min_cover->size()));
+  PrefixProblem problem = problem_from_reduction(red);
+  Scheme scheme = canonical_scheme(red, *min_cover);
+  SchemeFeasibility feas = check_scheme(problem, scheme, 1.0);
+  EXPECT_TRUE(feas.feasible) << feas.detail << " seed " << GetParam();
+  // The X'-chain receive ports are the proof's tight constraint: the last
+  // relay's receive time is exactly one period when N >= 2.
+  if (inst.universe >= 2) {
+    EXPECT_NEAR(feas.max_recv, 1.0, 1e-9) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixReductionRandom,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace pmcast::prefix

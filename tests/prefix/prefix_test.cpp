@@ -1,0 +1,124 @@
+#include "prefix/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "setcover/setcover.hpp"
+
+namespace pmcast::prefix {
+namespace {
+
+setcover::Instance small_instance() {
+  setcover::Instance inst;
+  inst.universe = 4;
+  inst.sets = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  return inst;
+}
+
+TEST(PrefixReduction, GadgetShape) {
+  auto red = setcover::reduce_to_prefix(small_instance(), 2);
+  // 1 source + 4 sets + 4 elements + 4 primes.
+  EXPECT_EQ(red.graph.node_count(), 13);
+  EXPECT_EQ(red.prime_nodes.size(), 4u);
+  // u_i = 1/i - 1/(N+1), v_i = 1/(i+1) + 1/((N+1) i) with N = 4.
+  EXPECT_NEAR(red.graph.cost(red.element_nodes[0], red.prime_nodes[0]),
+              1.0 - 0.2, 1e-12);
+  EXPECT_NEAR(red.graph.cost(red.element_nodes[2], red.prime_nodes[2]),
+              1.0 / 3 - 0.2, 1e-12);
+  EXPECT_NEAR(red.graph.cost(red.prime_nodes[0], red.prime_nodes[1]),
+              0.5 + 0.2, 1e-12);
+}
+
+TEST(PrefixReduction, ComputeWeights) {
+  auto red = setcover::reduce_to_prefix(small_instance(), 2);
+  EXPECT_DOUBLE_EQ(red.compute_weight[static_cast<size_t>(red.source)], 0.25);
+  EXPECT_DOUBLE_EQ(
+      red.compute_weight[static_cast<size_t>(red.prime_nodes[0])], 0.25);
+  EXPECT_EQ(red.compute_weight[static_cast<size_t>(red.set_nodes[0])],
+            kInfinity);
+}
+
+TEST(PrefixProblem, FromReduction) {
+  auto red = setcover::reduce_to_prefix(small_instance(), 2);
+  PrefixProblem p = problem_from_reduction(red);
+  EXPECT_EQ(p.participants.size(), 5u);  // P_s + X'_1..X'_4
+  EXPECT_EQ(p.participants[0], red.source);
+}
+
+TEST(PrefixProblem, DataSizeModel) {
+  EXPECT_DOUBLE_EQ(PrefixProblem::data_size(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PrefixProblem::data_size(1, 4), 4.0);
+}
+
+TEST(CanonicalScheme, CoverIsFeasibleAtPeriodOne) {
+  auto inst = small_instance();
+  auto red = setcover::reduce_to_prefix(inst, 2);
+  PrefixProblem p = problem_from_reduction(red);
+  std::vector<int> cover{0, 2};  // {0,1} + {2,3}: a cover of size 2 = B
+  ASSERT_TRUE(setcover::is_cover(inst, cover));
+  Scheme scheme = canonical_scheme(red, cover);
+  auto check = check_scheme(p, scheme, 1.0);
+  EXPECT_TRUE(check.feasible) << check.detail;
+  // The proof's tightest port: X'_i (i >= 2) receives exactly one period.
+  EXPECT_NEAR(check.max_recv, 1.0, 1e-9);
+}
+
+TEST(CanonicalScheme, OversizedCoverViolatesPeriod) {
+  auto inst = small_instance();
+  auto red = setcover::reduce_to_prefix(inst, /*bound=*/2);
+  PrefixProblem p = problem_from_reduction(red);
+  std::vector<int> cover{0, 1, 2};  // 3 sets but B = 2: source port bursts
+  Scheme scheme = canonical_scheme(red, cover);
+  auto check = check_scheme(p, scheme, 1.0);
+  EXPECT_FALSE(check.feasible);
+  EXPECT_GT(check.max_send, 1.0 + 1e-9);
+}
+
+TEST(CanonicalScheme, NonCoverLeavesElementsUnserved) {
+  auto inst = small_instance();
+  auto red = setcover::reduce_to_prefix(inst, 2);
+  std::vector<int> not_cover{0};  // {0,1} alone misses 2 and 3
+  ASSERT_FALSE(setcover::is_cover(inst, not_cover));
+  Scheme scheme = canonical_scheme(red, not_cover);
+  // Count X_j -> X'_j feeds with actual [0,0] deliveries upstream: elements
+  // 2,3 get no message from any C_i.
+  int fed = 0;
+  for (const SchemeComm& c : scheme.comms) {
+    for (size_t i = 0; i < red.set_nodes.size(); ++i) {
+      if (c.from == red.set_nodes[i]) ++fed;
+    }
+  }
+  EXPECT_EQ(fed, 2);  // only elements 0 and 1 are served
+}
+
+TEST(CheckScheme, RejectsMissingEdge) {
+  auto red = setcover::reduce_to_prefix(small_instance(), 2);
+  PrefixProblem p = problem_from_reduction(red);
+  Scheme scheme;
+  scheme.comms.push_back({red.prime_nodes[3], red.source, 0, 0, 1.0});
+  auto check = check_scheme(p, scheme, 1.0);
+  EXPECT_FALSE(check.feasible);
+  EXPECT_NE(check.detail.find("missing edge"), std::string::npos);
+}
+
+TEST(CheckScheme, RejectsComputeOnNonParticipant) {
+  auto red = setcover::reduce_to_prefix(small_instance(), 2);
+  PrefixProblem p = problem_from_reduction(red);
+  Scheme scheme;
+  scheme.comps.push_back({red.set_nodes[0], 1.0});
+  auto check = check_scheme(p, scheme, 1.0);
+  EXPECT_FALSE(check.feasible);
+}
+
+TEST(CheckScheme, ComputeLoadAccounted) {
+  auto red = setcover::reduce_to_prefix(small_instance(), 2);
+  PrefixProblem p = problem_from_reduction(red);
+  Scheme scheme;
+  // X'_4 runs 4 tasks of weight 1/4 -> exactly one period.
+  scheme.comps.push_back({red.prime_nodes[3], 4.0});
+  auto check = check_scheme(p, scheme, 1.0);
+  EXPECT_TRUE(check.feasible);
+  EXPECT_NEAR(check.max_compute, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pmcast::prefix

@@ -1,0 +1,118 @@
+#include "sched/edge_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/rng.hpp"
+
+namespace pmcast::sched {
+namespace {
+
+TEST(MaxPortLoad, CountsSendAndReceiveSeparately) {
+  std::vector<Communication> comms{
+      {0, 1, 0.5}, {0, 2, 0.4},  // node 0 sends 0.9
+      {3, 1, 0.3},               // node 1 receives 0.8
+  };
+  EXPECT_DOUBLE_EQ(max_port_load(comms, 4), 0.9);
+}
+
+TEST(MaxPortLoad, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(max_port_load({}, 3), 0.0);
+}
+
+TEST(Coloring, SingleCommunication) {
+  std::vector<Communication> comms{{0, 1, 2.0}};
+  auto result = color_communications(comms, 2);
+  ASSERT_TRUE(result.ok);
+  EXPECT_DOUBLE_EQ(result.makespan, 2.0);
+  EXPECT_TRUE(validate_coloring(result, comms, 2));
+}
+
+TEST(Coloring, TwoDisjointRunInParallel) {
+  std::vector<Communication> comms{{0, 1, 1.0}, {2, 3, 1.0}};
+  auto result = color_communications(comms, 4);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+  EXPECT_TRUE(validate_coloring(result, comms, 4));
+}
+
+TEST(Coloring, SharedSenderSerialises) {
+  std::vector<Communication> comms{{0, 1, 1.0}, {0, 2, 1.0}};
+  auto result = color_communications(comms, 3);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NEAR(result.makespan, 2.0, 1e-9);
+  EXPECT_TRUE(validate_coloring(result, comms, 3));
+}
+
+TEST(Coloring, SharedReceiverSerialises) {
+  std::vector<Communication> comms{{1, 0, 1.0}, {2, 0, 0.5}};
+  auto result = color_communications(comms, 3);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NEAR(result.makespan, 1.5, 1e-9);
+  EXPECT_TRUE(validate_coloring(result, comms, 3));
+}
+
+TEST(Coloring, PaperStyleRing) {
+  // A ring of transfers where the greedy order matters: 0->1, 1->2, 2->0,
+  // each of duration 1. All disjoint ports, so makespan is 1.
+  std::vector<Communication> comms{{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}};
+  auto result = color_communications(comms, 3);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+  EXPECT_TRUE(validate_coloring(result, comms, 3));
+}
+
+TEST(Coloring, FractionalWeightsFromExample) {
+  // The Fig. 1 flavour: the same edge appears in two trees with weight 1/2,
+  // other edges carry full messages.
+  std::vector<Communication> comms{
+      {0, 1, 0.5}, {0, 2, 0.5}, {2, 1, 0.5}, {1, 3, 1.0}, {2, 3, 0.0},
+  };
+  auto result = color_communications(comms, 4);
+  ASSERT_TRUE(result.ok);
+  // Loads: send(0)=1, recv(1)=1, send(1)=1, recv(3)=1 -> makespan 1.
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+  EXPECT_NEAR(result.makespan, max_port_load(comms, 4), 1e-9);
+  EXPECT_TRUE(validate_coloring(result, comms, 4));
+}
+
+TEST(Coloring, ManyParallelEdgesSamePair) {
+  std::vector<Communication> comms{{0, 1, 0.25}, {0, 1, 0.5}, {0, 1, 0.25}};
+  auto result = color_communications(comms, 2);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+  EXPECT_TRUE(validate_coloring(result, comms, 2));
+}
+
+TEST(Coloring, ZeroDurationIgnored) {
+  std::vector<Communication> comms{{0, 1, 0.0}, {1, 2, 1.0}};
+  auto result = color_communications(comms, 3);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+}
+
+class ColoringRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColoringRandom, RandomBipartiteLoadsAchieveKonigBound) {
+  Rng rng(GetParam());
+  int nodes = static_cast<int>(rng.uniform_int(4, 12));
+  int m = static_cast<int>(rng.uniform_int(3, 24));
+  std::vector<Communication> comms;
+  for (int i = 0; i < m; ++i) {
+    NodeId a = static_cast<NodeId>(rng.uniform(static_cast<uint64_t>(nodes)));
+    NodeId b = static_cast<NodeId>(rng.uniform(static_cast<uint64_t>(nodes)));
+    if (a == b) continue;
+    comms.push_back({a, b, rng.uniform_real(0.05, 2.0)});
+  }
+  auto result = color_communications(comms, nodes);
+  ASSERT_TRUE(result.ok) << "seed " << GetParam();
+  EXPECT_NEAR(result.makespan, max_port_load(comms, nodes), 1e-7);
+  EXPECT_TRUE(validate_coloring(result, comms, nodes)) << "seed " << GetParam();
+  // Slot count stays polynomial (edges + ports bound).
+  EXPECT_LE(result.slots.size(), comms.size() + 2 * static_cast<size_t>(nodes) + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringRandom,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+}  // namespace
+}  // namespace pmcast::sched

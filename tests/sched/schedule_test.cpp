@@ -1,0 +1,74 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmcast::sched {
+namespace {
+
+TEST(Schedule, BuildTrivial) {
+  std::vector<Transfer> transfers{{0, 1, 1.0, 0, 0}};
+  auto s = build_schedule(transfers, 2);
+  ASSERT_TRUE(s.ok);
+  EXPECT_DOUBLE_EQ(s.period, 1.0);
+  EXPECT_TRUE(validate_schedule(s, 2).empty());
+}
+
+TEST(Schedule, ChainHasDepthOffsets) {
+  // 0 -> 1 -> 2 pipeline, both hops full period.
+  std::vector<Transfer> transfers{{0, 1, 1.0, 0, 0}, {1, 2, 1.0, 0, 1}};
+  auto s = build_schedule(transfers, 3);
+  ASSERT_TRUE(s.ok);
+  EXPECT_NEAR(s.period, 1.0, 1e-9);
+  EXPECT_TRUE(validate_schedule(s, 3).empty());
+  // Both hops run in parallel within the period (different ports).
+  EXPECT_EQ(s.slots.size(), 2u);
+}
+
+TEST(Schedule, SharedPortSplitsSlots) {
+  std::vector<Transfer> transfers{{0, 1, 0.6, 0, 0}, {0, 2, 0.4, 1, 0}};
+  auto s = build_schedule(transfers, 3);
+  ASSERT_TRUE(s.ok);
+  EXPECT_NEAR(s.period, 1.0, 1e-9);
+  EXPECT_TRUE(validate_schedule(s, 3).empty());
+}
+
+TEST(Schedule, ValidatorCatchesOnePortViolation) {
+  Schedule s;
+  s.ok = true;
+  s.period = 1.0;
+  s.transfers = {{0, 1, 1.0, 0, 0}, {0, 2, 1.0, 0, 0}};
+  // Hand-build overlapping slots sharing sender 0.
+  s.slots = {{0.0, 1.0, 0}, {0.5, 1.0, 1}};
+  s.period = 2.0;
+  EXPECT_FALSE(validate_schedule(s, 3).empty());
+}
+
+TEST(Schedule, ValidatorCatchesShortfall) {
+  Schedule s;
+  s.ok = true;
+  s.period = 1.0;
+  s.transfers = {{0, 1, 1.0, 0, 0}};
+  s.slots = {{0.0, 0.5, 0}};  // only half the duration scheduled
+  EXPECT_FALSE(validate_schedule(s, 2).empty());
+}
+
+TEST(Schedule, ValidatorAcceptsPreemptedTransfer) {
+  Schedule s;
+  s.ok = true;
+  s.period = 1.0;
+  s.transfers = {{0, 1, 1.0, 0, 0}};
+  s.slots = {{0.0, 0.5, 0}, {0.5, 0.5, 0}};
+  EXPECT_TRUE(validate_schedule(s, 2).empty());
+}
+
+TEST(Schedule, SlotOutsidePeriodRejected) {
+  Schedule s;
+  s.ok = true;
+  s.period = 1.0;
+  s.transfers = {{0, 1, 1.5, 0, 0}};
+  s.slots = {{0.0, 1.5, 0}};
+  EXPECT_FALSE(validate_schedule(s, 2).empty());
+}
+
+}  // namespace
+}  // namespace pmcast::sched

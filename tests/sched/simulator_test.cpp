@@ -1,0 +1,108 @@
+#include "sched/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmcast::sched {
+namespace {
+
+TEST(Simulator, SingleHopStream) {
+  std::vector<Transfer> transfers{{0, 1, 1.0, 0, 0}};
+  auto s = build_schedule(transfers, 2);
+  ASSERT_TRUE(s.ok);
+  std::vector<StreamInfo> streams{{0, {1}, 1}};
+  auto report = simulate(s, streams, 2, 16);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_NEAR(report.measured_throughput, 1.0, 1e-9);
+  EXPECT_NEAR(report.nominal_throughput, 1.0, 1e-9);
+}
+
+TEST(Simulator, PipelineChainDeliversEveryGeneration) {
+  std::vector<Transfer> transfers{
+      {0, 1, 1.0, 0, 0}, {1, 2, 1.0, 0, 1}, {2, 3, 1.0, 0, 2}};
+  auto s = build_schedule(transfers, 4);
+  ASSERT_TRUE(s.ok);
+  std::vector<StreamInfo> streams{{0, {3}, 1}};
+  auto report = simulate(s, streams, 4, 32);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_NEAR(report.measured_throughput, 1.0, 1e-9);
+}
+
+TEST(Simulator, TwoTreesShareThroughput) {
+  // Two streams, each rate 1/2 message per period of length 1.
+  // Stream 0: 0 -> 1 -> 2 ; Stream 1: 0 -> 2 -> 1 (both at half duration).
+  std::vector<Transfer> transfers{
+      {0, 1, 0.5, 0, 0}, {1, 2, 0.5, 0, 1},
+      {0, 2, 0.5, 1, 0}, {2, 1, 0.5, 1, 1},
+  };
+  auto s = build_schedule(transfers, 3);
+  ASSERT_TRUE(s.ok);
+  EXPECT_NEAR(s.period, 1.0, 1e-9);
+  std::vector<StreamInfo> streams{{0, {1, 2}, 1}, {0, {1, 2}, 1}};
+  auto report = simulate(s, streams, 3, 32);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_NEAR(report.measured_throughput, 2.0, 1e-9);  // 2 gens per period
+}
+
+TEST(Simulator, DetectsCausalityViolation) {
+  // Hop at depth 2 mislabelled with offset 0: it would ship generation r
+  // before its upstream hop delivered it.
+  std::vector<Transfer> transfers{{0, 1, 1.0, 0, 0}, {1, 2, 1.0, 0, 0}};
+  auto s = build_schedule(transfers, 3);
+  ASSERT_TRUE(s.ok);
+  std::vector<StreamInfo> streams{{0, {2}, 1}};
+  auto report = simulate(s, streams, 3, 8);
+  // Either the static order happens to put 0->1 first in-period and 1->2
+  // later (still wrong: same-period finish must precede start), or the
+  // simulator flags causality. The mislabelled schedule must not pass with
+  // full throughput *and* no error unless slot timing genuinely permits it.
+  if (report.ok) {
+    // If it passed, the coloring must have serialised the hops in order
+    // within the period, which is legitimate store-and-forward.
+    SUCCEED();
+  } else {
+    EXPECT_NE(report.error.find("causality"), std::string::npos);
+  }
+}
+
+TEST(Simulator, DetectsMissingSinkDelivery) {
+  // Stream claims sink 2 but no transfer reaches it.
+  std::vector<Transfer> transfers{{0, 1, 1.0, 0, 0}};
+  auto s = build_schedule(transfers, 3);
+  ASSERT_TRUE(s.ok);
+  std::vector<StreamInfo> streams{{0, {1, 2}, 1}};
+  auto report = simulate(s, streams, 3, 8);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("never reached"), std::string::npos);
+}
+
+TEST(Simulator, DetectsDuplicateDelivery) {
+  // Two transfers of the same stream and offset both deliver gen g to node 1.
+  std::vector<Transfer> transfers{{0, 1, 0.4, 0, 0}, {2, 1, 0.4, 0, 0}};
+  Schedule s = build_schedule(transfers, 3);
+  ASSERT_TRUE(s.ok);
+  std::vector<StreamInfo> streams{{0, {1}, 1}};
+  auto report = simulate(s, streams, 3, 8);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Simulator, MultiMessageGenerations) {
+  // One stream carrying 3 messages per period.
+  std::vector<Transfer> transfers{{0, 1, 0.9, 0, 0}};
+  auto s = build_schedule(transfers, 2);
+  ASSERT_TRUE(s.ok);
+  std::vector<StreamInfo> streams{{0, {1}, 3}};
+  auto report = simulate(s, streams, 2, 16);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_NEAR(report.measured_throughput, 3.0 / 0.9, 1e-9);
+}
+
+TEST(Simulator, RejectsUnknownStream) {
+  std::vector<Transfer> transfers{{0, 1, 1.0, 5, 0}};
+  auto s = build_schedule(transfers, 2);
+  std::vector<StreamInfo> streams{{0, {1}, 1}};
+  auto report = simulate(s, streams, 2, 8);
+  EXPECT_FALSE(report.ok);
+}
+
+}  // namespace
+}  // namespace pmcast::sched

@@ -1,0 +1,110 @@
+#include "topology/tiers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pmcast::topo {
+namespace {
+
+TEST(TiersParams, PresetNodeCountsMatchPaper) {
+  EXPECT_EQ(TiersParams::small30().total_nodes(), 30);
+  EXPECT_EQ(TiersParams::small30().lan_nodes, 17);
+  EXPECT_EQ(TiersParams::big65().total_nodes(), 65);
+  EXPECT_EQ(TiersParams::big65().lan_nodes, 47);
+}
+
+TEST(Tiers, GeneratesRequestedCounts) {
+  Platform p = generate_tiers(TiersParams::small30(), 1);
+  EXPECT_EQ(p.graph.node_count(), 30);
+  EXPECT_EQ(p.wan.size(), 5u);
+  EXPECT_EQ(p.man.size(), 8u);
+  EXPECT_EQ(p.lan.size(), 17u);
+}
+
+TEST(Tiers, DeterministicPerSeed) {
+  Platform a = generate_tiers(TiersParams::small30(), 7);
+  Platform b = generate_tiers(TiersParams::small30(), 7);
+  ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  for (EdgeId e = 0; e < a.graph.edge_count(); ++e) {
+    EXPECT_EQ(a.graph.edge(e).from, b.graph.edge(e).from);
+    EXPECT_EQ(a.graph.edge(e).to, b.graph.edge(e).to);
+    EXPECT_DOUBLE_EQ(a.graph.edge(e).cost, b.graph.edge(e).cost);
+  }
+  EXPECT_EQ(a.source, b.source);
+}
+
+TEST(Tiers, DifferentSeedsDiffer) {
+  Platform a = generate_tiers(TiersParams::small30(), 1);
+  Platform b = generate_tiers(TiersParams::small30(), 2);
+  bool differ = a.graph.edge_count() != b.graph.edge_count();
+  if (!differ) {
+    for (EdgeId e = 0; e < a.graph.edge_count(); ++e) {
+      if (a.graph.edge(e).from != b.graph.edge(e).from ||
+          a.graph.edge(e).cost != b.graph.edge(e).cost) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Tiers, StronglyConnectedViaBidirectionalLinks) {
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    Platform p = generate_tiers(TiersParams::big65(), seed);
+    auto fwd = p.graph.reachable_from(p.source);
+    for (NodeId v = 0; v < p.graph.node_count(); ++v) {
+      EXPECT_TRUE(fwd[static_cast<size_t>(v)]) << "seed " << seed;
+    }
+    // And back to the source from every LAN node.
+    auto back = p.graph.reachable_from(p.lan[0]);
+    EXPECT_TRUE(back[static_cast<size_t>(p.source)]);
+  }
+}
+
+TEST(Tiers, SourceIsWanNode) {
+  Platform p = generate_tiers(TiersParams::small30(), 3);
+  bool found = false;
+  for (NodeId v : p.wan) found |= (v == p.source);
+  EXPECT_TRUE(found);
+}
+
+TEST(Tiers, EdgeCostsWithinLevelRanges) {
+  TiersParams params = TiersParams::small30();
+  Platform p = generate_tiers(params, 11);
+  for (EdgeId e = 0; e < p.graph.edge_count(); ++e) {
+    double c = p.graph.edge(e).cost;
+    EXPECT_GE(c, params.lan_cost_lo);
+    EXPECT_LE(c, params.wan_cost_hi + 1.0);
+  }
+}
+
+TEST(Tiers, LanNodesAreLeaves) {
+  Platform p = generate_tiers(TiersParams::small30(), 13);
+  for (NodeId v : p.lan) {
+    EXPECT_EQ(p.graph.out_degree(v), 1);
+    EXPECT_EQ(p.graph.in_degree(v), 1);
+  }
+}
+
+TEST(SampleTargets, DensityControlsCount) {
+  Platform p = generate_tiers(TiersParams::small30(), 17);
+  Rng rng(5);
+  EXPECT_EQ(sample_targets(p, 1.0, rng).size(), 17u);
+  EXPECT_EQ(sample_targets(p, 0.5, rng).size(), 9u);  // round(8.5)
+  EXPECT_EQ(sample_targets(p, 0.0, rng).size(), 1u);  // at least one
+}
+
+TEST(SampleTargets, DistinctLanNodes) {
+  Platform p = generate_tiers(TiersParams::big65(), 19);
+  Rng rng(6);
+  auto targets = sample_targets(p, 0.8, rng);
+  std::set<NodeId> uniq(targets.begin(), targets.end());
+  EXPECT_EQ(uniq.size(), targets.size());
+  std::set<NodeId> lan(p.lan.begin(), p.lan.end());
+  for (NodeId t : targets) EXPECT_TRUE(lan.count(t)) << t;
+}
+
+}  // namespace
+}  // namespace pmcast::topo

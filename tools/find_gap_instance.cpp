@@ -1,0 +1,79 @@
+/// \file find_gap_instance.cpp
+/// Randomised search for Figure-4-style platforms where neither LP bound is
+/// tight, i.e. throughput(UB) < optimum < throughput(LB) strictly. The
+/// instance baked into core::figure4_example() was found by this tool with
+/// seed 4242 (an exact match of the paper's 2/3 / 1/2 / 1/3 values).
+///
+/// Usage:  find_gap_instance [seed] [iterations] [--exact-paper-values]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/api.hpp"
+#include "graph/rng.hpp"
+
+using namespace pmcast;
+using namespace pmcast::core;
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4242;
+  int iterations = argc > 2 ? std::atoi(argv[2]) : 100000;
+  bool exact_values = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--exact-paper-values") == 0) exact_values = true;
+  }
+
+  Rng rng(seed);
+  int found = 0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    int n = 4 + static_cast<int>(rng.uniform(3));  // 4..6 nodes
+    Digraph g(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u != v && rng.bernoulli(0.4)) {
+          g.add_edge(u, v, rng.uniform(2) != 0u ? 0.5 : 1.0);
+        }
+      }
+    }
+    std::vector<NodeId> targets;
+    for (int v = 1; v < n; ++v) {
+      if (rng.bernoulli(0.55)) targets.push_back(v);
+    }
+    if (targets.size() < 2) continue;
+    MulticastProblem problem(g, 0, targets);
+    if (!problem.feasible()) continue;
+
+    FlowSolution lb = solve_multicast_lb(problem);
+    FlowSolution ub = solve_multicast_ub(problem);
+    if (!lb.ok() || !ub.ok()) continue;
+    ExactSolution exact = exact_optimal_throughput(problem);
+    if (!exact.ok) continue;
+    double t_lb = 1.0 / lb.period;
+    double t_ub = 1.0 / ub.period;
+    double opt = exact.throughput;
+
+    bool hit;
+    if (exact_values) {
+      hit = std::fabs(t_lb - 2.0 / 3.0) < 1e-6 &&
+            std::fabs(opt - 0.5) < 1e-6 && std::fabs(t_ub - 1.0 / 3.0) < 1e-6;
+    } else {
+      hit = t_lb > opt * 1.1 && opt > t_ub * 1.1;
+    }
+    if (!hit) continue;
+
+    std::printf("iter %d: n=%d |E|=%d  LB=%.4f OPT=%.4f UB=%.4f\n  targets:",
+                iter, n, g.edge_count(), t_lb, opt, t_ub);
+    for (NodeId t : targets) std::printf(" %d", t);
+    std::printf("\n  edges:");
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      std::printf(" (%d->%d,%g)", g.edge(e).from, g.edge(e).to,
+                  g.edge(e).cost);
+    }
+    std::printf("\n");
+    if (++found >= 3) return 0;
+  }
+  std::printf("%d instance(s) found in %d iterations\n", found, iterations);
+  return found > 0 ? 0 : 1;
+}
