@@ -12,6 +12,9 @@
 ///   exact_optimal_throughput/exact_best_single_tree — exact solvers
 ///   build_tree_schedule/build_flow_schedule — runnable periodic schedules
 ///   sched::simulate       — one-port discrete-event verification
+///
+/// For concurrent serving (portfolio racing, batching, result caching,
+/// budgets) see the runtime layer's umbrella header, runtime/runtime.hpp.
 
 #include "core/certificate.hpp"
 #include "core/exact.hpp"

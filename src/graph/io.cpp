@@ -1,5 +1,6 @@
 #include "graph/io.hpp"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -24,8 +25,16 @@ std::optional<PlatformFile> parse_platform(std::istream& in,
   bool have_nodes = false;
   std::string line;
   int line_no = 0;
+  std::vector<char> is_target;
   auto check_node = [&](long id) {
     return id >= 0 && id < platform.graph.node_count();
+  };
+  // Reject directives with extra operands: a truncated token ("edge 0 1
+  // 1.5x") or a forgotten '#' would otherwise be silently misread.
+  auto line_fully_consumed = [](std::istringstream& ls) {
+    ls.clear();
+    std::string junk;
+    return !(ls >> junk);
   };
   while (std::getline(in, line)) {
     ++line_no;
@@ -38,7 +47,7 @@ std::optional<PlatformFile> parse_platform(std::istream& in,
     if (keyword == "nodes") {
       long count = -1;
       if (!(ls >> count) || count < 1 || count > 1'000'000) {
-        fail(error, line_no, "nodes needs a positive count");
+        fail(error, line_no, "nodes needs a positive count (at most 1000000)");
         return std::nullopt;
       }
       if (have_nodes) {
@@ -46,6 +55,7 @@ std::optional<PlatformFile> parse_platform(std::istream& in,
         return std::nullopt;
       }
       platform.graph.add_nodes(static_cast<int>(count));
+      is_target.assign(static_cast<size_t>(count), 0);
       have_nodes = true;
     } else if (keyword == "name") {
       long id;
@@ -58,9 +68,25 @@ std::optional<PlatformFile> parse_platform(std::istream& in,
     } else if (keyword == "edge" || keyword == "link") {
       long from, to;
       double cost;
-      if (!(ls >> from >> to >> cost) || !check_node(from) ||
-          !check_node(to) || from == to || !(cost > 0.0)) {
-        fail(error, line_no, keyword + " needs: <from> <to> <cost>0>");
+      if (!(ls >> from >> to >> cost)) {
+        fail(error, line_no, keyword + " needs: <from> <to> <cost>");
+        return std::nullopt;
+      }
+      if (!check_node(from) || !check_node(to)) {
+        fail(error, line_no,
+             keyword + " endpoint out of range (did a nodes directive come "
+                       "first?)");
+        return std::nullopt;
+      }
+      if (from == to) {
+        fail(error, line_no, "self-loop edges are not allowed");
+        return std::nullopt;
+      }
+      // NaN fails (cost > 0.0); infinity must be rejected explicitly — it
+      // would trip an assert in Digraph::add_edge in debug builds and
+      // corrupt the LP formulations in release builds.
+      if (!(cost > 0.0) || !std::isfinite(cost)) {
+        fail(error, line_no, "edge cost must be finite and > 0");
         return std::nullopt;
       }
       if (keyword == "edge") {
@@ -76,6 +102,10 @@ std::optional<PlatformFile> parse_platform(std::istream& in,
         fail(error, line_no, "source needs a valid node id");
         return std::nullopt;
       }
+      if (platform.source != kInvalidNode) {
+        fail(error, line_no, "duplicate source directive");
+        return std::nullopt;
+      }
       platform.source = static_cast<NodeId>(id);
     } else if (keyword == "target") {
       long id;
@@ -85,6 +115,12 @@ std::optional<PlatformFile> parse_platform(std::istream& in,
           fail(error, line_no, "target id out of range");
           return std::nullopt;
         }
+        if (is_target[static_cast<size_t>(id)]) {
+          fail(error, line_no,
+               "duplicate target " + std::to_string(id));
+          return std::nullopt;
+        }
+        is_target[static_cast<size_t>(id)] = 1;
         platform.targets.push_back(static_cast<NodeId>(id));
         any = true;
       }
@@ -94,6 +130,10 @@ std::optional<PlatformFile> parse_platform(std::istream& in,
       }
     } else {
       fail(error, line_no, "unknown directive '" + keyword + "'");
+      return std::nullopt;
+    }
+    if (!line_fully_consumed(ls)) {
+      fail(error, line_no, "unexpected trailing text after " + keyword);
       return std::nullopt;
     }
   }

@@ -1,0 +1,63 @@
+#pragma once
+/// \file budget.hpp
+/// Budget control for portfolio runs: wall-clock deadlines, work limits and
+/// cooperative cancellation. A SolveBudget is checked *between* solver
+/// stages (before a strategy starts, between LP re-solves is up to the
+/// strategy's own max_rounds), so overruns are bounded by the cost of one
+/// strategy — the engine never kills a thread mid-pivot.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+
+namespace pmcast::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+/// Cooperative cancellation flag, shareable across requests and threads.
+/// request_stop() is sticky; strategies poll stop_requested() at their
+/// checkpoints and bail out early.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_stop() const { flag_->store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Per-request budget: a wall-clock deadline plus limits on the expensive
+/// exact solver. Default-constructed budget is unlimited.
+struct SolveBudget {
+  /// Wall-clock budget in milliseconds, 0 = unlimited. The deadline is
+  /// anchored when the request enters the engine (see deadline_from()).
+  double deadline_ms = 0.0;
+
+  /// Instances larger than this skip the exact enumeration strategy.
+  int exact_max_nodes = 9;
+  /// Tree-enumeration abort limit for the exact strategy.
+  std::size_t exact_max_trees = 200'000;
+
+  Clock::time_point deadline_from(Clock::time_point start) const {
+    if (deadline_ms <= 0.0) return Clock::time_point::max();
+    return start + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+};
+
+/// The live view a running strategy checks: deadline passed or cancelled?
+struct BudgetGuard {
+  Clock::time_point deadline = Clock::time_point::max();
+  CancellationToken cancel;
+
+  bool expired() const {
+    return cancel.stop_requested() || Clock::now() >= deadline;
+  }
+};
+
+}  // namespace pmcast::runtime

@@ -1,0 +1,54 @@
+#include "runtime/cache.hpp"
+
+namespace pmcast::runtime {
+
+std::optional<PortfolioResult> ResultCache::get(const InstanceKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  PortfolioResult copy = it->second->result;
+  copy.from_cache = true;
+  return copy;
+}
+
+void ResultCache::put(const InstanceKey& key, const PortfolioResult& result) {
+  if (capacity_ == 0 || !result.ok) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->result = result;
+    it->second->result.from_cache = false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, result});
+  lru_.front().result.from_cache = false;
+  index_[key] = lru_.begin();
+  stats_.entries = lru_.size();
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+}
+
+}  // namespace pmcast::runtime

@@ -1,0 +1,67 @@
+#pragma once
+/// \file cache.hpp
+/// Thread-safe LRU cache of portfolio results keyed by the canonical
+/// 128-bit instance key (graph/hash.hpp). Serving workloads repeat
+/// instances heavily (the same platform with the same target set is asked
+/// for again and again); re-running a portfolio that ends in dozens of LP
+/// solves to re-derive a value the engine certified seconds ago is the
+/// single biggest throughput lever in the runtime.
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "graph/hash.hpp"
+#include "runtime/portfolio.hpp"
+
+namespace pmcast::runtime {
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;
+
+  double hit_rate() const {
+    std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class ResultCache {
+ public:
+  /// \p capacity = max cached results; 0 disables caching entirely.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Look up \p key; a hit refreshes recency and returns a copy with
+  /// from_cache set.
+  std::optional<PortfolioResult> get(const InstanceKey& key);
+
+  /// Insert (or refresh) \p result under \p key, evicting the least
+  /// recently used entry when full. Uncertified results are not cached:
+  /// a result that failed for budget reasons should be retried, not
+  /// remembered.
+  void put(const InstanceKey& key, const PortfolioResult& result);
+
+  CacheStats stats() const;
+  void clear();
+
+ private:
+  // MRU at the front. The map points into the list; list nodes carry the
+  // key back so eviction can erase its map entry.
+  struct Entry {
+    InstanceKey key;
+    PortfolioResult result;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;
+  std::unordered_map<InstanceKey, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace pmcast::runtime

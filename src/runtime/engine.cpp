@@ -1,0 +1,111 @@
+#include "runtime/engine.hpp"
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+namespace pmcast::runtime {
+namespace {
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+PortfolioEngine::PortfolioEngine(EngineOptions options)
+    : options_(std::move(options)),
+      pool_(options_.threads),
+      cache_(options_.cache_capacity) {}
+
+PortfolioResult PortfolioEngine::solve(const core::MulticastProblem& problem,
+                                       const RequestOptions& request) {
+  auto results = solve_batch({&problem, 1}, {&request, 1});
+  return std::move(results.front());
+}
+
+std::vector<PortfolioResult> PortfolioEngine::solve_batch(
+    std::span<const core::MulticastProblem> problems,
+    std::span<const RequestOptions> requests) {
+  const Clock::time_point batch_start = Clock::now();
+  const std::size_t n = problems.size();
+  std::vector<PortfolioResult> results(n);
+  if (n == 0) return results;
+
+  // Requests beyond the span's end get defaults, so a shorter (or empty)
+  // span is safe rather than an out-of-bounds read.
+  RequestOptions default_request;
+  auto request_of = [&](std::size_t i) -> const RequestOptions& {
+    return i < requests.size() ? requests[i] : default_request;
+  };
+
+  // Step 1+2: cache probe, then coalesce remaining misses by key. Leaders
+  // keep batch order, which makes coalescing deterministic.
+  struct Group {
+    std::size_t leader;
+    InstanceKey key;
+    std::vector<std::size_t> followers;
+    PortfolioOptions options;
+    BudgetGuard guard;
+    std::vector<Strategy> strategies;
+    std::vector<CandidateOutcome> outcomes;
+  };
+  std::vector<Group> groups;
+  std::unordered_map<InstanceKey, std::size_t> group_of_key;
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::MulticastProblem& p = problems[i];
+    InstanceKey key = instance_key(p.graph, p.source, p.targets);
+    if (auto hit = cache_.get(key)) {
+      results[i] = std::move(*hit);
+      continue;
+    }
+    auto [it, fresh] = group_of_key.try_emplace(key, groups.size());
+    if (!fresh) {
+      groups[it->second].followers.push_back(i);
+      continue;
+    }
+    Group group;
+    group.leader = i;
+    group.key = key;
+    group.options = options_.portfolio;
+    const RequestOptions& req = request_of(i);
+    if (req.deadline_ms > 0.0) {
+      group.options.budget.deadline_ms = req.deadline_ms;
+    }
+    group.guard = BudgetGuard{group.options.budget.deadline_from(batch_start),
+                              req.cancel};
+    group.strategies = group.options.strategies.empty()
+                           ? all_strategies()
+                           : group.options.strategies;
+    group.outcomes.resize(group.strategies.size());
+    groups.push_back(std::move(group));
+  }
+
+  // Step 3: fan every (leader, strategy) pair out onto the pool.
+  std::vector<std::function<void()>> tasks;
+  for (Group& group : groups) {
+    for (std::size_t s = 0; s < group.strategies.size(); ++s) {
+      tasks.push_back([g = &group, s, problems] {
+        g->outcomes[s] = run_strategy(problems[g->leader], g->strategies[s],
+                                      g->options, g->guard);
+      });
+    }
+  }
+  pool_.run_all(std::move(tasks));
+
+  // Assemble, cache, and replicate to coalesced followers.
+  for (Group& group : groups) {
+    PortfolioResult result = assemble_result(std::move(group.outcomes));
+    result.elapsed_ms = ms_since(batch_start);
+    cache_.put(group.key, result);
+    for (std::size_t f : group.followers) {
+      results[f] = result;
+      results[f].coalesced = true;
+    }
+    results[group.leader] = std::move(result);
+  }
+  return results;
+}
+
+}  // namespace pmcast::runtime

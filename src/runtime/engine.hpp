@@ -1,0 +1,83 @@
+#pragma once
+/// \file engine.hpp
+/// The batch-serving layer of the runtime: a PortfolioEngine owns the
+/// work-stealing pool and the LRU result cache and exposes
+/// solve()/solve_batch() with per-request deadlines, budgets and
+/// cancellation.
+///
+/// A batch is served in three steps:
+///  1. *Cache lookup* — every request's canonical instance key
+///     (graph/hash.hpp) is probed against the LRU cache; hits are answered
+///     immediately.
+///  2. *Coalescing* — misses with identical keys are grouped; one leader
+///     per group is solved, followers receive a copy (coalesced flag set).
+///     A coalesced group runs under its leader's budget/cancellation — the
+///     leader is the first occurrence in the batch.
+///  3. *Fan-out* — every (leader, strategy) pair becomes one pool task, so
+///     strategy-level parallelism spans request boundaries and the pool
+///     stays saturated even when one straggler request is left.
+///
+/// Budget semantics: deadlines are anchored when the batch enters the
+/// engine and enforced at strategy granularity (a strategy that already
+/// started is run to completion — nothing is killed mid-LP-pivot).
+/// Cancellation is cooperative through the same checkpoints.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "runtime/budget.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/portfolio.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pmcast::runtime {
+
+struct EngineOptions {
+  /// Worker threads of the pool. 0 = no workers, everything runs inline on
+  /// the calling thread (deterministic debugging mode).
+  int threads = 1;
+  /// Result-cache capacity in entries; 0 disables caching.
+  std::size_t cache_capacity = 1024;
+  /// Portfolio configuration shared by every request (strategy set,
+  /// default budget, certificate replay periods).
+  PortfolioOptions portfolio;
+};
+
+/// Per-request knobs layered on top of EngineOptions::portfolio.
+struct RequestOptions {
+  /// Wall-clock deadline for this request in ms; 0 inherits the engine
+  /// default (portfolio.budget.deadline_ms).
+  double deadline_ms = 0.0;
+  /// Cooperative cancellation; request_stop() makes not-yet-started
+  /// strategies of this request skip.
+  CancellationToken cancel;
+};
+
+class PortfolioEngine {
+ public:
+  explicit PortfolioEngine(EngineOptions options = {});
+
+  /// Solve one instance (cache-aware). Blocks until done.
+  PortfolioResult solve(const core::MulticastProblem& problem,
+                        const RequestOptions& request = {});
+
+  /// Solve a batch; results align index-for-index with \p problems.
+  /// \p requests may be empty or shorter than \p problems — requests
+  /// without a matching entry use the engine defaults.
+  std::vector<PortfolioResult> solve_batch(
+      std::span<const core::MulticastProblem> problems,
+      std::span<const RequestOptions> requests = {});
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+  void clear_cache() { cache_.clear(); }
+  int thread_count() const { return pool_.thread_count(); }
+
+ private:
+  EngineOptions options_;
+  ThreadPool pool_;
+  ResultCache cache_;
+};
+
+}  // namespace pmcast::runtime

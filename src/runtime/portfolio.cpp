@@ -1,0 +1,304 @@
+#include "runtime/portfolio.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "core/certificate.hpp"
+#include "core/exact.hpp"
+#include "core/flows.hpp"
+#include "core/formulations.hpp"
+#include "core/lp_heuristics.hpp"
+#include "core/tree.hpp"
+#include "core/tree_heuristics.hpp"
+
+namespace pmcast::runtime {
+namespace {
+
+using core::MulticastProblem;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Certify a tree candidate: rate 1/period saturates the bottleneck port,
+/// so the certificate's throughput reproduces 1/tree_period exactly.
+void certify_tree(const MulticastProblem& problem,
+                  const core::MulticastTree& tree, int simulate_periods,
+                  CandidateOutcome& out) {
+  double period = core::tree_period(problem.graph, tree);
+  out.bound_period = period;
+  if (!(period > 0.0) || period == kInfinity) {
+    out.state = CandidateState::Failed;
+    out.detail = "degenerate tree period";
+    return;
+  }
+  core::WeightedTreeSet set;
+  set.trees = {tree};
+  set.rates = {1.0 / period};
+  auto cert = core::verify_certificate(problem, set, simulate_periods);
+  if (!cert.valid || cert.throughput <= 0.0) {
+    out.state = CandidateState::Failed;
+    out.detail = "certificate rejected: " + cert.reason;
+    return;
+  }
+  out.state = CandidateState::Certified;
+  out.period = 1.0 / cert.throughput;
+}
+
+/// Certify a scatter (Multicast-UB style) solution by reconstructing its
+/// periodic schedule and statically validating it.
+void certify_flow(const MulticastProblem& problem,
+                  const core::FlowSolution& solution, CandidateOutcome& out) {
+  out.bound_period = solution.period;
+  if (!solution.ok()) {
+    out.state = CandidateState::Failed;
+    out.detail = "LP did not reach optimality";
+    return;
+  }
+  core::FlowSchedule fs = core::build_flow_schedule(problem, solution);
+  if (!fs.schedule.ok) {
+    out.state = CandidateState::Failed;
+    out.detail = "flow schedule orchestration failed";
+    return;
+  }
+  std::string err =
+      sched::validate_schedule(fs.schedule, problem.graph.node_count());
+  if (!err.empty()) {
+    out.state = CandidateState::Failed;
+    out.detail = "schedule invalid: " + err;
+    return;
+  }
+  out.state = CandidateState::Certified;
+  out.period = fs.period;
+}
+
+/// The platform heuristics (Figs. 6/7) return a node mask plus a
+/// Broadcast-EB period whose constructive broadcast schedule is prior work
+/// [6,5], not part of this library. We keep that value as the advisory
+/// bound and certify the candidate with what we *can* reconstruct: the
+/// scatter bound restricted to the reduced platform.
+void certify_platform(const MulticastProblem& problem,
+                      const core::PlatformHeuristicResult& result,
+                      CandidateOutcome& out) {
+  out.bound_period = result.period;
+  if (!result.ok) {
+    out.state = CandidateState::Failed;
+    out.detail = "platform heuristic failed";
+    return;
+  }
+  auto sub = problem.graph.induced_subgraph(result.platform);
+  NodeId sub_source = sub.old_to_new[static_cast<size_t>(problem.source)];
+  std::vector<NodeId> sub_targets;
+  sub_targets.reserve(problem.targets.size());
+  for (NodeId t : problem.targets) {
+    NodeId mapped = sub.old_to_new[static_cast<size_t>(t)];
+    if (mapped == kInvalidNode) {
+      out.state = CandidateState::Failed;
+      out.detail = "platform mask dropped a target";
+      return;
+    }
+    sub_targets.push_back(mapped);
+  }
+  if (sub_source == kInvalidNode) {
+    out.state = CandidateState::Failed;
+    out.detail = "platform mask dropped the source";
+    return;
+  }
+  MulticastProblem sub_problem(std::move(sub.graph), sub_source,
+                               std::move(sub_targets));
+  if (!sub_problem.feasible()) {
+    out.state = CandidateState::Failed;
+    out.detail = "reduced platform disconnects a target";
+    return;
+  }
+  core::FlowSolution ub = core::solve_multicast_ub(sub_problem);
+  certify_flow(sub_problem, ub, out);
+  out.bound_period = result.period;  // certify_flow overwrote it with UB's
+  if (out.state == CandidateState::Certified) {
+    out.detail = "certified via scatter on the reduced platform; "
+                 "Broadcast-EB bound is advisory";
+  }
+}
+
+void run_exact(const MulticastProblem& problem,
+               const PortfolioOptions& options, CandidateOutcome& out) {
+  if (problem.graph.node_count() > options.budget.exact_max_nodes) {
+    out.state = CandidateState::Skipped;
+    out.detail = "instance above exact_max_nodes";
+    return;
+  }
+  core::EnumerationLimits limits;
+  limits.max_trees = options.budget.exact_max_trees;
+  core::ExactSolution exact = core::exact_optimal_throughput(problem, limits);
+  if (!exact.ok) {
+    out.state = CandidateState::Skipped;
+    out.detail = "tree enumeration limit exceeded";
+    return;
+  }
+  out.bound_period =
+      exact.throughput > 0.0 ? 1.0 / exact.throughput : kInfinity;
+  auto cert = core::verify_certificate(problem, exact.combination,
+                                       options.simulate_periods);
+  if (!cert.valid || cert.throughput <= 0.0) {
+    out.state = CandidateState::Failed;
+    out.detail = "certificate rejected: " + cert.reason;
+    return;
+  }
+  out.state = CandidateState::Certified;
+  // The rationalised realisation may differ from the LP optimum by the
+  // rationalisation error; report what the validated schedule achieves.
+  out.period = 1.0 / cert.throughput;
+}
+
+}  // namespace
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::Mcph: return "mcph";
+    case Strategy::PrunedDijkstra: return "pruned_dijkstra";
+    case Strategy::Kmb: return "kmb";
+    case Strategy::MulticastUb: return "multicast_ub";
+    case Strategy::AugmentedSources: return "augmented_sources";
+    case Strategy::ReducedBroadcast: return "reduced_broadcast";
+    case Strategy::AugmentedMulticast: return "augmented_multicast";
+    case Strategy::Exact: return "exact";
+  }
+  return "?";
+}
+
+std::vector<Strategy> all_strategies() {
+  return {Strategy::Mcph,             Strategy::PrunedDijkstra,
+          Strategy::Kmb,              Strategy::MulticastUb,
+          Strategy::AugmentedSources, Strategy::ReducedBroadcast,
+          Strategy::AugmentedMulticast, Strategy::Exact};
+}
+
+CandidateOutcome run_strategy(const core::MulticastProblem& problem,
+                              Strategy strategy,
+                              const PortfolioOptions& options,
+                              const BudgetGuard& guard) {
+  CandidateOutcome out;
+  out.strategy = strategy;
+  if (guard.expired()) {
+    out.state = CandidateState::Skipped;
+    out.detail = "budget exhausted before start";
+    return out;
+  }
+  Clock::time_point start = Clock::now();
+  switch (strategy) {
+    case Strategy::Mcph:
+    case Strategy::PrunedDijkstra:
+    case Strategy::Kmb: {
+      auto tree = strategy == Strategy::Mcph ? core::mcph(problem)
+                  : strategy == Strategy::PrunedDijkstra
+                      ? core::pruned_dijkstra(problem)
+                      : core::kmb(problem);
+      if (!tree) {
+        out.state = CandidateState::Failed;
+        out.detail = "no spanning tree found";
+      } else {
+        certify_tree(problem, *tree, options.simulate_periods, out);
+      }
+      break;
+    }
+    case Strategy::MulticastUb:
+      certify_flow(problem, core::solve_multicast_ub(problem), out);
+      break;
+    case Strategy::AugmentedSources: {
+      auto as = core::augmented_sources(problem);
+      out.bound_period = as.period;
+      if (!as.ok) {
+        out.state = CandidateState::Failed;
+        out.detail = "augmented_sources failed";
+        break;
+      }
+      core::FlowSchedule fs =
+          core::build_multisource_schedule(problem, as.sources, as.solution);
+      if (!fs.schedule.ok) {
+        out.state = CandidateState::Failed;
+        out.detail = "multisource schedule orchestration failed";
+        break;
+      }
+      std::string err =
+          sched::validate_schedule(fs.schedule, problem.graph.node_count());
+      if (!err.empty()) {
+        out.state = CandidateState::Failed;
+        out.detail = "schedule invalid: " + err;
+        break;
+      }
+      out.state = CandidateState::Certified;
+      out.period = fs.period;
+      break;
+    }
+    case Strategy::ReducedBroadcast:
+      certify_platform(problem, core::reduced_broadcast(problem), out);
+      break;
+    case Strategy::AugmentedMulticast:
+      certify_platform(problem, core::augmented_multicast(problem), out);
+      break;
+    case Strategy::Exact:
+      run_exact(problem, options, out);
+      break;
+  }
+  out.elapsed_ms = ms_since(start);
+  return out;
+}
+
+PortfolioResult assemble_result(std::vector<CandidateOutcome> candidates) {
+  PortfolioResult result;
+  result.candidates = std::move(candidates);
+  for (const CandidateOutcome& c : result.candidates) {
+    if (c.state != CandidateState::Certified) continue;
+    // Strict < keeps ties on the earlier (cheaper) strategy, which makes
+    // the winner independent of completion order and thread count.
+    if (c.period < result.period) {
+      result.period = c.period;
+      result.winner = c.strategy;
+      result.ok = true;
+    }
+  }
+  return result;
+}
+
+PortfolioResult solve_portfolio(const core::MulticastProblem& problem,
+                                const PortfolioOptions& options,
+                                ThreadPool* pool, CancellationToken cancel) {
+  Clock::time_point start = Clock::now();
+  BudgetGuard guard{options.budget.deadline_from(start), cancel};
+  std::vector<Strategy> strategies =
+      options.strategies.empty() ? all_strategies() : options.strategies;
+
+  std::vector<CandidateOutcome> outcomes(strategies.size());
+  if (!problem.feasible()) {
+    for (size_t i = 0; i < strategies.size(); ++i) {
+      outcomes[i].strategy = strategies[i];
+      outcomes[i].state = CandidateState::Failed;
+      outcomes[i].detail = "infeasible instance: unreachable target";
+    }
+    PortfolioResult result = assemble_result(std::move(outcomes));
+    result.elapsed_ms = ms_since(start);
+    return result;
+  }
+
+  if (pool == nullptr) {
+    for (size_t i = 0; i < strategies.size(); ++i) {
+      outcomes[i] = run_strategy(problem, strategies[i], options, guard);
+    }
+  } else {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(strategies.size());
+    for (size_t i = 0; i < strategies.size(); ++i) {
+      tasks.push_back([&, i] {
+        outcomes[i] = run_strategy(problem, strategies[i], options, guard);
+      });
+    }
+    pool->run_all(std::move(tasks));
+  }
+
+  PortfolioResult result = assemble_result(std::move(outcomes));
+  result.elapsed_ms = ms_since(start);
+  return result;
+}
+
+}  // namespace pmcast::runtime

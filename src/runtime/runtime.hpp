@@ -1,0 +1,24 @@
+#pragma once
+/// \file runtime.hpp
+/// Umbrella header for the pmcast::runtime subsystem — the concurrent
+/// solver-portfolio engine.
+///
+///   ThreadPool       — work-stealing pool (thread_pool.hpp)
+///   SolveBudget / CancellationToken — budget control (budget.hpp)
+///   Strategy / solve_portfolio — race all solvers, certify, pick the best
+///                      (portfolio.hpp)
+///   ResultCache      — LRU over canonical instance keys (cache.hpp)
+///   PortfolioEngine  — batch serving: cache probe, request coalescing,
+///                      strategy fan-out (engine.hpp)
+///
+/// Quickstart:
+///   runtime::PortfolioEngine engine({.threads = 8});
+///   runtime::PortfolioResult r = engine.solve(problem);
+///   if (r.ok) use(r.period);  // certificate-validated
+/// See DESIGN_RUNTIME.md for the architecture notes.
+
+#include "runtime/budget.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/portfolio.hpp"
+#include "runtime/thread_pool.hpp"

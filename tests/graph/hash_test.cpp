@@ -1,0 +1,88 @@
+#include "graph/hash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmcast {
+namespace {
+
+Digraph diamond() {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(1, 3, 1.5);
+  g.add_edge(2, 3, 0.5);
+  return g;
+}
+
+TEST(InstanceHash, EdgeInsertionOrderInvariant) {
+  Digraph a(4);
+  a.add_edge(0, 1, 1.0);
+  a.add_edge(0, 2, 2.0);
+  a.add_edge(1, 3, 1.5);
+  Digraph b(4);
+  b.add_edge(1, 3, 1.5);
+  b.add_edge(0, 2, 2.0);
+  b.add_edge(0, 1, 1.0);
+  std::vector<NodeId> targets{3};
+  EXPECT_EQ(instance_key(a, 0, targets), instance_key(b, 0, targets));
+}
+
+TEST(InstanceHash, TargetOrderAndDuplicatesInvariant) {
+  Digraph g = diamond();
+  std::vector<NodeId> t1{1, 3};
+  std::vector<NodeId> t2{3, 1};
+  std::vector<NodeId> t3{3, 1, 3};
+  EXPECT_EQ(instance_key(g, 0, t1), instance_key(g, 0, t2));
+  EXPECT_EQ(instance_key(g, 0, t1), instance_key(g, 0, t3));
+}
+
+TEST(InstanceHash, NodeNamesIgnored) {
+  Digraph a = diamond();
+  Digraph b = diamond();
+  b.set_node_name(0, "master");
+  std::vector<NodeId> targets{3};
+  EXPECT_EQ(instance_key(a, 0, targets), instance_key(b, 0, targets));
+}
+
+TEST(InstanceHash, SensitiveToStructure) {
+  Digraph g = diamond();
+  std::vector<NodeId> targets{3};
+  InstanceKey base = instance_key(g, 0, targets);
+
+  Digraph cost = diamond();
+  cost.add_edge(3, 0, 1.0);
+  EXPECT_NE(instance_key(cost, 0, targets), base);
+
+  Digraph changed(4);
+  changed.add_edge(0, 1, 1.0);
+  changed.add_edge(0, 2, 2.0);
+  changed.add_edge(1, 3, 1.5);
+  changed.add_edge(2, 3, 0.25);  // different cost
+  EXPECT_NE(instance_key(changed, 0, targets), base);
+
+  EXPECT_NE(instance_key(g, 1, targets), base);  // different source
+
+  std::vector<NodeId> other{2};
+  EXPECT_NE(instance_key(g, 0, other), base);  // different targets
+}
+
+TEST(InstanceHash, ParallelEdgesCounted) {
+  Digraph one(2);
+  one.add_edge(0, 1, 1.0);
+  Digraph two(2);
+  two.add_edge(0, 1, 1.0);
+  two.add_edge(0, 1, 1.0);
+  std::vector<NodeId> targets{1};
+  EXPECT_NE(instance_key(one, 0, targets), instance_key(two, 0, targets));
+}
+
+TEST(InstanceHash, SeedsAreIndependent) {
+  Digraph g = diamond();
+  std::vector<NodeId> targets{3};
+  InstanceKey key = instance_key(g, 0, targets);
+  EXPECT_NE(key.lo, key.hi);
+  EXPECT_NE(hash_instance(g, 0, targets, 1), hash_instance(g, 0, targets, 2));
+}
+
+}  // namespace
+}  // namespace pmcast

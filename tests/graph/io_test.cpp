@@ -74,6 +74,63 @@ TEST(PlatformIo, RejectsSourceAsTarget) {
   EXPECT_NE(error.find("source cannot be a target"), std::string::npos);
 }
 
+TEST(PlatformIo, RejectsNonFiniteCost) {
+  // libstdc++ num_get rejects "inf"/"nan"/overflowing literals at
+  // extraction already; the parser's std::isfinite check is the backstop
+  // either way. All of these must fail with a diagnostic, not assert.
+  for (const char* cost : {"inf", "nan", "1e999", "-inf"}) {
+    std::string error;
+    std::string text = std::string("nodes 2\nsource 0\nedge 0 1 ") + cost +
+                       "\n";
+    EXPECT_FALSE(parse_platform_string(text, &error)) << cost;
+    EXPECT_FALSE(error.empty()) << cost;
+  }
+}
+
+TEST(PlatformIo, RejectsDuplicateSource) {
+  std::string error;
+  EXPECT_FALSE(parse_platform_string(
+      "nodes 2\nsource 0\nsource 1\nedge 0 1 1\n", &error));
+  EXPECT_NE(error.find("duplicate source"), std::string::npos);
+}
+
+TEST(PlatformIo, RejectsDuplicateNodes) {
+  std::string error;
+  EXPECT_FALSE(parse_platform_string("nodes 2\nnodes 3\nsource 0\n", &error));
+  EXPECT_NE(error.find("duplicate nodes"), std::string::npos);
+}
+
+TEST(PlatformIo, RejectsDuplicateTargets) {
+  std::string error;
+  EXPECT_FALSE(parse_platform_string(
+      "nodes 3\nsource 0\nedge 0 1 1\nedge 0 2 1\ntarget 1 2 1\n", &error));
+  EXPECT_NE(error.find("duplicate target"), std::string::npos);
+  EXPECT_FALSE(parse_platform_string(
+      "nodes 3\nsource 0\nedge 0 1 1\ntarget 1\ntarget 1\n", &error));
+}
+
+TEST(PlatformIo, RejectsTrailingText) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_platform_string("nodes 2 oops\nsource 0\n", &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+  // A truncated cost token must not be silently misread as "1.5".
+  EXPECT_FALSE(
+      parse_platform_string("nodes 2\nsource 0\nedge 0 1 1.5x\n", &error));
+}
+
+TEST(PlatformIo, RejectsEdgeBeforeNodes) {
+  std::string error;
+  EXPECT_FALSE(parse_platform_string("edge 0 1 1\n", &error));
+  EXPECT_NE(error.find("nodes directive"), std::string::npos);
+}
+
+TEST(PlatformIo, RejectsOverflowingIds) {
+  std::string error;
+  EXPECT_FALSE(parse_platform_string(
+      "nodes 2\nsource 0\nedge 0 99999999999999999999999 1\n", &error));
+}
+
 TEST(PlatformIo, RejectsUnknownDirective) {
   std::string error;
   EXPECT_FALSE(parse_platform_string("nodes 2\nfrobnicate 3\n", &error));

@@ -1,0 +1,93 @@
+#include "runtime/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace pmcast::runtime {
+namespace {
+
+InstanceKey key(std::uint64_t id) { return InstanceKey{id, ~id}; }
+
+PortfolioResult certified(double period) {
+  PortfolioResult r;
+  r.ok = true;
+  r.period = period;
+  r.winner = Strategy::Mcph;
+  return r;
+}
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(8);
+  EXPECT_FALSE(cache.get(key(1)).has_value());
+  cache.put(key(1), certified(3.0));
+  auto hit = cache.get(key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->from_cache);
+  EXPECT_DOUBLE_EQ(hit->period, 3.0);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.put(key(1), certified(1.0));
+  cache.put(key(2), certified(2.0));
+  ASSERT_TRUE(cache.get(key(1)).has_value());  // refresh 1: LRU is now 2
+  cache.put(key(3), certified(3.0));           // evicts 2
+  EXPECT_TRUE(cache.get(key(1)).has_value());
+  EXPECT_FALSE(cache.get(key(2)).has_value());
+  EXPECT_TRUE(cache.get(key(3)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, DoesNotCacheFailedResults) {
+  ResultCache cache(8);
+  PortfolioResult failed;
+  failed.ok = false;
+  cache.put(key(1), failed);
+  EXPECT_FALSE(cache.get(key(1)).has_value());
+}
+
+TEST(ResultCache, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  cache.put(key(1), certified(1.0));
+  EXPECT_FALSE(cache.get(key(1)).has_value());
+}
+
+TEST(ResultCache, PutRefreshesExistingEntry) {
+  ResultCache cache(2);
+  cache.put(key(1), certified(1.0));
+  cache.put(key(2), certified(2.0));
+  cache.put(key(1), certified(1.5));  // refresh + overwrite: LRU is 2
+  cache.put(key(3), certified(3.0));  // evicts 2
+  auto hit = cache.get(key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->period, 1.5);
+  EXPECT_FALSE(cache.get(key(2)).has_value());
+}
+
+TEST(ResultCache, ConcurrentMixedTraffic) {
+  ResultCache cache(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::uint64_t id = static_cast<std::uint64_t>((t * 31 + i) % 100);
+        if (i % 3 == 0) {
+          cache.put(key(id), certified(static_cast<double>(id)));
+        } else if (auto hit = cache.get(key(id))) {
+          // A hit must carry the value that was stored under this key.
+          EXPECT_DOUBLE_EQ(hit->period, static_cast<double>(id));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.stats().entries, 64u);
+}
+
+}  // namespace
+}  // namespace pmcast::runtime
