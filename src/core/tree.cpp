@@ -157,8 +157,38 @@ TreeSchedule build_tree_schedule(const Digraph& g, const WeightedTreeSet& set,
   // Rationalise every rate against one common denominator (an lcm of
   // per-rate denominators can explode combinatorially). max_denominator is
   // highly composite by default, so the frequent simple fractions (1/2,
-  // 1/3, ..., 1/10) stay exact.
-  const long period_units = max_denominator;
+  // 1/3, ..., 1/10) stay exact. Rates that do not divide evenly — e.g. the
+  // exact solver's LP weights on heterogeneous platforms — are refined by
+  // doubling the denominator until every positive rate rounds with a
+  // relative error <= 1e-5; without this the realised throughput drifts
+  // from the claimed one by whole percents on small rates (the scenario
+  // oracle caught the exact solver certifying *worse* than a single tree
+  // this way). The simulator's cost is per-slot, not per-message, so a
+  // large denominator costs nothing at replay time.
+  long period_units = max_denominator;
+  {
+    const double kTargetScaled = 5e4;  // 0.5 / 5e4 => 1e-5 relative error
+    double min_rate = kInfinity;
+    for (double rate : set.rates) {
+      if (rate > 0.0) min_rate = std::min(min_rate, rate);
+    }
+    for (int grow = 0; grow < 16 && min_rate < kInfinity; ++grow) {
+      bool all_exact = true;
+      for (double rate : set.rates) {
+        double scaled = rate * static_cast<double>(period_units);
+        if (std::fabs(scaled - std::round(scaled)) >
+            1e-9 * std::max(1.0, scaled)) {
+          all_exact = false;
+          break;
+        }
+      }
+      if (all_exact ||
+          min_rate * static_cast<double>(period_units) >= kTargetScaled) {
+        break;
+      }
+      period_units *= 2;
+    }
+  }
   std::vector<std::pair<long, long>> fractions;
   for (double rate : set.rates) {
     fractions.push_back({std::lround(rate * static_cast<double>(period_units)),

@@ -77,12 +77,14 @@ struct TreeSchedule {
 };
 
 /// Realise a weighted tree set as a periodic schedule: every rate is
-/// rationalised against the common denominator \p max_denominator (highly
-/// composite by default so simple fractions stay exact), the period is
+/// rationalised against a common denominator (\p max_denominator — highly
+/// composite by default so simple fractions stay exact — doubled as needed
+/// until inexact rates round with relative error <= 1e-5), the period is
 /// that denominator in time units, and the per-period communications are
 /// orchestrated by weighted edge colouring. The realised throughput can
 /// differ from set.throughput() by at most the rationalisation error
-/// (<= trees / (2 * max_denominator)).
+/// (<= trees / (2 * max_denominator), typically far less after the
+/// adaptive refinement).
 TreeSchedule build_tree_schedule(const Digraph& g, const WeightedTreeSet& set,
                                  std::span<const NodeId> targets,
                                  long max_denominator = 2520);

@@ -1,5 +1,6 @@
 #include "graph/io.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <istream>
 #include <ostream>
@@ -160,11 +161,27 @@ std::optional<PlatformFile> parse_platform_string(const std::string& text,
   return parse_platform(in, error);
 }
 
+namespace {
+
+/// A name round-trips only when the parser's `>> label` extraction can
+/// read it back as one token: non-empty, no whitespace, no comment char.
+bool name_roundtrips(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (c == '#' || std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 void write_platform(std::ostream& out, const PlatformFile& platform) {
   const Digraph& g = platform.graph;
   out << "nodes " << g.node_count() << "\n";
   for (NodeId v = 0; v < g.node_count(); ++v) {
-    out << "name " << v << " " << g.node_name(v) << "\n";
+    if (name_roundtrips(g.node_name(v))) {
+      out << "name " << v << " " << g.node_name(v) << "\n";
+    }
   }
   out << "source " << platform.source << "\n";
   if (!platform.targets.empty()) {
@@ -172,10 +189,13 @@ void write_platform(std::ostream& out, const PlatformFile& platform) {
     for (NodeId t : platform.targets) out << " " << t;
     out << "\n";
   }
+  // Max precision so write -> parse -> write is byte-stable for any cost.
+  const auto saved_precision = out.precision(17);
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     const Edge& edge = g.edge(e);
     out << "edge " << edge.from << " " << edge.to << " " << edge.cost << "\n";
   }
+  out.precision(saved_precision);
 }
 
 std::string write_platform_string(const PlatformFile& platform) {

@@ -1,0 +1,579 @@
+#include "scenario/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <queue>
+
+#include "topology/tiers.hpp"
+
+namespace pmcast::scenario {
+namespace {
+
+/// Integer-valued link costs (as in topo::tiers) keep the LPs rational;
+/// the floor is clamped to 1 so sub-unit cost ranges stay valid platforms.
+double sample_cost(Rng& rng, double lo, double hi) {
+  return std::max(1.0, std::floor(rng.uniform_real(lo, hi + 1.0)));
+}
+
+enum class Level { Core, Leaf };
+
+/// One physical (bidirectional) link of a blueprint.
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double cost = 0.0;
+};
+
+/// Family builders produce a blueprint; the shared tail applies the
+/// degradation model, materialises the digraph and samples targets.
+struct Blueprint {
+  std::vector<std::string> names;
+  std::vector<Link> links;
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> leaf_pool;
+};
+
+void add_link(Blueprint& bp, NodeId a, NodeId b, Level level,
+              const CostModel& costs, Rng& rng) {
+  double lo = level == Level::Core ? costs.core_lo : costs.leaf_lo;
+  double hi = level == Level::Core ? costs.core_hi : costs.leaf_hi;
+  bp.links.push_back({a, b, sample_cost(rng, lo, hi)});
+}
+
+// ------------------------------------------------------------- fat_tree --
+// Leaf/spine cluster: S spines, L leaf switches, hosts round-robin on the
+// leaves; every leaf switch uplinks to every spine (homogeneous switched
+// fabric — set core_lo == core_hi for a perfectly uniform one).
+Blueprint build_fat_tree(const ScenarioSpec& spec, Rng& rng) {
+  const int n = spec.nodes;
+  int spines = std::clamp(n / 6, 1, 4);
+  int leaves = std::clamp((n - spines) / 4, 2, n - spines - 1);
+  int hosts = n - spines - leaves;
+  assert(hosts >= 1);
+
+  Blueprint bp;
+  std::vector<NodeId> spine_ids, leaf_ids;
+  for (int i = 0; i < spines; ++i) {
+    spine_ids.push_back(static_cast<NodeId>(bp.names.size()));
+    bp.names.push_back("spine" + std::to_string(i));
+  }
+  for (int i = 0; i < leaves; ++i) {
+    leaf_ids.push_back(static_cast<NodeId>(bp.names.size()));
+    bp.names.push_back("leaf" + std::to_string(i));
+  }
+  for (NodeId l : leaf_ids) {
+    for (NodeId s : spine_ids) add_link(bp, l, s, Level::Core, spec.costs, rng);
+  }
+  for (int i = 0; i < hosts; ++i) {
+    NodeId h = static_cast<NodeId>(bp.names.size());
+    bp.names.push_back("host" + std::to_string(i));
+    add_link(bp, leaf_ids[static_cast<size_t>(i % leaves)], h, Level::Leaf,
+             spec.costs, rng);
+    bp.leaf_pool.push_back(h);
+  }
+  bp.source = spine_ids[rng.uniform(spine_ids.size())];
+  return bp;
+}
+
+// ------------------------------------------------------------ power_law --
+// Barabási–Albert preferential attachment: a seed clique of m+1 nodes,
+// then every new node attaches to m distinct existing nodes picked
+// proportionally to degree (stub sampling). Hubs emerge; the source is the
+// biggest hub, the leaf pool is the degree-m periphery.
+Blueprint build_power_law(const ScenarioSpec& spec, Rng& rng) {
+  const int n = spec.nodes;
+  const int m = std::clamp(spec.power_law_attach, 1, n - 1);
+  Blueprint bp;
+  for (int i = 0; i < n; ++i) bp.names.push_back("as" + std::to_string(i));
+
+  std::vector<NodeId> stubs;  // one entry per link endpoint
+  std::vector<int> degree(static_cast<size_t>(n), 0);
+  auto connect = [&](NodeId u, NodeId v) {
+    add_link(bp, u, v, Level::Core, spec.costs, rng);
+    stubs.push_back(u);
+    stubs.push_back(v);
+    ++degree[static_cast<size_t>(u)];
+    ++degree[static_cast<size_t>(v)];
+  };
+
+  const int seed_size = std::min(m + 1, n);
+  for (int u = 0; u < seed_size; ++u) {
+    for (int v = u + 1; v < seed_size; ++v) {
+      connect(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    }
+  }
+  for (int i = seed_size; i < n; ++i) {
+    std::vector<NodeId> picked;
+    int guard = 0;
+    while (static_cast<int>(picked.size()) < m) {
+      NodeId cand = ++guard > 16 * m
+                        ? static_cast<NodeId>(rng.uniform(
+                              static_cast<std::uint64_t>(i)))
+                        : stubs[rng.uniform(stubs.size())];
+      if (cand == static_cast<NodeId>(i)) continue;
+      if (std::find(picked.begin(), picked.end(), cand) != picked.end()) {
+        continue;
+      }
+      picked.push_back(cand);
+    }
+    for (NodeId p : picked) connect(static_cast<NodeId>(i), p);
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (degree[static_cast<size_t>(v)] <= m) bp.leaf_pool.push_back(v);
+  }
+  if (bp.leaf_pool.empty()) {
+    for (NodeId v = 1; v < n; ++v) bp.leaf_pool.push_back(v);
+  }
+  bp.source = static_cast<NodeId>(std::distance(
+      degree.begin(), std::max_element(degree.begin(), degree.end())));
+  return bp;
+}
+
+// ----------------------------------------------------------------- grid --
+// w x h mesh (w = floor(sqrt(n)), last row possibly partial) with
+// 4-neighbour links; torus mode wraps every full row and every full
+// column. The leaf pool is the border (everything, on a torus).
+Blueprint build_grid(const ScenarioSpec& spec, Rng& rng) {
+  const int n = spec.nodes;
+  const int w = std::max(1, static_cast<int>(std::floor(std::sqrt(
+                                static_cast<double>(n)))));
+  const int h = (n + w - 1) / w;
+  auto id_at = [&](int r, int c) -> NodeId {
+    int id = r * w + c;
+    return id < n ? static_cast<NodeId>(id) : kInvalidNode;
+  };
+
+  Blueprint bp;
+  for (int i = 0; i < n; ++i) {
+    bp.names.push_back("g" + std::to_string(i / w) + "x" +
+                       std::to_string(i % w));
+  }
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      NodeId v = id_at(r, c);
+      if (v == kInvalidNode) continue;
+      NodeId right = c + 1 < w ? id_at(r, c + 1) : kInvalidNode;
+      NodeId down = id_at(r + 1, c);
+      if (right != kInvalidNode) {
+        add_link(bp, v, right, Level::Core, spec.costs, rng);
+      }
+      if (down != kInvalidNode) {
+        add_link(bp, v, down, Level::Core, spec.costs, rng);
+      }
+    }
+  }
+  if (spec.torus) {
+    for (int r = 0; r < h; ++r) {  // wrap full rows
+      if (w >= 3 && id_at(r, w - 1) != kInvalidNode) {
+        add_link(bp, id_at(r, w - 1), id_at(r, 0), Level::Core, spec.costs,
+                 rng);
+      }
+    }
+    for (int c = 0; c < w; ++c) {  // wrap full columns
+      if (h >= 3 && id_at(h - 1, c) != kInvalidNode) {
+        add_link(bp, id_at(h - 1, c), id_at(0, c), Level::Core, spec.costs,
+                 rng);
+      }
+    }
+  }
+
+  std::vector<int> degree(static_cast<size_t>(n), 0);
+  for (const Link& l : bp.links) {
+    ++degree[static_cast<size_t>(l.a)];
+    ++degree[static_cast<size_t>(l.b)];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (degree[static_cast<size_t>(v)] < 4) bp.leaf_pool.push_back(v);
+  }
+  if (bp.leaf_pool.empty()) {  // full torus: no border
+    for (NodeId v = 0; v < n; ++v) bp.leaf_pool.push_back(v);
+  }
+  bp.source = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+  return bp;
+}
+
+// ----------------------------------------------------------------- star --
+// Bandwidth-bound edge clusters: hub -> C gateways over expensive core
+// links, leaves round-robin on gateways over cheap leaf links. Every
+// cluster is throttled by its single uplink — the adversarial case for
+// tree heuristics that overload one port.
+Blueprint build_star(const ScenarioSpec& spec, Rng& rng) {
+  const int n = spec.nodes;
+  const int clusters = std::clamp(spec.star_clusters, 1, std::max(1, n - 2));
+  const int leaves = n - 1 - clusters;
+  assert(leaves >= 1);
+
+  Blueprint bp;
+  bp.names.push_back("hub");
+  bp.source = 0;
+  std::vector<NodeId> gateways;
+  for (int i = 0; i < clusters; ++i) {
+    NodeId g = static_cast<NodeId>(bp.names.size());
+    bp.names.push_back("gw" + std::to_string(i));
+    gateways.push_back(g);
+    add_link(bp, 0, g, Level::Core, spec.costs, rng);
+  }
+  for (int i = 0; i < leaves; ++i) {
+    NodeId v = static_cast<NodeId>(bp.names.size());
+    bp.names.push_back("edge" + std::to_string(i));
+    add_link(bp, gateways[static_cast<size_t>(i % clusters)], v, Level::Leaf,
+             spec.costs, rng);
+    bp.leaf_pool.push_back(v);
+  }
+  return bp;
+}
+
+// ------------------------------------------------------------ geometric --
+// Random geometric graph: n points in the unit square, links within radius
+// r, cost proportional to distance. Disconnected components are stitched
+// deterministically through their closest inter-component pair.
+Blueprint build_geometric(const ScenarioSpec& spec, Rng& rng) {
+  const int n = spec.nodes;
+  const double radius =
+      spec.geo_radius > 0.0
+          ? spec.geo_radius
+          : std::sqrt(1.8 * std::log(static_cast<double>(std::max(n, 2))) /
+                      static_cast<double>(n));
+
+  Blueprint bp;
+  std::vector<double> x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = rng.uniform_real();
+    y[static_cast<size_t>(i)] = rng.uniform_real();
+    bp.names.push_back("p" + std::to_string(i));
+  }
+  auto dist = [&](int i, int j) {
+    double dx = x[static_cast<size_t>(i)] - x[static_cast<size_t>(j)];
+    double dy = y[static_cast<size_t>(i)] - y[static_cast<size_t>(j)];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  // Distance in [0, sqrt(2)] maps linearly onto the core cost range.
+  auto cost_of = [&](double d) {
+    double t = std::min(d / std::sqrt(2.0), 1.0);
+    return std::max(1.0, std::floor(spec.costs.core_lo +
+                                    t * (spec.costs.core_hi -
+                                         spec.costs.core_lo)));
+  };
+
+  std::vector<int> component(static_cast<size_t>(n));
+  std::iota(component.begin(), component.end(), 0);
+  std::function<int(int)> find = [&](int v) {
+    while (component[static_cast<size_t>(v)] != v) {
+      component[static_cast<size_t>(v)] =
+          component[static_cast<size_t>(component[static_cast<size_t>(v)])];
+      v = component[static_cast<size_t>(v)];
+    }
+    return v;
+  };
+  auto unite = [&](int a, int b) { component[static_cast<size_t>(find(a))] = find(b); };
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double d = dist(i, j);
+      if (d <= radius) {
+        bp.links.push_back({static_cast<NodeId>(i), static_cast<NodeId>(j),
+                            cost_of(d)});
+        unite(i, j);
+      }
+    }
+  }
+  // Connectivity repair: repeatedly add the globally closest
+  // inter-component link (deterministic scan, strict < keeps ties stable).
+  while (true) {
+    int best_i = -1, best_j = -1;
+    double best_d = kInfinity;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (find(i) == find(j)) continue;
+        double d = dist(i, j);
+        if (d < best_d) {
+          best_d = d;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_i < 0) break;  // one component left
+    bp.links.push_back({static_cast<NodeId>(best_i),
+                        static_cast<NodeId>(best_j), cost_of(best_d)});
+    unite(best_i, best_j);
+  }
+
+  std::vector<int> degree(static_cast<size_t>(n), 0);
+  for (const Link& l : bp.links) {
+    ++degree[static_cast<size_t>(l.a)];
+    ++degree[static_cast<size_t>(l.b)];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (degree[static_cast<size_t>(v)] <= 2) bp.leaf_pool.push_back(v);
+  }
+  if (bp.leaf_pool.empty()) {
+    for (NodeId v = 0; v < n; ++v) bp.leaf_pool.push_back(v);
+  }
+  bp.source = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n)));
+  return bp;
+}
+
+// ---------------------------------------------------------------- tiers --
+// The paper's WAN/MAN/LAN hierarchy rescaled to the node budget. Level
+// cost ranges map onto the CostModel: WAN = 2.5x core (the defaults then
+// reproduce TiersParams exactly), MAN = core, LAN = leaf. The generated
+// platform is converted back into a blueprint so the shared degradation /
+// target-policy tail applies uniformly across families.
+Blueprint build_tiers(const ScenarioSpec& spec, Rng& rng) {
+  const int n = spec.nodes;
+  topo::TiersParams params;
+  params.wan_nodes = std::clamp(static_cast<int>(std::lround(0.17 * n)), 2,
+                                std::max(2, n - 2));
+  params.mans = std::max(1, n / 16);
+  params.man_nodes = std::clamp((n - params.wan_nodes) / (4 * params.mans), 1,
+                                6);
+  params.lan_nodes = n - params.wan_nodes - params.mans * params.man_nodes;
+  if (params.lan_nodes < 1) {
+    params.man_nodes = 1;
+    params.lan_nodes = n - params.wan_nodes - params.mans;
+  }
+  assert(params.lan_nodes >= 1);
+  params.lans = std::max(1, params.lan_nodes / 4);
+  params.wan_redundancy = std::max(1, params.wan_nodes / 3);
+  params.man_redundancy = 1;
+  params.wan_cost_lo = 2.5 * spec.costs.core_lo;
+  params.wan_cost_hi = 2.5 * spec.costs.core_hi;
+  params.man_cost_lo = spec.costs.core_lo;
+  params.man_cost_hi = spec.costs.core_hi;
+  params.lan_cost_lo = spec.costs.leaf_lo;
+  params.lan_cost_hi = spec.costs.leaf_hi;
+  assert(params.total_nodes() == n);
+
+  // Derive the sub-seed before the platform consumes the stream so the
+  // shared tail stays independent of tiers-internal sampling.
+  std::uint64_t tiers_seed = rng.next_u64();
+  topo::Platform platform = topo::generate_tiers(params, tiers_seed);
+
+  Blueprint bp;
+  for (NodeId v = 0; v < platform.graph.node_count(); ++v) {
+    bp.names.push_back(platform.graph.node_name(v));
+  }
+  // add_bidirectional stores the two directions consecutively; fold each
+  // pair back into one physical link.
+  assert(platform.graph.edge_count() % 2 == 0);
+  for (EdgeId e = 0; e < platform.graph.edge_count(); e += 2) {
+    const Edge& fwd = platform.graph.edge(e);
+    const Edge& rev = platform.graph.edge(e + 1);
+    assert(fwd.from == rev.to && fwd.to == rev.from && fwd.cost == rev.cost);
+    (void)rev;
+    bp.links.push_back({fwd.from, fwd.to, fwd.cost});
+  }
+  bp.source = platform.source;
+  bp.leaf_pool = platform.lan;
+  return bp;
+}
+
+// ------------------------------------------------------------ shared tail --
+
+/// Hop distances from \p origin over the bidirectional platform.
+std::vector<int> bfs_hops(const Digraph& g, NodeId origin) {
+  std::vector<int> hops(static_cast<size_t>(g.node_count()), -1);
+  std::queue<NodeId> queue;
+  hops[static_cast<size_t>(origin)] = 0;
+  queue.push(origin);
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop();
+    for (EdgeId e : g.out_edges(v)) {
+      NodeId w = g.edge(e).to;
+      if (hops[static_cast<size_t>(w)] < 0) {
+        hops[static_cast<size_t>(w)] = hops[static_cast<size_t>(v)] + 1;
+        queue.push(w);
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<NodeId> pick_targets(const Digraph& g, NodeId source,
+                                 const std::vector<NodeId>& leaf_pool,
+                                 const ScenarioSpec& spec, Rng& rng) {
+  std::vector<NodeId> pool;
+  if (spec.policy == TargetPolicy::LeafBiased) {
+    for (NodeId v : leaf_pool) {
+      if (v != source) pool.push_back(v);
+    }
+  }
+  if (pool.empty()) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v != source) pool.push_back(v);
+    }
+  }
+  auto count = static_cast<size_t>(std::lround(
+      spec.target_density * static_cast<double>(pool.size())));
+  count = std::clamp<size_t>(count, 1, pool.size());
+
+  std::vector<NodeId> targets;
+  if (spec.policy == TargetPolicy::Hotspot) {
+    NodeId hotspot = pool[rng.uniform(pool.size())];
+    auto hops = bfs_hops(g, hotspot);
+    // Nearest-first, ties by id: the target set clusters around the
+    // hotspot, stressing strategies that assume spread-out targets.
+    std::stable_sort(pool.begin(), pool.end(), [&](NodeId a, NodeId b) {
+      return hops[static_cast<size_t>(a)] < hops[static_cast<size_t>(b)];
+    });
+    targets.assign(pool.begin(),
+                   pool.begin() + static_cast<std::ptrdiff_t>(count));
+  } else {
+    targets = rng.sample(pool, count);
+  }
+  std::sort(targets.begin(), targets.end());
+  return targets;
+}
+
+}  // namespace
+
+const char* family_name(Family family) {
+  switch (family) {
+    case Family::Tiers: return "tiers";
+    case Family::FatTree: return "fat_tree";
+    case Family::PowerLaw: return "power_law";
+    case Family::Grid: return "grid";
+    case Family::Star: return "star";
+    case Family::Geometric: return "geometric";
+  }
+  return "?";
+}
+
+std::optional<Family> family_from_name(const std::string& name) {
+  for (Family f : all_families()) {
+    if (name == family_name(f)) return f;
+  }
+  return std::nullopt;
+}
+
+std::vector<Family> all_families() {
+  return {Family::Tiers, Family::FatTree, Family::PowerLaw,
+          Family::Grid,  Family::Star,    Family::Geometric};
+}
+
+const char* target_policy_name(TargetPolicy policy) {
+  switch (policy) {
+    case TargetPolicy::Uniform: return "uniform";
+    case TargetPolicy::LeafBiased: return "leaf_biased";
+    case TargetPolicy::Hotspot: return "hotspot";
+  }
+  return "?";
+}
+
+std::optional<TargetPolicy> target_policy_from_name(const std::string& name) {
+  for (TargetPolicy p :
+       {TargetPolicy::Uniform, TargetPolicy::LeafBiased,
+        TargetPolicy::Hotspot}) {
+    if (name == target_policy_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+std::string ScenarioSpec::name() const {
+  char policy_tag = policy == TargetPolicy::Uniform      ? 'u'
+                    : policy == TargetPolicy::LeafBiased ? 'l'
+                                                         : 'h';
+  std::string out = family_name(family);
+  out += "-n" + std::to_string(nodes);
+  out += "-d" + std::to_string(static_cast<int>(
+                    std::lround(100.0 * target_density)));
+  out += policy_tag;
+  if (family == Family::Grid && torus) out += "-torus";
+  if (costs.degrade_fraction > 0.0) {
+    out += "-deg" + std::to_string(static_cast<int>(
+                        std::lround(100.0 * costs.degrade_fraction)));
+  }
+  out += "-s" + std::to_string(seed);
+  return out;
+}
+
+ScenarioInstance generate_scenario(const ScenarioSpec& raw) {
+  assert(raw.nodes >= 4 && "scenario families need at least 4 nodes");
+  assert(raw.target_density >= 0.0 && raw.target_density <= 1.0);
+  // Normalise out-of-range knobs so release builds (asserts compiled out)
+  // never reach std::clamp with an inverted range or negative link costs.
+  ScenarioSpec spec = raw;
+  spec.nodes = std::max(spec.nodes, 4);
+  spec.target_density = std::clamp(spec.target_density, 0.0, 1.0);
+  spec.costs.degrade_fraction =
+      std::clamp(spec.costs.degrade_fraction, 0.0, 1.0);
+  spec.costs.degrade_factor = std::max(spec.costs.degrade_factor, 1.0);
+  Rng rng(spec.seed ^ (0x5ca1ab1eULL + static_cast<std::uint64_t>(
+                                           spec.family) * 0x9e3779b97f4a7c15ULL));
+
+  Blueprint bp;
+  switch (spec.family) {
+    case Family::Tiers: bp = build_tiers(spec, rng); break;
+    case Family::FatTree: bp = build_fat_tree(spec, rng); break;
+    case Family::PowerLaw: bp = build_power_law(spec, rng); break;
+    case Family::Grid: bp = build_grid(spec, rng); break;
+    case Family::Star: bp = build_star(spec, rng); break;
+    case Family::Geometric: bp = build_geometric(spec, rng); break;
+  }
+  assert(static_cast<int>(bp.names.size()) == spec.nodes);
+  assert(bp.source != kInvalidNode);
+
+  // Degradation: a seeded fraction of physical links slows down by the
+  // degradation factor — both directions, like a congested cable.
+  if (spec.costs.degrade_fraction > 0.0) {
+    for (Link& link : bp.links) {
+      if (rng.bernoulli(spec.costs.degrade_fraction)) {
+        link.cost *= spec.costs.degrade_factor;
+      }
+    }
+  }
+
+  Digraph g;
+  for (const std::string& name : bp.names) g.add_node(name);
+  for (const Link& link : bp.links) {
+    g.add_bidirectional(link.a, link.b, link.cost);
+  }
+
+  std::vector<NodeId> targets =
+      pick_targets(g, bp.source, bp.leaf_pool, spec, rng);
+
+  ScenarioInstance instance{
+      core::MulticastProblem(std::move(g), bp.source, std::move(targets)),
+      spec, std::move(bp.leaf_pool), spec.name()};
+  assert(instance.problem.feasible());
+  return instance;
+}
+
+PlatformFile to_platform_file(const ScenarioInstance& instance) {
+  return PlatformFile{instance.problem.graph, instance.problem.source,
+                      instance.problem.targets};
+}
+
+std::vector<ScenarioSpec> corpus_specs(int per_family,
+                                       std::uint64_t base_seed, int nodes) {
+  const double densities[] = {0.3, 0.5, 0.8};
+  const TargetPolicy policies[] = {TargetPolicy::Uniform,
+                                   TargetPolicy::LeafBiased,
+                                   TargetPolicy::Hotspot};
+  std::vector<ScenarioSpec> specs;
+  for (Family family : all_families()) {
+    for (int i = 0; i < per_family; ++i) {
+      ScenarioSpec spec;
+      spec.family = family;
+      spec.nodes = nodes;
+      spec.seed = base_seed + static_cast<std::uint64_t>(i);
+      spec.target_density = densities[i % 3];
+      spec.policy = policies[(i / 3) % 3];
+      if (family == Family::Grid) spec.torus = (i % 2) == 1;
+      if (i % 4 == 3) {
+        spec.costs.degrade_fraction = 0.15;
+        spec.costs.degrade_factor = 6.0;
+      }
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+}  // namespace pmcast::scenario

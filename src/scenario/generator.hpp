@@ -1,0 +1,126 @@
+#pragma once
+/// \file generator.hpp
+/// Seeded, deterministic platform/workload generator library.
+///
+/// The paper evaluates only on Tiers-style WAN/MAN/LAN hierarchies
+/// (Small30/Big65). A single topology family hides solver weaknesses, so
+/// this module widens the corpus to six parameterised families:
+///
+///  * tiers      — the paper's hierarchical WAN/MAN/LAN platform, rescaled
+///                 to an arbitrary node budget (wraps topo::generate_tiers);
+///  * fat_tree   — leaf/spine switched cluster: every leaf switch uplinks
+///                 to every spine, hosts hang off leaf switches;
+///  * power_law  — internet-like graph by preferential attachment
+///                 (Barabási–Albert), hubs emerge, periphery stays sparse;
+///  * grid       — 2-D mesh with 4-neighbour links, optionally wrapped
+///                 into a torus;
+///  * star       — bandwidth-bound edge clusters: a central hub feeds
+///                 cluster gateways over expensive links, leaves hang off
+///                 gateways over cheap ones (the uplink is the bottleneck);
+///  * geometric  — random geometric graph in the unit square, link cost
+///                 proportional to Euclidean distance, connectivity
+///                 repaired deterministically.
+///
+/// Heterogeneity knobs: per-level cost ranges (core vs leaf links) and a
+/// degradation model (a seeded fraction of physical links has its cost
+/// multiplied by a factor — outlier/congested links). Target selection
+/// policies: uniform over the platform, LAN/leaf-biased (the paper's
+/// choice), and hotspot (targets cluster around a random node).
+///
+/// Everything is a pure function of (spec, spec.seed): generation is
+/// byte-deterministic — the same spec always serialises to the same
+/// graph/io.hpp text — which makes every corpus reproducible from a list
+/// of specs. All physical links are bidirectional and connectivity is
+/// enforced per family, so generated instances are always feasible.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "graph/io.hpp"
+#include "graph/rng.hpp"
+
+namespace pmcast::scenario {
+
+enum class Family {
+  Tiers = 0,  ///< paper's WAN/MAN/LAN hierarchy (topo::tiers rescaled)
+  FatTree,    ///< leaf/spine homogeneous switched cluster
+  PowerLaw,   ///< preferential-attachment internet-like graph
+  Grid,       ///< 2-D mesh, optionally a torus (ScenarioSpec::torus)
+  Star,       ///< hub -> cluster gateways -> leaves, uplink-bound
+  Geometric,  ///< random geometric graph, distance-proportional costs
+};
+
+/// Stable lowercase token ("tiers", "fat_tree", ...), used by the CLI and
+/// in instance names.
+const char* family_name(Family family);
+std::optional<Family> family_from_name(const std::string& name);
+std::vector<Family> all_families();
+
+enum class TargetPolicy {
+  Uniform = 0,  ///< sample uniformly among all non-source nodes
+  LeafBiased,   ///< sample among the family's leaf pool (paper's policy)
+  Hotspot,      ///< targets are the BFS-nearest nodes to a random hotspot
+};
+
+const char* target_policy_name(TargetPolicy policy);
+std::optional<TargetPolicy> target_policy_from_name(const std::string& name);
+
+/// Per-level link cost distributions plus the degradation (outlier) model.
+/// Costs are sampled as integers (like topo::tiers) to keep LPs rational.
+struct CostModel {
+  double core_lo = 40.0;   ///< switch/backbone/inter-cluster links
+  double core_hi = 120.0;
+  double leaf_lo = 10.0;   ///< host/leaf attachment links
+  double leaf_hi = 40.0;
+
+  /// Fraction of physical links degraded (both directions of the link get
+  /// the same degraded cost — a slow cable, not a slow direction).
+  double degrade_fraction = 0.0;
+  /// Cost multiplier applied to degraded links (> 1 slows them down).
+  double degrade_factor = 4.0;
+};
+
+/// A complete, self-describing recipe for one instance.
+struct ScenarioSpec {
+  Family family = Family::Grid;
+  int nodes = 16;             ///< total node budget (exact for every family)
+  std::uint64_t seed = 1;
+  double target_density = 0.5;  ///< fraction of the policy's pool, >= 1 node
+  TargetPolicy policy = TargetPolicy::Uniform;
+  CostModel costs;
+
+  // Family-specific knobs (ignored by the other families).
+  int power_law_attach = 2;  ///< PowerLaw: links added per new node
+  bool torus = false;        ///< Grid: wrap rows and columns
+  int star_clusters = 4;     ///< Star: cluster gateway count
+  double geo_radius = 0.0;   ///< Geometric: link radius, 0 = auto-connect
+
+  /// Compact human-readable identity, e.g. "grid-n16-d50l-s7".
+  std::string name() const;
+};
+
+/// A generated instance: the solver-ready problem plus provenance.
+struct ScenarioInstance {
+  core::MulticastProblem problem;
+  ScenarioSpec spec;
+  std::vector<NodeId> leaf_pool;  ///< target-eligible "edge" nodes
+  std::string name;               ///< spec.name()
+};
+
+/// Generate one instance. Pure function of \p spec; asserts feasibility.
+ScenarioInstance generate_scenario(const ScenarioSpec& spec);
+
+/// The instance as a graph/io.hpp platform file (round-trips through
+/// parse_platform; node names are preserved).
+PlatformFile to_platform_file(const ScenarioInstance& instance);
+
+/// A mixed corpus covering every family: \p per_family specs each, with
+/// seeds base_seed, base_seed+1, ... and density/policy/degradation knobs
+/// cycling so the corpus exercises every code path. Deterministic.
+std::vector<ScenarioSpec> corpus_specs(int per_family, std::uint64_t base_seed,
+                                       int nodes);
+
+}  // namespace pmcast::scenario

@@ -1,0 +1,17 @@
+#pragma once
+/// \file scenario.hpp
+/// Umbrella header for the scenario subsystem: seeded multi-family
+/// platform/workload generation (generator.hpp) plus the differential
+/// verification oracle that cross-checks every solver strategy against the
+/// LP bounds on each generated instance (oracle.hpp).
+///
+/// Typical uses:
+///   * tools/pmcast_gen — emit generated platforms in the graph/io.hpp
+///     text format for external consumption;
+///   * bench/scenario_sweep — per-family period-gap and latency stats
+///     through the runtime's PortfolioEngine (BENCH_scenarios.json);
+///   * tests/scenario/ — property/differential test suites and the golden
+///     corpus regression under tests/data/.
+
+#include "scenario/generator.hpp"
+#include "scenario/oracle.hpp"

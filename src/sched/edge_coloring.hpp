@@ -41,7 +41,10 @@ struct ColorSlot {
 
 struct ColoringResult {
   bool ok = false;
-  double makespan = 0.0;          ///< equals the max port load on success
+  /// Total schedule length: the max port load on success, plus at most a
+  /// floating-point-dust overshoot when input weights break exact port
+  /// regularity (see color_communications).
+  double makespan = 0.0;
   std::vector<ColorSlot> slots;
 };
 

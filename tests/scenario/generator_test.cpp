@@ -1,0 +1,221 @@
+#include "scenario/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/io.hpp"
+
+namespace pmcast::scenario {
+namespace {
+
+ScenarioSpec spec_of(Family family, std::uint64_t seed, int nodes = 12) {
+  ScenarioSpec spec;
+  spec.family = family;
+  spec.nodes = nodes;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(FamilyNames, RoundTripThroughParser) {
+  for (Family f : all_families()) {
+    auto parsed = family_from_name(family_name(f));
+    ASSERT_TRUE(parsed.has_value()) << family_name(f);
+    EXPECT_EQ(*parsed, f);
+  }
+  EXPECT_FALSE(family_from_name("not_a_family").has_value());
+  EXPECT_EQ(all_families().size(), 6u);
+}
+
+TEST(PolicyNames, RoundTripThroughParser) {
+  for (TargetPolicy p : {TargetPolicy::Uniform, TargetPolicy::LeafBiased,
+                         TargetPolicy::Hotspot}) {
+    auto parsed = target_policy_from_name(target_policy_name(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(target_policy_from_name("nearest").has_value());
+}
+
+TEST(Generator, ExactNodeBudgetEveryFamily) {
+  for (Family f : all_families()) {
+    for (int nodes : {4, 9, 16, 30}) {
+      ScenarioInstance instance = generate_scenario(spec_of(f, 5, nodes));
+      EXPECT_EQ(instance.problem.graph.node_count(), nodes)
+          << family_name(f) << " n=" << nodes;
+    }
+  }
+}
+
+TEST(Generator, FeasibleAndSourceNotTarget) {
+  for (Family f : all_families()) {
+    for (std::uint64_t seed : {1, 2, 3, 4, 5, 6, 7, 8}) {
+      ScenarioInstance instance = generate_scenario(spec_of(f, seed));
+      EXPECT_TRUE(instance.problem.feasible()) << instance.name;
+      EXPECT_GE(instance.problem.target_count(), 1) << instance.name;
+      for (NodeId t : instance.problem.targets) {
+        EXPECT_NE(t, instance.problem.source) << instance.name;
+      }
+      EXPECT_FALSE(instance.leaf_pool.empty()) << instance.name;
+    }
+  }
+}
+
+TEST(Generator, ByteDeterministicPerSpec) {
+  for (const ScenarioSpec& spec : corpus_specs(4, 77, 11)) {
+    std::string a = write_platform_string(to_platform_file(
+        generate_scenario(spec)));
+    std::string b = write_platform_string(to_platform_file(
+        generate_scenario(spec)));
+    EXPECT_EQ(a, b) << spec.name();
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  for (Family f : all_families()) {
+    std::string a = write_platform_string(to_platform_file(
+        generate_scenario(spec_of(f, 1))));
+    std::string b = write_platform_string(to_platform_file(
+        generate_scenario(spec_of(f, 2))));
+    EXPECT_NE(a, b) << family_name(f);
+  }
+}
+
+TEST(Generator, AllLinksBidirectional) {
+  for (Family f : all_families()) {
+    ScenarioInstance instance = generate_scenario(spec_of(f, 9));
+    const Digraph& g = instance.problem.graph;
+    ASSERT_EQ(g.edge_count() % 2, 0) << family_name(f);
+    for (EdgeId e = 0; e < g.edge_count(); e += 2) {
+      const Edge& fwd = g.edge(e);
+      const Edge& rev = g.edge(e + 1);
+      EXPECT_EQ(fwd.from, rev.to);
+      EXPECT_EQ(fwd.to, rev.from);
+      EXPECT_DOUBLE_EQ(fwd.cost, rev.cost);
+    }
+  }
+}
+
+TEST(Generator, DensityControlsTargetCount) {
+  ScenarioSpec spec = spec_of(Family::Grid, 3, 16);
+  spec.target_density = 0.0;
+  EXPECT_EQ(generate_scenario(spec).problem.target_count(), 1);
+  spec.target_density = 1.0;
+  // Uniform policy: the whole non-source platform.
+  EXPECT_EQ(generate_scenario(spec).problem.target_count(), 15);
+  spec.target_density = 0.5;
+  EXPECT_EQ(generate_scenario(spec).problem.target_count(), 8);  // round(7.5)
+}
+
+TEST(Generator, LeafBiasedTargetsComeFromLeafPool) {
+  for (Family f : all_families()) {
+    ScenarioSpec spec = spec_of(f, 21, 14);
+    spec.policy = TargetPolicy::LeafBiased;
+    spec.target_density = 0.6;
+    ScenarioInstance instance = generate_scenario(spec);
+    std::set<NodeId> pool(instance.leaf_pool.begin(),
+                          instance.leaf_pool.end());
+    for (NodeId t : instance.problem.targets) {
+      EXPECT_TRUE(pool.count(t)) << family_name(f) << " target " << t;
+    }
+  }
+}
+
+TEST(Generator, HotspotTargetsAreDistinctAndValid) {
+  for (Family f : all_families()) {
+    ScenarioSpec spec = spec_of(f, 31, 14);
+    spec.policy = TargetPolicy::Hotspot;
+    spec.target_density = 0.4;
+    ScenarioInstance instance = generate_scenario(spec);
+    std::set<NodeId> uniq(instance.problem.targets.begin(),
+                          instance.problem.targets.end());
+    EXPECT_EQ(uniq.size(), instance.problem.targets.size()) << family_name(f);
+    EXPECT_TRUE(instance.problem.feasible()) << instance.name;
+  }
+}
+
+TEST(Generator, DegradationSlowsSomeLinks) {
+  ScenarioSpec clean = spec_of(Family::FatTree, 13, 16);
+  ScenarioSpec degraded = clean;
+  degraded.costs.degrade_fraction = 0.3;
+  degraded.costs.degrade_factor = 10.0;
+  const Digraph& a = generate_scenario(clean).problem.graph;
+  const Digraph& b = generate_scenario(degraded).problem.graph;
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  int slower = 0;
+  for (EdgeId e = 0; e < a.edge_count(); ++e) {
+    EXPECT_GE(b.edge(e).cost, a.edge(e).cost);
+    if (b.edge(e).cost > a.edge(e).cost) {
+      EXPECT_DOUBLE_EQ(b.edge(e).cost, 10.0 * a.edge(e).cost);
+      ++slower;
+    }
+  }
+  EXPECT_GT(slower, 0);
+  EXPECT_LT(slower, a.edge_count());
+}
+
+TEST(Generator, CostsRespectLevelRanges) {
+  ScenarioSpec spec = spec_of(Family::Star, 17, 12);
+  spec.costs.core_lo = 100.0;
+  spec.costs.core_hi = 100.0;
+  spec.costs.leaf_lo = 7.0;
+  spec.costs.leaf_hi = 7.0;
+  const Digraph& g = generate_scenario(spec).problem.graph;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    double c = g.edge(e).cost;
+    EXPECT_TRUE(c == 100.0 || c == 7.0) << "edge cost " << c;
+  }
+}
+
+TEST(Generator, TorusGridHasWrapLinks) {
+  ScenarioSpec grid = spec_of(Family::Grid, 7, 16);
+  ScenarioSpec torus = grid;
+  torus.torus = true;
+  int grid_edges = generate_scenario(grid).problem.graph.edge_count();
+  int torus_edges = generate_scenario(torus).problem.graph.edge_count();
+  EXPECT_GT(torus_edges, grid_edges);
+  // A full 4x4 torus is 4-regular: every node in the leaf pool fallback.
+  ScenarioInstance t = generate_scenario(torus);
+  for (NodeId v = 0; v < t.problem.graph.node_count(); ++v) {
+    EXPECT_EQ(t.problem.graph.out_degree(v), 4);
+  }
+}
+
+TEST(Generator, StarLeavesHangOffGateways) {
+  ScenarioInstance instance = generate_scenario(spec_of(Family::Star, 3, 13));
+  const Digraph& g = instance.problem.graph;
+  // hub is node 0 and the source; every leaf has degree 1.
+  EXPECT_EQ(instance.problem.source, 0);
+  for (NodeId v : instance.leaf_pool) {
+    EXPECT_EQ(g.out_degree(v), 1);
+    EXPECT_EQ(g.in_degree(v), 1);
+  }
+}
+
+TEST(Generator, SpecNameEncodesKnobs) {
+  ScenarioSpec spec = spec_of(Family::Grid, 42, 20);
+  spec.torus = true;
+  spec.policy = TargetPolicy::Hotspot;
+  spec.target_density = 0.25;
+  spec.costs.degrade_fraction = 0.15;
+  EXPECT_EQ(spec.name(), "grid-n20-d25h-torus-deg15-s42");
+}
+
+TEST(Corpus, CoversEveryFamilyAndPolicy) {
+  auto specs = corpus_specs(9, 1000, 12);
+  EXPECT_EQ(specs.size(), 9u * all_families().size());
+  std::set<Family> families;
+  std::set<TargetPolicy> policies;
+  bool some_degraded = false;
+  for (const ScenarioSpec& spec : specs) {
+    families.insert(spec.family);
+    policies.insert(spec.policy);
+    some_degraded |= spec.costs.degrade_fraction > 0.0;
+  }
+  EXPECT_EQ(families.size(), all_families().size());
+  EXPECT_EQ(policies.size(), 3u);
+  EXPECT_TRUE(some_degraded);
+}
+
+}  // namespace
+}  // namespace pmcast::scenario

@@ -1,0 +1,107 @@
+/// Parse -> write -> parse round-trip property test of the graph/io.hpp
+/// text format over generated scenarios (every family, every policy,
+/// degraded and clean), plus the unnamed/unserialisable-name edge cases
+/// write_platform has to survive.
+
+#include <gtest/gtest.h>
+
+#include "graph/io.hpp"
+#include "scenario/generator.hpp"
+
+namespace pmcast {
+namespace {
+
+using scenario::corpus_specs;
+using scenario::generate_scenario;
+using scenario::ScenarioInstance;
+using scenario::ScenarioSpec;
+using scenario::to_platform_file;
+
+void expect_equal_platforms(const PlatformFile& a, const PlatformFile& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.graph.node_count(), b.graph.node_count()) << label;
+  ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count()) << label;
+  for (EdgeId e = 0; e < a.graph.edge_count(); ++e) {
+    EXPECT_EQ(a.graph.edge(e).from, b.graph.edge(e).from) << label;
+    EXPECT_EQ(a.graph.edge(e).to, b.graph.edge(e).to) << label;
+    EXPECT_DOUBLE_EQ(a.graph.edge(e).cost, b.graph.edge(e).cost) << label;
+  }
+  EXPECT_EQ(a.source, b.source) << label;
+  EXPECT_EQ(a.targets, b.targets) << label;
+  for (NodeId v = 0; v < a.graph.node_count(); ++v) {
+    EXPECT_EQ(a.graph.node_name(v), b.graph.node_name(v)) << label;
+  }
+}
+
+TEST(RoundTrip, EveryGeneratedScenarioSurvivesParseWriteParse) {
+  for (const ScenarioSpec& spec : corpus_specs(6, 123, 13)) {
+    ScenarioInstance instance = generate_scenario(spec);
+    PlatformFile original = to_platform_file(instance);
+
+    std::string text = write_platform_string(original);
+    std::string error;
+    auto parsed = parse_platform_string(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << instance.name << ": " << error;
+    expect_equal_platforms(original, *parsed, instance.name);
+
+    // Write of the parse is byte-identical: the format has one canonical
+    // serialisation per platform, so corpora diff cleanly in git.
+    EXPECT_EQ(write_platform_string(*parsed), text) << instance.name;
+  }
+}
+
+TEST(RoundTrip, ExplicitlyEmptyNamesRoundTrip) {
+  // Regression: write_platform used to emit "name <id> " with an empty
+  // label for a node whose name was cleared, which the parser rejects.
+  PlatformFile platform;
+  platform.graph.add_nodes(3);
+  platform.graph.set_node_name(1, "");
+  platform.graph.add_edge(0, 1, 2.5);
+  platform.graph.add_bidirectional(1, 2, 0.125);
+  platform.source = 0;
+  platform.targets = {2};
+
+  std::string text = write_platform_string(platform);
+  std::string error;
+  auto parsed = parse_platform_string(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->graph.node_name(0), "P0");
+  EXPECT_EQ(parsed->graph.node_name(1), "P1");  // canonical default restored
+  ASSERT_EQ(parsed->graph.edge_count(), platform.graph.edge_count());
+  EXPECT_EQ(parsed->targets, platform.targets);
+}
+
+TEST(RoundTrip, UnserialisableNamesAreSkippedNotCorrupted) {
+  PlatformFile platform;
+  platform.graph.add_node("ok_name");
+  platform.graph.add_node("has space");   // would split into two tokens
+  platform.graph.add_node("has#comment");  // would truncate the line
+  platform.graph.add_edge(0, 1, 1.0);
+  platform.graph.add_edge(0, 2, 1.0);
+  platform.source = 0;
+  platform.targets = {1, 2};
+
+  std::string error;
+  auto parsed = parse_platform_string(write_platform_string(platform), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->graph.node_name(0), "ok_name");
+  // Unserialisable names fall back to the parser's canonical defaults.
+  EXPECT_EQ(parsed->graph.node_name(1), "P1");
+  EXPECT_EQ(parsed->graph.node_name(2), "P2");
+  EXPECT_EQ(parsed->targets, platform.targets);
+}
+
+TEST(RoundTrip, NonIntegralCostsKeepFullPrecision) {
+  PlatformFile platform;
+  platform.graph.add_nodes(2);
+  platform.graph.add_edge(0, 1, 1.0 / 3.0);
+  platform.source = 0;
+  platform.targets = {1};
+
+  auto parsed = parse_platform_string(write_platform_string(platform));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->graph.edge(0).cost, 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace pmcast
