@@ -9,9 +9,9 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
-#include "core/api.hpp"
-#include "graph/rng.hpp"
-#include "topology/tiers.hpp"
+#include "pmcast/core.hpp"
+#include "pmcast/graph.hpp"
+#include "pmcast/topology.hpp"
 
 using namespace pmcast;
 using namespace pmcast::core;

@@ -10,9 +10,9 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
-#include "collective/collective.hpp"
-#include "graph/rng.hpp"
-#include "topology/tiers.hpp"
+#include "pmcast/collective.hpp"
+#include "pmcast/graph.hpp"
+#include "pmcast/topology.hpp"
 
 using namespace pmcast;
 

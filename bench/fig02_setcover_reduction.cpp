@@ -9,9 +9,9 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
-#include "core/api.hpp"
-#include "graph/rng.hpp"
-#include "setcover/reductions.hpp"
+#include "pmcast/core.hpp"
+#include "pmcast/graph.hpp"
+#include "pmcast/setcover.hpp"
 
 using namespace pmcast;
 using Clock = std::chrono::steady_clock;

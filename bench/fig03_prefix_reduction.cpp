@@ -8,9 +8,9 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
-#include "graph/rng.hpp"
-#include "prefix/prefix.hpp"
-#include "setcover/setcover.hpp"
+#include "pmcast/graph.hpp"
+#include "pmcast/prefix.hpp"
+#include "pmcast/setcover.hpp"
 
 using namespace pmcast;
 using namespace pmcast::prefix;

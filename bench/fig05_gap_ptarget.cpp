@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
-#include "core/api.hpp"
+#include "pmcast/core.hpp"
 
 using namespace pmcast;
 using namespace pmcast::core;

@@ -15,9 +15,9 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
-#include "core/api.hpp"
-#include "graph/rng.hpp"
-#include "topology/tiers.hpp"
+#include "pmcast/core.hpp"
+#include "pmcast/graph.hpp"
+#include "pmcast/topology.hpp"
 
 namespace pmcast::bench {
 

@@ -10,9 +10,9 @@
 #include <fstream>
 
 #include "bench/bench_common.hpp"
-#include "core/api.hpp"
-#include "graph/dot.hpp"
-#include "topology/tiers.hpp"
+#include "pmcast/core.hpp"
+#include "pmcast/graph.hpp"
+#include "pmcast/topology.hpp"
 
 using namespace pmcast;
 using namespace pmcast::core;

@@ -6,9 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
-#include "graph/rng.hpp"
-#include "sched/edge_coloring.hpp"
-#include "sched/schedule.hpp"
+#include "pmcast/graph.hpp"
+#include "pmcast/sched.hpp"
 
 using namespace pmcast;
 using namespace pmcast::sched;

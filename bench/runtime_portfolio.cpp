@@ -1,34 +1,39 @@
 /// \file runtime_portfolio.cpp
-/// The runtime acceptance bench: serve a 100-request batch through the
-/// 8-thread PortfolioEngine and compare against sequentially calling every
-/// heuristic on every request (the pre-runtime workflow). Emits
-/// BENCH_runtime.json next to the binary's working directory.
+/// The runtime/API acceptance bench, ported to the pmcast v1 facade.
 ///
-/// The workload models a serving system: requests repeat (the same
-/// platform + target set is asked for again and again), drawn with a
-/// skewed distribution from a pool of unique instances. The engine wins on
-/// three axes — strategy fan-out across the pool, batch coalescing of
-/// duplicates, and the LRU cache across batches — while certifying every
-/// answer it returns.
+/// Phase 1 (BENCH_runtime.json, continuity with PR 1): serve a 100-request
+/// batch through an 8-thread Service and compare against sequentially
+/// certifying every strategy on every request (the pre-runtime workflow).
+///
+/// Phase 2 (BENCH_api.json, the v1 API acceptance): blocking solve_batch
+/// vs streaming submit_batch on a fresh cold Service each — same workload,
+/// same certified answers. Blocking holds every response until the slowest
+/// straggler finishes, so its time-to-first-result IS the batch wall time;
+/// streaming delivers each response as it certifies. The JSON reports
+/// time-to-first-result, median and p99 per-request delivery latency for
+/// both modes.
 ///
 /// Checks enforced (exit code 1 on violation):
-///  * every returned period is certificate-validated (result.ok);
-///  * no returned period is worse than the best individual heuristic run
-///    sequentially on that instance (same strategy set, same validation).
+///  * every returned period is certificate-validated (Result is ok);
+///  * no returned period is worse than the best individual strategy run
+///    sequentially on that instance (same strategy set, same validation);
+///  * blocking and streaming modes agree period-for-period.
 ///
 /// PMCAST_FULL=1 scales the pool and batch up to paper-scale platforms.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <vector>
 
 #include "bench/bench_common.hpp"
-#include "core/api.hpp"
-#include "graph/rng.hpp"
-#include "runtime/runtime.hpp"
+#include "pmcast/graph.hpp"
+#include "pmcast/pmcast.hpp"
+#include "pmcast/runtime.hpp"
 
 using namespace pmcast;
-using namespace pmcast::runtime;
 
 namespace {
 
@@ -53,10 +58,30 @@ core::MulticastProblem random_instance(std::uint64_t seed, int n) {
   }
 }
 
-double now_ms() {
-  return std::chrono::duration<double, std::milli>(
-             Clock::now().time_since_epoch())
+using BenchClock = std::chrono::steady_clock;
+
+double ms_since(BenchClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(BenchClock::now() - start)
       .count();
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[idx];
+}
+
+std::vector<SolveRequest> make_requests(
+    const std::vector<core::MulticastProblem>& batch) {
+  std::vector<SolveRequest> requests;
+  requests.reserve(batch.size());
+  for (const auto& problem : batch) {
+    SolveRequest request;
+    request.problem = problem;
+    requests.push_back(std::move(request));
+  }
+  return requests;
 }
 
 }  // namespace
@@ -68,7 +93,7 @@ int main() {
   const int kNodes = full ? 10 : 8;
   const int kThreads = 8;
 
-  std::printf("=== runtime portfolio: %d-request batch over %d unique "
+  std::printf("=== v1 API portfolio bench: %d-request batch over %d unique "
               "instances (%d-node platforms, %d threads) ===\n",
               kRequests, kUnique, kNodes, kThreads);
 
@@ -80,97 +105,95 @@ int main() {
   // Skewed repetition: hot instances dominate, like any serving workload.
   Rng rng(12345);
   std::vector<core::MulticastProblem> batch;
-  std::vector<int> instance_of_request;
   for (int r = 0; r < kRequests; ++r) {
     double u = rng.uniform_real();
     int idx = static_cast<int>(u * u * kUnique);
     if (idx >= kUnique) idx = kUnique - 1;
     batch.push_back(pool_instances[static_cast<size_t>(idx)]);
-    instance_of_request.push_back(idx);
   }
 
-  PortfolioOptions portfolio_options;  // full default strategy set
-
-  // ---- baseline: sequentially call every heuristic on every request ----
-  double t0 = now_ms();
+  // ---- baseline: sequentially certify every strategy on every request ----
+  BenchClock::time_point t0 = BenchClock::now();
   std::vector<double> baseline_best(static_cast<size_t>(kRequests),
                                     kInfinity);
   {
-    BudgetGuard unlimited;
-    std::vector<Strategy> strategies = all_strategies();
+    runtime::BudgetGuard unlimited;
+    runtime::PortfolioOptions options;
+    std::vector<runtime::Strategy> strategies = runtime::all_strategies();
     for (int r = 0; r < kRequests; ++r) {
-      for (Strategy s : strategies) {
-        CandidateOutcome outcome = run_strategy(
-            batch[static_cast<size_t>(r)], s, portfolio_options, unlimited);
-        if (outcome.state == CandidateState::Certified) {
+      for (runtime::Strategy s : strategies) {
+        runtime::CandidateOutcome outcome = runtime::run_strategy(
+            batch[static_cast<size_t>(r)], s, options, unlimited);
+        if (outcome.state == runtime::CandidateState::Certified) {
           baseline_best[static_cast<size_t>(r)] =
               std::min(baseline_best[static_cast<size_t>(r)], outcome.period);
         }
       }
     }
   }
-  double baseline_ms = now_ms() - t0;
+  double baseline_ms = ms_since(t0);
 
-  // ---- the engine: 8 threads, coalescing, cache ----
-  EngineOptions engine_options;
-  engine_options.threads = kThreads;
-  engine_options.cache_capacity = 4096;
-  engine_options.portfolio = portfolio_options;
-  PortfolioEngine engine(engine_options);
+  ServiceOptions service_options;
+  service_options.threads = kThreads;
+  service_options.cache_capacity = 4096;
 
-  t0 = now_ms();
-  std::vector<PortfolioResult> results = engine.solve_batch(batch);
-  double engine_ms = now_ms() - t0;
+  // ---- phase 1: the facade, cold then warm (cache) ----
+  Service service(service_options);
+  t0 = BenchClock::now();
+  std::vector<Result<SolveResponse>> results =
+      service.solve_batch(make_requests(batch));
+  double engine_ms = ms_since(t0);
 
   // A second identical batch measures the steady-state (warm cache) path.
-  t0 = now_ms();
-  std::vector<PortfolioResult> warm = engine.solve_batch(batch);
-  double warm_ms = now_ms() - t0;
+  t0 = BenchClock::now();
+  std::vector<Result<SolveResponse>> warm =
+      service.solve_batch(make_requests(batch));
+  double warm_ms = ms_since(t0);
 
-  // ---- validation ----
   int violations = 0;
   for (int r = 0; r < kRequests; ++r) {
-    const PortfolioResult& res = results[static_cast<size_t>(r)];
-    if (!res.ok) {
-      std::printf("VIOLATION: request %d returned no certified period\n", r);
+    const Result<SolveResponse>& res = results[static_cast<size_t>(r)];
+    if (!res.ok()) {
+      std::printf("VIOLATION: request %d returned no certified period: %s\n",
+                  r, res.status().to_string().c_str());
       ++violations;
       continue;
     }
-    if (res.period > baseline_best[static_cast<size_t>(r)] + 1e-6) {
+    if (res->period > baseline_best[static_cast<size_t>(r)] + 1e-6) {
       std::printf("VIOLATION: request %d period %.6g worse than best "
-                  "individual heuristic %.6g\n",
-                  r, res.period, baseline_best[static_cast<size_t>(r)]);
+                  "individual strategy %.6g\n",
+                  r, res->period, baseline_best[static_cast<size_t>(r)]);
       ++violations;
     }
   }
   for (int r = 0; r < kRequests; ++r) {
-    const PortfolioResult& res = warm[static_cast<size_t>(r)];
-    if (!res.ok || res.period != results[static_cast<size_t>(r)].period) {
+    const Result<SolveResponse>& res = warm[static_cast<size_t>(r)];
+    if (!res.ok() ||
+        res->period != results[static_cast<size_t>(r)]->period) {
       std::printf("VIOLATION: warm batch disagrees on request %d\n", r);
       ++violations;
     }
   }
 
-  CacheStats stats = engine.cache_stats();
+  CacheMetrics metrics = service.cache_metrics();
   double speedup = engine_ms > 0.0 ? baseline_ms / engine_ms : 0.0;
   double warm_speedup = warm_ms > 0.0 ? baseline_ms / warm_ms : 0.0;
 
   bench::Table table({"mode", "wall ms", "speedup vs sequential"});
-  table.add_row({"sequential heuristics", bench::fmt(baseline_ms, 1), "1.0"});
-  table.add_row({"engine cold batch", bench::fmt(engine_ms, 1),
+  table.add_row({"sequential strategies", bench::fmt(baseline_ms, 1), "1.0"});
+  table.add_row({"service cold batch", bench::fmt(engine_ms, 1),
                  bench::fmt(speedup, 2)});
-  table.add_row({"engine warm batch", bench::fmt(warm_ms, 1),
+  table.add_row({"service warm batch", bench::fmt(warm_ms, 1),
                  bench::fmt(warm_speedup, 2)});
   table.print();
   std::printf("cache: %zu hits / %zu misses (%.0f%% hit rate), %zu entries\n",
-              stats.hits, stats.misses, 100.0 * stats.hit_rate(),
-              stats.entries);
-  std::printf("validation: %d violations over %d requests (+%d warm)\n",
-              violations, kRequests, kRequests);
+              metrics.hits, metrics.misses, 100.0 * metrics.hit_rate(),
+              metrics.entries);
 
   std::ofstream json("BENCH_runtime.json");
   json << "{\n"
        << "  \"bench\": \"runtime_portfolio\",\n"
+       << "  \"api\": \"pmcast::Service v" << api_version() << "\",\n"
        << "  \"requests\": " << kRequests << ",\n"
        << "  \"unique_instances\": " << kUnique << ",\n"
        << "  \"nodes_per_instance\": " << kNodes << ",\n"
@@ -180,18 +203,115 @@ int main() {
        << "  \"engine_warm_ms\": " << warm_ms << ",\n"
        << "  \"speedup_cold\": " << speedup << ",\n"
        << "  \"speedup_warm\": " << warm_speedup << ",\n"
-       << "  \"cache_hits\": " << stats.hits << ",\n"
-       << "  \"cache_misses\": " << stats.misses << ",\n"
+       << "  \"cache_hits\": " << metrics.hits << ",\n"
+       << "  \"cache_misses\": " << metrics.misses << ",\n"
        << "  \"all_certified\": " << (violations == 0 ? "true" : "false")
        << ",\n"
        << "  \"violations\": " << violations << "\n"
        << "}\n";
-  std::printf("wrote BENCH_runtime.json\n");
+  std::printf("wrote BENCH_runtime.json\n\n");
+
+  // ---- phase 2: blocking solve_batch vs streaming submit_batch ----
+  // Fresh cold Service per mode so the comparison is caching-fair.
+  std::printf("=== blocking solve_batch vs streaming submit_batch ===\n");
+
+  Service blocking(service_options);
+  t0 = BenchClock::now();
+  std::vector<Result<SolveResponse>> blocking_results =
+      blocking.solve_batch(make_requests(batch));
+  double blocking_wall_ms = ms_since(t0);
+  // Blocking semantics: nothing is visible until the whole batch returns.
+  double blocking_ttfr_ms = blocking_wall_ms;
+  std::vector<double> blocking_latencies(static_cast<size_t>(kRequests),
+                                         blocking_wall_ms);
+
+  Service streaming(service_options);
+  std::vector<double> streaming_latencies(static_cast<size_t>(kRequests),
+                                          0.0);
+  std::mutex latency_mutex;
+  double streaming_ttfr_ms = -1.0;
+  t0 = BenchClock::now();
+  SolveBatch handle = streaming.submit_batch(
+      make_requests(batch),
+      [&](std::size_t index, const Result<SolveResponse>&) {
+        double at = ms_since(t0);
+        std::lock_guard<std::mutex> lock(latency_mutex);
+        streaming_latencies[index] = at;
+        if (streaming_ttfr_ms < 0.0) streaming_ttfr_ms = at;
+      });
+  handle.wait_all();
+  double streaming_wall_ms = ms_since(t0);
+
+  // Cross-check: both modes certified, identical periods.
+  for (int r = 0; r < kRequests; ++r) {
+    Result<SolveResponse> s = handle.get(static_cast<size_t>(r));
+    const Result<SolveResponse>& b = blocking_results[static_cast<size_t>(r)];
+    if (!s.ok() || !b.ok()) {
+      std::printf("VIOLATION: request %d uncertified in api phase\n", r);
+      ++violations;
+      continue;
+    }
+    if (s->period != b->period) {
+      std::printf("VIOLATION: request %d blocking %.6g != streaming %.6g\n",
+                  r, b->period, s->period);
+      ++violations;
+    }
+  }
+
+  double blocking_p50 = percentile(blocking_latencies, 0.50);
+  double blocking_p99 = percentile(blocking_latencies, 0.99);
+  double streaming_p50 = percentile(streaming_latencies, 0.50);
+  double streaming_p99 = percentile(streaming_latencies, 0.99);
+  double ttfr_speedup =
+      streaming_ttfr_ms > 0.0 ? blocking_ttfr_ms / streaming_ttfr_ms : 0.0;
+
+  bench::Table api_table({"mode", "wall ms", "ttfr ms", "p50 ms", "p99 ms"});
+  api_table.add_row({"blocking solve_batch", bench::fmt(blocking_wall_ms, 1),
+                     bench::fmt(blocking_ttfr_ms, 1),
+                     bench::fmt(blocking_p50, 1),
+                     bench::fmt(blocking_p99, 1)});
+  api_table.add_row({"streaming submit_batch",
+                     bench::fmt(streaming_wall_ms, 1),
+                     bench::fmt(streaming_ttfr_ms, 1),
+                     bench::fmt(streaming_p50, 1),
+                     bench::fmt(streaming_p99, 1)});
+  api_table.print();
+  std::printf("time-to-first-result: streaming %.2fx ahead of blocking\n",
+              ttfr_speedup);
+  std::printf("validation: %d violations over %d requests (cold + warm + "
+              "api phases)\n", violations, kRequests);
+
+  std::ofstream api_json("BENCH_api.json");
+  api_json << "{\n"
+           << "  \"bench\": \"api_streaming\",\n"
+           << "  \"api_version\": \"" << api_version() << "\",\n"
+           << "  \"requests\": " << kRequests << ",\n"
+           << "  \"unique_instances\": " << kUnique << ",\n"
+           << "  \"nodes_per_instance\": " << kNodes << ",\n"
+           << "  \"threads\": " << kThreads << ",\n"
+           << "  \"blocking_wall_ms\": " << blocking_wall_ms << ",\n"
+           << "  \"blocking_ttfr_ms\": " << blocking_ttfr_ms << ",\n"
+           << "  \"blocking_p50_ms\": " << blocking_p50 << ",\n"
+           << "  \"blocking_p99_ms\": " << blocking_p99 << ",\n"
+           << "  \"streaming_wall_ms\": " << streaming_wall_ms << ",\n"
+           << "  \"streaming_ttfr_ms\": " << streaming_ttfr_ms << ",\n"
+           << "  \"streaming_p50_ms\": " << streaming_p50 << ",\n"
+           << "  \"streaming_p99_ms\": " << streaming_p99 << ",\n"
+           << "  \"ttfr_speedup\": " << ttfr_speedup << ",\n"
+           << "  \"all_certified\": " << (violations == 0 ? "true" : "false")
+           << ",\n"
+           << "  \"violations\": " << violations << "\n"
+           << "}\n";
+  std::printf("wrote BENCH_api.json\n");
 
   if (violations > 0) return 1;
   if (speedup < 3.0) {
     std::printf("WARNING: cold speedup %.2f below the 3x acceptance bar\n",
                 speedup);
+  }
+  if (ttfr_speedup < 1.0) {
+    std::printf("WARNING: streaming ttfr %.2f not ahead of blocking\n",
+                ttfr_speedup);
   }
   return 0;
 }

@@ -23,9 +23,9 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
-#include "graph/io.hpp"
-#include "runtime/runtime.hpp"
-#include "scenario/scenario.hpp"
+#include "pmcast/io.hpp"
+#include "pmcast/runtime.hpp"
+#include "pmcast/scenario.hpp"
 
 using namespace pmcast;
 using namespace pmcast::scenario;

@@ -15,8 +15,8 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
-#include "core/api.hpp"
-#include "graph/rng.hpp"
+#include "pmcast/core.hpp"
+#include "pmcast/graph.hpp"
 
 using namespace pmcast;
 using namespace pmcast::core;

@@ -1,0 +1,61 @@
+# Install-tree acceptance check, run as a CTest test (see CMakeLists.txt):
+#   1. `cmake --install` the finished build into a throwaway prefix;
+#   2. configure tests/install/ — a minimal client project that does
+#      find_package(pmcast CONFIG REQUIRED) and compiles
+#      examples/quickstart.cpp against the *installed* package only;
+#   3. build it and run the resulting binary.
+# Any failure (missing export file, broken header layout, version drift,
+# an example leaking a src/-internal include) fails the test.
+#
+# Required -D arguments: BUILD_DIR, SOURCE_DIR, STAGE_DIR, GENERATOR,
+# BUILD_TYPE, SANITIZE (may be empty; forwarded so a sanitized build tree
+# links against a matching-instrumented client).
+
+foreach(arg BUILD_DIR SOURCE_DIR STAGE_DIR GENERATOR)
+  if(NOT DEFINED ${arg})
+    message(FATAL_ERROR "install_tree_check.cmake: missing -D${arg}=")
+  endif()
+endforeach()
+
+set(prefix ${STAGE_DIR}/prefix)
+set(client_build ${STAGE_DIR}/client-build)
+file(REMOVE_RECURSE ${STAGE_DIR})
+
+message(STATUS "install-tree check: installing to ${prefix}")
+execute_process(
+    COMMAND ${CMAKE_COMMAND} --install ${BUILD_DIR} --prefix ${prefix}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cmake --install failed (${rc})")
+endif()
+
+message(STATUS "install-tree check: configuring client against ${prefix}")
+execute_process(
+    COMMAND ${CMAKE_COMMAND}
+            -S ${SOURCE_DIR}/tests/install
+            -B ${client_build}
+            -G ${GENERATOR}
+            -DCMAKE_PREFIX_PATH=${prefix}
+            -DCMAKE_BUILD_TYPE=${BUILD_TYPE}
+            -DPMCAST_SANITIZE=${SANITIZE}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "client configure against the install tree failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} --build ${client_build}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "client build against the install tree failed (${rc})")
+endif()
+
+message(STATUS "install-tree check: running the installed-API quickstart")
+execute_process(
+    COMMAND ${client_build}/quickstart
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "installed-API quickstart exited with ${rc}")
+endif()
+
+message(STATUS "install-tree check: OK")

@@ -11,8 +11,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/api.hpp"
-#include "topology/tiers.hpp"
+#include "pmcast/core.hpp"
+#include "pmcast/topology.hpp"
 
 using namespace pmcast;
 using namespace pmcast::core;

@@ -1,22 +1,24 @@
 /// \file pmcast_cli.cpp
-/// Command-line front end: read a platform file (see src/graph/io.hpp for
-/// the format), compute the LP bounds and run the requested heuristics.
+/// Command-line front end: read a platform file (see pmcast/io.hpp for
+/// the format), compute the LP bounds and run the requested heuristics —
+/// or race the full certified portfolio through the v1 Service facade.
 ///
 /// Usage:
 ///   pmcast_cli <platform-file> [--all] [--bounds] [--mcph] [--multisource]
 ///              [--reduced-broadcast] [--augmented-multicast] [--exact]
+///              [--serve]
 ///   pmcast_cli --demo          # run on the paper's Figure 1 platform
 ///
-/// With no selection flags, --bounds --mcph is assumed.
+/// With no selection flags, --bounds --mcph is assumed. --serve submits
+/// the instance to pmcast::Service and prints the certified response.
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <set>
 #include <string>
 
-#include "core/api.hpp"
-#include "graph/io.hpp"
+#include "pmcast/core.hpp"
+#include "pmcast/pmcast.hpp"
 
 using namespace pmcast;
 using namespace pmcast::core;
@@ -27,7 +29,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: pmcast_cli <platform-file> [--all] [--bounds] "
                "[--mcph] [--multisource] [--reduced-broadcast] "
-               "[--augmented-multicast] [--exact]\n"
+               "[--augmented-multicast] [--exact] [--serve]\n"
                "       pmcast_cli --demo [flags]\n");
   return 2;
 }
@@ -66,19 +68,21 @@ int main(int argc, char** argv) {
     std::printf("demo platform (paper Figure 1)\n");
   } else {
     if (file.empty()) return usage();
-    std::ifstream in(file);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+    Result<PlatformFile> parsed = load_platform(file);
+    if (!parsed.ok()) {
+      // The Status renders as file:line:column with the offending token.
+      std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
       return 1;
     }
-    std::string error;
-    auto parsed = parse_platform(in, &error);
-    if (!parsed) {
-      std::fprintf(stderr, "%s: %s\n", file.c_str(), error.c_str());
+    Result<Problem> made =
+        make_problem(std::move(parsed->graph), parsed->source,
+                     std::move(parsed->targets));
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   made.status().to_string().c_str());
       return 1;
     }
-    problem = MulticastProblem(std::move(parsed->graph), parsed->source,
-                               std::move(parsed->targets));
+    problem = std::move(*made);
   }
 
   std::printf("platform: %d nodes, %d edges, %d targets, source %s\n",
@@ -124,6 +128,25 @@ int main(int argc, char** argv) {
     std::printf("augmented multicast: period %.6g on %d nodes "
                 "(%d LP solves)\n",
                 r.period, kept, r.lp_solves);
+  }
+  if (flags.count("--serve") > 0) {
+    ServiceOptions service_options;
+    service_options.threads = 4;
+    Service service(service_options);
+    SolveRequest request;
+    request.problem = problem;
+    Result<SolveResponse> response = service.solve(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "serve: %s\n",
+                   response.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("service: certified period %.6g via %s "
+                "(%d certified / %d failed / %d skipped, %.1f ms)\n",
+                response->period, strategy_id_name(response->winner),
+                response->certificate.certified,
+                response->certificate.failed,
+                response->certificate.skipped, response->timing.solve_ms);
   }
   if (want("--exact")) {
     ExactSolution exact = exact_optimal_throughput(problem);

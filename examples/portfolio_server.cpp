@@ -1,63 +1,78 @@
 /// \file portfolio_server.cpp
-/// Demo of the pmcast::runtime batch-serving engine: a control plane
-/// receiving waves of multicast-provisioning requests over a fleet of
-/// Tiers platforms, answering each with the best *certified* steady-state
-/// period the portfolio can find under a per-request deadline.
+/// Demo of the pmcast v1 Service facade: a control plane receiving waves
+/// of multicast-provisioning requests over a fleet of Tiers platforms,
+/// answering each with the best *certified* steady-state period the
+/// portfolio can find under a per-request deadline.
 ///
 /// Usage:
 ///   portfolio_server [threads] [batches] [batch-size]
 ///   portfolio_server <platform-file>...   # serve your own instances once
 ///
 /// Each wave mixes repeat customers (hot platform+targets pairs, served
-/// from the cache or coalesced within the batch) with new target sets, and
-/// the summary shows where the answers came from and which strategies won.
+/// from the cache or coalesced within the batch) with new target sets.
+/// Waves are submitted with submit_batch(): responses stream through the
+/// on_result callback as they certify — the wave report shows
+/// time-to-first-result next to the full-wave wall time, which is the
+/// facade's advantage over the old blocking solve_batch.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
-#include "core/api.hpp"
-#include "graph/io.hpp"
-#include "graph/rng.hpp"
-#include "runtime/runtime.hpp"
-#include "topology/tiers.hpp"
+#include "pmcast/pmcast.hpp"
+#include "pmcast/graph.hpp"
+#include "pmcast/topology.hpp"
 
 using namespace pmcast;
-using namespace pmcast::runtime;
 
 namespace {
 
-int serve_files(const std::vector<std::string>& files,
-                PortfolioEngine& engine) {
-  std::vector<core::MulticastProblem> batch;
+using ExampleClock = std::chrono::steady_clock;
+
+double ms_since(ExampleClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(ExampleClock::now() -
+                                                   start)
+      .count();
+}
+
+int serve_files(const std::vector<std::string>& files, Service& service) {
+  std::vector<SolveRequest> batch;
   for (const std::string& file : files) {
-    std::ifstream in(file);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+    Result<PlatformFile> parsed = load_platform(file);
+    if (!parsed.ok()) {
+      // file:line:column diagnostics straight from the Status.
+      std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
       return 1;
     }
-    std::string error;
-    auto parsed = parse_platform(in, &error);
-    if (!parsed) {
-      std::fprintf(stderr, "%s: %s\n", file.c_str(), error.c_str());
+    SolveRequest request;
+    Result<Problem> problem =
+        make_problem(std::move(parsed->graph), parsed->source,
+                     std::move(parsed->targets));
+    if (!problem.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   problem.status().to_string().c_str());
       return 1;
     }
-    batch.emplace_back(std::move(parsed->graph), parsed->source,
-                       std::move(parsed->targets));
+    request.problem = std::move(*problem);
+    batch.push_back(std::move(request));
   }
-  auto results = engine.solve_batch(batch);
+  std::vector<Result<SolveResponse>> results =
+      service.solve_batch(std::move(batch));
   int failed = 0;
   for (size_t i = 0; i < results.size(); ++i) {
-    const PortfolioResult& r = results[i];
-    if (r.ok) {
+    if (results[i].ok()) {
+      const SolveResponse& r = *results[i];
       std::printf("%s: period %.6g (throughput %.6g) via %s, %.1f ms\n",
-                  files[i].c_str(), r.period, 1.0 / r.period,
-                  strategy_name(r.winner), r.elapsed_ms);
+                  files[i].c_str(), r.period, r.throughput(),
+                  strategy_id_name(r.winner), r.timing.solve_ms);
     } else {
-      std::printf("%s: no certified solution\n", files[i].c_str());
+      std::printf("%s: %s\n", files[i].c_str(),
+                  results[i].status().to_string().c_str());
       ++failed;
     }
   }
@@ -91,13 +106,13 @@ int main(int argc, char** argv) {
   if (numbers.size() > 1) batches = numbers[1];
   if (numbers.size() > 2) batch_size = numbers[2];
 
-  EngineOptions options;
+  ServiceOptions options;
   options.threads = threads;
   options.cache_capacity = 1024;
-  options.portfolio.budget.deadline_ms = 30'000.0;  // per-request ceiling
-  PortfolioEngine engine(options);
+  options.default_deadline_ms = 30'000.0;  // per-request ceiling
+  Service service(options);
 
-  if (!files.empty()) return serve_files(files, engine);
+  if (!files.empty()) return serve_files(files, service);
 
   std::printf("portfolio server: %d worker threads, %d waves of %d "
               "requests\n\n", threads, batches, batch_size);
@@ -117,9 +132,10 @@ int main(int argc, char** argv) {
 
   Rng rng(2026);
   std::map<std::string, int> winners;
+  std::mutex winners_mutex;
   int cache_served = 0, coalesced = 0, solved = 0, failed = 0;
   for (int wave = 0; wave < batches; ++wave) {
-    std::vector<core::MulticastProblem> batch;
+    std::vector<SolveRequest> batch;
     for (int r = 0; r < batch_size; ++r) {
       const topo::Platform& platform =
           fleet[rng.uniform(fleet.size())];
@@ -132,25 +148,43 @@ int main(int argc, char** argv) {
         Rng customer(rng.uniform(4));  // few distinct customers per platform
         targets = topo::sample_targets(platform, 0.5, customer);
       }
-      batch.emplace_back(platform.graph, platform.source, targets);
+      SolveRequest request;
+      request.problem = Problem(platform.graph, platform.source, targets);
+      // Hot customers are latency-critical: dispatch them first.
+      request.priority = rng.bernoulli(0.33) ? 1 : 0;
+      batch.push_back(std::move(request));
     }
 
-    Clock::time_point wave_start = Clock::now();
-    auto results = engine.solve_batch(batch);
-    double wave_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - wave_start)
-            .count();
-    for (const PortfolioResult& r : results) {
-      if (!r.ok) { ++failed; continue; }
-      if (r.from_cache) ++cache_served;
-      else if (r.coalesced) ++coalesced;
+    // Streaming submission: the callback sees each response as it
+    // certifies, long before the wave's straggler finishes.
+    ExampleClock::time_point wave_start = ExampleClock::now();
+    std::atomic<int> delivered{0};
+    std::atomic<double> first_result_ms{0.0};
+    SolveBatch handle = service.submit_batch(
+        std::move(batch),
+        [&](std::size_t, const Result<SolveResponse>& result) {
+          if (delivered.fetch_add(1) == 0) {
+            first_result_ms.store(ms_since(wave_start));
+          }
+          if (!result.ok()) return;
+          std::lock_guard<std::mutex> lock(winners_mutex);
+          ++winners[strategy_id_name(result->winner)];
+        });
+    handle.wait_all();
+    double wave_ms = ms_since(wave_start);
+
+    for (std::size_t i = 0; i < handle.size(); ++i) {
+      Result<SolveResponse> r = handle.get(i);
+      if (!r.ok()) { ++failed; continue; }
+      if (r->provenance.from_cache) ++cache_served;
+      else if (r->provenance.coalesced) ++coalesced;
       else ++solved;
-      ++winners[strategy_name(r.winner)];
     }
-    CacheStats stats = engine.cache_stats();
-    std::printf("wave %d: %zu requests in %.1f ms  (cache %.0f%% hit rate, "
-                "%zu entries)\n", wave + 1, results.size(), wave_ms,
-                100.0 * stats.hit_rate(), stats.entries);
+    CacheMetrics metrics = service.cache_metrics();
+    std::printf("wave %d: %zu requests, first result after %.1f ms, wave "
+                "done in %.1f ms  (cache %.0f%% hit rate, %zu entries)\n",
+                wave + 1, handle.size(), first_result_ms.load(), wave_ms,
+                100.0 * metrics.hit_rate(), metrics.entries);
   }
 
   std::printf("\nserved %d fresh, %d coalesced, %d from cache, %d failed\n",

@@ -9,8 +9,8 @@
 
 #include <cstdio>
 
-#include "prefix/prefix.hpp"
-#include "setcover/setcover.hpp"
+#include "pmcast/prefix.hpp"
+#include "pmcast/setcover.hpp"
 
 using namespace pmcast;
 using namespace pmcast::prefix;

@@ -1,62 +1,89 @@
 /// \file quickstart.cpp
-/// Five-minute tour of the pmcast API on the paper's Figure 1 platform:
-/// build a problem, compute the LP bounds, run the heuristics, realise the
-/// optimal two-tree schedule and verify it in the one-port simulator.
+/// Five-minute tour of the pmcast v1 public API on the paper's Figure 1
+/// platform: build a request, solve it through the Service facade, read
+/// the certified response, then peek at the algorithm toolkit underneath.
+///
+/// This file compiles against include/pmcast/ only — it is also the
+/// client program of the install-tree acceptance test, so everything here
+/// works from an installed package via find_package(pmcast).
 ///
 /// Run:  ./quickstart
 
 #include <cstdio>
 
-#include "core/api.hpp"
-
-using namespace pmcast;
-using namespace pmcast::core;
+#include "pmcast/core.hpp"
+#include "pmcast/pmcast.hpp"
 
 int main() {
+  std::printf("pmcast v%s\n", pmcast::api_version());
+
   // 1. A multicast problem = platform graph + source + target set. Here we
-  //    use the paper's worked example (14 nodes, targets P7..P13).
-  MulticastProblem problem = figure1_example();
+  //    use the paper's worked example (14 nodes, targets P7..P13). Use
+  //    make_problem() for your own data — it validates ids and reports a
+  //    Status instead of asserting.
+  pmcast::Problem problem = pmcast::core::figure1_example();
   std::printf("platform: %d nodes, %d edges, %d targets\n",
               problem.graph.node_count(), problem.graph.edge_count(),
               problem.target_count());
 
-  // 2. LP bounds on the steady-state period of one multicast.
-  FlowSolution lb = solve_multicast_lb(problem);
-  FlowSolution ub = solve_multicast_ub(problem);
-  std::printf("period bounds: LB %.4f <= OPT <= UB %.4f\n", lb.period,
-              ub.period);
+  // 2. A Service owns the worker pool and the result cache. Requests
+  //    carry their own deadline/budget/priority/strategy routing.
+  pmcast::ServiceOptions options;
+  options.threads = 4;
+  pmcast::Service service(options);
+  pmcast::SolveRequest request;
+  request.problem = problem;
+  request.deadline_ms = 10'000.0;
 
-  // 3. A single multicast tree via the paper's MCPH heuristic.
-  if (auto tree = mcph(problem)) {
-    std::printf("MCPH tree: %zu edges, period %.4f (throughput %.4f)\n",
-                tree->edges.size(), tree_period(problem.graph, *tree),
-                1.0 / tree_period(problem.graph, *tree));
+  pmcast::Result<pmcast::SolveResponse> result = service.solve(request);
+  if (!result.ok()) {
+    std::printf("solve failed: %s\n", result.status().to_string().c_str());
+    return 1;
   }
 
-  // 4. The exact optimum (small platform): a weighted combination of trees.
-  ExactSolution exact = exact_optimal_throughput(problem);
-  std::printf("exact optimum: throughput %.4f using %zu trees "
-              "(%zu trees enumerated)\n",
-              exact.throughput, exact.combination.trees.size(),
-              exact.trees_enumerated);
+  // 3. Every returned period is certificate-validated before the Service
+  //    will report it.
+  const pmcast::SolveResponse& response = *result;
+  std::printf("certified period %.4f (throughput %.4f) via %s in %.1f ms\n",
+              response.period, response.throughput(),
+              pmcast::strategy_id_name(response.winner),
+              response.timing.solve_ms);
+  std::printf("portfolio: %d certified / %d failed / %d skipped\n",
+              response.certificate.certified, response.certificate.failed,
+              response.certificate.skipped);
+  for (const pmcast::StrategyOutcome& outcome : response.outcomes) {
+    std::printf("  %-20s %-9s period %.4f (%.2f ms)\n",
+                pmcast::strategy_id_name(outcome.strategy),
+                pmcast::outcome_state_name(outcome.state), outcome.period,
+                outcome.elapsed_ms);
+  }
 
-  // 5. Realise the optimal combination as a periodic schedule and replay it
-  //    in the one-port discrete-event simulator.
-  TreeSchedule schedule =
-      build_tree_schedule(problem.graph, exact.combination, problem.targets);
-  auto report = sched::simulate(schedule.schedule, schedule.streams,
-                                problem.graph.node_count(), 32);
-  std::printf("simulated schedule: period %.4f, measured throughput %.4f "
-              "(%s)\n",
-              schedule.period, report.measured_throughput,
-              report.ok ? "valid" : report.error.c_str());
+  // 4. Repeat requests are served from the LRU cache (same certified
+  //    answer, microseconds instead of LP solves).
+  pmcast::Result<pmcast::SolveResponse> again = service.solve(request);
+  if (again.ok()) {
+    std::printf("second call: from_cache=%d, period %.4f\n",
+                again->provenance.from_cache, again->period);
+  } else {
+    std::printf("second call failed: %s\n",
+                again.status().to_string().c_str());
+  }
 
-  // 6. The LP-based platform heuristics.
-  PlatformHeuristicResult rb = reduced_broadcast(problem);
-  PlatformHeuristicResult am = augmented_multicast(problem);
-  AugmentedSourcesResult as = augmented_sources(problem);
-  std::printf("heuristics: reduced-broadcast %.4f, augmented-multicast %.4f, "
-              "multisource %.4f\n",
-              rb.period, am.period, as.period);
+  // 5. The platform text format round-trips with line/column diagnostics.
+  pmcast::PlatformFile file{problem.graph, problem.source, problem.targets};
+  std::string text = pmcast::write_platform_string(file);
+  pmcast::Result<pmcast::PlatformFile> parsed =
+      pmcast::read_platform_text(text);
+  std::printf("platform text round-trip: %s (%zu bytes)\n",
+              parsed.ok() ? "ok" : parsed.status().to_string().c_str(),
+              text.size());
+
+  // 6. The algorithm toolkit stays available next to the facade
+  //    (pmcast/core.hpp): here, the paper's LP bounds on the same problem.
+  pmcast::core::FlowSolution lb = pmcast::core::solve_multicast_lb(problem);
+  pmcast::core::FlowSolution ub = pmcast::core::solve_multicast_ub(problem);
+  std::printf("toolkit LP bounds: LB %.4f <= OPT <= UB %.4f\n", lb.period,
+              ub.period);
+
   return 0;
 }

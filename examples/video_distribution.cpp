@@ -10,8 +10,8 @@
 
 #include <cstdio>
 
-#include "core/api.hpp"
-#include "graph/dot.hpp"
+#include "pmcast/core.hpp"
+#include "pmcast/graph.hpp"
 
 using namespace pmcast;
 using namespace pmcast::core;

@@ -1,0 +1,6 @@
+#pragma once
+/// \file pmcast/collective.hpp
+/// Toolkit re-export: the collective-operation extensions. Unversioned;
+/// see DESIGN_API.md.
+
+#include "collective/collective.hpp"

@@ -1,0 +1,17 @@
+#pragma once
+/// \file pmcast/core.hpp
+/// Toolkit re-export: the paper's algorithm layer (LP bounds, tree and
+/// LP-based heuristics, exact solvers, schedules, certificates, worked
+/// examples). Unversioned — these names track the research code and may
+/// change between minor releases; the stable serving surface is
+/// pmcast/pmcast.hpp. See DESIGN_API.md.
+
+#include "core/certificate.hpp"
+#include "core/exact.hpp"
+#include "core/flows.hpp"
+#include "core/formulations.hpp"
+#include "core/lp_heuristics.hpp"
+#include "core/paper_examples.hpp"
+#include "core/problem.hpp"
+#include "core/tree.hpp"
+#include "core/tree_heuristics.hpp"

@@ -1,0 +1,13 @@
+#pragma once
+/// \file pmcast/graph.hpp
+/// Toolkit re-export: the graph layer — Digraph, shortest paths, DOT
+/// export, canonical instance hashing, the platform text format (legacy
+/// optional<>-based API; prefer pmcast/io.hpp) and the seeded RNG.
+/// Unversioned; see DESIGN_API.md.
+
+#include "graph/digraph.hpp"
+#include "graph/dot.hpp"
+#include "graph/hash.hpp"
+#include "graph/io.hpp"
+#include "graph/paths.hpp"
+#include "graph/rng.hpp"

@@ -1,0 +1,15 @@
+#pragma once
+/// \file pmcast/io.hpp
+/// Platform text format I/O with the v1 Status/Result error model: every
+/// diagnostic carries file, 1-based line/column and the offending token.
+///
+///   Result<PlatformFile> p = pmcast::load_platform("net.platform");
+///   if (!p.ok()) die(p.status().to_string());
+///   // "net.platform:7:12: edge cost must be finite and > 0 (near '-3')
+///   //  [parse_error]"
+///
+/// The format itself (nodes/name/edge/link/source/target directives) is
+/// documented in the header this one re-exports.
+
+#include "graph/io.hpp"
+#include "pmcast/status.hpp"

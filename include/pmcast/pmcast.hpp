@@ -1,0 +1,38 @@
+#pragma once
+/// \file pmcast/pmcast.hpp
+/// Umbrella header of the pmcast v1 public API — the stable, versioned
+/// entry point for applications, tools, benches and tests.
+///
+/// Five-line tour:
+///   pmcast::Service service({.threads = 8});
+///   auto platform = pmcast::load_platform("net.platform");       // Result<>
+///   pmcast::SolveRequest req{.problem = platform->problem()...};
+///   auto response = service.solve(req);                          // Result<>
+///   if (response.ok()) use(response->period);  // certificate-validated
+///
+/// Surface map:
+///   pmcast/status.hpp    — Status / Result<T> error model
+///   pmcast/problem.hpp   — Problem (+ validated make_problem factory)
+///   pmcast/io.hpp        — platform text I/O with line/column diagnostics
+///   pmcast/strategy.hpp  — StrategyId identifiers
+///   pmcast/request.hpp   — SolveRequest (deadline, limits, priority,
+///                          cancellation, strategy allowlist)
+///   pmcast/response.hpp  — SolveResponse (certificate summary, outcomes,
+///                          provenance, timing)
+///   pmcast/service.hpp   — Service facade, SolveFuture, SolveBatch
+///   pmcast/version.hpp   — PMCAST_API_VERSION
+///
+/// The algorithm toolkit (LP bounds, tree heuristics, schedules,
+/// simulator, scenario generator, ...) is re-exported unversioned through
+/// pmcast/core.hpp, pmcast/graph.hpp, pmcast/runtime.hpp,
+/// pmcast/scenario.hpp and friends; see DESIGN_API.md for the stability
+/// contract of each layer.
+
+#include "pmcast/io.hpp"
+#include "pmcast/problem.hpp"
+#include "pmcast/request.hpp"
+#include "pmcast/response.hpp"
+#include "pmcast/service.hpp"
+#include "pmcast/status.hpp"
+#include "pmcast/strategy.hpp"
+#include "pmcast/version.hpp"

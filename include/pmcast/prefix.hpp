@@ -1,0 +1,6 @@
+#pragma once
+/// \file pmcast/prefix.hpp
+/// Toolkit re-export: the prefix-multicast pipeline reduction.
+/// Unversioned; see DESIGN_API.md.
+
+#include "prefix/prefix.hpp"

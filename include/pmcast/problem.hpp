@@ -1,0 +1,74 @@
+#pragma once
+/// \file pmcast/problem.hpp
+/// The problem type of the v1 API. `pmcast::Problem` is the library's
+/// core::MulticastProblem (platform digraph + source + target set) — the
+/// facade shares the value type with the algorithm layer so toolkit calls
+/// and Service requests interoperate without conversions.
+///
+/// Prefer make_problem() over constructing the type directly: the raw
+/// constructor asserts on bad ids in debug builds and silently accepts
+/// them in release builds, while make_problem() reports a Status.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "pmcast/status.hpp"
+
+namespace pmcast {
+
+using Problem = core::MulticastProblem;
+
+/// Structural validation shared by make_problem() and Service::submit():
+/// ids in range, source not a target, no duplicate targets, at least one
+/// target. Does not check reachability (see Problem::feasible()).
+inline Status validate_problem(const Digraph& graph, NodeId source,
+                               const std::vector<NodeId>& targets) {
+  const int n = graph.node_count();
+  if (n <= 0) {
+    return Status(StatusCode::kInvalidArgument, "platform graph is empty");
+  }
+  if (source < 0 || source >= n) {
+    return Status(StatusCode::kInvalidArgument,
+                  "source id " + std::to_string(source) +
+                      " out of range [0, " + std::to_string(n) + ")");
+  }
+  if (targets.empty()) {
+    return Status(StatusCode::kInvalidArgument, "target set is empty");
+  }
+  std::vector<char> seen(static_cast<size_t>(n), 0);
+  for (NodeId t : targets) {
+    if (t < 0 || t >= n) {
+      return Status(StatusCode::kInvalidArgument,
+                    "target id " + std::to_string(t) + " out of range [0, " +
+                        std::to_string(n) + ")");
+    }
+    if (t == source) {
+      return Status(StatusCode::kInvalidArgument,
+                    "the source cannot be a target (node " +
+                        std::to_string(t) + ")");
+    }
+    if (seen[static_cast<size_t>(t)]) {
+      return Status(StatusCode::kInvalidArgument,
+                    "duplicate target " + std::to_string(t));
+    }
+    seen[static_cast<size_t>(t)] = 1;
+  }
+  return Status::Ok();
+}
+
+inline Status validate_problem(const Problem& problem) {
+  return validate_problem(problem.graph, problem.source, problem.targets);
+}
+
+/// Validated Problem factory: never asserts, reports kInvalidArgument with
+/// the offending id instead.
+inline Result<Problem> make_problem(Digraph graph, NodeId source,
+                                    std::vector<NodeId> targets) {
+  Status status = validate_problem(graph, source, targets);
+  if (!status.ok()) return status;
+  return Problem(std::move(graph), source, std::move(targets));
+}
+
+}  // namespace pmcast

@@ -1,0 +1,53 @@
+#pragma once
+/// \file pmcast/request.hpp
+/// SolveRequest — the one per-request envelope of the v1 API. Everything
+/// that used to be scattered across runtime::RequestOptions (deadline,
+/// cancellation) and runtime::SolveBudget (deadline again, exact-solver
+/// limits) plus the previously engine-global strategy set is folded into
+/// this single type; budgets, priorities and strategy routing are request
+/// attributes, not engine knobs.
+
+#include <vector>
+
+#include "pmcast/problem.hpp"
+#include "pmcast/strategy.hpp"
+#include "runtime/budget.hpp"
+
+namespace pmcast {
+
+/// Cooperative cancellation flag. Copyable; every copy shares the same
+/// flag, so the caller keeps one and hands the other to the request.
+using CancelToken = runtime::CancellationToken;
+
+/// Limits on the expensive exact enumeration strategy. Sentinels inherit
+/// the service defaults (ServiceOptions::exact_max_nodes/_max_trees).
+struct SolveLimits {
+  int exact_max_nodes = -1;         ///< < 0 inherits the service default
+  std::size_t exact_max_trees = 0;  ///< 0 inherits the service default
+};
+
+struct SolveRequest {
+  Problem problem;
+
+  /// Wall-clock deadline in ms, anchored when the request enters the
+  /// service; 0 inherits ServiceOptions::default_deadline_ms. Enforced at
+  /// strategy granularity (a started strategy runs to completion).
+  double deadline_ms = 0.0;
+
+  SolveLimits limits;
+
+  /// Higher-priority requests are dispatched to the worker pool first
+  /// within a batch. Ties keep submission order.
+  int priority = 0;
+
+  /// Strategy allowlist; empty inherits the service portfolio (all
+  /// strategies by default). Routing cheap-vs-expensive per request is
+  /// done here: e.g. {Mcph, MulticastUb} for latency-critical traffic.
+  std::vector<StrategyId> strategies;
+
+  /// Cooperative cancellation: request_stop() makes not-yet-started
+  /// strategies of this request skip; finished work stays valid.
+  CancelToken cancel;
+};
+
+}  // namespace pmcast

@@ -1,0 +1,80 @@
+#pragma once
+/// \file pmcast/response.hpp
+/// SolveResponse — what the Service returns for a certified request: the
+/// best certified period, the winning strategy, a certificate summary,
+/// per-strategy outcomes, cache/coalescing provenance and timing.
+///
+/// A SolveResponse only exists for requests that produced a certified
+/// answer; failures travel as Status (see pmcast/status.hpp), so a
+/// response's period is always backed by a validated schedule/certificate.
+///
+/// This header is self-contained apart from pmcast/strategy.hpp.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "pmcast/strategy.hpp"
+
+namespace pmcast {
+
+enum class OutcomeState {
+  Certified,  ///< period realised as a schedule and validated
+  Failed,     ///< strategy did not produce a certifiable result
+  Skipped,    ///< budget/deadline/cancellation or inapplicable
+};
+
+inline const char* outcome_state_name(OutcomeState state) {
+  switch (state) {
+    case OutcomeState::Certified: return "certified";
+    case OutcomeState::Failed: return "failed";
+    case OutcomeState::Skipped: return "skipped";
+  }
+  return "?";
+}
+
+/// One strategy's result inside the portfolio race.
+struct StrategyOutcome {
+  StrategyId strategy = StrategyId::Mcph;
+  OutcomeState state = OutcomeState::Skipped;
+  /// Certified period (infinity unless state == Certified).
+  double period = std::numeric_limits<double>::infinity();
+  /// The strategy's own claimed/advisory value (e.g. Broadcast-EB bound).
+  double bound_period = std::numeric_limits<double>::infinity();
+  double elapsed_ms = 0.0;
+  std::string detail;  ///< failure reason / certification note
+};
+
+/// How the winning period was proven.
+struct CertificateSummary {
+  int certified = 0;  ///< strategies whose answer passed the proof pipeline
+  int failed = 0;
+  int skipped = 0;
+  std::string winner_detail;  ///< certification note of the winner, if any
+};
+
+/// Where the answer came from.
+struct Provenance {
+  bool from_cache = false;  ///< served from the service's LRU result cache
+  bool coalesced = false;   ///< duplicate within a batch, copied from the
+                            ///< leader request's result
+};
+
+struct Timing {
+  double solve_ms = 0.0;  ///< portfolio wall time (0 for pure cache hits)
+  double total_ms = 0.0;  ///< submit-to-delivery, includes queueing
+};
+
+struct SolveResponse {
+  /// Best certified steady-state period (time per multicast).
+  double period = std::numeric_limits<double>::infinity();
+  StrategyId winner = StrategyId::Mcph;
+  std::vector<StrategyOutcome> outcomes;  ///< indexed by launch order
+  CertificateSummary certificate;
+  Provenance provenance;
+  Timing timing;
+
+  double throughput() const { return period > 0.0 ? 1.0 / period : 0.0; }
+};
+
+}  // namespace pmcast

@@ -1,0 +1,9 @@
+#pragma once
+/// \file pmcast/runtime.hpp
+/// Toolkit re-export: the concurrent solver-portfolio runtime (thread
+/// pool, budgets, portfolio racing, result cache, PortfolioEngine).
+/// Most applications should use the pmcast::Service facade
+/// (pmcast/service.hpp) instead; this header is for code that needs
+/// engine-level control. Unversioned; see DESIGN_API.md.
+
+#include "runtime/runtime.hpp"

@@ -1,0 +1,11 @@
+#pragma once
+/// \file pmcast/scenario.hpp
+/// Toolkit re-export: the scenario subsystem — seeded multi-family
+/// platform/workload generation and the differential verification oracle.
+/// The Status-based entry points (validate_spec / generate_scenario
+/// checked variant) live in the generator header. Unversioned; see
+/// DESIGN_API.md.
+
+#include "pmcast/status.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/oracle.hpp"

@@ -1,0 +1,9 @@
+#pragma once
+/// \file pmcast/sched.hpp
+/// Toolkit re-export: one-port schedules — construction, König
+/// edge-coloring orchestration and the discrete-event simulator.
+/// Unversioned; see DESIGN_API.md.
+
+#include "sched/edge_coloring.hpp"
+#include "sched/schedule.hpp"
+#include "sched/simulator.hpp"

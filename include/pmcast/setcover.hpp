@@ -1,0 +1,7 @@
+#pragma once
+/// \file pmcast/setcover.hpp
+/// Toolkit re-export: the set-cover reduction layer. Unversioned; see
+/// DESIGN_API.md.
+
+#include "setcover/reductions.hpp"
+#include "setcover/setcover.hpp"

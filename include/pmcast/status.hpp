@@ -1,0 +1,159 @@
+#pragma once
+/// \file pmcast/status.hpp
+/// The v1 error model: an `expected`-style Status / Result<T> pair used at
+/// every public boundary (platform parsing, scenario generation, the
+/// Service facade). Replaces the throw-or-bool inconsistency of the
+/// internal layers: public entry points never throw for anticipated
+/// failures and never make the caller decode a bare bool.
+///
+/// Status carries a coarse machine-readable code, a human-readable message
+/// and — for parse errors — a structured SourceLocation (file, 1-based
+/// line/column, offending token) so tools can point at the exact byte.
+///
+/// This header is self-contained (standard library only).
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pmcast {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< malformed request (bad ids, empty target set...)
+  kFailedPrecondition,  ///< structurally valid but unservable (unreachable
+                        ///< target, infeasible instance)
+  kParseError,          ///< malformed platform/spec text; location is set
+  kNotFound,            ///< missing file or unknown name
+  kDeadlineExceeded,    ///< budget expired before any strategy certified
+  kCancelled,           ///< cooperative cancellation won the race
+  kResourceExhausted,   ///< an explicit limit (tree enumeration...) was hit
+  kUnavailable,         ///< transient: retrying the same request may work
+  kInternal,            ///< invariant violation inside the library
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kParseError: return "parse_error";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// Where a diagnostic points. line/column are 1-based; 0 means unknown
+/// (e.g. "missing source directive" belongs to the whole file).
+struct SourceLocation {
+  std::string file;   ///< path, or "<string>"/"<stream>" for in-memory text
+  int line = 0;
+  int column = 0;
+  std::string token;  ///< the offending token, empty if not applicable
+};
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+  Status(StatusCode code, std::string message, SourceLocation location)
+      : code_(code),
+        message_(std::move(message)),
+        location_(std::move(location)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const std::optional<SourceLocation>& location() const { return location_; }
+
+  /// "file:line:col: message (near 'token') [code]"; parts that are unknown
+  /// are omitted, so a location-free status renders as "message [code]".
+  std::string to_string() const {
+    if (ok()) return "ok";
+    std::string out;
+    if (location_ && !location_->file.empty()) {
+      out += location_->file;
+      if (location_->line > 0) {
+        out += ':';
+        out += std::to_string(location_->line);
+        if (location_->column > 0) {
+          out += ':';
+          out += std::to_string(location_->column);
+        }
+      }
+      out += ": ";
+    }
+    out += message_;
+    if (location_ && !location_->token.empty()) {
+      out += " (near '" + location_->token + "')";
+    }
+    out += " [";
+    out += status_code_name(code_);
+    out += ']';
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  std::optional<SourceLocation> location_;
+};
+
+/// Value-or-Status, the return type of every fallible public entry point.
+/// Implicitly constructible from either side:
+///
+///   Result<PlatformFile> r = load_platform(path);
+///   if (!r.ok()) { log(r.status().to_string()); return; }
+///   use(r.value());   // or *r / r->graph
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// An error Result. Passing an OK status is a programming error; it is
+  /// coerced to kInternal so the Result is never "ok but valueless".
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(implicit)
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kInternal,
+                       "Result constructed from an OK status without a value");
+    }
+  }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(implicit)
+
+  bool ok() const { return status_.ok(); }
+  explicit operator bool() const { return ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Asserts in debug builds.
+  T& value() & { assert(ok()); return *value_; }
+  const T& value() const& { assert(ok()); return *value_; }
+  T&& value() && { assert(ok()); return std::move(*value_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pmcast

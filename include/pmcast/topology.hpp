@@ -1,0 +1,6 @@
+#pragma once
+/// \file pmcast/topology.hpp
+/// Toolkit re-export: the paper's Tiers-style WAN/MAN/LAN platform
+/// generator. Unversioned; see DESIGN_API.md.
+
+#include "topology/tiers.hpp"

@@ -1,8 +1,17 @@
 #pragma once
 /// \file api.hpp
-/// Umbrella header: the complete public API of the pmcast core library.
+/// DEPRECATED umbrella header, kept as a source-compatibility shim.
 ///
-/// Quick tour (see README.md for a walkthrough):
+/// This was the complete public API of the pmcast core library before the
+/// v1 facade. New code should include the public headers instead:
+///   * `pmcast/pmcast.hpp` — the stable, versioned serving surface
+///     (Service, SolveRequest/SolveResponse, Status/Result, platform I/O);
+///   * `pmcast/core.hpp`  — this exact algorithm-toolkit surface
+///     (LP bounds, heuristics, exact solvers, schedules, certificates).
+/// See DESIGN_API.md for the migration table. This shim will be removed
+/// in a future major version.
+///
+/// Quick tour of what it re-exports (see README.md for a walkthrough):
 ///   MulticastProblem      — platform + source + targets (problem.hpp)
 ///   solve_multicast_lb/ub — the paper's LP bounds (formulations.hpp)
 ///   solve_broadcast_eb    — optimal whole-platform broadcast period
@@ -12,9 +21,6 @@
 ///   exact_optimal_throughput/exact_best_single_tree — exact solvers
 ///   build_tree_schedule/build_flow_schedule — runnable periodic schedules
 ///   sched::simulate       — one-port discrete-event verification
-///
-/// For concurrent serving (portfolio racing, batching, result caching,
-/// budgets) see the runtime layer's umbrella header, runtime/runtime.hpp.
 
 #include "core/certificate.hpp"
 #include "core/exact.hpp"

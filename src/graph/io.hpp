@@ -18,6 +18,14 @@
 ///     link 1 2 0.5
 ///     link 1 3 0.5
 ///     target 2 3
+///
+/// The primary parse API reports errors through the v1 Status/Result
+/// model: every diagnostic carries the origin (file path or "<string>"),
+/// 1-based line and column, and the offending token — e.g.
+///     net.platform:7:12: edge cost must be finite and > 0 (near '-3')
+/// The optional<>-based parse_platform/parse_platform_string overloads are
+/// deprecated shims kept for source compatibility; they flatten the same
+/// diagnostic into "line L, col C: message (near 'tok')".
 
 #include <iosfwd>
 #include <optional>
@@ -25,6 +33,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "pmcast/status.hpp"
 
 namespace pmcast {
 
@@ -34,8 +43,18 @@ struct PlatformFile {
   std::vector<NodeId> targets;
 };
 
-/// Parse a platform description; on error returns nullopt and fills
-/// \p error with a line-numbered diagnostic.
+/// Parse a platform description. \p origin names the text's source in
+/// diagnostics (a file path, "<string>", ...).
+Result<PlatformFile> read_platform(std::istream& in,
+                                   std::string origin = "<stream>");
+Result<PlatformFile> read_platform_text(const std::string& text,
+                                        std::string origin = "<string>");
+/// Open \p path and parse it; a missing/unreadable file is kNotFound.
+Result<PlatformFile> load_platform(const std::string& path);
+
+/// Deprecated: pre-v1 shims over read_platform*(). On error they return
+/// nullopt and, if \p error is non-null, fill it with the flattened
+/// diagnostic (which always contains "line <L>").
 std::optional<PlatformFile> parse_platform(std::istream& in,
                                            std::string* error = nullptr);
 std::optional<PlatformFile> parse_platform_string(const std::string& text,
@@ -44,5 +63,7 @@ std::optional<PlatformFile> parse_platform_string(const std::string& text,
 /// Serialise a platform in the same format (round-trips with the parser).
 void write_platform(std::ostream& out, const PlatformFile& platform);
 std::string write_platform_string(const PlatformFile& platform);
+/// Write \p platform to \p path; an unwritable path is kUnavailable.
+Status save_platform(const std::string& path, const PlatformFile& platform);
 
 }  // namespace pmcast

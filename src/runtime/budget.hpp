@@ -31,17 +31,43 @@ class CancellationToken {
   std::shared_ptr<std::atomic<bool>> flag_;
 };
 
-/// Per-request budget: a wall-clock deadline plus limits on the expensive
-/// exact solver. Default-constructed budget is unlimited.
+/// Budget for one portfolio run: a wall-clock deadline plus limits on the
+/// expensive exact solver. The default-constructed budget is the *engine*
+/// default (unlimited wall clock, bounded exact solver); inherit() is the
+/// *request* default, where every field defers to the engine's budget —
+/// resolve() merges the two. This is the single carrier of deadline and
+/// exact limits; per-request knobs ride in on RequestOptions::budget
+/// rather than duplicating fields (see engine.hpp).
 struct SolveBudget {
-  /// Wall-clock budget in milliseconds, 0 = unlimited. The deadline is
-  /// anchored when the request enters the engine (see deadline_from()).
+  /// Wall-clock budget in milliseconds, 0 = unlimited (and, on a request
+  /// budget, "inherit the engine default"). The deadline is anchored when
+  /// the request enters the engine (see deadline_from()).
   double deadline_ms = 0.0;
 
   /// Instances larger than this skip the exact enumeration strategy.
+  /// Negative on a request budget = inherit.
   int exact_max_nodes = 9;
-  /// Tree-enumeration abort limit for the exact strategy.
+  /// Tree-enumeration abort limit for the exact strategy. 0 on a request
+  /// budget = inherit.
   std::size_t exact_max_trees = 200'000;
+
+  /// Request-level budget with every field deferring to the engine's.
+  static SolveBudget inherit() {
+    SolveBudget budget;
+    budget.deadline_ms = 0.0;
+    budget.exact_max_nodes = -1;
+    budget.exact_max_trees = 0;
+    return budget;
+  }
+
+  /// Merge this (request-level, sentinel-aware) budget over \p base.
+  SolveBudget resolve(const SolveBudget& base) const {
+    SolveBudget merged = base;
+    if (deadline_ms > 0.0) merged.deadline_ms = deadline_ms;
+    if (exact_max_nodes >= 0) merged.exact_max_nodes = exact_max_nodes;
+    if (exact_max_trees > 0) merged.exact_max_trees = exact_max_trees;
+    return merged;
+  }
 
   Clock::time_point deadline_from(Clock::time_point start) const {
     if (deadline_ms <= 0.0) return Clock::time_point::max();
@@ -51,12 +77,16 @@ struct SolveBudget {
 };
 
 /// The live view a running strategy checks: deadline passed or cancelled?
+/// Carries two tokens so one request can be stopped either individually
+/// (its own token) or collectively (the owning batch's token).
 struct BudgetGuard {
   Clock::time_point deadline = Clock::time_point::max();
-  CancellationToken cancel;
+  CancellationToken cancel;        ///< per-request token
+  CancellationToken batch_cancel;  ///< owning batch's token
 
   bool expired() const {
-    return cancel.stop_requested() || Clock::now() >= deadline;
+    return cancel.stop_requested() || batch_cancel.stop_requested() ||
+           Clock::now() >= deadline;
   }
 };
 

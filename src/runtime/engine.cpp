@@ -1,8 +1,13 @@
 #include "runtime/engine.hpp"
 
-#include <functional>
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "graph/hash.hpp"
 
 namespace pmcast::runtime {
 namespace {
@@ -14,10 +19,259 @@ double ms_since(Clock::time_point start) {
 
 }  // namespace
 
+namespace detail {
+
+/// One coalesced group: the leader's problem raced by the portfolio,
+/// followers waiting for a copy. Strategy tasks write their outcome slot
+/// lock-free; the task that decrements `remaining` to zero assembles and
+/// delivers (acq_rel ordering makes every slot visible to it).
+struct EngineGroup {
+  std::size_t leader = 0;
+  core::MulticastProblem problem;  // copy: tasks outlive the caller's span
+  InstanceKey key;
+  std::vector<std::size_t> followers;
+  PortfolioOptions options;
+  BudgetGuard guard;
+  std::vector<Strategy> strategies;
+  std::vector<CandidateOutcome> outcomes;
+  std::atomic<std::size_t> remaining{0};
+  int priority = 0;
+};
+
+struct EngineBatchState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<PortfolioResult> results;
+  std::vector<char> ready;
+  std::size_t delivered = 0;
+
+  /// Serializes user callbacks; never held together with `mutex`.
+  std::mutex callback_mutex;
+  BatchCallback on_result;
+
+  CancellationToken batch_cancel;
+  Clock::time_point start;
+  std::vector<std::unique_ptr<EngineGroup>> groups;
+  ResultCache* cache = nullptr;
+
+  /// Publish one request's result and fire the callback. The callback
+  /// gets a copy so a concurrent result()/take_all() cannot race it;
+  /// `delivered` is bumped only after the callback returns, so wait()
+  /// also waits for callbacks.
+  void deliver(std::size_t index, PortfolioResult result) {
+    PortfolioResult callback_copy;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      results[index] = std::move(result);
+      ready[index] = 1;
+      if (on_result) callback_copy = results[index];
+    }
+    cv.notify_all();
+    if (on_result) {
+      std::lock_guard<std::mutex> lock(callback_mutex);
+      on_result(index, callback_copy);
+    }
+    BatchCallback retired;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++delivered;
+      if (delivered == results.size()) {
+        // Last delivery: the callback can never fire again. Drop it now —
+        // a caller-supplied callback may (indirectly) own the ticket that
+        // owns this state, and that reference cycle would leak the batch
+        // once the caller's handles are gone. Every deliverer bumps
+        // `delivered` only after its callback phase, so nobody can still
+        // be about to invoke it.
+        retired = std::move(on_result);
+        on_result = nullptr;
+      }
+    }
+    cv.notify_all();
+    // `retired` (and anything it captured) is destroyed here, outside the
+    // locks; the running task's shared_ptr keeps this state alive.
+  }
+
+  void finish_group(EngineGroup& group) {
+    PortfolioResult result = assemble_result(std::move(group.outcomes));
+    result.elapsed_ms = ms_since(start);
+    if (cache != nullptr) cache->put(group.key, result);
+    // Leader first, then followers — the order the doc comment promises.
+    if (group.followers.empty()) {
+      deliver(group.leader, std::move(result));
+      return;
+    }
+    deliver(group.leader, result);
+    for (std::size_t f : group.followers) {
+      PortfolioResult copy = result;
+      copy.coalesced = true;
+      deliver(f, std::move(copy));
+    }
+  }
+};
+
+}  // namespace detail
+
+using detail::EngineBatchState;
+using detail::EngineGroup;
+
+std::size_t SolveTicket::size() const {
+  return state_ == nullptr ? 0 : state_->results.size();
+}
+
+std::size_t SolveTicket::completed() const {
+  if (state_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->delivered;
+}
+
+bool SolveTicket::done() const {
+  if (state_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->delivered == state_->results.size();
+}
+
+void SolveTicket::wait() {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] {
+    return state_->delivered == state_->results.size();
+  });
+}
+
+bool SolveTicket::wait_for(double timeout_ms) {
+  if (state_ == nullptr) return true;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  return state_->cv.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms),
+      [&] { return state_->delivered == state_->results.size(); });
+}
+
+void SolveTicket::cancel() {
+  if (state_ != nullptr) state_->batch_cancel.request_stop();
+}
+
+bool SolveTicket::ready(std::size_t index) const {
+  if (state_ == nullptr || index >= state_->results.size()) return false;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->ready[index] != 0;
+}
+
+PortfolioResult SolveTicket::result(std::size_t index) const {
+  PortfolioResult out;
+  if (state_ == nullptr || index >= state_->results.size()) return out;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->ready[index] != 0; });
+  return state_->results[index];
+}
+
+std::vector<PortfolioResult> SolveTicket::take_all() {
+  wait();
+  if (state_ == nullptr) return {};
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  // Move element-wise, keeping results.size() intact: done()/wait() on
+  // this or a copied ticket must stay true (delivered == size), they
+  // just observe moved-from values after a take.
+  std::vector<PortfolioResult> out(state_->results.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::move(state_->results[i]);
+  }
+  return out;
+}
+
 PortfolioEngine::PortfolioEngine(EngineOptions options)
     : options_(std::move(options)),
-      pool_(options_.threads),
-      cache_(options_.cache_capacity) {}
+      cache_(options_.cache_capacity),
+      pool_(options_.threads) {}
+
+SolveTicket PortfolioEngine::submit_batch(
+    std::span<const core::MulticastProblem> problems,
+    std::span<const RequestOptions> requests, BatchCallback on_result) {
+  auto state = std::make_shared<EngineBatchState>();
+  const std::size_t n = problems.size();
+  state->results.resize(n);
+  state->ready.assign(n, 0);
+  state->start = Clock::now();
+  state->cache = &cache_;
+  // An empty batch never delivers, so never store the callback for one —
+  // a callback that (indirectly) owns the ticket would leak the state.
+  if (n == 0) return SolveTicket(state);
+  state->on_result = std::move(on_result);
+
+  // Requests beyond the span's end get defaults, so a shorter (or empty)
+  // span is safe rather than an out-of-bounds read.
+  const RequestOptions default_request;
+  auto request_of = [&](std::size_t i) -> const RequestOptions& {
+    return i < requests.size() ? requests[i] : default_request;
+  };
+
+  // Steps 1+2: cache probe (hits delivered immediately, in batch order),
+  // then coalesce the remaining misses by canonical key. Leaders keep
+  // batch order, which makes coalescing deterministic.
+  std::unordered_map<InstanceKey, EngineGroup*> group_of_key;
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::MulticastProblem& p = problems[i];
+    InstanceKey key = instance_key(p.graph, p.source, p.targets);
+    if (auto hit = cache_.get(key)) {
+      state->deliver(i, std::move(*hit));
+      continue;
+    }
+    auto it = group_of_key.find(key);
+    if (it != group_of_key.end()) {
+      it->second->followers.push_back(i);
+      // The group inherits its most urgent member's priority, not just
+      // the leader's — a high-priority duplicate must not queue behind
+      // lower-priority groups.
+      it->second->priority =
+          std::max(it->second->priority, request_of(i).priority);
+      continue;
+    }
+    auto group = std::make_unique<EngineGroup>();
+    group->leader = i;
+    group->problem = p;
+    group->key = key;
+    group->options = options_.portfolio;
+    const RequestOptions& req = request_of(i);
+    group->options.budget = req.budget.resolve(options_.portfolio.budget);
+    if (!req.strategies.empty()) group->options.strategies = req.strategies;
+    group->guard = BudgetGuard{group->options.budget.deadline_from(state->start),
+                               req.cancel, state->batch_cancel};
+    group->strategies = group->options.strategies.empty()
+                            ? all_strategies()
+                            : group->options.strategies;
+    group->outcomes.resize(group->strategies.size());
+    group->remaining.store(group->strategies.size(),
+                           std::memory_order_relaxed);
+    group->priority = req.priority;
+    group_of_key.emplace(key, group.get());
+    state->groups.push_back(std::move(group));
+  }
+
+  // Step 3: fan every (leader, strategy) pair out onto the pool, highest
+  // priority first (stable on batch order for ties). The pool serves
+  // submissions roughly in order, so priority maps to dispatch order.
+  std::vector<EngineGroup*> dispatch;
+  dispatch.reserve(state->groups.size());
+  for (auto& group : state->groups) dispatch.push_back(group.get());
+  std::stable_sort(dispatch.begin(), dispatch.end(),
+                   [](const EngineGroup* a, const EngineGroup* b) {
+                     return a->priority > b->priority;
+                   });
+  for (EngineGroup* group : dispatch) {
+    for (std::size_t s = 0; s < group->strategies.size(); ++s) {
+      // Each task keeps the batch state alive; with 0 workers submit()
+      // runs the task inline, so small engines stay deterministic.
+      pool_.submit([state, group, s] {
+        group->outcomes[s] = run_strategy(group->problem,
+                                          group->strategies[s],
+                                          group->options, group->guard);
+        if (group->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          state->finish_group(*group);
+        }
+      });
+    }
+  }
+  return SolveTicket(state);
+}
 
 PortfolioResult PortfolioEngine::solve(const core::MulticastProblem& problem,
                                        const RequestOptions& request) {
@@ -28,84 +282,7 @@ PortfolioResult PortfolioEngine::solve(const core::MulticastProblem& problem,
 std::vector<PortfolioResult> PortfolioEngine::solve_batch(
     std::span<const core::MulticastProblem> problems,
     std::span<const RequestOptions> requests) {
-  const Clock::time_point batch_start = Clock::now();
-  const std::size_t n = problems.size();
-  std::vector<PortfolioResult> results(n);
-  if (n == 0) return results;
-
-  // Requests beyond the span's end get defaults, so a shorter (or empty)
-  // span is safe rather than an out-of-bounds read.
-  RequestOptions default_request;
-  auto request_of = [&](std::size_t i) -> const RequestOptions& {
-    return i < requests.size() ? requests[i] : default_request;
-  };
-
-  // Step 1+2: cache probe, then coalesce remaining misses by key. Leaders
-  // keep batch order, which makes coalescing deterministic.
-  struct Group {
-    std::size_t leader;
-    InstanceKey key;
-    std::vector<std::size_t> followers;
-    PortfolioOptions options;
-    BudgetGuard guard;
-    std::vector<Strategy> strategies;
-    std::vector<CandidateOutcome> outcomes;
-  };
-  std::vector<Group> groups;
-  std::unordered_map<InstanceKey, std::size_t> group_of_key;
-  for (std::size_t i = 0; i < n; ++i) {
-    const core::MulticastProblem& p = problems[i];
-    InstanceKey key = instance_key(p.graph, p.source, p.targets);
-    if (auto hit = cache_.get(key)) {
-      results[i] = std::move(*hit);
-      continue;
-    }
-    auto [it, fresh] = group_of_key.try_emplace(key, groups.size());
-    if (!fresh) {
-      groups[it->second].followers.push_back(i);
-      continue;
-    }
-    Group group;
-    group.leader = i;
-    group.key = key;
-    group.options = options_.portfolio;
-    const RequestOptions& req = request_of(i);
-    if (req.deadline_ms > 0.0) {
-      group.options.budget.deadline_ms = req.deadline_ms;
-    }
-    group.guard = BudgetGuard{group.options.budget.deadline_from(batch_start),
-                              req.cancel};
-    group.strategies = group.options.strategies.empty()
-                           ? all_strategies()
-                           : group.options.strategies;
-    group.outcomes.resize(group.strategies.size());
-    groups.push_back(std::move(group));
-  }
-
-  // Step 3: fan every (leader, strategy) pair out onto the pool.
-  std::vector<std::function<void()>> tasks;
-  for (Group& group : groups) {
-    for (std::size_t s = 0; s < group.strategies.size(); ++s) {
-      tasks.push_back([g = &group, s, problems] {
-        g->outcomes[s] = run_strategy(problems[g->leader], g->strategies[s],
-                                      g->options, g->guard);
-      });
-    }
-  }
-  pool_.run_all(std::move(tasks));
-
-  // Assemble, cache, and replicate to coalesced followers.
-  for (Group& group : groups) {
-    PortfolioResult result = assemble_result(std::move(group.outcomes));
-    result.elapsed_ms = ms_since(batch_start);
-    cache_.put(group.key, result);
-    for (std::size_t f : group.followers) {
-      results[f] = result;
-      results[f].coalesced = true;
-    }
-    results[group.leader] = std::move(result);
-  }
-  return results;
+  return submit_batch(problems, requests).take_all();
 }
 
 }  // namespace pmcast::runtime

@@ -1,28 +1,38 @@
 #pragma once
 /// \file engine.hpp
 /// The batch-serving layer of the runtime: a PortfolioEngine owns the
-/// work-stealing pool and the LRU result cache and exposes
-/// solve()/solve_batch() with per-request deadlines, budgets and
-/// cancellation.
+/// work-stealing pool and the LRU result cache and exposes an async-first
+/// submission surface — submit_batch() streams each request's result
+/// through a callback as it certifies — plus blocking
+/// solve()/solve_batch() conveniences layered on top.
 ///
-/// A batch is served in three steps:
+/// A batch is served in four steps:
 ///  1. *Cache lookup* — every request's canonical instance key
-///     (graph/hash.hpp) is probed against the LRU cache; hits are answered
-///     immediately.
+///     (graph/hash.hpp) is probed against the LRU cache; hits are
+///     delivered immediately, on the submitting thread.
 ///  2. *Coalescing* — misses with identical keys are grouped; one leader
 ///     per group is solved, followers receive a copy (coalesced flag set).
 ///     A coalesced group runs under its leader's budget/cancellation — the
 ///     leader is the first occurrence in the batch.
 ///  3. *Fan-out* — every (leader, strategy) pair becomes one pool task, so
 ///     strategy-level parallelism spans request boundaries and the pool
-///     stays saturated even when one straggler request is left.
+///     stays saturated even when one straggler request is left. Groups are
+///     dispatched in descending RequestOptions::priority order.
+///  4. *Streaming delivery* — when the last strategy of a group finishes,
+///     the group's result is assembled, cached and delivered (leader
+///     first, then followers) through the batch callback; other requests
+///     keep running. No barrier: time-to-first-result is one request's
+///     solve time, not the whole batch's.
 ///
 /// Budget semantics: deadlines are anchored when the batch enters the
 /// engine and enforced at strategy granularity (a strategy that already
 /// started is run to completion — nothing is killed mid-LP-pivot).
-/// Cancellation is cooperative through the same checkpoints.
+/// Cancellation is cooperative through the same checkpoints, per request
+/// (RequestOptions::cancel) or per batch (SolveTicket::cancel()).
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -45,25 +55,88 @@ struct EngineOptions {
   PortfolioOptions portfolio;
 };
 
-/// Per-request knobs layered on top of EngineOptions::portfolio.
+/// Per-request knobs layered on top of EngineOptions::portfolio. This is
+/// the runtime mirror of the facade's pmcast::SolveRequest; the previous
+/// free-standing deadline_ms member was removed in favour of the one
+/// budget carrier (deprecated: RequestOptions::deadline_ms — use
+/// budget.deadline_ms, which also folds in the exact-solver limits).
 struct RequestOptions {
-  /// Wall-clock deadline for this request in ms; 0 inherits the engine
-  /// default (portfolio.budget.deadline_ms).
-  double deadline_ms = 0.0;
+  /// Sentinel-aware budget merged over the engine default: deadline_ms 0,
+  /// exact_max_nodes < 0 and exact_max_trees 0 each inherit. Careful:
+  /// assigning a default-constructed SolveBudget{} here is NOT "inherit"
+  /// — it carries the concrete engine defaults (9 / 200k) and overrides
+  /// an engine configured differently. Use SolveBudget::inherit().
+  SolveBudget budget = SolveBudget::inherit();
+  /// Strategy allowlist; empty inherits the engine portfolio.
+  std::vector<Strategy> strategies;
+  /// Higher-priority requests are dispatched to the pool first.
+  int priority = 0;
   /// Cooperative cancellation; request_stop() makes not-yet-started
   /// strategies of this request skip.
   CancellationToken cancel;
+};
+
+namespace detail {
+struct EngineBatchState;  // defined in engine.cpp
+}
+
+/// Streaming delivery: called once per request with its batch index, as
+/// results become available. Callbacks are serialized; cache hits fire on
+/// the submitting thread, the rest on whichever thread finishes a group's
+/// last strategy (the submitting thread itself when threads == 0). A
+/// callback must not block on its own ticket.
+using BatchCallback =
+    std::function<void(std::size_t index, const PortfolioResult& result)>;
+
+/// Handle to one in-flight batch. Copyable; copies share the state, which
+/// outlives the engine's interest in it (tasks hold shared ownership).
+class SolveTicket {
+ public:
+  SolveTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  std::size_t size() const;
+  /// Results delivered so far.
+  std::size_t completed() const;
+  bool done() const;
+  /// Block until every result is delivered (including callbacks).
+  void wait();
+  /// Wait up to \p timeout_ms; true iff the batch completed.
+  bool wait_for(double timeout_ms);
+  /// Cooperatively cancel every request of the batch.
+  void cancel();
+  bool ready(std::size_t index) const;
+  /// Block until request \p index is delivered, then copy its result out.
+  PortfolioResult result(std::size_t index) const;
+  /// wait(), then move all results out (one-shot). Index-aligned. The
+  /// ticket stays done(); result(i) afterwards returns moved-from values.
+  std::vector<PortfolioResult> take_all();
+
+ private:
+  friend class PortfolioEngine;
+  explicit SolveTicket(std::shared_ptr<detail::EngineBatchState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::EngineBatchState> state_;
 };
 
 class PortfolioEngine {
  public:
   explicit PortfolioEngine(EngineOptions options = {});
 
+  /// Async-first entry point: dispatch the batch and return immediately
+  /// (with 0 worker threads everything runs inline first). Problems and
+  /// requests are copied into the batch state; the spans need not outlive
+  /// the call.
+  SolveTicket submit_batch(std::span<const core::MulticastProblem> problems,
+                           std::span<const RequestOptions> requests = {},
+                           BatchCallback on_result = {});
+
   /// Solve one instance (cache-aware). Blocks until done.
   PortfolioResult solve(const core::MulticastProblem& problem,
                         const RequestOptions& request = {});
 
-  /// Solve a batch; results align index-for-index with \p problems.
+  /// Blocking batch; results align index-for-index with \p problems.
   /// \p requests may be empty or shorter than \p problems — requests
   /// without a matching entry use the engine defaults.
   std::vector<PortfolioResult> solve_batch(
@@ -76,8 +149,10 @@ class PortfolioEngine {
 
  private:
   EngineOptions options_;
-  ThreadPool pool_;
+  // Declared before the pool so it outlives it: the pool's destructor
+  // drains in-flight submit_batch() tasks, which still touch the cache.
   ResultCache cache_;
+  ThreadPool pool_;
 };
 
 }  // namespace pmcast::runtime

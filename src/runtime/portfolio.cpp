@@ -123,16 +123,28 @@ void certify_platform(const MulticastProblem& problem,
 
 void run_exact(const MulticastProblem& problem,
                const PortfolioOptions& options, CandidateOutcome& out) {
-  if (problem.graph.node_count() > options.budget.exact_max_nodes) {
+  // Guard against sentinel-valued budgets (SolveBudget::inherit()) that
+  // reach a solve without being resolve()d against engine defaults:
+  // "inherit" must never mean "skip everything" / "enumerate nothing".
+  const SolveBudget defaults;
+  const int max_nodes = options.budget.exact_max_nodes >= 0
+                            ? options.budget.exact_max_nodes
+                            : defaults.exact_max_nodes;
+  const std::size_t max_trees = options.budget.exact_max_trees > 0
+                                    ? options.budget.exact_max_trees
+                                    : defaults.exact_max_trees;
+  if (problem.graph.node_count() > max_nodes) {
     out.state = CandidateState::Skipped;
+    out.skip_reason = SkipReason::Inapplicable;
     out.detail = "instance above exact_max_nodes";
     return;
   }
   core::EnumerationLimits limits;
-  limits.max_trees = options.budget.exact_max_trees;
+  limits.max_trees = max_trees;
   core::ExactSolution exact = core::exact_optimal_throughput(problem, limits);
   if (!exact.ok) {
     out.state = CandidateState::Skipped;
+    out.skip_reason = SkipReason::EnumerationLimit;
     out.detail = "tree enumeration limit exceeded";
     return;
   }
@@ -182,6 +194,7 @@ CandidateOutcome run_strategy(const core::MulticastProblem& problem,
   out.strategy = strategy;
   if (guard.expired()) {
     out.state = CandidateState::Skipped;
+    out.skip_reason = SkipReason::Budget;
     out.detail = "budget exhausted before start";
     return out;
   }
@@ -265,7 +278,9 @@ PortfolioResult solve_portfolio(const core::MulticastProblem& problem,
                                 const PortfolioOptions& options,
                                 ThreadPool* pool, CancellationToken cancel) {
   Clock::time_point start = Clock::now();
-  BudgetGuard guard{options.budget.deadline_from(start), cancel};
+  BudgetGuard guard;
+  guard.deadline = options.budget.deadline_from(start);
+  guard.cancel = cancel;
   std::vector<Strategy> strategies =
       options.strategies.empty() ? all_strategies() : options.strategies;
 

@@ -57,9 +57,19 @@ enum class CandidateState {
               ///< on a large instance)
 };
 
+/// Why a candidate was Skipped — structured so upper layers (the Service
+/// facade's Status classification) never have to match detail strings.
+enum class SkipReason {
+  NotSkipped = 0,
+  Budget,            ///< deadline expired or cancellation requested
+  Inapplicable,      ///< strategy doesn't apply (instance above exact size)
+  EnumerationLimit,  ///< exact solver hit its tree-enumeration cap
+};
+
 struct CandidateOutcome {
   Strategy strategy = Strategy::Mcph;
   CandidateState state = CandidateState::Skipped;
+  SkipReason skip_reason = SkipReason::NotSkipped;
   double period = kInfinity;        ///< certified period (time per multicast)
   double bound_period = kInfinity;  ///< strategy's own claimed/advisory value
   double elapsed_ms = 0.0;

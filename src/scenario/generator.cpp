@@ -493,6 +493,55 @@ std::string ScenarioSpec::name() const {
   return out;
 }
 
+Status validate_spec(const ScenarioSpec& spec) {
+  auto bad = [](const std::string& what) {
+    return Status(StatusCode::kInvalidArgument, "scenario spec: " + what);
+  };
+  // Upper bound matches what the O(n^2) families (geometric distances,
+  // connectivity repair) can realistically serve, so oversized requests
+  // fail fast instead of appearing to hang.
+  if (spec.nodes < 4 || spec.nodes > 100'000) {
+    return bad("nodes must be in [4, 100000], got " +
+               std::to_string(spec.nodes));
+  }
+  if (!(spec.target_density >= 0.0 && spec.target_density <= 1.0)) {
+    return bad("target_density must be in [0, 1], got " +
+               std::to_string(spec.target_density));
+  }
+  const CostModel& c = spec.costs;
+  if (!(c.core_lo > 0.0) || !(c.leaf_lo > 0.0) || c.core_hi < c.core_lo ||
+      c.leaf_hi < c.leaf_lo) {
+    return bad("cost ranges must satisfy 0 < lo <= hi");
+  }
+  if (!(c.degrade_fraction >= 0.0 && c.degrade_fraction <= 1.0)) {
+    return bad("degrade_fraction must be in [0, 1], got " +
+               std::to_string(c.degrade_fraction));
+  }
+  if (c.degrade_fraction > 0.0 && !(c.degrade_factor >= 1.0)) {
+    return bad("degrade_factor must be >= 1, got " +
+               std::to_string(c.degrade_factor));
+  }
+  if (spec.family == Family::PowerLaw && spec.power_law_attach < 1) {
+    return bad("power_law_attach must be >= 1, got " +
+               std::to_string(spec.power_law_attach));
+  }
+  if (spec.family == Family::Star && spec.star_clusters < 1) {
+    return bad("star_clusters must be >= 1, got " +
+               std::to_string(spec.star_clusters));
+  }
+  if (spec.family == Family::Geometric && !(spec.geo_radius >= 0.0)) {
+    return bad("geo_radius must be >= 0 (0 = auto-connect), got " +
+               std::to_string(spec.geo_radius));
+  }
+  return Status::Ok();
+}
+
+Result<ScenarioInstance> generate_scenario_checked(const ScenarioSpec& spec) {
+  Status status = validate_spec(spec);
+  if (!status.ok()) return status;
+  return generate_scenario(spec);
+}
+
 ScenarioInstance generate_scenario(const ScenarioSpec& raw) {
   assert(raw.nodes >= 4 && "scenario families need at least 4 nodes");
   assert(raw.target_density >= 0.0 && raw.target_density <= 1.0);

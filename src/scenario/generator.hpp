@@ -41,6 +41,7 @@
 #include "core/problem.hpp"
 #include "graph/io.hpp"
 #include "graph/rng.hpp"
+#include "pmcast/status.hpp"
 
 namespace pmcast::scenario {
 
@@ -110,8 +111,20 @@ struct ScenarioInstance {
   std::string name;               ///< spec.name()
 };
 
+/// Validate every knob of \p spec against its documented domain (node
+/// budget, densities, cost ranges, family-specific parameters). The v1
+/// error model's front door for scenario generation: kInvalidArgument
+/// names the offending knob and value.
+Status validate_spec(const ScenarioSpec& spec);
+
 /// Generate one instance. Pure function of \p spec; asserts feasibility.
+/// Out-of-range knobs are clamped (asserts fire in debug builds) — prefer
+/// the checked variant below at public boundaries.
 ScenarioInstance generate_scenario(const ScenarioSpec& spec);
+
+/// validate_spec() + generate_scenario(): never asserts on bad input,
+/// reports a Status instead. Used by tools/pmcast_gen and the facade.
+Result<ScenarioInstance> generate_scenario_checked(const ScenarioSpec& spec);
 
 /// The instance as a graph/io.hpp platform file (round-trips through
 /// parse_platform; node names are preserved).

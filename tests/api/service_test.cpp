@@ -1,0 +1,352 @@
+/// The async surface of the v1 Service facade — the satellite coverage:
+/// future timeout/wait_for, cancelling a batch mid-flight (not-yet-started
+/// strategies skip, finished responses stay valid), callback ordering vs
+/// determinism with 0/1/2/8 threads, coalesced followers observing the
+/// leader's response, plus the Status classification of every failure
+/// mode (invalid, infeasible, deadline, cancelled).
+
+#include "pmcast/pmcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "graph/rng.hpp"
+
+namespace pmcast {
+namespace {
+
+Problem random_problem(std::uint64_t seed, int lo = 5, int hi = 7) {
+  Rng rng(seed * 2654435761ULL + 17);
+  while (true) {
+    int n = static_cast<int>(rng.uniform_int(lo, hi));
+    Digraph g(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u != v && rng.bernoulli(0.45)) {
+          g.add_edge(u, v, rng.uniform_real(0.5, 3.0));
+        }
+      }
+    }
+    std::vector<NodeId> targets;
+    for (int v = 1; v < n; ++v) {
+      if (rng.bernoulli(0.55)) targets.push_back(v);
+    }
+    if (targets.empty()) targets.push_back(n - 1);
+    Problem p(g, 0, targets);
+    if (p.feasible()) return p;
+  }
+}
+
+ServiceOptions with_threads(int threads) {
+  ServiceOptions options;
+  options.threads = threads;
+  return options;
+}
+
+SolveRequest request_for(Problem problem) {
+  SolveRequest request;
+  request.problem = std::move(problem);
+  return request;
+}
+
+TEST(Service, SolveReturnsCertifiedResponse) {
+  Service service(with_threads(2));
+  Result<SolveResponse> result =
+      service.solve(request_for(random_problem(1)));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_GT(result->period, 0.0);
+  EXPECT_GT(result->throughput(), 0.0);
+  EXPECT_GE(result->certificate.certified, 1);
+  EXPECT_EQ(result->outcomes.size(), all_strategy_ids().size());
+  EXPECT_FALSE(result->provenance.from_cache);
+  int counted = result->certificate.certified + result->certificate.failed +
+                result->certificate.skipped;
+  EXPECT_EQ(counted, static_cast<int>(result->outcomes.size()));
+  EXPECT_GE(result->timing.total_ms, 0.0);
+}
+
+TEST(Service, SecondSolveIsServedFromCache) {
+  Service service(with_threads(1));
+  SolveRequest request = request_for(random_problem(2));
+  Result<SolveResponse> first = service.solve(request);
+  ASSERT_TRUE(first.ok());
+  Result<SolveResponse> second = service.solve(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->provenance.from_cache);
+  EXPECT_EQ(second->period, first->period);  // bit-identical
+  EXPECT_EQ(second->winner, first->winner);
+  EXPECT_EQ(service.cache_metrics().hits, 1u);
+}
+
+TEST(Service, InvalidRequestIsRejectedWithInvalidArgument) {
+  Service service(with_threads(1));
+  SolveRequest request;
+  request.problem.graph.add_nodes(3);
+  request.problem.graph.add_edge(0, 1, 1.0);
+  request.problem.source = 0;
+  request.problem.targets = {7};  // out of range
+  Result<SolveResponse> result = service.solve(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Service, InfeasibleRequestIsFailedPrecondition) {
+  Service service(with_threads(1));
+  SolveRequest request;
+  request.problem.graph.add_nodes(3);
+  request.problem.graph.add_edge(0, 1, 1.0);  // node 2 unreachable
+  request.problem.source = 0;
+  request.problem.targets = {2};
+  Result<SolveResponse> result = service.solve(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Service, ExpiredDeadlineClassifiesAsDeadlineExceeded) {
+  Service service(with_threads(1));
+  SolveRequest request = request_for(random_problem(3));
+  request.deadline_ms = 1e-6;  // already expired at batch entry
+  Result<SolveResponse> result = service.solve(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // The starved result must not poison the cache: retrying without the
+  // deadline has to actually solve.
+  request.deadline_ms = 0.0;
+  Result<SolveResponse> retry = service.solve(request);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_FALSE(retry->provenance.from_cache);
+}
+
+TEST(Service, PreCancelledRequestClassifiesAsCancelled) {
+  Service service(with_threads(1));
+  SolveRequest request = request_for(random_problem(4));
+  request.cancel.request_stop();
+  Result<SolveResponse> result = service.solve(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(Service, StrategyAllowlistRoutesTheRequest) {
+  Service service(with_threads(1));
+  SolveRequest request = request_for(random_problem(5));
+  request.strategies = {StrategyId::Mcph};
+  Result<SolveResponse> result = service.solve(request);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->winner, StrategyId::Mcph);
+  ASSERT_EQ(result->outcomes.size(), 1u);
+  EXPECT_EQ(result->outcomes[0].strategy, StrategyId::Mcph);
+}
+
+TEST(Service, PerRequestExactLimitSkipsExact) {
+  Service service(with_threads(1));
+  SolveRequest request = request_for(random_problem(6));
+  request.limits.exact_max_nodes = 0;  // no instance is small enough
+  Result<SolveResponse> result = service.solve(request);
+  ASSERT_TRUE(result.ok());
+  bool exact_seen = false;
+  for (const StrategyOutcome& outcome : result->outcomes) {
+    if (outcome.strategy == StrategyId::Exact) {
+      exact_seen = true;
+      EXPECT_EQ(outcome.state, OutcomeState::Skipped);
+    }
+  }
+  EXPECT_TRUE(exact_seen);
+}
+
+TEST(Service, FutureReportsReadyAndGetIsRepeatable) {
+  Service service(with_threads(2));
+  SolveFuture future = service.submit(request_for(random_problem(7)));
+  ASSERT_TRUE(future.valid());
+  future.wait();
+  EXPECT_TRUE(future.ready());
+  EXPECT_TRUE(future.wait_for(0.0));  // already done: no timeout
+  Result<SolveResponse> a = future.get();
+  Result<SolveResponse> b = future.get();  // get() copies, repeatable
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->period, b->period);
+}
+
+TEST(Service, FutureWaitForTimesOutWhileWorkerIsBusy) {
+  // One worker, several LP-heavy instances: the tail request cannot be
+  // ready within a fraction of a millisecond of submission.
+  Service service(with_threads(1));
+  std::vector<SolveRequest> requests;
+  for (std::uint64_t s = 40; s < 46; ++s) {
+    requests.push_back(request_for(random_problem(s, 8, 9)));
+  }
+  SolveBatch batch = service.submit_batch(std::move(requests));
+  SolveFuture tail = batch.future(batch.size() - 1);
+  EXPECT_FALSE(tail.wait_for(0.001));  // worker is still on earlier work
+  EXPECT_FALSE(tail.ready());
+  batch.wait_all();
+  EXPECT_TRUE(tail.ready());
+  EXPECT_TRUE(tail.get().ok());
+}
+
+TEST(Service, DefaultConstructedHandlesAreInert) {
+  SolveFuture future;
+  EXPECT_FALSE(future.valid());
+  EXPECT_FALSE(future.ready());
+  EXPECT_FALSE(future.wait_for(0.0));
+  EXPECT_FALSE(future.get().ok());
+  SolveBatch batch;
+  EXPECT_FALSE(batch.valid());
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_TRUE(batch.done());
+  batch.wait_all();  // must not hang
+  batch.cancel();    // must not crash
+}
+
+TEST(Service, CoalescedFollowersObserveTheLeadersResponse) {
+  Service service(with_threads(2));
+  Problem a = random_problem(8);
+  Problem b = random_problem(9);
+  std::vector<SolveRequest> requests;
+  for (const Problem* p : {&a, &b, &a, &a, &b}) {
+    requests.push_back(request_for(*p));
+  }
+  std::vector<Result<SolveResponse>> results =
+      service.solve_batch(std::move(requests));
+  ASSERT_EQ(results.size(), 5u);
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(results[0]->provenance.coalesced);
+  EXPECT_FALSE(results[1]->provenance.coalesced);
+  EXPECT_TRUE(results[2]->provenance.coalesced);
+  EXPECT_TRUE(results[3]->provenance.coalesced);
+  EXPECT_TRUE(results[4]->provenance.coalesced);
+  EXPECT_EQ(results[2]->period, results[0]->period);
+  EXPECT_EQ(results[2]->winner, results[0]->winner);
+  EXPECT_EQ(results[3]->period, results[0]->period);
+  EXPECT_EQ(results[4]->period, results[1]->period);
+  // Only the two unique instances were actually solved (and cached).
+  EXPECT_EQ(service.cache_metrics().entries, 2u);
+}
+
+TEST(Service, CallbacksAreSerializedAndCoverEveryRequestExactlyOnce) {
+  for (int threads : {0, 1, 2, 8}) {
+    Service service(with_threads(threads));
+    std::vector<SolveRequest> requests;
+    for (std::uint64_t s = 20; s < 28; ++s) {
+      requests.push_back(request_for(random_problem(s)));
+    }
+    const std::size_t n = requests.size();
+
+    std::mutex mutex;
+    std::multiset<std::size_t> seen;
+    std::atomic<int> overlapping{0};
+    std::atomic<bool> overlap_detected{false};
+    SolveBatch batch = service.submit_batch(
+        std::move(requests),
+        [&](std::size_t index, const Result<SolveResponse>& result) {
+          if (overlapping.fetch_add(1) != 0) overlap_detected = true;
+          EXPECT_TRUE(result.ok());
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            seen.insert(index);
+          }
+          overlapping.fetch_sub(1);
+        });
+    batch.wait_all();
+    EXPECT_TRUE(batch.done());
+    EXPECT_EQ(batch.completed(), n);
+    EXPECT_FALSE(overlap_detected.load()) << threads << " threads";
+    ASSERT_EQ(seen.size(), n) << threads << " threads";
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(seen.count(i), 1u) << threads << " threads, index " << i;
+    }
+  }
+}
+
+TEST(Service, ResponsesAreDeterministicAcrossThreadCounts) {
+  std::vector<Result<SolveResponse>> expected;
+  {
+    Service baseline(with_threads(0));  // inline reference
+    std::vector<SolveRequest> requests;
+    for (std::uint64_t s = 10; s < 16; ++s) {
+      requests.push_back(request_for(random_problem(s)));
+    }
+    expected = baseline.solve_batch(std::move(requests));
+  }
+  for (int threads : {1, 2, 8}) {
+    Service service(with_threads(threads));
+    std::vector<SolveRequest> requests;
+    for (std::uint64_t s = 10; s < 16; ++s) {
+      requests.push_back(request_for(random_problem(s)));
+    }
+    std::vector<Result<SolveResponse>> results =
+        service.solve_batch(std::move(requests));
+    ASSERT_EQ(results.size(), expected.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].ok(), expected[i].ok())
+          << threads << " threads, instance " << i;
+      if (!results[i].ok()) continue;
+      EXPECT_EQ(results[i]->period, expected[i]->period)
+          << threads << " threads, instance " << i;
+      EXPECT_EQ(results[i]->winner, expected[i]->winner)
+          << threads << " threads, instance " << i;
+    }
+  }
+}
+
+TEST(Service, CancellingABatchMidFlightKeepsFinishedResponsesValid) {
+  // One worker so the batch is necessarily mid-flight when we cancel:
+  // whatever certified before the flag flips must stay valid, the rest
+  // classify as kCancelled, and everything is delivered.
+  Service service(with_threads(1));
+  std::vector<SolveRequest> requests;
+  for (std::uint64_t s = 60; s < 72; ++s) {
+    requests.push_back(request_for(random_problem(s, 8, 9)));
+  }
+  const std::size_t n = requests.size();
+  SolveBatch batch = service.submit_batch(std::move(requests));
+  batch.cancel();
+  batch.wait_all();
+  EXPECT_EQ(batch.completed(), n);
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Result<SolveResponse> result = batch.get(i);
+    if (result.ok()) {
+      // A response that made it out is certified — cancel never
+      // invalidates finished work.
+      EXPECT_GE(result->certificate.certified, 1) << "request " << i;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+          << "request " << i << ": " << result.status().to_string();
+      ++cancelled;
+    }
+  }
+  // With 12 LP-heavy instances on one worker, cancelling right after
+  // submission must starve at least the tail of the batch.
+  EXPECT_GE(cancelled, 1u);
+}
+
+TEST(Service, PriorityRequestsStillSolveCorrectly) {
+  Service service(with_threads(2));
+  std::vector<SolveRequest> requests;
+  for (std::uint64_t s = 30; s < 36; ++s) {
+    SolveRequest request = request_for(random_problem(s));
+    request.priority = static_cast<int>(s % 3);
+    requests.push_back(std::move(request));
+  }
+  std::vector<Result<SolveResponse>> results =
+      service.solve_batch(std::move(requests));
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+  }
+}
+
+TEST(Service, EmptyBatchCompletesImmediately) {
+  Service service(with_threads(1));
+  SolveBatch batch = service.submit_batch({});
+  EXPECT_TRUE(batch.done());
+  batch.wait_all();
+  EXPECT_EQ(batch.size(), 0u);
+}
+
+}  // namespace
+}  // namespace pmcast

@@ -1,0 +1,102 @@
+/// The v1 error model: Status codes, SourceLocation rendering, and the
+/// Result<T> value-or-status contract every public boundary relies on.
+
+#include "pmcast/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace pmcast {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "ok");
+  EXPECT_EQ(status, Status::Ok());
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status status(StatusCode::kInvalidArgument, "bad id");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad id");
+  EXPECT_EQ(status.to_string(), "bad id [invalid_argument]");
+  EXPECT_FALSE(status.location().has_value());
+}
+
+TEST(Status, RendersFullLocation) {
+  Status status(StatusCode::kParseError, "edge cost must be finite and > 0",
+                SourceLocation{"net.platform", 7, 12, "-3"});
+  EXPECT_EQ(status.to_string(),
+            "net.platform:7:12: edge cost must be finite and > 0 "
+            "(near '-3') [parse_error]");
+  ASSERT_TRUE(status.location().has_value());
+  EXPECT_EQ(status.location()->line, 7);
+  EXPECT_EQ(status.location()->column, 12);
+  EXPECT_EQ(status.location()->token, "-3");
+}
+
+TEST(Status, RendersPartialLocation) {
+  // Whole-file diagnostics have no line/column/token.
+  Status status(StatusCode::kParseError, "missing nodes directive",
+                SourceLocation{"net.platform", 0, 0, ""});
+  EXPECT_EQ(status.to_string(),
+            "net.platform: missing nodes directive [parse_error]");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kFailedPrecondition, StatusCode::kParseError,
+        StatusCode::kNotFound, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled, StatusCode::kResourceExhausted,
+        StatusCode::kUnavailable, StatusCode::kInternal}) {
+    EXPECT_STRNE(status_code_name(code), "?");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(static_cast<bool>(result));
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(-1), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> result = Status(StatusCode::kNotFound, "nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(Result, OkStatusWithoutValueIsCoercedToInternal) {
+  // A Result must never be "ok but valueless".
+  Result<int> result = Status::Ok();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(Result, MoveOnlyFriendly) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(Result, ArrowOperator) {
+  struct Payload {
+    int field = 3;
+  };
+  Result<Payload> result = Payload{};
+  EXPECT_EQ(result->field, 3);
+}
+
+}  // namespace
+}  // namespace pmcast

@@ -1,0 +1,186 @@
+/// Status-based platform parsing: every malformed-platform branch must
+/// produce a kParseError whose SourceLocation points at the offending
+/// line, column and token (the satellite hardening coverage). The legacy
+/// optional<> shims keep their "line N" flattening.
+
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+namespace pmcast {
+namespace {
+
+struct NegativeCase {
+  const char* name;
+  const char* text;
+  const char* message_fragment;  ///< must appear in the Status message
+  int line;                      ///< expected 1-based line
+  int column;                    ///< expected 1-based column (0 = unknown)
+  const char* token;             ///< expected offending token ("" = none)
+};
+
+const NegativeCase kNegativeCases[] = {
+    {"nodes_non_numeric", "nodes lots\n", "positive count", 1, 7, "lots"},
+    {"nodes_zero", "nodes 0\n", "positive count", 1, 7, "0"},
+    {"nodes_negative", "nodes -3\n", "positive count", 1, 7, "-3"},
+    {"nodes_too_large", "nodes 1000001\n", "positive count", 1, 7, "1000001"},
+    {"nodes_missing_count", "nodes\n", "positive count", 1, 6, ""},
+    {"nodes_duplicate", "nodes 2\nnodes 3\nsource 0\n",
+     "duplicate nodes directive", 2, 7, "3"},
+    {"name_bad_id", "nodes 2\nname 9 label\nsource 0\n",
+     "valid node id and a label", 2, 6, "9"},
+    {"name_missing_label", "nodes 2\nname 0\nsource 0\n",
+     "valid node id and a label", 2, 7, ""},
+    {"edge_missing_cost", "nodes 2\nsource 0\nedge 0 1\n",
+     "needs: <from> <to> <cost>", 3, 9, ""},
+    {"edge_non_numeric_cost", "nodes 2\nsource 0\nedge 0 1 cheap\n",
+     "needs: <from> <to> <cost>", 3, 10, "cheap"},
+    {"edge_truncated_cost", "nodes 2\nsource 0\nedge 0 1 1.5x\n",
+     "needs: <from> <to> <cost>", 3, 10, "1.5x"},
+    {"edge_endpoint_out_of_range", "nodes 2\nsource 0\nedge 0 5 1\n",
+     "endpoint out of range", 3, 8, "5"},
+    {"edge_before_nodes", "edge 0 1 1\n", "endpoint out of range", 1, 6,
+     "0"},
+    {"edge_overflowing_id",
+     "nodes 2\nsource 0\nedge 0 99999999999999999999999 1\n",
+     "needs: <from> <to> <cost>", 3, 8, "99999999999999999999999"},
+    {"edge_self_loop", "nodes 2\nsource 0\nedge 1 1 1\n",
+     "self-loop edges are not allowed", 3, 8, "1"},
+    {"edge_zero_cost", "nodes 2\nsource 0\nedge 0 1 0\n",
+     "finite and > 0", 3, 10, "0"},
+    {"edge_negative_cost", "nodes 2\nsource 0\nedge 0 1 -2\n",
+     "finite and > 0", 3, 10, "-2"},
+    {"edge_inf_cost", "nodes 2\nsource 0\nedge 0 1 inf\n",
+     "finite and > 0", 3, 10, "inf"},
+    {"edge_nan_cost", "nodes 2\nsource 0\nedge 0 1 nan\n",
+     "finite and > 0", 3, 10, "nan"},
+    {"edge_overflow_cost", "nodes 2\nsource 0\nedge 0 1 1e999\n",
+     "finite and > 0", 3, 10, "1e999"},
+    {"source_bad_id", "nodes 2\nsource 7\n", "valid node id", 2, 8, "7"},
+    {"source_before_nodes", "source 0\n", "valid node id", 1, 8, "0"},
+    {"source_duplicate", "nodes 2\nsource 0\nsource 1\nedge 0 1 1\n",
+     "duplicate source directive", 3, 8, "1"},
+    {"target_out_of_range", "nodes 2\nsource 0\nedge 0 1 1\ntarget 5\n",
+     "target id out of range", 4, 8, "5"},
+    {"target_duplicate",
+     "nodes 3\nsource 0\nedge 0 1 1\nedge 0 2 1\ntarget 1 2 1\n",
+     "duplicate target 1", 5, 12, "1"},
+    {"target_empty", "nodes 2\nsource 0\ntarget\n",
+     "at least one node id", 3, 7, ""},
+    {"unknown_directive", "nodes 2\nfrobnicate 3\n", "unknown directive", 2,
+     1, "frobnicate"},
+    {"trailing_text", "nodes 2 oops\nsource 0\n",
+     "unexpected trailing text after nodes", 1, 9, "oops"},
+    // File-level diagnostics anchor at the last line read (no column).
+    {"missing_nodes", "# just a comment\n", "missing nodes directive", 1, 0,
+     ""},
+    {"missing_source", "nodes 2\nedge 0 1 1\n", "missing source directive",
+     2, 0, ""},
+    {"source_as_target", "nodes 2\nsource 0\nedge 0 1 1\ntarget 0\n",
+     "source cannot be a target", 4, 0, ""},
+};
+
+TEST(PlatformIoStatus, EveryMalformedBranchPointsAtTheOffendingToken) {
+  for (const NegativeCase& c : kNegativeCases) {
+    Result<PlatformFile> result = read_platform_text(c.text, "test.platform");
+    ASSERT_FALSE(result.ok()) << c.name;
+    const Status& status = result.status();
+    EXPECT_EQ(status.code(), StatusCode::kParseError) << c.name;
+    EXPECT_NE(status.message().find(c.message_fragment), std::string::npos)
+        << c.name << ": " << status.to_string();
+    ASSERT_TRUE(status.location().has_value()) << c.name;
+    const SourceLocation& loc = *status.location();
+    EXPECT_EQ(loc.file, "test.platform") << c.name;
+    EXPECT_EQ(loc.line, c.line) << c.name << ": " << status.to_string();
+    EXPECT_EQ(loc.column, c.column) << c.name << ": " << status.to_string();
+    EXPECT_EQ(loc.token, c.token) << c.name << ": " << status.to_string();
+  }
+}
+
+TEST(PlatformIoStatus, SuccessfulParseCarriesNoStatus) {
+  Result<PlatformFile> result = read_platform_text(
+      "nodes 3\nsource 0\nlink 0 1 1\nlink 1 2 2\ntarget 2\n");
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->graph.node_count(), 3);
+  EXPECT_EQ(result->targets, (std::vector<NodeId>{2}));
+}
+
+TEST(PlatformIoStatus, OriginAppearsInRenderedDiagnostic) {
+  Result<PlatformFile> result =
+      read_platform_text("nodes 2\nsource 0\nedge 0 1 -2\n", "net.platform");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().to_string(),
+            "net.platform:3:10: edge cost must be finite and > 0 "
+            "(near '-2') [parse_error]");
+}
+
+TEST(PlatformIoStatus, CommentsDoNotShiftColumns) {
+  // The comment is stripped in place, so the column of a token before the
+  // '#' is unchanged.
+  Result<PlatformFile> result =
+      read_platform_text("nodes 2\nsource 0\nedge 0 1 0 # slow\n");
+  ASSERT_FALSE(result.ok());
+  ASSERT_TRUE(result.status().location().has_value());
+  EXPECT_EQ(result.status().location()->line, 3);
+  EXPECT_EQ(result.status().location()->column, 10);
+}
+
+TEST(PlatformIoStatus, LoadPlatformMissingFileIsNotFound) {
+  Result<PlatformFile> result =
+      load_platform("/nonexistent/definitely-missing.platform");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PlatformIoStatus, LoadPlatformReportsThePathInDiagnostics) {
+  std::string path = std::string(::testing::TempDir()) + "bad.platform";
+  {
+    std::ofstream out(path);
+    out << "nodes 2\nsource 0\nedge 0 1 bogus\n";
+  }
+  Result<PlatformFile> result = load_platform(path);
+  ASSERT_FALSE(result.ok());
+  ASSERT_TRUE(result.status().location().has_value());
+  EXPECT_EQ(result.status().location()->file, path);
+  EXPECT_EQ(result.status().location()->line, 3);
+}
+
+TEST(PlatformIoStatus, LegacyShimFlattensLineAndColumn) {
+  std::string error;
+  auto p = parse_platform_string("nodes 2\nsource 0\nedge 0 5 1\n", &error);
+  EXPECT_FALSE(p.has_value());
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("col 8"), std::string::npos) << error;
+  EXPECT_NE(error.find("'5'"), std::string::npos) << error;
+}
+
+TEST(PlatformIoStatus, SavePlatformRoundTripsThroughLoad) {
+  Result<PlatformFile> parsed = read_platform_text(
+      "nodes 3\nname 1 relay\nsource 0\nlink 0 1 1\nlink 1 2 2\ntarget 2\n");
+  ASSERT_TRUE(parsed.ok());
+  std::string path = std::string(::testing::TempDir()) + "roundtrip.platform";
+  ASSERT_TRUE(save_platform(path, *parsed).ok());
+  Result<PlatformFile> reloaded = load_platform(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().to_string();
+  EXPECT_EQ(reloaded->graph.node_count(), parsed->graph.node_count());
+  EXPECT_EQ(reloaded->graph.edge_count(), parsed->graph.edge_count());
+  EXPECT_EQ(reloaded->graph.node_name(1), "relay");
+  EXPECT_EQ(reloaded->targets, parsed->targets);
+}
+
+TEST(PlatformIoStatus, SavePlatformToUnwritablePathIsUnavailable) {
+  PlatformFile platform;
+  platform.graph.add_nodes(2);
+  platform.graph.add_edge(0, 1, 1.0);
+  platform.source = 0;
+  platform.targets = {1};
+  Status status = save_platform("/nonexistent/dir/out.platform", platform);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace pmcast

@@ -125,7 +125,7 @@ TEST(Engine, PerRequestDeadlineOnlyAffectsThatRequest) {
   PortfolioEngine engine(with_threads(2));
   std::vector<MulticastProblem> batch{random_problem(20), random_problem(21)};
   std::vector<RequestOptions> requests(2);
-  requests[0].deadline_ms = 1e-6;  // already expired at batch entry
+  requests[0].budget.deadline_ms = 1e-6;  // already expired at batch entry
   auto results = engine.solve_batch(batch, requests);
   EXPECT_FALSE(results[0].ok);
   EXPECT_TRUE(results[1].ok);
@@ -141,7 +141,7 @@ TEST(Engine, ShorterRequestSpanFallsBackToDefaults) {
   std::vector<MulticastProblem> batch{random_problem(40), random_problem(41),
                                       random_problem(42)};
   std::vector<RequestOptions> requests(1);  // covers only the first request
-  requests[0].deadline_ms = 1e-6;
+  requests[0].budget.deadline_ms = 1e-6;
   auto results = engine.solve_batch(batch, requests);
   ASSERT_EQ(results.size(), 3u);
   EXPECT_FALSE(results[0].ok);  // starved by its own deadline

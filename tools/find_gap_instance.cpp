@@ -11,8 +11,8 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "core/api.hpp"
-#include "graph/rng.hpp"
+#include "pmcast/core.hpp"
+#include "pmcast/graph.hpp"
 
 using namespace pmcast;
 using namespace pmcast::core;

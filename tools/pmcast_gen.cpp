@@ -21,9 +21,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 
-#include "graph/io.hpp"
-#include "scenario/scenario.hpp"
+#include "pmcast/io.hpp"
+#include "pmcast/scenario.hpp"
 
 using namespace pmcast;
 using namespace pmcast::scenario;
@@ -147,24 +148,16 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
-  if (spec.nodes < 4 || spec.nodes > 100000) {
-    std::fprintf(stderr, "error: --nodes must be in [4, 100000]\n");
-    return 1;
-  }
-  if (spec.target_density < 0.0 || spec.target_density > 1.0) {
-    std::fprintf(stderr, "error: --density must be in [0, 1]\n");
-    return 1;
-  }
-  if (spec.costs.degrade_fraction < 0.0 || spec.costs.degrade_fraction > 1.0) {
-    std::fprintf(stderr, "error: --degrade-fraction must be in [0, 1]\n");
-    return 1;
-  }
-  if (spec.costs.degrade_factor < 1.0) {
-    std::fprintf(stderr, "error: --degrade-factor must be >= 1\n");
-    return 1;
-  }
 
-  ScenarioInstance instance = generate_scenario(spec);
+  // Spec validation is the library's job now (v1 Status error model):
+  // one source of truth for knob domains instead of CLI-side reimplements.
+  Result<ScenarioInstance> generated = generate_scenario_checked(spec);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 generated.status().to_string().c_str());
+    return 1;
+  }
+  ScenarioInstance instance = std::move(*generated);
 
   if (check) {
     OracleReport report = cross_check(instance.problem);
