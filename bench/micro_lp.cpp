@@ -1,10 +1,17 @@
 /// \file micro_lp.cpp
 /// Experiment E10 (part 1) — google-benchmark micro-benchmarks of the LP
 /// substrate: simplex solve times for the paper's formulations at several
-/// platform scales. These quantify the polynomial column of the Section 4
-/// complexity table.
+/// platform scales, plus the warm-start sequences behind the LP refinement
+/// heuristics (cold vs warm arms of the same mask/promotion sequences).
+///
+/// `micro_lp --smoke` skips the benchmark harness and runs one cold+warm
+/// differential pass instead (exit 1 on mismatch) — the CI hook that
+/// exercises the warm-start layer under ASan/UBSan.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 
 #include "pmcast/core.hpp"
 #include "pmcast/graph.hpp"
@@ -83,6 +90,163 @@ void BM_SimplexDense(benchmark::State& state) {
 BENCHMARK(BM_SimplexDense)->Arg(20)->Arg(60)->Arg(120)->Unit(
     benchmark::kMillisecond);
 
+// ---- warm-start sequences -------------------------------------------------
+//
+// Each benchmark runs the *same* LP sequence in both arms; only the
+// warm-start layer is toggled. state.range(0) is the tiers lan size,
+// state.range(1) selects cold (0) or warm (1). The lp_iters counter lets
+// BENCH comparisons check "fewer total simplex iterations", not just wall
+// clock.
+
+void report_lp(benchmark::State& state, long long iters, int solves,
+               int warm) {
+  state.counters["lp_iters"] =
+      benchmark::Counter(static_cast<double>(iters),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["lp_solves"] = benchmark::Counter(
+      static_cast<double>(solves), benchmark::Counter::kAvgIterations);
+  state.counters["warm_hits"] = benchmark::Counter(
+      static_cast<double>(warm), benchmark::Counter::kAvgIterations);
+}
+
+/// The warm-sequence primitive: one masked Broadcast-EB program re-solved
+/// across a sweep of one-node-removal masks (what every platform-heuristic
+/// probe does), eta/basis reuse on vs off.
+void BM_MaskedEbSweep(benchmark::State& state) {
+  MulticastProblem p =
+      make_problem(static_cast<int>(state.range(0)), 0.5, 11);
+  const bool warm = state.range(1) != 0;
+  long long iters = 0;
+  int solves = 0, warm_hits = 0;
+  for (auto _ : state) {
+    MaskedBroadcastEb eb(p.graph, p.source);
+    eb.set_warm_start(warm);
+    std::vector<char> keep(static_cast<size_t>(p.graph.node_count()), 1);
+    auto full = eb.solve(keep);
+    benchmark::DoNotOptimize(full);
+    for (NodeId v = 0; v < p.graph.node_count(); ++v) {
+      if (v == p.source) continue;
+      keep[static_cast<size_t>(v)] = 0;
+      auto sol = eb.solve(keep);
+      benchmark::DoNotOptimize(sol);
+      keep[static_cast<size_t>(v)] = 1;
+    }
+    iters += eb.stats().iterations;
+    solves += eb.stats().solves;
+    warm_hits += eb.stats().warm_starts;
+  }
+  report_lp(state, iters, solves, warm_hits);
+}
+BENCHMARK(BM_MaskedEbSweep)
+    ->Args({6, 0})->Args({6, 1})->Args({10, 0})->Args({10, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReducedBroadcastSeq(benchmark::State& state) {
+  MulticastProblem p =
+      make_problem(static_cast<int>(state.range(0)), 0.5, 11);
+  HeuristicOptions options;
+  options.warm_start = state.range(1) != 0;
+  long long iters = 0;
+  int solves = 0, warm_hits = 0;
+  for (auto _ : state) {
+    auto result = reduced_broadcast(p, options);
+    benchmark::DoNotOptimize(result.period);
+    iters += result.lp_stats.iterations;
+    solves += result.lp_stats.solves;
+    warm_hits += result.lp_stats.warm_starts;
+  }
+  report_lp(state, iters, solves, warm_hits);
+}
+BENCHMARK(BM_ReducedBroadcastSeq)
+    ->Args({6, 0})->Args({6, 1})->Args({10, 0})->Args({10, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AugmentedMulticastSeq(benchmark::State& state) {
+  MulticastProblem p =
+      make_problem(static_cast<int>(state.range(0)), 0.5, 11);
+  HeuristicOptions options;
+  options.warm_start = state.range(1) != 0;
+  long long iters = 0;
+  int solves = 0, warm_hits = 0;
+  for (auto _ : state) {
+    auto result = augmented_multicast(p, options);
+    benchmark::DoNotOptimize(result.period);
+    iters += result.lp_stats.iterations;
+    solves += result.lp_stats.solves;
+    warm_hits += result.lp_stats.warm_starts;
+  }
+  report_lp(state, iters, solves, warm_hits);
+}
+BENCHMARK(BM_AugmentedMulticastSeq)
+    ->Args({6, 0})->Args({6, 1})->Args({10, 0})->Args({10, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AugmentedSourcesSeq(benchmark::State& state) {
+  MulticastProblem p =
+      make_problem(static_cast<int>(state.range(0)), 0.5, 11);
+  HeuristicOptions options;
+  options.warm_start = state.range(1) != 0;
+  long long iters = 0;
+  int solves = 0, warm_hits = 0;
+  for (auto _ : state) {
+    auto result = augmented_sources(p, options);
+    benchmark::DoNotOptimize(result.period);
+    iters += result.lp_stats.iterations;
+    solves += result.lp_stats.solves;
+    warm_hits += result.lp_stats.warm_starts;
+  }
+  report_lp(state, iters, solves, warm_hits);
+}
+BENCHMARK(BM_AugmentedSourcesSeq)
+    ->Args({6, 0})->Args({6, 1})->Args({10, 0})->Args({10, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- smoke mode -----------------------------------------------------------
+
+/// One cold+warm differential pass over two platforms and all three LP
+/// heuristics; exercises build/mutate/warm-solve/fallback under whatever
+/// instrumentation the binary was compiled with. Returns 0 iff every warm
+/// result matches its cold twin.
+int run_smoke() {
+  int failures = 0;
+  for (int lan : {5, 6}) {
+    MulticastProblem p = make_problem(lan, 0.5, 11);
+    HeuristicOptions cold_options, warm_options;
+    cold_options.warm_start = false;
+    warm_options.warm_start = true;
+
+    auto check = [&](const char* name, double cold, double warm) {
+      double tol = 1e-6 * (1.0 + (cold == kInfinity ? 0.0 : cold));
+      bool match = (cold == kInfinity && warm == kInfinity) ||
+                   (cold != kInfinity && warm != kInfinity &&
+                    warm >= cold - tol && warm <= cold + tol);
+      std::printf("smoke lan=%d %-20s cold=%.9g warm=%.9g %s\n", lan, name,
+                  cold, warm, match ? "OK" : "MISMATCH");
+      if (!match) ++failures;
+    };
+    check("reduced_broadcast",
+          reduced_broadcast(p, cold_options).period,
+          reduced_broadcast(p, warm_options).period);
+    check("augmented_multicast",
+          augmented_multicast(p, cold_options).period,
+          augmented_multicast(p, warm_options).period);
+    check("augmented_sources",
+          augmented_sources(p, cold_options).period,
+          augmented_sources(p, warm_options).period);
+  }
+  std::printf("smoke: %d mismatches\n", failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

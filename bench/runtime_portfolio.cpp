@@ -23,15 +23,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "pmcast/core.hpp"
 #include "pmcast/graph.hpp"
 #include "pmcast/pmcast.hpp"
 #include "pmcast/runtime.hpp"
+#include "pmcast/topology.hpp"
 
 using namespace pmcast;
 
@@ -63,6 +66,134 @@ using BenchClock = std::chrono::steady_clock;
 double ms_since(BenchClock::time_point start) {
   return std::chrono::duration<double, std::milli>(BenchClock::now() - start)
       .count();
+}
+
+core::MulticastProblem tiers_instance(int lan_nodes, std::uint64_t seed) {
+  topo::TiersParams params;
+  params.wan_nodes = 4;
+  params.mans = 2;
+  params.man_nodes = 3;
+  params.lans = std::max(2, lan_nodes / 5);
+  params.lan_nodes = lan_nodes;
+  topo::Platform platform = topo::generate_tiers(params, seed);
+  Rng rng(seed + 17);
+  auto targets = topo::sample_targets(platform, 0.5, rng);
+  return core::MulticastProblem(platform.graph, platform.source, targets);
+}
+
+/// Cold-vs-warm comparison of the three LP refinement heuristics on the
+/// paper's tiers platforms: same sequences, warm-start layer toggled.
+struct LpWarmReport {
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  long long cold_iterations = 0;
+  long long warm_iterations = 0;
+  int warm_hits = 0;
+  int warm_solves = 0;
+  int cold_fallbacks = 0;
+  int mismatches = 0;
+  /// The warm-sequence primitive (one masked Broadcast-EB program across a
+  /// sweep of one-node-removal masks), mirroring bench/micro_lp's
+  /// BM_MaskedEbSweep — the per-probe cost every platform heuristic pays.
+  double sweep_cold_ms = 0.0;
+  double sweep_warm_ms = 0.0;
+  long long sweep_cold_iterations = 0;
+  long long sweep_warm_iterations = 0;
+
+  double speedup() const { return warm_ms > 0.0 ? cold_ms / warm_ms : 0.0; }
+  double sweep_speedup() const {
+    return sweep_warm_ms > 0.0 ? sweep_cold_ms / sweep_warm_ms : 0.0;
+  }
+  double hit_rate() const {
+    return warm_solves > 0
+               ? static_cast<double>(warm_hits) / warm_solves
+               : 0.0;
+  }
+};
+
+LpWarmReport run_lp_warm_phase(const std::vector<core::MulticastProblem>&
+                                   instances) {
+  LpWarmReport report;
+  core::HeuristicOptions cold_options, warm_options;
+  cold_options.warm_start = false;
+  warm_options.warm_start = true;
+
+  auto agree = [&](double cold, double warm) {
+    if (cold == kInfinity || warm == kInfinity) return cold == warm;
+    return std::abs(warm - cold) <= 1e-6 * (1.0 + std::abs(cold));
+  };
+  auto account = [&](double cold_period, const lp::ResolveStats& cold_stats,
+                     double warm_period, const lp::ResolveStats& warm_stats) {
+    report.cold_iterations += cold_stats.iterations;
+    report.warm_iterations += warm_stats.iterations;
+    report.warm_hits += warm_stats.warm_starts;
+    report.warm_solves += warm_stats.solves;
+    report.cold_fallbacks += warm_stats.cold_fallbacks;
+    if (!agree(cold_period, warm_period)) {
+      std::printf("VIOLATION: warm-started heuristic period %.9g != cold "
+                  "%.9g\n", warm_period, cold_period);
+      ++report.mismatches;
+    }
+  };
+
+  for (const auto& problem : instances) {
+    BenchClock::time_point t0 = BenchClock::now();
+    auto rb_cold = core::reduced_broadcast(problem, cold_options);
+    auto am_cold = core::augmented_multicast(problem, cold_options);
+    auto as_cold = core::augmented_sources(problem, cold_options);
+    report.cold_ms += ms_since(t0);
+
+    t0 = BenchClock::now();
+    auto rb_warm = core::reduced_broadcast(problem, warm_options);
+    auto am_warm = core::augmented_multicast(problem, warm_options);
+    auto as_warm = core::augmented_sources(problem, warm_options);
+    report.warm_ms += ms_since(t0);
+
+    account(rb_cold.period, rb_cold.lp_stats, rb_warm.period,
+            rb_warm.lp_stats);
+    account(am_cold.period, am_cold.lp_stats, am_warm.period,
+            am_warm.lp_stats);
+    account(as_cold.period, as_cold.lp_stats, as_warm.period,
+            as_warm.lp_stats);
+
+    // The sweep primitive: re-solve the same masked program across every
+    // one-node-removal mask, warm layer off then on; the two arms must
+    // agree per mask.
+    std::vector<double> cold_periods;
+    for (bool warm : {false, true}) {
+      BenchClock::time_point t0 = BenchClock::now();
+      core::MaskedBroadcastEb eb(problem.graph, problem.source);
+      eb.set_warm_start(warm);
+      std::vector<char> keep(
+          static_cast<size_t>(problem.graph.node_count()), 1);
+      eb.solve(keep);
+      size_t mask_index = 0;
+      for (NodeId v = 0; v < problem.graph.node_count(); ++v) {
+        if (v == problem.source) continue;
+        keep[static_cast<size_t>(v)] = 0;
+        auto sol = eb.solve(keep);
+        double period = sol ? *sol : kInfinity;
+        if (!warm) {
+          cold_periods.push_back(period);
+        } else if (!agree(cold_periods[mask_index], period)) {
+          std::printf("VIOLATION: masked sweep arms disagree (cold %.9g, "
+                      "warm %.9g)\n", cold_periods[mask_index], period);
+          ++report.mismatches;
+        }
+        ++mask_index;
+        keep[static_cast<size_t>(v)] = 1;
+      }
+      double elapsed = ms_since(t0);
+      if (warm) {
+        report.sweep_warm_ms += elapsed;
+        report.sweep_warm_iterations += eb.stats().iterations;
+      } else {
+        report.sweep_cold_ms += elapsed;
+        report.sweep_cold_iterations += eb.stats().iterations;
+      }
+    }
+  }
+  return report;
 }
 
 double percentile(std::vector<double> xs, double p) {
@@ -179,6 +310,38 @@ int main() {
   double speedup = engine_ms > 0.0 ? baseline_ms / engine_ms : 0.0;
   double warm_speedup = warm_ms > 0.0 ? baseline_ms / warm_ms : 0.0;
 
+  // ---- phase 1.5: warm-started LP sequences (cold vs warm arms) ----
+  std::printf("\n=== LP refinement heuristics: cold vs warm-started ===\n");
+  std::vector<core::MulticastProblem> lp_instances;
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    lp_instances.push_back(tiers_instance(full ? 8 : 5, seed));
+    lp_instances.push_back(tiers_instance(full ? 10 : 6, seed + 100));
+  }
+  LpWarmReport lp_report = run_lp_warm_phase(lp_instances);
+  violations += lp_report.mismatches;
+
+  bench::Table lp_table({"arm", "wall ms", "simplex iters", "warm hits"});
+  lp_table.add_row({"cold re-solve", bench::fmt(lp_report.cold_ms, 1),
+                    std::to_string(lp_report.cold_iterations), "0"});
+  lp_table.add_row({"warm-started", bench::fmt(lp_report.warm_ms, 1),
+                    std::to_string(lp_report.warm_iterations),
+                    std::to_string(lp_report.warm_hits) + "/" +
+                        std::to_string(lp_report.warm_solves)});
+  lp_table.print();
+  std::printf("heuristic sequences: %.2fx wall, %.2fx fewer simplex "
+              "iterations, %.0f%% warm-start hit rate, %d cold fallbacks\n",
+              lp_report.speedup(),
+              lp_report.warm_iterations > 0
+                  ? static_cast<double>(lp_report.cold_iterations) /
+                        static_cast<double>(lp_report.warm_iterations)
+                  : 0.0,
+              100.0 * lp_report.hit_rate(), lp_report.cold_fallbacks);
+  std::printf("masked-EB sweep primitive: %.1f ms cold vs %.1f ms warm "
+              "(%.2fx), iterations %lld -> %lld\n",
+              lp_report.sweep_cold_ms, lp_report.sweep_warm_ms,
+              lp_report.sweep_speedup(), lp_report.sweep_cold_iterations,
+              lp_report.sweep_warm_iterations);
+
   bench::Table table({"mode", "wall ms", "speedup vs sequential"});
   table.add_row({"sequential strategies", bench::fmt(baseline_ms, 1), "1.0"});
   table.add_row({"service cold batch", bench::fmt(engine_ms, 1),
@@ -205,6 +368,24 @@ int main() {
        << "  \"speedup_warm\": " << warm_speedup << ",\n"
        << "  \"cache_hits\": " << metrics.hits << ",\n"
        << "  \"cache_misses\": " << metrics.misses << ",\n"
+       << "  \"lp_warm\": {\n"
+       << "    \"instances\": " << lp_instances.size() << ",\n"
+       << "    \"cold_ms\": " << lp_report.cold_ms << ",\n"
+       << "    \"warm_ms\": " << lp_report.warm_ms << ",\n"
+       << "    \"speedup\": " << lp_report.speedup() << ",\n"
+       << "    \"cold_iterations\": " << lp_report.cold_iterations << ",\n"
+       << "    \"warm_iterations\": " << lp_report.warm_iterations << ",\n"
+       << "    \"warm_hit_rate\": " << lp_report.hit_rate() << ",\n"
+       << "    \"cold_fallbacks\": " << lp_report.cold_fallbacks << ",\n"
+       << "    \"period_mismatches\": " << lp_report.mismatches << ",\n"
+       << "    \"sweep_cold_ms\": " << lp_report.sweep_cold_ms << ",\n"
+       << "    \"sweep_warm_ms\": " << lp_report.sweep_warm_ms << ",\n"
+       << "    \"sweep_speedup\": " << lp_report.sweep_speedup() << ",\n"
+       << "    \"sweep_cold_iterations\": " << lp_report.sweep_cold_iterations
+       << ",\n"
+       << "    \"sweep_warm_iterations\": " << lp_report.sweep_warm_iterations
+       << "\n"
+       << "  },\n"
        << "  \"all_certified\": " << (violations == 0 ? "true" : "false")
        << ",\n"
        << "  \"violations\": " << violations << "\n"

@@ -27,11 +27,17 @@ struct SolveLimits {
 };
 
 struct SolveRequest {
+  /// Explicit "no deadline": a request carrying this sentinel runs
+  /// unlimited even when ServiceOptions::default_deadline_ms is set (0
+  /// would inherit that default instead).
+  static constexpr double kNoDeadline = runtime::SolveBudget::kNoDeadline;
+
   Problem problem;
 
   /// Wall-clock deadline in ms, anchored when the request enters the
-  /// service; 0 inherits ServiceOptions::default_deadline_ms. Enforced at
-  /// strategy granularity (a started strategy runs to completion).
+  /// service; 0 inherits ServiceOptions::default_deadline_ms, kNoDeadline
+  /// (negative) opts out of any deadline. Enforced at strategy granularity
+  /// (a started strategy runs to completion).
   double deadline_ms = 0.0;
 
   SolveLimits limits;

@@ -33,6 +33,23 @@ inline const char* outcome_state_name(OutcomeState state) {
   return "?";
 }
 
+/// Counters for a strategy's LP solve sequence. The LP refinement
+/// strategies (augmented_sources, reduced_broadcast, augmented_multicast)
+/// re-solve one mutated program per probe, warm-starting from the previous
+/// basis where possible; these counters expose how well that worked.
+/// All-zero for strategies that solve no LPs (the tree heuristics, exact).
+struct LpStats {
+  int solves = 0;          ///< LP solves run by the strategy
+  int warm_starts = 0;     ///< solves warm-started from a previous basis
+  int eta_reuses = 0;      ///< warm starts that also kept the factorisation
+  int cold_fallbacks = 0;  ///< warm attempts re-run cold after a failure
+  long long iterations = 0;///< total simplex iterations
+
+  double warm_hit_rate() const {
+    return solves > 0 ? static_cast<double>(warm_starts) / solves : 0.0;
+  }
+};
+
 /// One strategy's result inside the portfolio race.
 struct StrategyOutcome {
   StrategyId strategy = StrategyId::Mcph;
@@ -42,6 +59,7 @@ struct StrategyOutcome {
   /// The strategy's own claimed/advisory value (e.g. Broadcast-EB bound).
   double bound_period = std::numeric_limits<double>::infinity();
   double elapsed_ms = 0.0;
+  LpStats lp;          ///< LP sequence counters (see LpStats)
   std::string detail;  ///< failure reason / certification note
 };
 

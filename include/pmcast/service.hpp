@@ -48,7 +48,8 @@ struct ServiceOptions {
   /// Result-cache capacity in entries; 0 disables caching.
   std::size_t cache_capacity = 1024;
   /// Default wall-clock deadline per request in ms; 0 = unlimited.
-  /// Individual requests override with SolveRequest::deadline_ms.
+  /// Individual requests override with SolveRequest::deadline_ms, or opt
+  /// out of this default entirely with SolveRequest::kNoDeadline.
   double default_deadline_ms = 0.0;
   /// Default exact-solver limits (overridden by SolveRequest::limits).
   int exact_max_nodes = 9;

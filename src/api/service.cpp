@@ -192,6 +192,11 @@ Result<SolveResponse> to_response(const runtime::PortfolioResult& run,
     out.period = c.period;
     out.bound_period = c.bound_period;
     out.elapsed_ms = c.elapsed_ms;
+    out.lp.solves = c.lp.solves;
+    out.lp.warm_starts = c.lp.warm_starts;
+    out.lp.eta_reuses = c.lp.eta_reuses;
+    out.lp.cold_fallbacks = c.lp.cold_fallbacks;
+    out.lp.iterations = c.lp.iterations;
     out.detail = c.detail;
     response.outcomes.push_back(std::move(out));
     switch (c.state) {
@@ -376,8 +381,12 @@ SolveBatch Service::submit_batch(std::vector<SolveRequest> requests,
   for (std::size_t i = 0; i < n; ++i) {
     SolveRequest& req = requests[i];
     RequestMeta& meta = state->meta[i];
+    // Positive = the request's own deadline; 0 inherits the service
+    // default; negative (SolveRequest::kNoDeadline) = explicitly none.
     meta.effective_deadline_ms = req.deadline_ms > 0.0
                                      ? req.deadline_ms
+                                 : req.deadline_ms < 0.0
+                                     ? 0.0
                                      : impl_->options.default_deadline_ms;
     meta.cancel = req.cancel;
 

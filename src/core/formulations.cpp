@@ -112,6 +112,7 @@ FlowSolution solve_single_source(const MulticastProblem& problem,
 
   lp::Solution sol = lp::solve(model, options.solver);
   out.status = sol.status;
+  out.iterations = sol.iterations;
   if (!sol.optimal()) return out;
   out.period = sol.objective;
   out.x.assign(static_cast<size_t>(T),
@@ -179,9 +180,12 @@ double MultiSourceSolution::node_inflow(const Digraph& g, NodeId m) const {
   return total;
 }
 
-MultiSourceSolution solve_multisource_ub(const MulticastProblem& problem,
-                                         std::span<const NodeId> sources,
-                                         const FormulationOptions& options) {
+namespace {
+
+MultiSourceSolution solve_multisource_impl(const MulticastProblem& problem,
+                                           std::span<const NodeId> sources,
+                                           const FormulationOptions& options,
+                                           lp::IncrementalSimplex* solver) {
   MultiSourceSolution out;
   const Digraph& g = problem.graph;
   const int E = g.edge_count();
@@ -302,7 +306,8 @@ MultiSourceSolution solve_multisource_ub(const MulticastProblem& problem,
     }
   }
 
-  lp::Solution sol = lp::solve(model, options.solver);
+  lp::Solution sol = solver != nullptr ? solver->solve_model(model)
+                                       : lp::solve(model, options.solver);
   out.status = sol.status;
   if (!sol.optimal()) return out;
   out.period = sol.objective;
@@ -315,6 +320,162 @@ MultiSourceSolution solve_multisource_ub(const MulticastProblem& problem,
     }
   }
   return out;
+}
+
+}  // namespace
+
+MultiSourceSolution solve_multisource_ub(const MulticastProblem& problem,
+                                         std::span<const NodeId> sources,
+                                         const FormulationOptions& options) {
+  return solve_multisource_impl(problem, sources, options, nullptr);
+}
+
+MultiSourceSolution solve_multisource_ub_incremental(
+    const MulticastProblem& problem, std::span<const NodeId> sources,
+    const FormulationOptions& options, lp::IncrementalSimplex& solver) {
+  return solve_multisource_impl(problem, sources, options, &solver);
+}
+
+// ------------------------------------------------------ MaskedBroadcastEb --
+
+// Only options.solver is consumed: the masked program is built here once
+// and every later solve() is a bound-level mutation of it.
+MaskedBroadcastEb::MaskedBroadcastEb(const Digraph& graph, NodeId source,
+                                     const FormulationOptions& options)
+    : graph_(&graph),
+      source_(source),
+      solver_(options.solver),
+      inflow_(static_cast<size_t>(graph.node_count()), 0.0) {
+  const Digraph& g = *graph_;
+  const int E = g.edge_count();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v != source_) targets_.push_back(v);
+  }
+  const int T = static_cast<int>(targets_.size());
+
+  // Layout mirrors solve_single_source with EdgeAggregation::Max:
+  // x[t][e] blocks, then n[e], then T*. Static bans (flow back into the
+  // source / out of a commodity's own target) are remembered so mask
+  // updates never accidentally re-open them.
+  lp::Model model(lp::Sense::Minimize);
+  banned_.assign(static_cast<size_t>(T) * static_cast<size_t>(E), 0);
+  for (int t = 0; t < T; ++t) {
+    NodeId tv = targets_[static_cast<size_t>(t)];
+    for (int e = 0; e < E; ++e) {
+      const Edge& edge = g.edge(e);
+      bool banned = edge.to == source_ || edge.from == tv;
+      banned_[static_cast<size_t>(t) * static_cast<size_t>(E) +
+              static_cast<size_t>(e)] = banned ? 1 : 0;
+      model.add_variable(0.0, banned ? 0.0 : lp::kInf, 0.0);
+    }
+  }
+  for (int e = 0; e < E; ++e) model.add_variable(0.0, lp::kInf, 0.0);
+  model.add_variable(0.0, lp::kInf, 1.0, "T");
+  const int nvar0 = T * E;
+  const int period_var = nvar0 + E;
+
+  // (1) emission, (2) arrival, (3) conservation — per commodity.
+  for (int t = 0; t < T; ++t) {
+    NodeId tv = targets_[static_cast<size_t>(t)];
+    int r1 = model.add_row_eq(1.0);
+    for (EdgeId e : g.out_edges(source_)) {
+      model.add_entry(r1, t * E + e, 1.0);
+    }
+    int r2 = model.add_row_eq(1.0);
+    for (EdgeId e : g.in_edges(tv)) {
+      model.add_entry(r2, t * E + e, 1.0);
+    }
+    emission_row_.push_back(r1);
+    arrival_row_.push_back(r2);
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      if (j == source_ || j == tv) continue;
+      int r = model.add_row_eq(0.0);
+      for (EdgeId e : g.out_edges(j)) model.add_entry(r, t * E + e, 1.0);
+      for (EdgeId e : g.in_edges(j)) model.add_entry(r, t * E + e, -1.0);
+    }
+  }
+  // (10') max aggregation: n_e >= x_{t,e}.
+  for (int t = 0; t < T; ++t) {
+    for (int e = 0; e < E; ++e) {
+      int r = model.add_row_ge(0.0);
+      model.add_entry(r, nvar0 + e, 1.0);
+      model.add_entry(r, t * E + e, -1.0);
+    }
+  }
+  // (4,7) edge occupation; (5,8) in-ports; (6,9) out-ports.
+  for (int e = 0; e < E; ++e) {
+    int r = model.add_row_ge(0.0);
+    model.add_entry(r, period_var, 1.0);
+    model.add_entry(r, nvar0 + e, -g.edge(e).cost);
+  }
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    int rin = model.add_row_ge(0.0);
+    model.add_entry(rin, period_var, 1.0);
+    for (EdgeId e : g.in_edges(j)) {
+      model.add_entry(rin, nvar0 + e, -g.edge(e).cost);
+    }
+    int rout = model.add_row_ge(0.0);
+    model.add_entry(rout, period_var, 1.0);
+    for (EdgeId e : g.out_edges(j)) {
+      model.add_entry(rout, nvar0 + e, -g.edge(e).cost);
+    }
+  }
+  model_ = lp::ResolvableModel(std::move(model));
+}
+
+std::optional<double> MaskedBroadcastEb::solve(std::span<const char> keep) {
+  const Digraph& g = *graph_;
+  const int E = g.edge_count();
+  const int T = static_cast<int>(targets_.size());
+  assert(static_cast<int>(keep.size()) == g.node_count());
+  assert(keep[static_cast<size_t>(source_)]);
+
+  // Paper convention: a kept node unreachable inside the mask means the
+  // broadcast period is +infinity — no LP is solved.
+  if (!g.reaches_all(source_, keep, keep)) return std::nullopt;
+
+  // Data edits only: masked commodities become 0-rows with a pinned
+  // variable block; masked edges pin their x and n variables.
+  const int nvar0 = T * E;
+  std::vector<char> edge_kept(static_cast<size_t>(E));
+  for (int e = 0; e < E; ++e) {
+    const Edge& edge = g.edge(e);
+    edge_kept[static_cast<size_t>(e)] =
+        keep[static_cast<size_t>(edge.from)] &&
+        keep[static_cast<size_t>(edge.to)];
+    model_.set_var_bounds(nvar0 + e, 0.0,
+                          edge_kept[static_cast<size_t>(e)] ? lp::kInf : 0.0);
+  }
+  for (int t = 0; t < T; ++t) {
+    NodeId tv = targets_[static_cast<size_t>(t)];
+    const bool t_kept = keep[static_cast<size_t>(tv)] != 0;
+    for (int e = 0; e < E; ++e) {
+      auto be = static_cast<size_t>(t) * static_cast<size_t>(E) +
+                static_cast<size_t>(e);
+      bool open = t_kept && edge_kept[static_cast<size_t>(e)] && !banned_[be];
+      model_.set_var_bounds(t * E + e, 0.0, open ? lp::kInf : 0.0);
+    }
+    double rhs = t_kept ? 1.0 : 0.0;
+    model_.set_row_bounds(emission_row_[static_cast<size_t>(t)], rhs, rhs);
+    model_.set_row_bounds(arrival_row_[static_cast<size_t>(t)], rhs, rhs);
+  }
+
+  if (!warm_) solver_.reset();
+  lp::Solution sol = solver_.solve(model_);
+  if (!sol.optimal()) return std::nullopt;
+
+  std::fill(inflow_.begin(), inflow_.end(), 0.0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!keep[static_cast<size_t>(v)]) continue;
+    double total = 0.0;
+    for (int t = 0; t < T; ++t) {
+      for (EdgeId e : g.in_edges(v)) {
+        total += sol.x[static_cast<size_t>(t * E + e)];
+      }
+    }
+    inflow_[static_cast<size_t>(v)] = total;
+  }
+  return sol.objective;
 }
 
 }  // namespace pmcast::core

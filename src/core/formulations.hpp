@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/problem.hpp"
+#include "lp/resolve.hpp"
 #include "lp/simplex.hpp"
 
 namespace pmcast::core {
@@ -45,6 +46,9 @@ struct FlowSolution {
   std::vector<std::vector<double>> x;
   /// n[e] = total edge load (per the chosen aggregation).
   std::vector<double> edge_load;
+
+  /// Simplex iterations of the underlying LP solve.
+  int iterations = 0;
 
   bool ok() const { return status == lp::SolveStatus::Optimal; }
 
@@ -77,6 +81,60 @@ std::optional<double> broadcast_eb_period(const Digraph& graph, NodeId source,
                                           std::span<const char> keep,
                                           const FormulationOptions& options = {});
 
+/// Broadcast-EB over node masks of one fixed platform — the warm-started
+/// substrate of the platform heuristics (Figs. 6/7). The LP is built once
+/// on the full graph; "remove node v" is expressed with *data* edits only
+/// (pin v's flow/load variables to zero, turn v's emission/arrival rows
+/// into 0-rows), so consecutive solves keep the simplex basis and eta file
+/// (lp::IncrementalSimplex). The masked program restricted to a keep-set is
+/// equivalent to Broadcast-EB on the induced sub-platform: every dropped
+/// constraint row degenerates to 0 = 0.
+class MaskedBroadcastEb {
+ public:
+  MaskedBroadcastEb(const Digraph& graph, NodeId source,
+                    const FormulationOptions& options = {});
+
+  /// Broadcast-EB period of the sub-platform induced by \p keep (the
+  /// source must be kept). Returns nullopt when some kept node is
+  /// unreachable inside the mask (the paper's "+infinity" convention —
+  /// detected by BFS, no LP is solved) or the LP fails.
+  std::optional<double> solve(std::span<const char> keep);
+
+  /// Inflow score of node \p v in the last successful solve (original
+  /// node ids; zero for masked-out nodes).
+  double inflow(NodeId v) const { return inflow_[static_cast<size_t>(v)]; }
+  const std::vector<double>& inflow_scores() const { return inflow_; }
+
+  /// Warm-starting on by default; off re-solves every mask cold (used by
+  /// the differential suite and the cold arm of the benches).
+  void set_warm_start(bool warm) { warm_ = warm; }
+
+  /// Basis snapshot of the last successful solve. The greedy heuristics
+  /// checkpoint the *accepted* platform and restore before every probe, so
+  /// each probe warm-starts one node-flip away from a known-good basis
+  /// instead of chaining through rejected probes.
+  lp::Basis checkpoint() const { return solver_.last_basis(); }
+  void restore(lp::Basis basis) {
+    if (warm_) solver_.set_start_basis(std::move(basis));
+  }
+
+  const lp::ResolveStats& stats() const { return solver_.stats(); }
+
+ private:
+  const Digraph* graph_;
+  NodeId source_;
+  bool warm_ = true;
+
+  std::vector<NodeId> targets_;       ///< commodity t -> target node
+  std::vector<int> emission_row_;     ///< per commodity
+  std::vector<int> arrival_row_;      ///< per commodity
+  std::vector<char> banned_;          ///< t*E+e: statically pinned to zero
+
+  lp::ResolvableModel model_;
+  lp::IncrementalSimplex solver_;
+  std::vector<double> inflow_;
+};
+
 /// Solution of MulticastMultiSource-UB.
 struct MultiSourceSolution {
   lp::SolveStatus status = lp::SolveStatus::Numerical;
@@ -99,5 +157,13 @@ struct MultiSourceSolution {
 MultiSourceSolution solve_multisource_ub(
     const MulticastProblem& problem, std::span<const NodeId> sources,
     const FormulationOptions& options = {});
+
+/// As above, but solved through \p solver so consecutive same-shape
+/// programs (Fig. 8 probes one candidate promotion at a time, all trials
+/// of a round sharing the commodity layout) warm-start from the previous
+/// basis. Iteration/warm counters accumulate in solver.stats().
+MultiSourceSolution solve_multisource_ub_incremental(
+    const MulticastProblem& problem, std::span<const NodeId> sources,
+    const FormulationOptions& options, lp::IncrementalSimplex& solver);
 
 }  // namespace pmcast::core

@@ -8,35 +8,6 @@ namespace {
 
 constexpr double kImprovementTol = 1e-9;
 
-/// Solve Broadcast-EB on the sub-platform \p keep and return the per-node
-/// inflow scores (original node ids) alongside the period. Returns false
-/// when the sub-platform is disconnected.
-struct SubBroadcast {
-  bool ok = false;
-  double period = kInfinity;
-  std::vector<double> inflow;  ///< indexed by original node id
-};
-
-SubBroadcast broadcast_with_scores(const Digraph& graph, NodeId source,
-                                   const std::vector<char>& keep,
-                                   const FormulationOptions& lp) {
-  SubBroadcast out;
-  out.inflow.assign(static_cast<size_t>(graph.node_count()), 0.0);
-  SubgraphResult sub = graph.induced_subgraph(keep);
-  NodeId sub_source = sub.old_to_new[static_cast<size_t>(source)];
-  std::vector<char> all(static_cast<size_t>(sub.graph.node_count()), 1);
-  if (!sub.graph.reaches_all(sub_source, all)) return out;
-  FlowSolution sol = solve_broadcast_eb(sub.graph, sub_source, lp);
-  if (!sol.ok()) return out;
-  out.ok = true;
-  out.period = sol.period;
-  for (NodeId v = 0; v < sub.graph.node_count(); ++v) {
-    out.inflow[static_cast<size_t>(sub.new_to_old[static_cast<size_t>(v)])] =
-        sol.node_inflow(sub.graph, v);
-  }
-  return out;
-}
-
 std::vector<NodeId> sorted_by_score(const std::vector<NodeId>& candidates,
                                     const std::vector<double>& score,
                                     bool ascending) {
@@ -58,12 +29,21 @@ PlatformHeuristicResult reduced_broadcast(const MulticastProblem& problem,
   std::vector<char> target_mask = problem.target_mask();
   result.platform.assign(static_cast<size_t>(g.node_count()), 1);
 
-  SubBroadcast current =
-      broadcast_with_scores(g, problem.source, result.platform, options.lp);
+  // One persistent masked Broadcast-EB program; every probe of the greedy
+  // descent is a bound-only re-solve of it (warm-started unless disabled).
+  MaskedBroadcastEb eb(g, problem.source, options.lp);
+  eb.set_warm_start(options.warm_start);
+
+  std::optional<double> current = eb.solve(result.platform);
   ++result.lp_solves;
-  if (!current.ok) return result;
+  if (!current) {
+    result.lp_stats = eb.stats();
+    return result;
+  }
   result.ok = true;
-  result.period = current.period;
+  result.period = *current;
+  std::vector<double> inflow = eb.inflow_scores();
+  lp::Basis accepted = eb.checkpoint();
 
   for (int round = 0; round < options.max_rounds; ++round) {
     // Removable nodes: in the platform, neither source nor target, sorted by
@@ -76,7 +56,7 @@ PlatformHeuristicResult reduced_broadcast(const MulticastProblem& problem,
       }
     }
     std::vector<NodeId> order =
-        sorted_by_score(removable, current.inflow, /*ascending=*/true);
+        sorted_by_score(removable, inflow, /*ascending=*/true);
 
     bool improved = false;
     int probed = 0;
@@ -84,20 +64,21 @@ PlatformHeuristicResult reduced_broadcast(const MulticastProblem& problem,
       if (++probed > options.max_candidates) break;
       std::vector<char> trial = result.platform;
       trial[static_cast<size_t>(m)] = 0;
-      SubBroadcast candidate =
-          broadcast_with_scores(g, problem.source, trial, options.lp);
+      eb.restore(accepted);
+      std::optional<double> candidate = eb.solve(trial);
       ++result.lp_solves;
-      if (candidate.ok &&
-          candidate.period < result.period - kImprovementTol) {
+      if (candidate && *candidate < result.period - kImprovementTol) {
         result.platform = std::move(trial);
-        result.period = candidate.period;
-        current = std::move(candidate);
+        result.period = *candidate;
+        inflow = eb.inflow_scores();
+        accepted = eb.checkpoint();
         improved = true;
         break;
       }
     }
     if (!improved) break;
   }
+  result.lp_stats = eb.stats();
   return result;
 }
 
@@ -111,6 +92,8 @@ PlatformHeuristicResult augmented_multicast(const MulticastProblem& problem,
   // stay fixed (Fig. 7 sorts against that one solution).
   FlowSolution lb = solve_multicast_lb(problem, options.lp);
   ++result.lp_solves;
+  result.lp_stats.solves += 1;
+  result.lp_stats.iterations += lb.iterations;
   std::vector<double> inflow(static_cast<size_t>(g.node_count()), 0.0);
   if (lb.ok()) {
     for (NodeId v = 0; v < g.node_count(); ++v) {
@@ -121,16 +104,16 @@ PlatformHeuristicResult augmented_multicast(const MulticastProblem& problem,
   result.platform = target_mask;
   result.platform[static_cast<size_t>(problem.source)] = 1;
 
+  MaskedBroadcastEb eb(g, problem.source, options.lp);
+  eb.set_warm_start(options.warm_start);
+
   // Connectivity phase. The paper's "<=" acceptance admits nodes while the
   // sub-platform broadcast is still infinite; since Broadcast-EB of a
   // disconnected platform is +inf *without solving any LP* (reachability
   // short-circuit), we run that phase to completion here: keep adding the
   // highest-inflow missing node until every kept node is reachable.
   auto connected = [&](const std::vector<char>& keep) {
-    SubgraphResult sub = g.induced_subgraph(keep);
-    NodeId sub_source = sub.old_to_new[static_cast<size_t>(problem.source)];
-    std::vector<char> all(static_cast<size_t>(sub.graph.node_count()), 1);
-    return sub.graph.reaches_all(sub_source, all);
+    return g.reaches_all(problem.source, keep, keep);
   };
   {
     std::vector<NodeId> addable;
@@ -144,13 +127,14 @@ PlatformHeuristicResult augmented_multicast(const MulticastProblem& problem,
       result.platform[static_cast<size_t>(order[next++])] = 1;
     }
   }
+  lp::Basis accepted;
   {
-    auto initial = broadcast_eb_period(g, problem.source, result.platform,
-                                       options.lp);
+    std::optional<double> initial = eb.solve(result.platform);
     ++result.lp_solves;
     if (initial) {
       result.ok = true;
       result.period = *initial;
+      accepted = eb.checkpoint();
     }
   }
 
@@ -168,8 +152,8 @@ PlatformHeuristicResult augmented_multicast(const MulticastProblem& problem,
       if (++probed > options.max_candidates) break;
       std::vector<char> trial = result.platform;
       trial[static_cast<size_t>(m)] = 1;
-      auto candidate =
-          broadcast_eb_period(g, problem.source, trial, options.lp);
+      if (!accepted.empty()) eb.restore(accepted);
+      std::optional<double> candidate = eb.solve(trial);
       ++result.lp_solves;
       // While the sub-platform is still disconnected (period infinite) the
       // paper's "<=" acceptance keeps adding high-inflow nodes; once finite
@@ -183,6 +167,7 @@ PlatformHeuristicResult augmented_multicast(const MulticastProblem& problem,
         if (candidate) {
           result.period = *candidate;
           result.ok = true;
+          accepted = eb.checkpoint();
         }
         improved = true;
         break;
@@ -190,6 +175,7 @@ PlatformHeuristicResult augmented_multicast(const MulticastProblem& problem,
     }
     if (!improved) break;
   }
+  result.lp_stats.merge(eb.stats());
   return result;
 }
 
@@ -197,10 +183,25 @@ AugmentedSourcesResult augmented_sources(const MulticastProblem& problem,
                                          const HeuristicOptions& options) {
   AugmentedSourcesResult result;
   const Digraph& g = problem.graph;
+
+  // One persistent solver for the whole promotion sequence: all candidate
+  // programs of a round share the commodity layout, so probes 2..k of each
+  // round warm-start from the previous probe's basis. Accepted promotions
+  // grow the program (more commodities) and re-run cold automatically.
+  lp::IncrementalSimplex solver(options.lp.solver);
+  auto solve_ms = [&](std::span<const NodeId> sources) {
+    if (!options.warm_start) solver.reset();
+    return solve_multisource_ub_incremental(problem, sources, options.lp,
+                                            solver);
+  };
+
   result.sources = {problem.source};
-  result.solution = solve_multisource_ub(problem, result.sources, options.lp);
+  result.solution = solve_ms(result.sources);
   ++result.lp_solves;
-  if (!result.solution.ok()) return result;
+  if (!result.solution.ok()) {
+    result.lp_stats = solver.stats();
+    return result;
+  }
   result.ok = true;
   result.period = result.solution.period;
 
@@ -224,8 +225,7 @@ AugmentedSourcesResult augmented_sources(const MulticastProblem& problem,
       if (++probed > options.max_candidates) break;
       std::vector<NodeId> trial = result.sources;
       trial.push_back(m);
-      MultiSourceSolution candidate =
-          solve_multisource_ub(problem, trial, options.lp);
+      MultiSourceSolution candidate = solve_ms(trial);
       ++result.lp_solves;
       if (candidate.ok() &&
           candidate.period < result.period - kImprovementTol) {
@@ -238,6 +238,7 @@ AugmentedSourcesResult augmented_sources(const MulticastProblem& problem,
     }
     if (!improved) break;
   }
+  result.lp_stats = solver.stats();
   return result;
 }
 

@@ -33,6 +33,10 @@ struct HeuristicOptions {
   FormulationOptions lp;
   int max_rounds = 64;      ///< outer improvement rounds
   int max_candidates = 64;  ///< candidates probed per round
+  /// Re-solve each heuristic's LP sequence incrementally (basis + eta
+  /// reuse, see lp/resolve.hpp). Off = rebuild and cold-solve every LP,
+  /// the pre-warm-start behaviour kept for differential testing.
+  bool warm_start = true;
 };
 
 struct PlatformHeuristicResult {
@@ -40,6 +44,7 @@ struct PlatformHeuristicResult {
   double period = kInfinity;
   std::vector<char> platform;  ///< final node mask the broadcast runs on
   int lp_solves = 0;
+  lp::ResolveStats lp_stats;   ///< warm-start counters of the LP sequence
 };
 
 /// REDUCED BROADCAST (Fig. 6).
@@ -56,6 +61,7 @@ struct AugmentedSourcesResult {
   std::vector<NodeId> sources;  ///< ordered intermediate sources (incl. Psource)
   MultiSourceSolution solution;
   int lp_solves = 0;
+  lp::ResolveStats lp_stats;    ///< warm-start counters of the LP sequence
 };
 
 /// AUGMENTED SOURCES / "Multisource MC" (Fig. 8).

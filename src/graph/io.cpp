@@ -3,9 +3,11 @@
 #include <cctype>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 
@@ -318,10 +320,32 @@ void fill_legacy_error(const Status& status, std::string* error) {
   *error = os.str();
 }
 
+/// One stderr warning per process, whichever shim is hit first. External
+/// callers keep working; the nag (plus the [[deprecated]] attribute) is
+/// their migration signal.
+void warn_deprecated_shim_once(const char* name) {
+  static std::once_flag warned;
+  std::call_once(warned, [name] {
+    std::fprintf(stderr,
+                 "pmcast: %s() is deprecated; use read_platform()/"
+                 "read_platform_text() and the Status/Result API "
+                 "(see DESIGN_API.md)\n",
+                 name);
+  });
+}
+
 }  // namespace
+
+// The definitions themselves intentionally reference the deprecated
+// declarations.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 std::optional<PlatformFile> parse_platform(std::istream& in,
                                            std::string* error) {
+  warn_deprecated_shim_once("parse_platform");
   Result<PlatformFile> result = read_platform(in);
   if (!result.ok()) {
     fill_legacy_error(result.status(), error);
@@ -332,9 +356,19 @@ std::optional<PlatformFile> parse_platform(std::istream& in,
 
 std::optional<PlatformFile> parse_platform_string(const std::string& text,
                                                   std::string* error) {
+  warn_deprecated_shim_once("parse_platform_string");
   std::istringstream in(text);
-  return parse_platform(in, error);
+  Result<PlatformFile> result = read_platform(in, "<string>");
+  if (!result.ok()) {
+    fill_legacy_error(result.status(), error);
+    return std::nullopt;
+  }
+  return std::move(result).value();
 }
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 

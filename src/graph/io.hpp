@@ -54,9 +54,14 @@ Result<PlatformFile> load_platform(const std::string& path);
 
 /// Deprecated: pre-v1 shims over read_platform*(). On error they return
 /// nullopt and, if \p error is non-null, fill it with the flattened
-/// diagnostic (which always contains "line <L>").
+/// diagnostic (which always contains "line <L>"). Calling either emits a
+/// one-time deprecation warning on stderr; no in-tree target may use them
+/// (enforced at configure time, see pmcast_check_public_includes) and they
+/// will be removed in v2.
+[[deprecated("use read_platform() and the Status/Result API")]]
 std::optional<PlatformFile> parse_platform(std::istream& in,
                                            std::string* error = nullptr);
+[[deprecated("use read_platform_text() and the Status/Result API")]]
 std::optional<PlatformFile> parse_platform_string(const std::string& text,
                                                   std::string* error = nullptr);
 

@@ -67,6 +67,14 @@ class Model {
     if (value != 0.0) entries_.push_back({row, var, value});
   }
 
+  // In-place data edits (used by the warm-start layer, lp/resolve.hpp).
+  // They change coefficients only, never the constraint structure.
+  void set_var_lb(int j, double lb) { var_lb_[static_cast<size_t>(j)] = lb; }
+  void set_var_ub(int j, double ub) { var_ub_[static_cast<size_t>(j)] = ub; }
+  void set_obj(int j, double obj) { obj_[static_cast<size_t>(j)] = obj; }
+  void set_row_lo(int i, double lo) { row_lo_[static_cast<size_t>(i)] = lo; }
+  void set_row_hi(int i, double hi) { row_hi_[static_cast<size_t>(i)] = hi; }
+
   int num_vars() const { return static_cast<int>(obj_.size()); }
   int num_rows() const { return static_cast<int>(row_lo_.size()); }
   std::size_t num_entries() const { return entries_.size(); }

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <tuple>
 
+#include "lp/simplex_impl.hpp"
+
 namespace pmcast::lp {
 
 const char* to_string(SolveStatus s) {
@@ -19,145 +21,15 @@ const char* to_string(SolveStatus s) {
   return "?";
 }
 
-namespace {
+namespace detail {
 
-constexpr double kDropTol = 1e-11;  // eta entries below this are discarded
-
-enum VarStatus : signed char {
-  kNonbasicLower = 0,
-  kNonbasicUpper = 1,
-  kBasic = 2,
-  kNonbasicFree = 3,
-};
-
-struct SparseCol {
-  std::vector<int> idx;
-  std::vector<double> val;
-};
-
-/// Product-form eta: the basis changed by replacing the column pivoted at
-/// row r with a column whose FTRANed image is (val at idx, pivot at r).
-struct Eta {
-  int r = -1;
-  double pivot = 0.0;
-  std::vector<int> idx;   // excludes r
-  std::vector<double> val;
-};
-
-class Simplex {
- public:
-  Simplex(const Model& model, const SolverOptions& opt)
-      : opt_(opt),
-        m_(model.num_rows()),
-        n_(model.num_vars()),
-        nt_(m_ + n_) {
-    build(model);
-  }
-
-  Solution run(const Model& model);
-
- private:
-  void build(const Model& model);
-  void apply_scaling();
-
-  // --- basis linear algebra (PFI) ---
-  void ftran(std::vector<double>& v) const {
-    for (const Eta& e : etas_) {
-      double t = v[static_cast<size_t>(e.r)];
-      if (t == 0.0) continue;
-      t /= e.pivot;
-      v[static_cast<size_t>(e.r)] = t;
-      const size_t k = e.idx.size();
-      for (size_t i = 0; i < k; ++i) {
-        v[static_cast<size_t>(e.idx[i])] -= e.val[i] * t;
-      }
-    }
-  }
-  void btran(std::vector<double>& y) const {
-    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
-      const Eta& e = *it;
-      double t = y[static_cast<size_t>(e.r)];
-      const size_t k = e.idx.size();
-      for (size_t i = 0; i < k; ++i) {
-        t -= e.val[i] * y[static_cast<size_t>(e.idx[i])];
-      }
-      y[static_cast<size_t>(e.r)] = t / e.pivot;
-    }
-  }
-
-  void scatter_column(int var, std::vector<double>& dense) const {
-    const SparseCol& c = cols_[static_cast<size_t>(var)];
-    for (size_t k = 0; k < c.idx.size(); ++k) {
-      dense[static_cast<size_t>(c.idx[k])] += c.val[k];
-    }
-  }
-
-  double dot_column(int var, const std::vector<double>& y) const {
-    const SparseCol& c = cols_[static_cast<size_t>(var)];
-    double s = 0.0;
-    for (size_t k = 0; k < c.idx.size(); ++k) {
-      s += c.val[k] * y[static_cast<size_t>(c.idx[k])];
-    }
-    return s;
-  }
-
-  bool reinvert();
-  void compute_basic_values();
-  double total_infeasibility() const;
-
-  // --- iteration machinery ---
-  struct Pricing {
-    int var = -1;
-    int direction = 0;  // +1 increase, -1 decrease
-    double score = 0.0;
-  };
-  Pricing price(const std::vector<double>& y, bool phase1) const;
-
-  struct Ratio {
-    bool unbounded = false;
-    bool bound_flip = false;
-    int leave_pos = -1;
-    double step = 0.0;
-    signed char leave_status = kNonbasicLower;  // bound the leaver lands on
-  };
-  Ratio ratio_test(int enter, int direction, const std::vector<double>& w,
-                   bool phase1) const;
-
-  void apply_step(int enter, int direction, const Ratio& r,
-                  std::vector<double>& w);
-
-  bool is_fixed(int j) const {
-    return ub_[static_cast<size_t>(j)] - lb_[static_cast<size_t>(j)] <
-           opt_.feas_tol;
-  }
-
-  enum class LoopResult { Converged, IterLimit, Unbounded, Numerical };
-  LoopResult iterate(bool phase1);
-
-  SolverOptions opt_;
-  int m_, n_, nt_;
-  double sense_sign_ = 1.0;  // +1 Minimize, -1 Maximize
-
-  std::vector<SparseCol> cols_;       // nt_ columns (logical i = column -e_i)
-  std::vector<double> lb_, ub_;       // nt_
-  std::vector<double> cost_;          // nt_, minimisation costs (scaled)
-  std::vector<double> row_scale_, col_scale_;
-
-  std::vector<int> basic_;            // m_: var basic at row position p
-  std::vector<int> basic_pos_;        // nt_: position or -1
-  std::vector<signed char> status_;   // nt_
-  std::vector<double> value_;         // nt_
-
-  std::vector<Eta> etas_;
-  size_t etas_base_ = 0;
-  size_t base_nnz_ = 0;    // eta nnz produced by the last reinversion
-  size_t update_nnz_ = 0;  // eta nnz appended by pivots since then
-
-  int iterations_ = 0;
-  int max_iters_ = 0;
-  int degenerate_run_ = 0;
-  bool bland_ = false;
-};
+Simplex::Simplex(const Model& model, const SolverOptions& opt)
+    : opt_(opt),
+      m_(model.num_rows()),
+      n_(model.num_vars()),
+      nt_(m_ + n_) {
+  build(model);
+}
 
 void Simplex::build(const Model& model) {
   sense_sign_ = (model.sense() == Sense::Minimize) ? 1.0 : -1.0;
@@ -167,15 +39,8 @@ void Simplex::build(const Model& model) {
   ub_.resize(static_cast<size_t>(nt_));
   cost_.assign(static_cast<size_t>(nt_), 0.0);
 
-  for (int j = 0; j < n_; ++j) {
-    lb_[static_cast<size_t>(j)] = model.var_lb(j);
-    ub_[static_cast<size_t>(j)] = model.var_ub(j);
-    cost_[static_cast<size_t>(j)] = sense_sign_ * model.obj(j);
-  }
   for (int i = 0; i < m_; ++i) {
     int j = n_ + i;
-    lb_[static_cast<size_t>(j)] = model.row_lo(i);
-    ub_[static_cast<size_t>(j)] = model.row_hi(i);
     cols_[static_cast<size_t>(j)].idx.push_back(i);
     cols_[static_cast<size_t>(j)].val.push_back(-1.0);
   }
@@ -203,39 +68,17 @@ void Simplex::build(const Model& model) {
 
   row_scale_.assign(static_cast<size_t>(m_), 1.0);
   col_scale_.assign(static_cast<size_t>(n_), 1.0);
-  if (opt_.scale) apply_scaling();
-
-  // Initial point: structurals nonbasic at a finite bound, logicals basic.
-  status_.assign(static_cast<size_t>(nt_), kNonbasicLower);
-  value_.assign(static_cast<size_t>(nt_), 0.0);
-  basic_pos_.assign(static_cast<size_t>(nt_), -1);
-  basic_.resize(static_cast<size_t>(m_));
-  for (int j = 0; j < n_; ++j) {
-    auto sj = static_cast<size_t>(j);
-    if (std::isfinite(lb_[sj])) {
-      status_[sj] = kNonbasicLower;
-      value_[sj] = lb_[sj];
-    } else if (std::isfinite(ub_[sj])) {
-      status_[sj] = kNonbasicUpper;
-      value_[sj] = ub_[sj];
-    } else {
-      status_[sj] = kNonbasicFree;
-      value_[sj] = 0.0;
-    }
-  }
-  for (int i = 0; i < m_; ++i) {
-    int j = n_ + i;
-    basic_[static_cast<size_t>(i)] = j;
-    basic_pos_[static_cast<size_t>(j)] = i;
-    status_[static_cast<size_t>(j)] = kBasic;
-  }
+  if (opt_.scale) compute_scaling();
+  load_bounds_and_costs(model);
+  reset_to_logical_basis();
 
   max_iters_ = opt_.max_iterations > 0 ? opt_.max_iterations
                                        : 20000 + 40 * (m_ + n_);
 }
 
-void Simplex::apply_scaling() {
-  // Geometric-mean equilibration, two sweeps.
+void Simplex::compute_scaling() {
+  // Geometric-mean equilibration, two sweeps. Depends only on the entry
+  // values, so the scales stay valid across refresh_data() reloads.
   for (int sweep = 0; sweep < 2; ++sweep) {
     std::vector<double> rmin(static_cast<size_t>(m_), kInf);
     std::vector<double> rmax(static_cast<size_t>(m_), 0.0);
@@ -276,27 +119,138 @@ void Simplex::apply_scaling() {
       for (double& v : c.val) v *= s;
     }
   }
-  // Substitute x_j = col_scale_j * x'_j and multiply each row by its scale:
-  // variable bounds shrink by the column scale, costs grow by it; logical
-  // bounds grow by the row scale.
+}
+
+void Simplex::load_bounds_and_costs(const Model& model) {
+  // Substitution x_j = col_scale_j * x'_j with every row multiplied by its
+  // scale: variable bounds shrink by the column scale, costs grow by it;
+  // logical bounds grow by the row scale.
+  sense_sign_ = (model.sense() == Sense::Minimize) ? 1.0 : -1.0;
   for (int j = 0; j < n_; ++j) {
     auto sj = static_cast<size_t>(j);
     double s = col_scale_[sj];
-    if (std::isfinite(lb_[sj])) lb_[sj] /= s;
-    if (std::isfinite(ub_[sj])) ub_[sj] /= s;
-    cost_[sj] *= s;
+    double lo = model.var_lb(j), hi = model.var_ub(j);
+    lb_[sj] = std::isfinite(lo) ? lo / s : lo;
+    ub_[sj] = std::isfinite(hi) ? hi / s : hi;
+    cost_[sj] = sense_sign_ * model.obj(j) * s;
   }
   for (int i = 0; i < m_; ++i) {
     auto si = static_cast<size_t>(i);
     auto j = static_cast<size_t>(n_ + i);
     double s = row_scale_[si];
-    if (std::isfinite(lb_[j])) lb_[j] *= s;
-    if (std::isfinite(ub_[j])) ub_[j] *= s;
+    double lo = model.row_lo(i), hi = model.row_hi(i);
+    lb_[j] = std::isfinite(lo) ? lo * s : lo;
+    ub_[j] = std::isfinite(hi) ? hi * s : hi;
+  }
+}
+
+void Simplex::reset_to_logical_basis() {
+  // Initial point: structurals nonbasic at a finite bound, logicals basic.
+  status_.assign(static_cast<size_t>(nt_), kNonbasicLower);
+  value_.assign(static_cast<size_t>(nt_), 0.0);
+  basic_pos_.assign(static_cast<size_t>(nt_), -1);
+  basic_.resize(static_cast<size_t>(m_));
+  for (int j = 0; j < n_; ++j) {
+    auto sj = static_cast<size_t>(j);
+    if (std::isfinite(lb_[sj])) {
+      status_[sj] = kNonbasicLower;
+      value_[sj] = lb_[sj];
+    } else if (std::isfinite(ub_[sj])) {
+      status_[sj] = kNonbasicUpper;
+      value_[sj] = ub_[sj];
+    } else {
+      status_[sj] = kNonbasicFree;
+      value_[sj] = 0.0;
+    }
+  }
+  for (int i = 0; i < m_; ++i) {
+    int j = n_ + i;
+    basic_[static_cast<size_t>(i)] = j;
+    basic_pos_[static_cast<size_t>(j)] = i;
+    status_[static_cast<size_t>(j)] = kBasic;
+  }
+  factorized_ = false;
+}
+
+bool Simplex::load_basis(const Basis& basis) {
+  if (!basis.shaped_for(n_, m_)) return false;
+  int basics = 0;
+  for (int j = 0; j < nt_; ++j) {
+    if (basis.status[static_cast<size_t>(j)] == kBasic) ++basics;
+  }
+  if (basics != m_) return false;
+
+  status_ = basis.status;
+  value_.assign(static_cast<size_t>(nt_), 0.0);
+  basic_pos_.assign(static_cast<size_t>(nt_), -1);
+  basic_.clear();
+  basic_.reserve(static_cast<size_t>(m_));
+  for (int j = 0; j < nt_; ++j) {
+    auto sj = static_cast<size_t>(j);
+    if (status_[sj] == kBasic) {
+      basic_pos_[sj] = static_cast<int>(basic_.size());
+      basic_.push_back(j);
+      continue;
+    }
+    // Re-seat nonbasics on the current model's bounds; a snapshot status
+    // that no longer matches a finite bound degrades gracefully.
+    if (status_[sj] == kNonbasicLower && std::isfinite(lb_[sj])) {
+      value_[sj] = lb_[sj];
+    } else if (status_[sj] == kNonbasicUpper && std::isfinite(ub_[sj])) {
+      value_[sj] = ub_[sj];
+    } else if (std::isfinite(lb_[sj])) {
+      status_[sj] = kNonbasicLower;
+      value_[sj] = lb_[sj];
+    } else if (std::isfinite(ub_[sj])) {
+      status_[sj] = kNonbasicUpper;
+      value_[sj] = ub_[sj];
+    } else {
+      status_[sj] = kNonbasicFree;
+      value_[sj] = 0.0;
+    }
+  }
+  if (!reinvert()) return false;
+  compute_basic_values();
+  return true;
+}
+
+Basis Simplex::basis() const {
+  Basis out;
+  out.status = status_;
+  return out;
+}
+
+void Simplex::refresh_data(const Model& model) {
+  assert(model.num_vars() == n_ && model.num_rows() == m_);
+  load_bounds_and_costs(model);
+  for (int j = 0; j < nt_; ++j) {
+    auto sj = static_cast<size_t>(j);
+    if (status_[sj] == kBasic) continue;
+    if (status_[sj] == kNonbasicLower && std::isfinite(lb_[sj])) {
+      value_[sj] = lb_[sj];
+    } else if (status_[sj] == kNonbasicUpper && std::isfinite(ub_[sj])) {
+      value_[sj] = ub_[sj];
+    } else if (std::isfinite(lb_[sj])) {
+      status_[sj] = kNonbasicLower;
+      value_[sj] = lb_[sj];
+    } else if (std::isfinite(ub_[sj])) {
+      status_[sj] = kNonbasicUpper;
+      value_[sj] = ub_[sj];
+    } else {
+      status_[sj] = kNonbasicFree;
+      value_[sj] = 0.0;
+    }
+  }
+  if (factorized_) {
+    // Basis matrix unchanged (entries identical), eta file still inverts
+    // it: only the basic values move with the new nonbasic seats.
+    compute_basic_values();
   }
 }
 
 bool Simplex::reinvert() {
   etas_.clear();
+  factorized_ = false;
   std::vector<int> vars = basic_;
   // Logical columns first (their etas are singletons), then structurals by
   // ascending column count to curb fill-in.
@@ -388,6 +342,7 @@ bool Simplex::reinvert() {
   base_nnz_ = 0;
   for (const Eta& e : etas_) base_nnz_ += e.idx.size() + 1;
   update_nnz_ = 0;
+  factorized_ = true;
   return true;
 }
 
@@ -647,11 +602,17 @@ Solution Simplex::run(const Model& model) {
   sol.row_value.assign(static_cast<size_t>(m_), 0.0);
   sol.dual.assign(static_cast<size_t>(m_), 0.0);
 
-  if (!reinvert()) {
-    sol.status = SolveStatus::Numerical;
-    return sol;
+  iterations_ = 0;
+  degenerate_run_ = 0;
+  bland_ = false;
+
+  if (!factorized_) {
+    if (!reinvert()) {
+      sol.status = SolveStatus::Numerical;
+      return sol;
+    }
+    compute_basic_values();
   }
-  compute_basic_values();
 
   auto fail = [&](SolveStatus st) {
     sol.status = st;
@@ -659,7 +620,8 @@ Solution Simplex::run(const Model& model) {
     return sol;
   };
 
-  // Phase 1 (only if the logical start is out of bounds). One retry after a
+  // Phase 1 (only if the start point is out of bounds — a cold logical
+  // start, or a warm basis whose bounds moved). One retry after a
   // reinversion absorbs mild numerical drift; a persistent residual means
   // the model is genuinely infeasible.
   for (int attempt = 0; attempt < 2 && total_infeasibility() > opt_.feas_tol;
@@ -728,10 +690,10 @@ Solution Simplex::run(const Model& model) {
   return sol;
 }
 
-}  // namespace
+}  // namespace detail
 
 Solution solve(const Model& model, const SolverOptions& options) {
-  Simplex simplex(model, options);
+  detail::Simplex simplex(model, options);
   return simplex.run(model);
 }
 

@@ -57,6 +57,22 @@ struct Solution {
   bool optimal() const { return status == SolveStatus::Optimal; }
 };
 
+/// A simplex basis snapshot: one status per variable, structurals first
+/// (model order), then one logical per row. The encoding matches the
+/// solver's internal VarStatus (0 = nonbasic at lower, 1 = nonbasic at
+/// upper, 2 = basic, 3 = nonbasic free). A Basis is only meaningful for
+/// models with the same variable/row counts it was exported from; values
+/// are not stored — nonbasic variables re-seat on their bounds and basic
+/// values are recomputed on load.
+struct Basis {
+  std::vector<signed char> status;
+
+  bool empty() const { return status.empty(); }
+  bool shaped_for(int num_vars, int num_rows) const {
+    return static_cast<int>(status.size()) == num_vars + num_rows;
+  }
+};
+
 /// Solve \p model. Never throws on solvable-but-hard inputs; inspect
 /// Solution::status.
 Solution solve(const Model& model, const SolverOptions& options = {});

@@ -39,9 +39,18 @@ class CancellationToken {
 /// exact limits; per-request knobs ride in on RequestOptions::budget
 /// rather than duplicating fields (see engine.hpp).
 struct SolveBudget {
-  /// Wall-clock budget in milliseconds, 0 = unlimited (and, on a request
-  /// budget, "inherit the engine default"). The deadline is anchored when
-  /// the request enters the engine (see deadline_from()).
+  /// Explicit "no deadline" sentinel for deadline_ms. Distinct from 0.0,
+  /// which on a request budget means "inherit the engine default": a
+  /// request carrying kNoDeadline opts out of any engine-default deadline
+  /// through resolve(), which 0.0 could never express (any negative value
+  /// behaves the same; kNoDeadline is the canonical spelling).
+  static constexpr double kNoDeadline = -1.0;
+
+  /// Wall-clock budget in milliseconds. 0 = unlimited on an engine budget
+  /// and "inherit the engine default" on a request budget; kNoDeadline
+  /// (negative) = explicitly unlimited, overriding any engine default. The
+  /// deadline is anchored when the request enters the engine (see
+  /// deadline_from()).
   double deadline_ms = 0.0;
 
   /// Instances larger than this skip the exact enumeration strategy.
@@ -60,16 +69,22 @@ struct SolveBudget {
     return budget;
   }
 
-  /// Merge this (request-level, sentinel-aware) budget over \p base.
+  /// Merge this (request-level, sentinel-aware) budget over \p base:
+  /// 0.0 inherits the base deadline, a positive value overrides it, and
+  /// kNoDeadline (negative) clears it — the explicit unlimited opt-out.
   SolveBudget resolve(const SolveBudget& base) const {
     SolveBudget merged = base;
-    if (deadline_ms > 0.0) merged.deadline_ms = deadline_ms;
+    if (deadline_ms > 0.0 || deadline_ms < 0.0) {
+      merged.deadline_ms = deadline_ms;
+    }
     if (exact_max_nodes >= 0) merged.exact_max_nodes = exact_max_nodes;
     if (exact_max_trees > 0) merged.exact_max_trees = exact_max_trees;
     return merged;
   }
 
   Clock::time_point deadline_from(Clock::time_point start) const {
+    // Both the 0.0 "unlimited/inherit-nothing" case and the explicit
+    // kNoDeadline sentinel mean "never expires" here.
     if (deadline_ms <= 0.0) return Clock::time_point::max();
     return start + std::chrono::duration_cast<Clock::duration>(
                        std::chrono::duration<double, std::milli>(deadline_ms));

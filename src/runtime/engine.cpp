@@ -218,11 +218,22 @@ SolveTicket PortfolioEngine::submit_batch(
     auto it = group_of_key.find(key);
     if (it != group_of_key.end()) {
       it->second->followers.push_back(i);
-      // The group inherits its most urgent member's priority, not just
-      // the leader's — a high-priority duplicate must not queue behind
-      // lower-priority groups.
+      // The group inherits its most urgent member's priority and its most
+      // permissive member's deadline, not just the leader's: a
+      // high-priority duplicate must not queue behind lower-priority
+      // groups, and a follower that asked for a later deadline — or
+      // explicitly for none (SolveBudget::kNoDeadline) — must not be
+      // starved by a deadline-bound leader.
+      const RequestOptions& follower = request_of(i);
       it->second->priority =
-          std::max(it->second->priority, request_of(i).priority);
+          std::max(it->second->priority, follower.priority);
+      SolveBudget fbudget =
+          follower.budget.resolve(options_.portfolio.budget);
+      Clock::time_point fdeadline = fbudget.deadline_from(state->start);
+      if (fdeadline > it->second->guard.deadline) {
+        it->second->guard.deadline = fdeadline;
+        it->second->options.budget.deadline_ms = fbudget.deadline_ms;
+      }
       continue;
     }
     auto group = std::make_unique<EngineGroup>();

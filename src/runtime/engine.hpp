@@ -12,8 +12,11 @@
 ///     delivered immediately, on the submitting thread.
 ///  2. *Coalescing* — misses with identical keys are grouped; one leader
 ///     per group is solved, followers receive a copy (coalesced flag set).
-///     A coalesced group runs under its leader's budget/cancellation — the
-///     leader is the first occurrence in the batch.
+///     A coalesced group runs under its leader's cancellation tokens (the
+///     leader is the first occurrence in the batch) but its *most
+///     permissive* member's deadline — a follower with a later or
+///     explicitly-unlimited deadline widens the group's, mirroring the
+///     priority escalation.
 ///  3. *Fan-out* — every (leader, strategy) pair becomes one pool task, so
 ///     strategy-level parallelism spans request boundaries and the pool
 ///     stays saturated even when one straggler request is left. Groups are

@@ -51,6 +51,8 @@ void certify_tree(const MulticastProblem& problem,
 void certify_flow(const MulticastProblem& problem,
                   const core::FlowSolution& solution, CandidateOutcome& out) {
   out.bound_period = solution.period;
+  out.lp.solves += 1;
+  out.lp.iterations += solution.iterations;
   if (!solution.ok()) {
     out.state = CandidateState::Failed;
     out.detail = "LP did not reach optimality";
@@ -221,6 +223,7 @@ CandidateOutcome run_strategy(const core::MulticastProblem& problem,
     case Strategy::AugmentedSources: {
       auto as = core::augmented_sources(problem);
       out.bound_period = as.period;
+      out.lp.merge(as.lp_stats);
       if (!as.ok) {
         out.state = CandidateState::Failed;
         out.detail = "augmented_sources failed";
@@ -244,12 +247,18 @@ CandidateOutcome run_strategy(const core::MulticastProblem& problem,
       out.period = fs.period;
       break;
     }
-    case Strategy::ReducedBroadcast:
-      certify_platform(problem, core::reduced_broadcast(problem), out);
+    case Strategy::ReducedBroadcast: {
+      auto rb = core::reduced_broadcast(problem);
+      out.lp.merge(rb.lp_stats);
+      certify_platform(problem, rb, out);
       break;
-    case Strategy::AugmentedMulticast:
-      certify_platform(problem, core::augmented_multicast(problem), out);
+    }
+    case Strategy::AugmentedMulticast: {
+      auto am = core::augmented_multicast(problem);
+      out.lp.merge(am.lp_stats);
+      certify_platform(problem, am, out);
       break;
+    }
     case Strategy::Exact:
       run_exact(problem, options, out);
       break;

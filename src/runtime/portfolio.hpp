@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/problem.hpp"
+#include "lp/resolve.hpp"
 #include "runtime/budget.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -73,6 +74,9 @@ struct CandidateOutcome {
   double period = kInfinity;        ///< certified period (time per multicast)
   double bound_period = kInfinity;  ///< strategy's own claimed/advisory value
   double elapsed_ms = 0.0;
+  /// LP sequence counters (solves, warm-start hits, eta reuses, fallbacks,
+  /// simplex iterations); all-zero for strategies that solve no LPs.
+  lp::ResolveStats lp;
   std::string detail;               ///< failure reason / certification note
 };
 

@@ -127,7 +127,7 @@ ScenarioInstance generate_scenario(const ScenarioSpec& spec);
 Result<ScenarioInstance> generate_scenario_checked(const ScenarioSpec& spec);
 
 /// The instance as a graph/io.hpp platform file (round-trips through
-/// parse_platform; node names are preserved).
+/// read_platform; node names are preserved).
 PlatformFile to_platform_file(const ScenarioInstance& instance);
 
 /// A mixed corpus covering every family: \p per_family specs each, with

@@ -8,7 +8,12 @@
 namespace pmcast::sched {
 namespace {
 
-constexpr double kEps = 1e-12;
+/// Relative dust tolerance: comparisons inside the decomposition use
+/// kRelEps * M, where M is the max port load of the instance. A fixed
+/// absolute epsilon mis-classifies on strongly heterogeneous platforms —
+/// with rates around 1e-9 it swallows real communications whole, with
+/// rates around 1e+9 it treats accumulated fp dust as real residual load.
+constexpr double kRelEps = 1e-12;
 
 /// Kuhn's augmenting-path maximum bipartite matching. Sizes here are tiny
 /// (ports of one platform), so the O(V·E) bound is more than enough.
@@ -104,10 +109,12 @@ ColoringResult color_communications(std::span<const Communication> comms,
   ColoringResult result;
   const double M = max_port_load(comms, node_count);
   result.makespan = M;
-  if (M <= kEps) {
+  if (!(M > 0.0)) {
     result.ok = true;
     return result;
   }
+  // All dust thresholds below scale with the instance's own magnitude.
+  const double kEps = kRelEps * M;
 
   // Working edge list: real communications first, then dummy padding edges
   // (payload -1) that regularise every port load to exactly M.
@@ -211,7 +218,7 @@ ColoringResult color_communications(std::span<const Communication> comms,
                        receiver_id[static_cast<size_t>(e.receiver)], ei);
     }
     // On an exactly-regular weighted graph the matching is perfect. A port
-    // whose load sits within kEps of M gets no dummy padding, so
+    // whose load sits within dust distance of M gets no dummy padding, so
     // floating-point dust can break regularity and strand residual weight
     // on a few ports; a *maximum* matching still zeroes at least one edge
     // per round, so peeling it keeps the decomposition going and the
@@ -256,12 +263,18 @@ bool validate_coloring(const ColoringResult& result,
                        std::span<const Communication> comms, int node_count,
                        double tol) {
   if (!result.ok) return false;
+  // Slot positions live on the makespan's scale, so their tolerance grows
+  // with it (never below the caller's absolute floor, keeping O(1)-scale
+  // behaviour unchanged): a fixed absolute tol wrongly rejects valid
+  // colorings of fast-rate platforms whose makespans dwarf it, and proves
+  // nothing on tiny-rate ones.
+  const double slot_tol = tol * std::max(1.0, result.makespan);
   std::vector<double> assigned(comms.size(), 0.0);
   double cursor = 0.0;
   for (const ColorSlot& slot : result.slots) {
-    if (slot.start < cursor - tol) return false;  // slots must not overlap
+    if (slot.start < cursor - slot_tol) return false;  // no slot overlap
     cursor = slot.start + slot.length;
-    if (cursor > result.makespan + tol) return false;
+    if (cursor > result.makespan + slot_tol) return false;
     std::vector<char> sender_busy(static_cast<size_t>(node_count), 0);
     std::vector<char> receiver_busy(static_cast<size_t>(node_count), 0);
     for (int ci : slot.comm_indices) {
@@ -273,8 +286,20 @@ bool validate_coloring(const ColoringResult& result,
       assigned[static_cast<size_t>(ci)] += slot.length;
     }
   }
+  // Each communication's assigned time is checked on its *own* scale — a
+  // makespan-scaled tolerance would let a whole small communication vanish
+  // from a large schedule unnoticed. The additive floor covers the
+  // decomposition's legitimate dust handling: weights within kRelEps * M
+  // of zero are snapped/skipped, at most once per peeling round, and the
+  // round count is bounded by |E| + 2|V| + 8.
+  const double dust_floor = kRelEps * result.makespan *
+                            static_cast<double>(comms.size() +
+                                                2 * static_cast<size_t>(
+                                                        node_count) + 8);
   for (size_t i = 0; i < comms.size(); ++i) {
-    if (std::fabs(assigned[i] - comms[i].duration) > tol) return false;
+    double comm_tol =
+        tol * std::max(1.0, comms[i].duration) + dust_floor;
+    if (std::fabs(assigned[i] - comms[i].duration) > comm_tol) return false;
   }
   return true;
 }

@@ -60,6 +60,12 @@ ColoringResult color_communications(std::span<const Communication> comms,
 
 /// Check the one-port validity of a coloring against its communications
 /// (used by tests and by the simulator's static verification pass).
+/// \p tol scales with the magnitude of what it checks: slot positions use
+/// tol * max(1, makespan); each communication's total assigned time uses
+/// tol * max(1, its own duration) plus a makespan-relative dust floor, so
+/// heterogeneous platforms whose rates span orders of magnitude validate
+/// with magnitude-appropriate slack and a dropped small communication in
+/// a large schedule still fails.
 bool validate_coloring(const ColoringResult& result,
                        std::span<const Communication> comms, int node_count,
                        double tol = 1e-6);

@@ -121,6 +121,49 @@ TEST(Service, ExpiredDeadlineClassifiesAsDeadlineExceeded) {
   EXPECT_FALSE(retry->provenance.from_cache);
 }
 
+TEST(Service, NoDeadlineSentinelOptsOutOfTheServiceDefault) {
+  // A service whose default deadline starves everything: a request that
+  // inherits (0) is DeadlineExceeded, while the explicit kNoDeadline
+  // opt-out — which 0 could never express — still certifies.
+  ServiceOptions options = with_threads(1);
+  options.default_deadline_ms = 1e-6;
+  Service service(options);
+
+  SolveRequest inheriting = request_for(random_problem(31));
+  Result<SolveResponse> starved = service.solve(inheriting);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.status().code(), StatusCode::kDeadlineExceeded);
+
+  SolveRequest unlimited = request_for(random_problem(31));
+  unlimited.deadline_ms = SolveRequest::kNoDeadline;
+  Result<SolveResponse> solved = service.solve(unlimited);
+  ASSERT_TRUE(solved.ok()) << solved.status().to_string();
+}
+
+TEST(Service, LpStrategiesReportWarmStartCounters) {
+  Service service(with_threads(1));
+  Result<SolveResponse> result =
+      service.solve(request_for(random_problem(32)));
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  bool saw_lp_stats = false;
+  for (const StrategyOutcome& outcome : result->outcomes) {
+    if (outcome.strategy == StrategyId::AugmentedSources ||
+        outcome.strategy == StrategyId::ReducedBroadcast ||
+        outcome.strategy == StrategyId::AugmentedMulticast) {
+      EXPECT_GT(outcome.lp.solves, 0)
+          << "LP heuristic reported no solves";
+      EXPECT_GT(outcome.lp.iterations, 0);
+      EXPECT_LE(outcome.lp.warm_starts, outcome.lp.solves);
+      if (outcome.lp.warm_starts > 0) saw_lp_stats = true;
+    }
+    if (outcome.strategy == StrategyId::Mcph) {
+      EXPECT_EQ(outcome.lp.solves, 0);  // tree heuristics solve no LPs
+    }
+  }
+  EXPECT_TRUE(saw_lp_stats)
+      << "no LP refinement strategy reported a warm-started solve";
+}
+
 TEST(Service, PreCancelledRequestClassifiesAsCancelled) {
   Service service(with_threads(1));
   SolveRequest request = request_for(random_problem(4));

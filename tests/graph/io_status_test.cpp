@@ -148,13 +148,18 @@ TEST(PlatformIoStatus, LoadPlatformReportsThePathInDiagnostics) {
   EXPECT_EQ(result.status().location()->line, 3);
 }
 
-TEST(PlatformIoStatus, LegacyShimFlattensLineAndColumn) {
-  std::string error;
-  auto p = parse_platform_string("nodes 2\nsource 0\nedge 0 5 1\n", &error);
-  EXPECT_FALSE(p.has_value());
-  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
-  EXPECT_NE(error.find("col 8"), std::string::npos) << error;
-  EXPECT_NE(error.find("'5'"), std::string::npos) << error;
+TEST(PlatformIoStatus, DiagnosticsCarryLineColumnAndToken) {
+  // The diagnostic contract the (now warn-once deprecated, untested by
+  // design) optional<> shims used to flatten: line, column and offending
+  // token all travel on the Status.
+  Result<PlatformFile> p =
+      read_platform_text("nodes 2\nsource 0\nedge 0 5 1\n");
+  ASSERT_FALSE(p.ok());
+  ASSERT_TRUE(p.status().location().has_value());
+  EXPECT_EQ(p.status().location()->line, 3);
+  EXPECT_EQ(p.status().location()->column, 8);
+  EXPECT_NE(p.status().to_string().find("'5'"), std::string::npos)
+      << p.status().to_string();
 }
 
 TEST(PlatformIoStatus, SavePlatformRoundTripsThroughLoad) {

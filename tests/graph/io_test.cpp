@@ -15,10 +15,17 @@ link 1 3 0.5
 target 2 3
 )";
 
+Result<PlatformFile> parse(const std::string& text) {
+  return read_platform_text(text);
+}
+
+std::string error_of(const Result<PlatformFile>& result) {
+  return result.ok() ? std::string() : result.status().to_string();
+}
+
 TEST(PlatformIo, ParsesSample) {
-  std::string error;
-  auto p = parse_platform_string(kSample, &error);
-  ASSERT_TRUE(p.has_value()) << error;
+  Result<PlatformFile> p = parse(kSample);
+  ASSERT_TRUE(p.ok()) << error_of(p);
   EXPECT_EQ(p->graph.node_count(), 4);
   EXPECT_EQ(p->graph.edge_count(), 5);  // 1 edge + 2 links
   EXPECT_EQ(p->source, 0);
@@ -29,49 +36,46 @@ TEST(PlatformIo, ParsesSample) {
 }
 
 TEST(PlatformIo, CommentsAndBlankLines) {
-  auto p = parse_platform_string("nodes 2\n\n# hi\nsource 0\nedge 0 1 2 # x\n");
-  ASSERT_TRUE(p.has_value());
+  Result<PlatformFile> p =
+      parse("nodes 2\n\n# hi\nsource 0\nedge 0 1 2 # x\n");
+  ASSERT_TRUE(p.ok()) << error_of(p);
   EXPECT_DOUBLE_EQ(p->graph.cost(0, 1), 2.0);
 }
 
 TEST(PlatformIo, RejectsMissingNodes) {
-  std::string error;
-  EXPECT_FALSE(parse_platform_string("source 0\n", &error).has_value());
-  EXPECT_NE(error.find("valid node id"), std::string::npos);
+  Result<PlatformFile> p = parse("source 0\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(error_of(p).find("valid node id"), std::string::npos);
 }
 
 TEST(PlatformIo, RejectsMissingSource) {
-  std::string error;
-  EXPECT_FALSE(parse_platform_string("nodes 2\nedge 0 1 1\n", &error));
-  EXPECT_NE(error.find("source"), std::string::npos);
+  Result<PlatformFile> p = parse("nodes 2\nedge 0 1 1\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(error_of(p).find("source"), std::string::npos);
 }
 
 TEST(PlatformIo, RejectsOutOfRangeIds) {
-  std::string error;
-  EXPECT_FALSE(
-      parse_platform_string("nodes 2\nsource 0\nedge 0 5 1\n", &error));
-  EXPECT_NE(error.find("line 3"), std::string::npos);
+  Result<PlatformFile> p = parse("nodes 2\nsource 0\nedge 0 5 1\n");
+  ASSERT_FALSE(p.ok());
+  ASSERT_TRUE(p.status().location().has_value());
+  EXPECT_EQ(p.status().location()->line, 3);
 }
 
 TEST(PlatformIo, RejectsSelfLoop) {
-  std::string error;
-  EXPECT_FALSE(
-      parse_platform_string("nodes 2\nsource 0\nedge 1 1 1\n", &error));
+  EXPECT_FALSE(parse("nodes 2\nsource 0\nedge 1 1 1\n").ok());
 }
 
 TEST(PlatformIo, RejectsNonPositiveCost) {
-  std::string error;
-  EXPECT_FALSE(
-      parse_platform_string("nodes 2\nsource 0\nedge 0 1 0\n", &error));
-  EXPECT_FALSE(
-      parse_platform_string("nodes 2\nsource 0\nedge 0 1 -2\n", &error));
+  EXPECT_FALSE(parse("nodes 2\nsource 0\nedge 0 1 0\n").ok());
+  EXPECT_FALSE(parse("nodes 2\nsource 0\nedge 0 1 -2\n").ok());
 }
 
 TEST(PlatformIo, RejectsSourceAsTarget) {
-  std::string error;
-  EXPECT_FALSE(parse_platform_string(
-      "nodes 2\nsource 0\nedge 0 1 1\ntarget 0\n", &error));
-  EXPECT_NE(error.find("source cannot be a target"), std::string::npos);
+  Result<PlatformFile> p =
+      parse("nodes 2\nsource 0\nedge 0 1 1\ntarget 0\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(error_of(p).find("source cannot be a target"),
+            std::string::npos);
 }
 
 TEST(PlatformIo, RejectsNonFiniteCost) {
@@ -79,71 +83,67 @@ TEST(PlatformIo, RejectsNonFiniteCost) {
   // extraction already; the parser's std::isfinite check is the backstop
   // either way. All of these must fail with a diagnostic, not assert.
   for (const char* cost : {"inf", "nan", "1e999", "-inf"}) {
-    std::string error;
     std::string text = std::string("nodes 2\nsource 0\nedge 0 1 ") + cost +
                        "\n";
-    EXPECT_FALSE(parse_platform_string(text, &error)) << cost;
-    EXPECT_FALSE(error.empty()) << cost;
+    Result<PlatformFile> p = parse(text);
+    EXPECT_FALSE(p.ok()) << cost;
+    EXPECT_FALSE(error_of(p).empty()) << cost;
   }
 }
 
 TEST(PlatformIo, RejectsDuplicateSource) {
-  std::string error;
-  EXPECT_FALSE(parse_platform_string(
-      "nodes 2\nsource 0\nsource 1\nedge 0 1 1\n", &error));
-  EXPECT_NE(error.find("duplicate source"), std::string::npos);
+  Result<PlatformFile> p =
+      parse("nodes 2\nsource 0\nsource 1\nedge 0 1 1\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(error_of(p).find("duplicate source"), std::string::npos);
 }
 
 TEST(PlatformIo, RejectsDuplicateNodes) {
-  std::string error;
-  EXPECT_FALSE(parse_platform_string("nodes 2\nnodes 3\nsource 0\n", &error));
-  EXPECT_NE(error.find("duplicate nodes"), std::string::npos);
+  Result<PlatformFile> p = parse("nodes 2\nnodes 3\nsource 0\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(error_of(p).find("duplicate nodes"), std::string::npos);
 }
 
 TEST(PlatformIo, RejectsDuplicateTargets) {
-  std::string error;
-  EXPECT_FALSE(parse_platform_string(
-      "nodes 3\nsource 0\nedge 0 1 1\nedge 0 2 1\ntarget 1 2 1\n", &error));
-  EXPECT_NE(error.find("duplicate target"), std::string::npos);
-  EXPECT_FALSE(parse_platform_string(
-      "nodes 3\nsource 0\nedge 0 1 1\ntarget 1\ntarget 1\n", &error));
+  Result<PlatformFile> p = parse(
+      "nodes 3\nsource 0\nedge 0 1 1\nedge 0 2 1\ntarget 1 2 1\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(error_of(p).find("duplicate target"), std::string::npos);
+  EXPECT_FALSE(
+      parse("nodes 3\nsource 0\nedge 0 1 1\ntarget 1\ntarget 1\n").ok());
 }
 
 TEST(PlatformIo, RejectsTrailingText) {
-  std::string error;
-  EXPECT_FALSE(
-      parse_platform_string("nodes 2 oops\nsource 0\n", &error));
-  EXPECT_NE(error.find("trailing"), std::string::npos);
+  Result<PlatformFile> p = parse("nodes 2 oops\nsource 0\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(error_of(p).find("trailing"), std::string::npos);
   // A truncated cost token must not be silently misread as "1.5".
-  EXPECT_FALSE(
-      parse_platform_string("nodes 2\nsource 0\nedge 0 1 1.5x\n", &error));
+  EXPECT_FALSE(parse("nodes 2\nsource 0\nedge 0 1 1.5x\n").ok());
 }
 
 TEST(PlatformIo, RejectsEdgeBeforeNodes) {
-  std::string error;
-  EXPECT_FALSE(parse_platform_string("edge 0 1 1\n", &error));
-  EXPECT_NE(error.find("nodes directive"), std::string::npos);
+  Result<PlatformFile> p = parse("edge 0 1 1\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(error_of(p).find("nodes directive"), std::string::npos);
 }
 
 TEST(PlatformIo, RejectsOverflowingIds) {
-  std::string error;
-  EXPECT_FALSE(parse_platform_string(
-      "nodes 2\nsource 0\nedge 0 99999999999999999999999 1\n", &error));
+  EXPECT_FALSE(
+      parse("nodes 2\nsource 0\nedge 0 99999999999999999999999 1\n").ok());
 }
 
 TEST(PlatformIo, RejectsUnknownDirective) {
-  std::string error;
-  EXPECT_FALSE(parse_platform_string("nodes 2\nfrobnicate 3\n", &error));
-  EXPECT_NE(error.find("unknown directive"), std::string::npos);
+  Result<PlatformFile> p = parse("nodes 2\nfrobnicate 3\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(error_of(p).find("unknown directive"), std::string::npos);
 }
 
 TEST(PlatformIo, RoundTrip) {
-  std::string error;
-  auto p = parse_platform_string(kSample, &error);
-  ASSERT_TRUE(p.has_value());
+  Result<PlatformFile> p = parse(kSample);
+  ASSERT_TRUE(p.ok()) << error_of(p);
   std::string text = write_platform_string(*p);
-  auto q = parse_platform_string(text, &error);
-  ASSERT_TRUE(q.has_value()) << error;
+  Result<PlatformFile> q = parse(text);
+  ASSERT_TRUE(q.ok()) << error_of(q);
   EXPECT_EQ(q->graph.node_count(), p->graph.node_count());
   EXPECT_EQ(q->graph.edge_count(), p->graph.edge_count());
   EXPECT_EQ(q->source, p->source);

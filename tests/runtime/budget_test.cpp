@@ -1,0 +1,114 @@
+/// SolveBudget sentinel semantics. The deadline field is three-valued on a
+/// request budget: 0 inherits the engine default, positive overrides it,
+/// and kNoDeadline (negative) explicitly clears it — the opt-out that the
+/// old two-valued encoding (where 0 meant both "inherit" and "unlimited")
+/// could not express through resolve().
+
+#include "runtime/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+
+namespace pmcast::runtime {
+namespace {
+
+SolveBudget engine_default_with_deadline(double ms) {
+  SolveBudget base;  // engine defaults: unlimited wall clock, bounded exact
+  base.deadline_ms = ms;
+  return base;
+}
+
+TEST(SolveBudget, InheritDefersEveryField) {
+  SolveBudget base = engine_default_with_deadline(250.0);
+  base.exact_max_nodes = 7;
+  base.exact_max_trees = 1234;
+  SolveBudget merged = SolveBudget::inherit().resolve(base);
+  EXPECT_EQ(merged.deadline_ms, 250.0);
+  EXPECT_EQ(merged.exact_max_nodes, 7);
+  EXPECT_EQ(merged.exact_max_trees, 1234u);
+}
+
+TEST(SolveBudget, PositiveDeadlineOverridesTheDefault) {
+  SolveBudget request = SolveBudget::inherit();
+  request.deadline_ms = 10.0;
+  SolveBudget merged = request.resolve(engine_default_with_deadline(250.0));
+  EXPECT_EQ(merged.deadline_ms, 10.0);
+}
+
+TEST(SolveBudget, NoDeadlineSentinelClearsTheDefault) {
+  SolveBudget request = SolveBudget::inherit();
+  request.deadline_ms = SolveBudget::kNoDeadline;
+  SolveBudget merged = request.resolve(engine_default_with_deadline(250.0));
+  EXPECT_LT(merged.deadline_ms, 0.0);
+  // The merged budget never expires.
+  EXPECT_EQ(merged.deadline_from(Clock::now()), Clock::time_point::max());
+}
+
+TEST(SolveBudget, ZeroStillMeansUnlimitedOnAnEngineBudget) {
+  SolveBudget base;  // deadline_ms == 0
+  EXPECT_EQ(base.deadline_from(Clock::now()), Clock::time_point::max());
+}
+
+TEST(SolveBudget, PositiveDeadlineAnchorsOnStart) {
+  SolveBudget budget;
+  budget.deadline_ms = 5.0;
+  Clock::time_point start = Clock::now();
+  Clock::time_point deadline = budget.deadline_from(start);
+  EXPECT_GT(deadline, start);
+  EXPECT_LT(deadline, start + std::chrono::seconds(1));
+}
+
+TEST(SolveBudget, NoDeadlineRequestSurvivesAStarvingEngineDefault) {
+  // Engine-wide default so tight every inheriting request is starved; the
+  // explicit opt-out must still solve.
+  EngineOptions options;
+  options.threads = 0;
+  options.portfolio.budget.deadline_ms = 1e-6;
+
+  Digraph g(3);
+  g.add_bidirectional(0, 1, 1.0);
+  g.add_bidirectional(1, 2, 1.0);
+  core::MulticastProblem problem(g, 0, {2});
+
+  PortfolioEngine engine(options);
+  PortfolioResult starved = engine.solve(problem);
+  EXPECT_FALSE(starved.ok);
+
+  RequestOptions unlimited;
+  unlimited.budget.deadline_ms = SolveBudget::kNoDeadline;
+  PortfolioResult solved = engine.solve(problem, unlimited);
+  EXPECT_TRUE(solved.ok);
+}
+
+TEST(SolveBudget, CoalescedFollowerWithNoDeadlineWidensTheGroupDeadline) {
+  // Two identical problems coalesce into one group. The leader carries an
+  // already-expired deadline; the follower explicitly opts out of any
+  // deadline — kNoDeadline's contract must hold even through coalescing,
+  // so the group runs under its most permissive member's deadline and
+  // both members certify.
+  EngineOptions options;
+  options.threads = 0;
+  options.cache_capacity = 0;  // keep both requests in one live group
+
+  Digraph g(3);
+  g.add_bidirectional(0, 1, 1.0);
+  g.add_bidirectional(1, 2, 1.0);
+  core::MulticastProblem problem(g, 0, {2});
+  std::vector<core::MulticastProblem> batch{problem, problem};
+
+  std::vector<RequestOptions> requests(2);
+  requests[0].budget.deadline_ms = 1e-6;  // expired at batch entry
+  requests[1].budget.deadline_ms = SolveBudget::kNoDeadline;
+
+  PortfolioEngine engine(options);
+  auto results = engine.solve_batch(batch, requests);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[1].ok) << "kNoDeadline follower was starved";
+  EXPECT_TRUE(results[1].coalesced);
+  // Most-permissive semantics: the shared solve also serves the leader.
+  EXPECT_TRUE(results[0].ok);
+}
+
+}  // namespace
+}  // namespace pmcast::runtime

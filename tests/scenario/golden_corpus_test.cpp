@@ -46,11 +46,10 @@ std::vector<GoldenEntry> load_manifest() {
 }
 
 core::MulticastProblem load_problem(const std::string& file) {
-  std::ifstream in(std::string(PMCAST_TEST_DATA_DIR) + "/" + file);
-  EXPECT_TRUE(in.good()) << file;
-  std::string error;
-  auto platform = parse_platform(in, &error);
-  EXPECT_TRUE(platform.has_value()) << file << ": " << error;
+  Result<PlatformFile> platform =
+      load_platform(std::string(PMCAST_TEST_DATA_DIR) + "/" + file);
+  EXPECT_TRUE(platform.ok())
+      << file << ": " << platform.status().to_string();
   return core::MulticastProblem(platform->graph, platform->source,
                                 platform->targets);
 }

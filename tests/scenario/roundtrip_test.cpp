@@ -39,9 +39,9 @@ TEST(RoundTrip, EveryGeneratedScenarioSurvivesParseWriteParse) {
     PlatformFile original = to_platform_file(instance);
 
     std::string text = write_platform_string(original);
-    std::string error;
-    auto parsed = parse_platform_string(text, &error);
-    ASSERT_TRUE(parsed.has_value()) << instance.name << ": " << error;
+    Result<PlatformFile> parsed = read_platform_text(text);
+    ASSERT_TRUE(parsed.ok())
+        << instance.name << ": " << parsed.status().to_string();
     expect_equal_platforms(original, *parsed, instance.name);
 
     // Write of the parse is byte-identical: the format has one canonical
@@ -62,9 +62,8 @@ TEST(RoundTrip, ExplicitlyEmptyNamesRoundTrip) {
   platform.targets = {2};
 
   std::string text = write_platform_string(platform);
-  std::string error;
-  auto parsed = parse_platform_string(text, &error);
-  ASSERT_TRUE(parsed.has_value()) << error;
+  Result<PlatformFile> parsed = read_platform_text(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
   EXPECT_EQ(parsed->graph.node_name(0), "P0");
   EXPECT_EQ(parsed->graph.node_name(1), "P1");  // canonical default restored
   ASSERT_EQ(parsed->graph.edge_count(), platform.graph.edge_count());
@@ -81,9 +80,9 @@ TEST(RoundTrip, UnserialisableNamesAreSkippedNotCorrupted) {
   platform.source = 0;
   platform.targets = {1, 2};
 
-  std::string error;
-  auto parsed = parse_platform_string(write_platform_string(platform), &error);
-  ASSERT_TRUE(parsed.has_value()) << error;
+  Result<PlatformFile> parsed =
+      read_platform_text(write_platform_string(platform));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
   EXPECT_EQ(parsed->graph.node_name(0), "ok_name");
   // Unserialisable names fall back to the parser's canonical defaults.
   EXPECT_EQ(parsed->graph.node_name(1), "P1");
@@ -98,8 +97,9 @@ TEST(RoundTrip, NonIntegralCostsKeepFullPrecision) {
   platform.source = 0;
   platform.targets = {1};
 
-  auto parsed = parse_platform_string(write_platform_string(platform));
-  ASSERT_TRUE(parsed.has_value());
+  Result<PlatformFile> parsed =
+      read_platform_text(write_platform_string(platform));
+  ASSERT_TRUE(parsed.ok());
   EXPECT_DOUBLE_EQ(parsed->graph.edge(0).cost, 1.0 / 3.0);
 }
 

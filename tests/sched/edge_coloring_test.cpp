@@ -114,5 +114,103 @@ TEST_P(ColoringRandom, RandomBipartiteLoadsAchieveKonigBound) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ColoringRandom,
                          ::testing::Range<std::uint64_t>(1, 51));
 
+// ---- relative-tolerance regressions (heterogeneous rate magnitudes) ----
+//
+// The decomposition's dust thresholds used to be a fixed absolute 1e-12.
+// On platforms whose rates sit orders of magnitude away from 1 that
+// absolute epsilon mis-classifies: around 1e-9 a port deficit of 5e-13
+// (2.5e-4 of the load — real work, not dust) fell below the threshold, got
+// no regularising padding, and the decomposition silently dropped that
+// slice of a communication. The thresholds now scale with the max port
+// load; these tests pin the behaviour near the old failure scale.
+
+double assigned_duration(const ColoringResult& result, size_t index) {
+  double total = 0.0;
+  for (const ColorSlot& slot : result.slots) {
+    for (int ci : slot.comm_indices) {
+      if (static_cast<size_t>(ci) == index) total += slot.length;
+    }
+  }
+  return total;
+}
+
+TEST(ColoringRelativeTol, TinyRatesScheduleEveryCommunicationFully) {
+  // Loads ~2e-9 with a cross-port deficit of 5e-13: below the old absolute
+  // epsilon, far above the relative one.
+  const double big = 2e-9;
+  const double small = 2e-9 - 5e-13;
+  std::vector<Communication> comms{{0, 1, big}, {1, 0, small}};
+  auto result = color_communications(comms, 2);
+  ASSERT_TRUE(result.ok);
+  for (size_t i = 0; i < comms.size(); ++i) {
+    double got = assigned_duration(result, i);
+    EXPECT_NEAR(got, comms[i].duration, 1e-9 * comms[i].duration)
+        << "communication " << i << " lost duration";
+  }
+  EXPECT_NEAR(result.makespan, big, 1e-9 * big);
+  EXPECT_TRUE(validate_coloring(result, comms, 2, 1e-9));
+}
+
+TEST(ColoringRelativeTol, SubEpsilonInstancesAreNotDroppedWholesale) {
+  // Every duration below the old absolute 1e-12: the old code skipped the
+  // edges as dust and "scheduled" nothing.
+  std::vector<Communication> comms{{0, 1, 5e-13}, {1, 2, 9e-13}};
+  auto result = color_communications(comms, 3);
+  ASSERT_TRUE(result.ok);
+  for (size_t i = 0; i < comms.size(); ++i) {
+    EXPECT_NEAR(assigned_duration(result, i), comms[i].duration,
+                1e-9 * comms[i].duration);
+  }
+}
+
+TEST(ColoringRelativeTol, HugeRatesValidateWithScaledTolerance) {
+  // Thirds at scale 1e8 accumulate absolute dust ~1e-8, which the old
+  // fixed validation tolerance (1e-6 absolute) was already unable to
+  // distinguish from real error at this magnitude; the scaled tolerance
+  // keeps validation meaningful.
+  const double third = 1e8 / 3.0;
+  std::vector<Communication> comms{{0, 1, third},
+                                   {0, 2, third},
+                                   {0, 3, third},
+                                   {1, 0, 2.0 * third},
+                                   {2, 0, third}};
+  auto result = color_communications(comms, 4);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NEAR(result.makespan, 1e8, 1e-9 * 1e8);
+  EXPECT_TRUE(validate_coloring(result, comms, 4, 1e-9));
+  EXPECT_LE(result.slots.size(),
+            comms.size() + 2 * static_cast<size_t>(4) + 8);
+}
+
+TEST(ColoringRelativeTol, ValidatorRejectsDroppedSmallCommInHugeSchedule) {
+  // The per-communication check must scale with each communication's own
+  // duration: with a purely makespan-scaled tolerance (1e-6 * 1e7 = 10),
+  // silently losing the whole 3.0-duration transfer would still validate.
+  std::vector<Communication> comms{{0, 1, 1e7}, {2, 3, 3.0}};
+  auto result = color_communications(comms, 4);
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(validate_coloring(result, comms, 4));
+
+  ColoringResult broken = result;
+  for (ColorSlot& slot : broken.slots) {
+    std::erase(slot.comm_indices, 1);
+  }
+  EXPECT_FALSE(validate_coloring(broken, comms, 4))
+      << "a coloring that drops a whole communication validated";
+}
+
+TEST(ColoringRelativeTol, MixedMagnitudeDustStaysBounded) {
+  // One dominant transfer plus relative dust on other ports: the dust must
+  // neither strand load nor blow up the slot count.
+  std::vector<Communication> comms{{0, 1, 1e7},
+                                   {1, 2, 1e7 * (1.0 + 1e-13)},
+                                   {2, 3, 3.0}};
+  auto result = color_communications(comms, 4);
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(validate_coloring(result, comms, 4, 1e-9));
+  double load = max_port_load(comms, 4);
+  EXPECT_LE(result.makespan, load * (1.0 + 1e-9));
+}
+
 }  // namespace
 }  // namespace pmcast::sched

@@ -1,7 +1,7 @@
 /// \file pmcast_gen.cpp
 /// Scenario generator CLI: emit a seeded platform/workload instance in the
 /// graph/io.hpp text format (consumable by examples/pmcast_cli and
-/// parse_platform), optionally cross-checking it with the differential
+/// read_platform), optionally cross-checking it with the differential
 /// oracle first.
 ///
 /// Usage:
