@@ -5,6 +5,13 @@
 /// batch through an 8-thread Service and compare against sequentially
 /// certifying every strategy on every request (the pre-runtime workflow).
 ///
+/// Phase 1.75 (the PR 5 acceptance): cooperative pruning, pruned-vs-blind.
+/// The same corpus is served cold (no cache) under PruningPolicy::Off and
+/// PruningPolicy::Deterministic; the JSON's "pruning" block reports the
+/// wall-clock speedup and simplex-iteration savings, and any certified
+/// period that differs between the two arms is a violation. A sharded-vs-
+/// unsharded ResultCache contention micro-bench rides along.
+///
 /// Phase 2 (BENCH_api.json, the v1 API acceptance): blocking solve_batch
 /// vs streaming submit_batch on a fresh cold Service each — same workload,
 /// same certified answers. Blocking holds every response until the slowest
@@ -17,16 +24,22 @@
 ///  * every returned period is certificate-validated (Result is ok);
 ///  * no returned period is worse than the best individual strategy run
 ///    sequentially on that instance (same strategy set, same validation);
+///  * pruned and blind arms certify identical periods;
 ///  * blocking and streaming modes agree period-for-period.
 ///
 /// PMCAST_FULL=1 scales the pool and batch up to paper-scale platforms.
+/// --smoke runs only the pruned-vs-blind differential on a reduced corpus
+/// (the bench_smoke tier-1 ctest target): exit 1 on any violation.
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -203,6 +216,156 @@ double percentile(std::vector<double> xs, double p) {
   return xs[idx];
 }
 
+/// -------- phase 1.75: cooperative pruning, pruned-vs-blind ------------
+/// One arm = a cold cache-less engine serving the corpus once under one
+/// PruningPolicy. Iterations count everything the arm paid, including the
+/// pruning arm's Multicast-LB probes.
+struct PruningArm {
+  double wall_ms = 0.0;
+  long long iterations = 0;
+  int strategies_pruned = 0;
+  int early_win_cancels = 0;
+  int probes_skipped = 0;
+  int cutoff_aborts = 0;
+  std::vector<double> periods;
+  std::vector<runtime::Strategy> winners;
+};
+
+PruningArm run_pruning_arm(const std::vector<core::MulticastProblem>& corpus,
+                           runtime::PruningPolicy policy, int threads) {
+  runtime::EngineOptions options;
+  options.threads = threads;
+  options.cache_capacity = 0;  // measure solving, not caching
+  options.portfolio.pruning = policy;
+  runtime::PortfolioEngine engine(options);
+
+  PruningArm arm;
+  BenchClock::time_point t0 = BenchClock::now();
+  std::vector<runtime::PortfolioResult> results = engine.solve_batch(corpus);
+  arm.wall_ms = ms_since(t0);
+  for (const runtime::PortfolioResult& r : results) {
+    arm.periods.push_back(r.ok ? r.period : kInfinity);
+    arm.winners.push_back(r.winner);
+    arm.iterations += r.pruning.lb_probe_iterations;
+    arm.strategies_pruned += r.pruning.strategies_pruned;
+    arm.early_win_cancels += r.pruning.early_win_cancels;
+    arm.probes_skipped += r.pruning.probes_skipped;
+    arm.cutoff_aborts += r.pruning.cutoff_aborts;
+    for (const runtime::CandidateOutcome& c : r.candidates) {
+      arm.iterations += c.lp.iterations;
+    }
+  }
+  return arm;
+}
+
+struct PruningReport {
+  PruningArm blind;
+  PruningArm det;
+  PruningArm aggressive;
+  int mismatches = 0;
+
+  double det_speedup() const {
+    return det.wall_ms > 0.0 ? blind.wall_ms / det.wall_ms : 0.0;
+  }
+  double det_iteration_saving() const {
+    return blind.iterations > 0
+               ? 1.0 - static_cast<double>(det.iterations) /
+                           static_cast<double>(blind.iterations)
+               : 0.0;
+  }
+};
+
+PruningReport run_pruning_phase(
+    const std::vector<core::MulticastProblem>& corpus, int threads) {
+  PruningReport report;
+  report.blind = run_pruning_arm(corpus, runtime::PruningPolicy::Off,
+                                 threads);
+  report.det = run_pruning_arm(corpus, runtime::PruningPolicy::Deterministic,
+                               threads);
+  report.aggressive = run_pruning_arm(
+      corpus, runtime::PruningPolicy::Aggressive, threads);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    // Deterministic must certify the bit-identical period AND winner;
+    // Aggressive must certify the identical period.
+    if (report.det.periods[i] != report.blind.periods[i] ||
+        report.det.winners[i] != report.blind.winners[i]) {
+      std::printf("VIOLATION: deterministic pruning changed instance %zu "
+                  "(blind %.12g/%s, pruned %.12g/%s)\n",
+                  i, report.blind.periods[i],
+                  runtime::strategy_name(report.blind.winners[i]),
+                  report.det.periods[i],
+                  runtime::strategy_name(report.det.winners[i]));
+      ++report.mismatches;
+    }
+    if (report.aggressive.periods[i] != report.blind.periods[i]) {
+      std::printf("VIOLATION: aggressive pruning changed instance %zu "
+                  "period (blind %.12g, aggressive %.12g)\n",
+                  i, report.blind.periods[i], report.aggressive.periods[i]);
+      ++report.mismatches;
+    }
+  }
+  return report;
+}
+
+void print_pruning_report(const PruningReport& report) {
+  bench::Table table({"arm", "wall ms", "simplex iters", "pruned",
+                      "early-win", "cutoffs"});
+  auto row = [&](const char* name, const PruningArm& arm) {
+    table.add_row({name, bench::fmt(arm.wall_ms, 1),
+                   std::to_string(arm.iterations),
+                   std::to_string(arm.strategies_pruned),
+                   std::to_string(arm.early_win_cancels),
+                   std::to_string(arm.cutoff_aborts)});
+  };
+  row("blind (Off)", report.blind);
+  row("deterministic", report.det);
+  row("aggressive", report.aggressive);
+  table.print();
+  std::printf("deterministic pruning: %.2fx wall, %.0f%% fewer simplex "
+              "iterations, %d period/winner mismatches\n",
+              report.det_speedup(), 100.0 * report.det_iteration_saving(),
+              report.mismatches);
+}
+
+/// -------- cache contention micro-bench (sharded vs single mutex) ------
+double hammer_cache(runtime::ResultCache& cache, int threads, int ops) {
+  // Realistic payload: a full portfolio result (candidate slots, detail
+  // strings) is copied under the shard lock on every hit, which is what
+  // makes a single global mutex a convoy under concurrent serving.
+  runtime::PortfolioResult result;
+  result.ok = true;
+  result.period = 1.0;
+  result.candidates.resize(8);
+  for (auto& c : result.candidates) {
+    c.state = runtime::CandidateState::Certified;
+    c.period = 1.0;
+    c.detail = "certified via scatter on the reduced platform; "
+               "Broadcast-EB bound is advisory";
+  }
+  // Pre-populate so the traffic is hit-dominated (the serving profile).
+  for (std::uint64_t id = 0; id < 512; ++id) {
+    cache.put(InstanceKey{id, id * 0x9e3779b97f4a7c15ULL + 1}, result);
+  }
+  std::vector<std::thread> workers;
+  BenchClock::time_point t0 = BenchClock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&cache, &result, t, ops] {
+      for (int i = 0; i < ops; ++i) {
+        std::uint64_t id =
+            static_cast<std::uint64_t>((t * 131 + i * 7) % 512);
+        InstanceKey key{id, id * 0x9e3779b97f4a7c15ULL + 1};
+        if (i % 16 == 0) {
+          cache.put(key, result);
+        } else {
+          cache.get(key);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return ms_since(t0);
+}
+
 std::vector<SolveRequest> make_requests(
     const std::vector<core::MulticastProblem>& batch) {
   std::vector<SolveRequest> requests;
@@ -217,7 +380,35 @@ std::vector<SolveRequest> make_requests(
 
 }  // namespace
 
-int main() {
+/// --smoke: the bench_smoke tier-1 ctest target. A reduced corpus, the
+/// pruned-vs-blind differential only; exit 1 if any arm certifies a
+/// different period than blind mode or any request fails to certify.
+int run_smoke() {
+  std::printf("=== bench_smoke: pruned-vs-blind differential ===\n");
+  std::vector<core::MulticastProblem> corpus;
+  for (int i = 0; i < 8; ++i) {
+    corpus.push_back(random_instance(static_cast<std::uint64_t>(i) + 1, 8));
+  }
+  corpus.push_back(tiers_instance(5, 11));
+  corpus.push_back(tiers_instance(6, 112));
+  PruningReport report = run_pruning_phase(corpus, 8);
+  print_pruning_report(report);
+  int violations = report.mismatches;
+  for (double period : report.blind.periods) {
+    if (period == kInfinity) {
+      std::printf("VIOLATION: a smoke instance failed to certify\n");
+      ++violations;
+    }
+  }
+  std::printf("bench_smoke: %d violations over %zu instances\n", violations,
+              corpus.size());
+  return violations > 0 ? 1 : 0;
+}
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
   const bool full = bench::full_mode();
   const int kUnique = full ? 40 : 25;
   const int kRequests = full ? 400 : 100;
@@ -342,6 +533,38 @@ int main() {
               lp_report.sweep_speedup(), lp_report.sweep_cold_iterations,
               lp_report.sweep_warm_iterations);
 
+  // ---- phase 1.75: cooperative pruning, pruned vs blind ----
+  std::printf("\n=== cooperative pruning: pruned vs blind (cold, no "
+              "cache) ===\n");
+  std::vector<core::MulticastProblem> pruning_corpus = pool_instances;
+  for (const auto& p : lp_instances) pruning_corpus.push_back(p);
+  PruningReport pruning_report = run_pruning_phase(pruning_corpus, kThreads);
+  print_pruning_report(pruning_report);
+  violations += pruning_report.mismatches;
+
+  // ---- cache contention micro-bench: sharded vs single mutex ----
+  const int kCacheOps = full ? 400000 : 100000;
+  double cache_unsharded_ms, cache_sharded_ms;
+  {
+    runtime::ResultCache unsharded(4096, 1);
+    cache_unsharded_ms = hammer_cache(unsharded, kThreads, kCacheOps);
+    runtime::ResultCache sharded(4096);  // auto: 16 shards
+    cache_sharded_ms = hammer_cache(sharded, kThreads, kCacheOps);
+  }
+  double cache_speedup = cache_sharded_ms > 0.0
+                             ? cache_unsharded_ms / cache_sharded_ms
+                             : 0.0;
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("result-cache contention (%d threads x %d ops): single mutex "
+              "%.1f ms, 16 shards %.1f ms (%.2fx)\n",
+              kThreads, kCacheOps, cache_unsharded_ms, cache_sharded_ms,
+              cache_speedup);
+  if (hw_threads <= 1) {
+    std::printf("  note: %u hardware thread(s) — threads timeslice instead "
+                "of contending, so shard scaling cannot show here\n",
+                hw_threads);
+  }
+
   bench::Table table({"mode", "wall ms", "speedup vs sequential"});
   table.add_row({"sequential strategies", bench::fmt(baseline_ms, 1), "1.0"});
   table.add_row({"service cold batch", bench::fmt(engine_ms, 1),
@@ -385,6 +608,40 @@ int main() {
        << ",\n"
        << "    \"sweep_warm_iterations\": " << lp_report.sweep_warm_iterations
        << "\n"
+       << "  },\n"
+       << "  \"pruning\": {\n"
+       << "    \"instances\": " << pruning_corpus.size() << ",\n"
+       << "    \"policy_default\": \"deterministic\",\n"
+       << "    \"blind_ms\": " << pruning_report.blind.wall_ms << ",\n"
+       << "    \"deterministic_ms\": " << pruning_report.det.wall_ms << ",\n"
+       << "    \"aggressive_ms\": " << pruning_report.aggressive.wall_ms
+       << ",\n"
+       << "    \"speedup\": " << pruning_report.det_speedup() << ",\n"
+       << "    \"blind_iterations\": " << pruning_report.blind.iterations
+       << ",\n"
+       << "    \"deterministic_iterations\": "
+       << pruning_report.det.iterations << ",\n"
+       << "    \"aggressive_iterations\": "
+       << pruning_report.aggressive.iterations << ",\n"
+       << "    \"iteration_saving\": "
+       << pruning_report.det_iteration_saving() << ",\n"
+       << "    \"strategies_pruned\": "
+       << pruning_report.det.strategies_pruned << ",\n"
+       << "    \"early_win_cancels\": "
+       << pruning_report.det.early_win_cancels << ",\n"
+       << "    \"probes_skipped\": " << pruning_report.det.probes_skipped
+       << ",\n"
+       << "    \"aggressive_cutoff_aborts\": "
+       << pruning_report.aggressive.cutoff_aborts << ",\n"
+       << "    \"period_mismatches\": " << pruning_report.mismatches << "\n"
+       << "  },\n"
+       << "  \"cache_contention\": {\n"
+       << "    \"threads\": " << kThreads << ",\n"
+       << "    \"hardware_threads\": " << hw_threads << ",\n"
+       << "    \"ops_per_thread\": " << kCacheOps << ",\n"
+       << "    \"single_mutex_ms\": " << cache_unsharded_ms << ",\n"
+       << "    \"sharded_ms\": " << cache_sharded_ms << ",\n"
+       << "    \"speedup\": " << cache_speedup << "\n"
        << "  },\n"
        << "  \"all_certified\": " << (violations == 0 ? "true" : "false")
        << ",\n"

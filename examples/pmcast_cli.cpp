@@ -142,11 +142,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("service: certified period %.6g via %s "
-                "(%d certified / %d failed / %d skipped, %.1f ms)\n",
+                "(%d certified / %d failed / %d skipped / %d pruned, "
+                "%.1f ms)\n",
                 response->period, strategy_id_name(response->winner),
                 response->certificate.certified,
                 response->certificate.failed,
-                response->certificate.skipped, response->timing.solve_ms);
+                response->certificate.skipped,
+                response->certificate.pruned, response->timing.solve_ms);
   }
   if (want("--exact")) {
     ExactSolution exact = exact_optimal_throughput(problem);

@@ -7,6 +7,7 @@
 /// this single type; budgets, priorities and strategy routing are request
 /// attributes, not engine knobs.
 
+#include <optional>
 #include <vector>
 
 #include "pmcast/problem.hpp"
@@ -36,8 +37,10 @@ struct SolveRequest {
 
   /// Wall-clock deadline in ms, anchored when the request enters the
   /// service; 0 inherits ServiceOptions::default_deadline_ms, kNoDeadline
-  /// (negative) opts out of any deadline. Enforced at strategy granularity
-  /// (a started strategy runs to completion).
+  /// (negative) opts out of any deadline. Enforced cooperatively at
+  /// checkpoint granularity: a started strategy stops between LP probes
+  /// or every few dozen simplex iterations inside a solve, so expiry
+  /// surfaces within one checkpoint interval.
   double deadline_ms = 0.0;
 
   SolveLimits limits;
@@ -54,6 +57,17 @@ struct SolveRequest {
   /// Cooperative cancellation: request_stop() makes not-yet-started
   /// strategies of this request skip; finished work stays valid.
   CancelToken cancel;
+
+  /// Cooperative-pruning override; nullopt inherits ServiceOptions::
+  /// pruning. Pruning never changes the certified period — it only stops
+  /// work that provably cannot win (reported as OutcomeState::Pruned).
+  std::optional<PruningPolicy> pruning;
+
+  /// Caller-proven lower bound on any achievable period for this instance
+  /// (0 = none). Must be a *sound* bound (e.g. a previously computed
+  /// Multicast-LB value); it seeds the race's incumbent so the early-win
+  /// cut can stop strategies the moment a candidate certifies at it.
+  double known_lower_bound = 0.0;
 };
 
 }  // namespace pmcast

@@ -22,6 +22,10 @@ enum class OutcomeState {
   Certified,  ///< period realised as a schedule and validated
   Failed,     ///< strategy did not produce a certifiable result
   Skipped,    ///< budget/deadline/cancellation or inapplicable
+  Pruned,     ///< cooperatively cut: provably could not beat the winner
+              ///< (dominated by the incumbent, or the incumbent already
+              ///< met the proven lower bound). Never a failure — and never
+              ///< reported for the winning strategy.
 };
 
 inline const char* outcome_state_name(OutcomeState state) {
@@ -29,6 +33,7 @@ inline const char* outcome_state_name(OutcomeState state) {
     case OutcomeState::Certified: return "certified";
     case OutcomeState::Failed: return "failed";
     case OutcomeState::Skipped: return "skipped";
+    case OutcomeState::Pruned: return "pruned";
   }
   return "?";
 }
@@ -37,7 +42,8 @@ inline const char* outcome_state_name(OutcomeState state) {
 /// strategies (augmented_sources, reduced_broadcast, augmented_multicast)
 /// re-solve one mutated program per probe, warm-starting from the previous
 /// basis where possible; these counters expose how well that worked.
-/// All-zero for strategies that solve no LPs (the tree heuristics, exact).
+/// multicast_ub and exact report their single LP solve; all-zero for the
+/// tree heuristics, which solve none.
 struct LpStats {
   int solves = 0;          ///< LP solves run by the strategy
   int warm_starts = 0;     ///< solves warm-started from a previous basis
@@ -50,6 +56,12 @@ struct LpStats {
   }
 };
 
+/// Per-strategy cooperative-pruning counters (see PruningPolicy).
+struct PruneCounters {
+  int probes_skipped = 0;  ///< heuristic probes not run after a cut
+  int cutoff_aborts = 0;   ///< LP solves stopped mid-flight by a checkpoint
+};
+
 /// One strategy's result inside the portfolio race.
 struct StrategyOutcome {
   StrategyId strategy = StrategyId::Mcph;
@@ -60,6 +72,7 @@ struct StrategyOutcome {
   double bound_period = std::numeric_limits<double>::infinity();
   double elapsed_ms = 0.0;
   LpStats lp;          ///< LP sequence counters (see LpStats)
+  PruneCounters prune; ///< cooperative-pruning counters
   std::string detail;  ///< failure reason / certification note
 };
 
@@ -67,8 +80,23 @@ struct StrategyOutcome {
 struct CertificateSummary {
   int certified = 0;  ///< strategies whose answer passed the proof pipeline
   int failed = 0;
-  int skipped = 0;
+  int skipped = 0;    ///< budget/deadline/cancellation or inapplicable
+  int pruned = 0;     ///< cooperatively cut (not counted under skipped)
   std::string winner_detail;  ///< certification note of the winner, if any
+};
+
+/// Request-level cooperative-pruning summary.
+struct PruningSummary {
+  int strategies_pruned = 0;   ///< strategies cut as dominated
+  int early_win_cancels = 0;   ///< strategies cut by the early-win signal
+  int probes_skipped = 0;      ///< heuristic probes not run
+  int cutoff_aborts = 0;       ///< LP solves stopped by a cutoff checkpoint
+  /// Simplex iterations spent proving the Multicast-LB lower bound (the
+  /// one extra LP a pruning race pays; 0 when pruning is off).
+  long long lb_probe_iterations = 0;
+  /// Best proven lower bound on the achievable period (0 = none). The
+  /// certified period is always >= this value.
+  double proven_lower_bound = 0.0;
 };
 
 /// Where the answer came from.
@@ -89,6 +117,7 @@ struct SolveResponse {
   StrategyId winner = StrategyId::Mcph;
   std::vector<StrategyOutcome> outcomes;  ///< indexed by launch order
   CertificateSummary certificate;
+  PruningSummary pruning;
   Provenance provenance;
   Timing timing;
 

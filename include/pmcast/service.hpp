@@ -58,6 +58,11 @@ struct ServiceOptions {
   int simulate_periods = 0;
   /// Default strategy portfolio; empty = all strategies.
   std::vector<StrategyId> strategies;
+  /// Default cooperative-pruning policy (overridable per request). Pruning
+  /// cuts work that provably cannot beat the winner; the certified period
+  /// is identical under every policy, and Deterministic keeps even the
+  /// per-strategy outcomes bit-identical across thread counts.
+  PruningPolicy pruning = PruningPolicy::Deterministic;
 };
 
 /// Cumulative result-cache counters (mirror of the runtime's CacheStats).
@@ -117,8 +122,8 @@ class SolveBatch {
   /// Wait up to \p timeout_ms; true iff the batch completed.
   bool wait_all_for(double timeout_ms);
   /// Cooperatively cancel the whole batch: not-yet-started strategies
-  /// skip, started strategies run to completion, already-delivered
-  /// responses stay valid.
+  /// skip, started strategies stop at their next checkpoint (between LP
+  /// probes or mid-solve), already-delivered responses stay valid.
   void cancel();
   bool ready(std::size_t index) const;
   /// Block until request \p index is delivered and return its result.

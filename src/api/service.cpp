@@ -41,8 +41,21 @@ static_assert(
             static_cast<int>(runtime::Strategy::Exact),
     "StrategyId must mirror runtime::Strategy");
 
+static_assert(
+    static_cast<int>(PruningPolicy::Off) ==
+            static_cast<int>(runtime::PruningPolicy::Off) &&
+        static_cast<int>(PruningPolicy::Deterministic) ==
+            static_cast<int>(runtime::PruningPolicy::Deterministic) &&
+        static_cast<int>(PruningPolicy::Aggressive) ==
+            static_cast<int>(runtime::PruningPolicy::Aggressive),
+    "PruningPolicy must mirror runtime::PruningPolicy");
+
 runtime::Strategy to_runtime(StrategyId id) {
   return static_cast<runtime::Strategy>(static_cast<int>(id));
+}
+
+runtime::PruningPolicy to_runtime(PruningPolicy policy) {
+  return static_cast<runtime::PruningPolicy>(static_cast<int>(policy));
 }
 
 StrategyId to_public(runtime::Strategy s) {
@@ -57,11 +70,14 @@ std::vector<runtime::Strategy> to_runtime(
   return out;
 }
 
-OutcomeState to_public(runtime::CandidateState state) {
+OutcomeState to_public(runtime::CandidateState state,
+                       runtime::SkipReason reason) {
   switch (state) {
     case runtime::CandidateState::Certified: return OutcomeState::Certified;
     case runtime::CandidateState::Failed: return OutcomeState::Failed;
-    case runtime::CandidateState::Skipped: return OutcomeState::Skipped;
+    case runtime::CandidateState::Skipped:
+      return runtime::is_pruned(reason) ? OutcomeState::Pruned
+                                        : OutcomeState::Skipped;
   }
   return OutcomeState::Skipped;
 }
@@ -149,7 +165,9 @@ Result<SolveResponse> to_response(const runtime::PortfolioResult& run,
     bool budget_starved = false;
     std::string first_failure;
     for (const runtime::CandidateOutcome& c : run.candidates) {
-      if (c.skip_reason == runtime::SkipReason::Budget) {
+      if (c.skip_reason == runtime::SkipReason::Budget ||
+          c.skip_reason == runtime::SkipReason::DeadlineExpired ||
+          c.skip_reason == runtime::SkipReason::Cancelled) {
         budget_starved = true;
       }
       if (first_failure.empty() &&
@@ -188,7 +206,7 @@ Result<SolveResponse> to_response(const runtime::PortfolioResult& run,
   for (const runtime::CandidateOutcome& c : run.candidates) {
     StrategyOutcome out;
     out.strategy = to_public(c.strategy);
-    out.state = to_public(c.state);
+    out.state = to_public(c.state, c.skip_reason);
     out.period = c.period;
     out.bound_period = c.bound_period;
     out.elapsed_ms = c.elapsed_ms;
@@ -197,24 +215,35 @@ Result<SolveResponse> to_response(const runtime::PortfolioResult& run,
     out.lp.eta_reuses = c.lp.eta_reuses;
     out.lp.cold_fallbacks = c.lp.cold_fallbacks;
     out.lp.iterations = c.lp.iterations;
+    out.prune.probes_skipped = c.prune.probes_skipped;
+    out.prune.cutoff_aborts = c.prune.cutoff_aborts;
     out.detail = c.detail;
-    response.outcomes.push_back(std::move(out));
-    switch (c.state) {
-      case runtime::CandidateState::Certified:
+    switch (out.state) {
+      case OutcomeState::Certified:
         ++response.certificate.certified;
         break;
-      case runtime::CandidateState::Failed:
+      case OutcomeState::Failed:
         ++response.certificate.failed;
         break;
-      case runtime::CandidateState::Skipped:
+      case OutcomeState::Skipped:
         ++response.certificate.skipped;
         break;
+      case OutcomeState::Pruned:
+        ++response.certificate.pruned;
+        break;
     }
+    response.outcomes.push_back(std::move(out));
     if (c.strategy == run.winner &&
         c.state == runtime::CandidateState::Certified) {
       response.certificate.winner_detail = c.detail;
     }
   }
+  response.pruning.strategies_pruned = run.pruning.strategies_pruned;
+  response.pruning.early_win_cancels = run.pruning.early_win_cancels;
+  response.pruning.probes_skipped = run.pruning.probes_skipped;
+  response.pruning.cutoff_aborts = run.pruning.cutoff_aborts;
+  response.pruning.lb_probe_iterations = run.pruning.lb_probe_iterations;
+  response.pruning.proven_lower_bound = run.pruning.proven_lb;
   response.provenance.from_cache = run.from_cache;
   response.provenance.coalesced = run.coalesced;
   response.timing.solve_ms = run.from_cache ? 0.0 : run.elapsed_ms;
@@ -349,6 +378,7 @@ struct Service::Impl {
     eo.portfolio.budget.exact_max_trees = o.exact_max_trees;
     eo.portfolio.simulate_periods = o.simulate_periods;
     eo.portfolio.strategies = to_runtime(o.strategies);
+    eo.portfolio.pruning = to_runtime(o.pruning);
     return eo;
   }
 
@@ -408,6 +438,8 @@ SolveBatch Service::submit_batch(std::vector<SolveRequest> requests,
     ro.strategies = to_runtime(req.strategies);
     ro.priority = req.priority;
     ro.cancel = req.cancel;
+    if (req.pruning.has_value()) ro.pruning = to_runtime(*req.pruning);
+    ro.known_lower_bound = req.known_lower_bound;
     engine_requests.push_back(std::move(ro));
     state->engine_to_facade.push_back(i);
     problems.push_back(std::move(req.problem));

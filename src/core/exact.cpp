@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 
 #include "lp/simplex.hpp"
 
@@ -18,12 +19,14 @@ class SubsetEnumerator {
   SubsetEnumerator(const Digraph& g, NodeId source,
                    const std::vector<char>& targets,
                    const std::vector<char>& members, std::size_t max_trees,
+                   const std::function<bool()>& should_abort,
                    std::vector<MulticastTree>& out)
       : g_(g),
         source_(source),
         targets_(targets),
         members_(members),
         max_trees_(max_trees),
+        should_abort_(should_abort),
         out_(out) {
     for (NodeId v = 0; v < g.node_count(); ++v) {
       if (v != source && members[static_cast<size_t>(v)]) {
@@ -33,11 +36,22 @@ class SubsetEnumerator {
     choice_.assign(order_.size(), kInvalidEdge);
   }
 
-  /// Returns false when the tree limit was hit.
+  /// Returns false when the tree limit was hit or the abort hook fired
+  /// (the two causes are distinguished by aborted()).
   bool run() { return recurse(0); }
+  bool aborted() const { return aborted_; }
 
  private:
   bool recurse(size_t idx) {
+    // Poll inside the recursion, not just per subset: rejected parent
+    // assignments don't emit trees (and don't count against max_trees),
+    // so a dense relay-free instance can spend its whole exponential
+    // budget inside ONE subset. Counting recursion steps bounds the
+    // response time to the deadline regardless of the reject rate.
+    if (should_abort_ && (++steps_ & 1023u) == 0 && should_abort_()) {
+      aborted_ = true;
+      return false;
+    }
     if (idx == order_.size()) return emit();
     NodeId v = order_[idx];
     for (EdgeId e : g_.in_edges(v)) {
@@ -90,15 +104,51 @@ class SubsetEnumerator {
   const std::vector<char>& targets_;
   const std::vector<char>& members_;
   std::size_t max_trees_;
+  const std::function<bool()>& should_abort_;
   std::vector<MulticastTree>& out_;
   std::vector<NodeId> order_;
   std::vector<EdgeId> choice_;
+  std::uint32_t steps_ = 0;
+  bool aborted_ = false;
 };
 
 }  // namespace
 
+namespace {
+
+/// Every member must be reachable from the source through edges inside the
+/// member set, or no parent assignment can span it — the whole subset
+/// enumerates to zero trees. One BFS decides that before the exponential
+/// recursion starts.
+bool subset_spannable(const Digraph& g, NodeId source,
+                      const std::vector<char>& members) {
+  std::vector<char> seen(static_cast<size_t>(g.node_count()), 0);
+  std::vector<NodeId> stack{source};
+  seen[static_cast<size_t>(source)] = 1;
+  int reached = 1;
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    for (EdgeId e : g.out_edges(u)) {
+      NodeId v = g.edge(e).to;
+      if (!members[static_cast<size_t>(v)] || seen[static_cast<size_t>(v)]) {
+        continue;
+      }
+      seen[static_cast<size_t>(v)] = 1;
+      ++reached;
+      stack.push_back(v);
+    }
+  }
+  int member_count = 0;
+  for (char m : members) member_count += m != 0;
+  return reached == member_count;
+}
+
+}  // namespace
+
 std::optional<std::vector<MulticastTree>> enumerate_multicast_trees(
-    const MulticastProblem& problem, const EnumerationLimits& limits) {
+    const MulticastProblem& problem, const EnumerationLimits& limits,
+    std::size_t* subsets_pruned, bool* aborted) {
   const Digraph& g = problem.graph;
   if (problem.target_count() == 0) return std::vector<MulticastTree>{};
   std::vector<char> target_mask = problem.target_mask();
@@ -115,6 +165,10 @@ std::optional<std::vector<MulticastTree>> enumerate_multicast_trees(
   std::vector<MulticastTree> trees;
   const auto subsets = 1ULL << relays.size();
   for (std::uint64_t mask = 0; mask < subsets; ++mask) {
+    if (limits.should_abort && (mask & 63u) == 0 && limits.should_abort()) {
+      if (aborted != nullptr) *aborted = true;
+      return std::nullopt;
+    }
     std::vector<char> members = target_mask;
     members[static_cast<size_t>(problem.source)] = 1;
     for (size_t i = 0; i < relays.size(); ++i) {
@@ -122,9 +176,17 @@ std::optional<std::vector<MulticastTree>> enumerate_multicast_trees(
         members[static_cast<size_t>(relays[i])] = 1;
       }
     }
+    if (!subset_spannable(g, problem.source, members)) {
+      if (subsets_pruned != nullptr) ++*subsets_pruned;
+      continue;
+    }
     SubsetEnumerator enumerator(g, problem.source, target_mask, members,
-                                limits.max_trees, trees);
-    if (!enumerator.run()) return std::nullopt;
+                                limits.max_trees, limits.should_abort,
+                                trees);
+    if (!enumerator.run()) {
+      if (aborted != nullptr) *aborted = enumerator.aborted();
+      return std::nullopt;
+    }
   }
   return trees;
 }
@@ -132,8 +194,10 @@ std::optional<std::vector<MulticastTree>> enumerate_multicast_trees(
 ExactSolution exact_optimal_throughput(const MulticastProblem& problem,
                                        const EnumerationLimits& limits) {
   ExactSolution out;
-  auto trees = enumerate_multicast_trees(problem, limits);
-  if (!trees || trees->empty()) return out;
+  auto trees = enumerate_multicast_trees(problem, limits, &out.subsets_pruned,
+                                         &out.aborted);
+  if (!trees) return out;
+  if (trees->empty()) return out;
   out.trees_enumerated = trees->size();
 
   const Digraph& g = problem.graph;
@@ -157,7 +221,16 @@ ExactSolution exact_optimal_throughput(const MulticastProblem& problem,
                       static_cast<int>(k), edge.cost);
     }
   }
-  lp::Solution sol = lp::solve(model);
+  lp::Solution sol = lp::solve(model, limits.solver);
+  out.lp_iterations = sol.iterations;
+  if (sol.status == lp::SolveStatus::Aborted) {
+    out.aborted = true;
+    return out;
+  }
+  if (sol.status == lp::SolveStatus::CutoffReached) {
+    out.cutoff = true;
+    return out;
+  }
   if (!sol.optimal()) return out;
   out.ok = true;
   out.throughput = sol.objective;

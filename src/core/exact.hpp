@@ -18,27 +18,56 @@
 /// and are used for tests, the worked examples (Figs. 1/4/5) and the
 /// complexity-gap bench (E2).
 
+#include <functional>
 #include <optional>
 
 #include "core/problem.hpp"
 #include "core/tree.hpp"
+#include "lp/simplex.hpp"
 
 namespace pmcast::core {
 
 struct EnumerationLimits {
   std::size_t max_trees = 2'000'000;  ///< abort when exceeded
+
+  /// Cooperative stop, polled between relay subsets and every ~1000
+  /// parent-assignment recursion steps inside a subset (rejected
+  /// assignments never emit, so per-tree polling alone would not bound
+  /// the response time): true aborts the enumeration
+  /// (ExactSolution::aborted). The runtime wires deadlines/cancellation
+  /// through this so a deadline that expires mid-enumeration takes
+  /// effect within one poll interval instead of after the full
+  /// exponential sweep. Null = never polled.
+  std::function<bool()> should_abort;
+
+  /// Options (including the mid-solve checkpoint) for the weighted-tree LP
+  /// that follows the enumeration.
+  lp::SolverOptions solver;
 };
 
 /// All irredundant multicast trees (each enumerated exactly once). Returns
-/// nullopt when the limit is exceeded.
+/// nullopt when the limit is exceeded or should_abort fired; *aborted
+/// (when given) is set only in the latter case, so callers can classify
+/// the stop without re-polling the hook (which could have turned true
+/// after a genuine limit hit). Relay subsets that cannot be spanned from
+/// the source are skipped without recursing (counted into
+/// *subsets_pruned when given).
 std::optional<std::vector<MulticastTree>> enumerate_multicast_trees(
-    const MulticastProblem& problem, const EnumerationLimits& limits = {});
+    const MulticastProblem& problem, const EnumerationLimits& limits = {},
+    std::size_t* subsets_pruned = nullptr, bool* aborted = nullptr);
 
 struct ExactSolution {
   bool ok = false;
   double throughput = 0.0;       ///< optimal steady-state throughput
   WeightedTreeSet combination;   ///< optimal weighted tree combination
   std::size_t trees_enumerated = 0;
+  std::size_t subsets_pruned = 0; ///< relay subsets skipped by the
+                                  ///< reachability pre-filter (no tree can
+                                  ///< span them; sound, value-preserving)
+  bool aborted = false;           ///< stopped by EnumerationLimits::
+                                  ///< should_abort or an LP Abort checkpoint
+  bool cutoff = false;            ///< LP stopped by a Cutoff checkpoint
+  int lp_iterations = 0;          ///< simplex iterations of the tree LP
 };
 
 /// The exact optimal steady-state throughput (COMPACT-WEIGHTED-MULTICAST

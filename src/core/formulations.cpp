@@ -432,7 +432,10 @@ std::optional<double> MaskedBroadcastEb::solve(std::span<const char> keep) {
 
   // Paper convention: a kept node unreachable inside the mask means the
   // broadcast period is +infinity — no LP is solved.
-  if (!g.reaches_all(source_, keep, keep)) return std::nullopt;
+  if (!g.reaches_all(source_, keep, keep)) {
+    last_status_ = lp::SolveStatus::Optimal;
+    return std::nullopt;
+  }
 
   // Data edits only: masked commodities become 0-rows with a pinned
   // variable block; masked edges pin their x and n variables.
@@ -462,6 +465,7 @@ std::optional<double> MaskedBroadcastEb::solve(std::span<const char> keep) {
 
   if (!warm_) solver_.reset();
   lp::Solution sol = solver_.solve(model_);
+  last_status_ = sol.status;
   if (!sol.optimal()) return std::nullopt;
 
   std::fill(inflow_.begin(), inflow_.end(), 0.0);

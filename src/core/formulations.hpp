@@ -109,6 +109,13 @@ class MaskedBroadcastEb {
   /// the differential suite and the cold arm of the benches).
   void set_warm_start(bool warm) { warm_ = warm; }
 
+  /// Status of the most recent solve() that reached the LP (Aborted /
+  /// CutoffReached when a solver checkpoint stopped it — callers use this
+  /// to tell an interrupted probe from a genuinely failed one). The
+  /// no-LP reachability shortcut reports Optimal: "+infinity" is a
+  /// definitive answer, not a failure.
+  lp::SolveStatus last_status() const { return last_status_; }
+
   /// Basis snapshot of the last successful solve. The greedy heuristics
   /// checkpoint the *accepted* platform and restore before every probe, so
   /// each probe warm-starts one node-flip away from a known-good basis
@@ -133,6 +140,7 @@ class MaskedBroadcastEb {
   lp::ResolvableModel model_;
   lp::IncrementalSimplex solver_;
   std::vector<double> inflow_;
+  lp::SolveStatus last_status_ = lp::SolveStatus::Numerical;
 };
 
 /// Solution of MulticastMultiSource-UB.

@@ -20,6 +20,64 @@ std::vector<NodeId> sorted_by_score(const std::vector<NodeId>& candidates,
   return sorted;
 }
 
+/// Between-probe poll of the runtime's cooperative controls. Abort
+/// (deadline/cancel) outranks Prune: a dead request should stop reporting
+/// "pruned" and start reporting "deadline".
+enum class ProbeVerdict { Run, Abort, Prune };
+
+ProbeVerdict poll(const ProbeControl& control) {
+  if (control.should_abort && control.should_abort()) {
+    return ProbeVerdict::Abort;
+  }
+  if (control.dominated && control.dominated()) return ProbeVerdict::Prune;
+  return ProbeVerdict::Run;
+}
+
+/// Map an in-LP checkpoint stop onto the result flags (mirrors the
+/// between-probe verdicts, but discovered inside a solve). Only a Cutoff
+/// counts toward cutoff_aborts: a deadline/cancellation Abort is a budget
+/// event, not pruning activity.
+template <typename Result>
+void record_interrupt(Result& result, lp::SolveStatus status) {
+  if (status == lp::SolveStatus::Aborted) {
+    result.aborted = true;
+  } else {
+    ++result.cutoff_aborts;
+    result.pruned = true;
+  }
+}
+
+/// Between-probe stop check shared by the three greedy loops: applies the
+/// poll verdict to the result flags and accounts the probes of this round
+/// that will not run. Returns true when the heuristic must stop.
+template <typename Result>
+bool stop_requested(const ProbeControl& control, int planned, int probed,
+                    Result& result) {
+  switch (poll(control)) {
+    case ProbeVerdict::Run:
+      return false;
+    case ProbeVerdict::Abort:
+      result.aborted = true;
+      break;
+    case ProbeVerdict::Prune:
+      result.pruned = true;
+      break;
+  }
+  result.probes_skipped += planned - probed;
+  return true;
+}
+
+/// Post-solve stop check: true when the probe's LP was interrupted by a
+/// checkpoint (flags recorded, remaining probes accounted).
+template <typename Result>
+bool probe_interrupted(lp::SolveStatus status, int planned, int probed,
+                       Result& result) {
+  if (!lp::is_interrupted(status)) return false;
+  record_interrupt(result, status);
+  result.probes_skipped += planned - probed;
+  return true;
+}
+
 }  // namespace
 
 PlatformHeuristicResult reduced_broadcast(const MulticastProblem& problem,
@@ -37,6 +95,7 @@ PlatformHeuristicResult reduced_broadcast(const MulticastProblem& problem,
   std::optional<double> current = eb.solve(result.platform);
   ++result.lp_solves;
   if (!current) {
+    if (lp::is_interrupted(eb.last_status())) record_interrupt(result, eb.last_status());
     result.lp_stats = eb.stats();
     return result;
   }
@@ -57,16 +116,27 @@ PlatformHeuristicResult reduced_broadcast(const MulticastProblem& problem,
     }
     std::vector<NodeId> order =
         sorted_by_score(removable, inflow, /*ascending=*/true);
+    const int planned = std::min(static_cast<int>(order.size()),
+                                 options.max_candidates);
 
     bool improved = false;
     int probed = 0;
     for (NodeId m : order) {
+      if (stop_requested(options.control, planned, probed, result)) {
+        result.lp_stats = eb.stats();
+        return result;
+      }
       if (++probed > options.max_candidates) break;
       std::vector<char> trial = result.platform;
       trial[static_cast<size_t>(m)] = 0;
       eb.restore(accepted);
       std::optional<double> candidate = eb.solve(trial);
       ++result.lp_solves;
+      if (!candidate &&
+          probe_interrupted(eb.last_status(), planned, probed, result)) {
+        result.lp_stats = eb.stats();
+        return result;
+      }
       if (candidate && *candidate < result.period - kImprovementTol) {
         result.platform = std::move(trial);
         result.period = *candidate;
@@ -94,6 +164,10 @@ PlatformHeuristicResult augmented_multicast(const MulticastProblem& problem,
   ++result.lp_solves;
   result.lp_stats.solves += 1;
   result.lp_stats.iterations += lb.iterations;
+  if (lp::is_interrupted(lb.status)) {
+    record_interrupt(result, lb.status);
+    return result;
+  }
   std::vector<double> inflow(static_cast<size_t>(g.node_count()), 0.0);
   if (lb.ok()) {
     for (NodeId v = 0; v < g.node_count(); ++v) {
@@ -131,6 +205,11 @@ PlatformHeuristicResult augmented_multicast(const MulticastProblem& problem,
   {
     std::optional<double> initial = eb.solve(result.platform);
     ++result.lp_solves;
+    if (!initial && lp::is_interrupted(eb.last_status())) {
+      record_interrupt(result, eb.last_status());
+      result.lp_stats.merge(eb.stats());
+      return result;
+    }
     if (initial) {
       result.ok = true;
       result.period = *initial;
@@ -145,16 +224,27 @@ PlatformHeuristicResult augmented_multicast(const MulticastProblem& problem,
     }
     std::vector<NodeId> order =
         sorted_by_score(addable, inflow, /*ascending=*/false);
+    const int planned = std::min(static_cast<int>(order.size()),
+                                 options.max_candidates);
 
     bool improved = false;
     int probed = 0;
     for (NodeId m : order) {
+      if (stop_requested(options.control, planned, probed, result)) {
+        result.lp_stats.merge(eb.stats());
+        return result;
+      }
       if (++probed > options.max_candidates) break;
       std::vector<char> trial = result.platform;
       trial[static_cast<size_t>(m)] = 1;
       if (!accepted.empty()) eb.restore(accepted);
       std::optional<double> candidate = eb.solve(trial);
       ++result.lp_solves;
+      if (!candidate &&
+          probe_interrupted(eb.last_status(), planned, probed, result)) {
+        result.lp_stats.merge(eb.stats());
+        return result;
+      }
       // While the sub-platform is still disconnected (period infinite) the
       // paper's "<=" acceptance keeps adding high-inflow nodes; once finite
       // we demand strict improvement (see header note).
@@ -199,6 +289,9 @@ AugmentedSourcesResult augmented_sources(const MulticastProblem& problem,
   result.solution = solve_ms(result.sources);
   ++result.lp_solves;
   if (!result.solution.ok()) {
+    if (lp::is_interrupted(result.solution.status)) {
+      record_interrupt(result, result.solution.status);
+    }
     result.lp_stats = solver.stats();
     return result;
   }
@@ -218,15 +311,25 @@ AugmentedSourcesResult augmented_sources(const MulticastProblem& problem,
     }
     std::vector<NodeId> order =
         sorted_by_score(candidates, inflow, /*ascending=*/false);
+    const int planned = std::min(static_cast<int>(order.size()),
+                                 options.max_candidates);
 
     bool improved = false;
     int probed = 0;
     for (NodeId m : order) {
+      if (stop_requested(options.control, planned, probed, result)) {
+        result.lp_stats = solver.stats();
+        return result;
+      }
       if (++probed > options.max_candidates) break;
       std::vector<NodeId> trial = result.sources;
       trial.push_back(m);
       MultiSourceSolution candidate = solve_ms(trial);
       ++result.lp_solves;
+      if (probe_interrupted(candidate.status, planned, probed, result)) {
+        result.lp_stats = solver.stats();
+        return result;
+      }
       if (candidate.ok() &&
           candidate.period < result.period - kImprovementTol) {
         result.sources = std::move(trial);

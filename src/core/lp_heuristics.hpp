@@ -22,12 +22,29 @@
 /// All results report achievable periods: Broadcast-EB values are
 /// achievable per [6,5]; the multi-source value reconstructs like a scatter.
 
+#include <functional>
 #include <vector>
 
 #include "core/formulations.hpp"
 #include "core/problem.hpp"
 
 namespace pmcast::core {
+
+/// Cooperative controls the runtime threads into a heuristic's greedy
+/// descent. Both hooks are polled between LP probes, and the same verdicts
+/// are surfaced *inside* probes through the solver checkpoint
+/// (lp::SolverOptions::checkpoint), so a long LP solve reacts within one
+/// checkpoint interval. Null members are never called.
+struct ProbeControl {
+  /// Deadline / cancellation: true => stop now; the heuristic returns its
+  /// best-so-far with `aborted` set.
+  std::function<bool()> should_abort;
+  /// Dominance (cooperative pruning): true => no remaining probe of this
+  /// heuristic can produce a winning candidate; the heuristic returns with
+  /// `pruned` set. Only ever driven by *sound* dominance predicates (see
+  /// runtime/incumbent.hpp) — the certified portfolio winner is unaffected.
+  std::function<bool()> dominated;
+};
 
 struct HeuristicOptions {
   FormulationOptions lp;
@@ -37,6 +54,8 @@ struct HeuristicOptions {
   /// reuse, see lp/resolve.hpp). Off = rebuild and cold-solve every LP,
   /// the pre-warm-start behaviour kept for differential testing.
   bool warm_start = true;
+  /// Runtime-supplied abort/dominance hooks (default: never fire).
+  ProbeControl control;
 };
 
 struct PlatformHeuristicResult {
@@ -45,6 +64,10 @@ struct PlatformHeuristicResult {
   std::vector<char> platform;  ///< final node mask the broadcast runs on
   int lp_solves = 0;
   lp::ResolveStats lp_stats;   ///< warm-start counters of the LP sequence
+  bool aborted = false;        ///< stopped by ProbeControl::should_abort
+  bool pruned = false;         ///< stopped by ProbeControl::dominated
+  int probes_skipped = 0;      ///< probes of the interrupted round not run
+  int cutoff_aborts = 0;       ///< LP solves stopped by the checkpoint
 };
 
 /// REDUCED BROADCAST (Fig. 6).
@@ -62,6 +85,10 @@ struct AugmentedSourcesResult {
   MultiSourceSolution solution;
   int lp_solves = 0;
   lp::ResolveStats lp_stats;    ///< warm-start counters of the LP sequence
+  bool aborted = false;         ///< stopped by ProbeControl::should_abort
+  bool pruned = false;          ///< stopped by ProbeControl::dominated
+  int probes_skipped = 0;       ///< probes of the interrupted round not run
+  int cutoff_aborts = 0;        ///< LP solves stopped by the checkpoint
 };
 
 /// AUGMENTED SOURCES / "Multisource MC" (Fig. 8).

@@ -21,7 +21,12 @@ enum class Sense { Minimize, Maximize };
 ///     optimise  c^T x
 ///     s.t.      lo_i <= (A x)_i <= hi_i      for every row i
 ///               lb_j <=     x_j <= ub_j      for every variable j
-/// Rows and variables carry optional names to ease debugging.
+/// Rows and variables may carry optional names to ease debugging. Name
+/// *storage* is opt-in (set_debug_names): the hot model builders create
+/// O(|targets| * |edges|) variables per program, and growing two
+/// std::string vectors alongside them is pure overhead for the solver,
+/// which never reads names. Debug/assert builds keep names on by default
+/// so diagnostics stay useful where they are read.
 class Model {
  public:
   explicit Model(Sense sense = Sense::Minimize) : sense_(sense) {}
@@ -29,13 +34,27 @@ class Model {
   Sense sense() const { return sense_; }
   void set_sense(Sense s) { sense_ = s; }
 
+  /// Toggle name storage. Enabling mid-build backfills empty names for
+  /// existing variables/rows; disabling drops all stored names.
+  void set_debug_names(bool on) {
+    debug_names_ = on;
+    if (on) {
+      var_names_.resize(var_lb_.size());
+      row_names_.resize(row_lo_.size());
+    } else {
+      var_names_ = {};
+      row_names_ = {};
+    }
+  }
+  bool debug_names() const { return debug_names_; }
+
   /// Add a variable with bounds [lb, ub] and objective coefficient obj.
   int add_variable(double lb, double ub, double obj, std::string name = {}) {
     assert(lb <= ub);
     var_lb_.push_back(lb);
     var_ub_.push_back(ub);
     obj_.push_back(obj);
-    var_names_.push_back(std::move(name));
+    if (debug_names_) var_names_.push_back(std::move(name));
     return num_vars() - 1;
   }
 
@@ -45,7 +64,7 @@ class Model {
     assert(lo <= hi);
     row_lo_.push_back(lo);
     row_hi_.push_back(hi);
-    row_names_.push_back(std::move(name));
+    if (debug_names_) row_names_.push_back(std::move(name));
     return num_rows() - 1;
   }
 
@@ -91,15 +110,27 @@ class Model {
   double obj(int j) const { return obj_[static_cast<size_t>(j)]; }
   double row_lo(int i) const { return row_lo_[static_cast<size_t>(i)]; }
   double row_hi(int i) const { return row_hi_[static_cast<size_t>(i)]; }
+  /// Empty when name storage is disabled (the default in release builds).
   const std::string& var_name(int j) const {
-    return var_names_[static_cast<size_t>(j)];
+    static const std::string empty;
+    auto sj = static_cast<size_t>(j);
+    return sj < var_names_.size() ? var_names_[sj] : empty;
   }
   const std::string& row_name(int i) const {
-    return row_names_[static_cast<size_t>(i)];
+    static const std::string empty;
+    auto si = static_cast<size_t>(i);
+    return si < row_names_.size() ? row_names_[si] : empty;
   }
 
  private:
+#ifdef NDEBUG
+  static constexpr bool kDefaultDebugNames = false;
+#else
+  static constexpr bool kDefaultDebugNames = true;
+#endif
+
   Sense sense_;
+  bool debug_names_ = kDefaultDebugNames;
   std::vector<double> var_lb_, var_ub_, obj_;
   std::vector<double> row_lo_, row_hi_;
   std::vector<std::string> var_names_, row_names_;

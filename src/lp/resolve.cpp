@@ -107,13 +107,17 @@ Solution IncrementalSimplex::solve_internal(const Model& model,
     sol = cold();
   }
 
-  if (warm_attempted && !sol.optimal()) {
+  const bool interrupted = is_interrupted(sol.status);
+  if (warm_attempted && !sol.optimal() && !interrupted) {
     // Warm start led somewhere bad (stalled, drifted, or a spurious
     // verdict from a degenerate start): retry from scratch so the caller
-    // never does worse than a cold lp::solve().
+    // never does worse than a cold lp::solve(). A checkpoint abort/cutoff
+    // is exempt: the caller asked the solve to stop, so re-running it cold
+    // would undo exactly the work the interruption saved (and earn no
+    // strike — the warm start didn't fail, it was told to quit).
     ++stats_.cold_fallbacks;
     sol = cold();
-  } else if (warm_attempted && cold_reference_iters_ > 0) {
+  } else if (warm_attempted && !interrupted && cold_reference_iters_ > 0) {
     // Adaptive guard: warm-started solves should come in well under the
     // latest cold solve of this sequence; one without 2x headroom earns a
     // strike, a clearly-good one pays a strike back, and three net

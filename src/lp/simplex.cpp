@@ -17,6 +17,8 @@ const char* to_string(SolveStatus s) {
     case SolveStatus::Unbounded: return "unbounded";
     case SolveStatus::IterationLimit: return "iteration-limit";
     case SolveStatus::Numerical: return "numerical";
+    case SolveStatus::Aborted: return "aborted";
+    case SolveStatus::CutoffReached: return "cutoff-reached";
   }
   return "?";
 }
@@ -534,8 +536,18 @@ void Simplex::apply_step(int enter, int direction, const Ratio& r,
 Simplex::LoopResult Simplex::iterate(bool phase1) {
   std::vector<double> y(static_cast<size_t>(m_));
   std::vector<double> w(static_cast<size_t>(m_));
+  const int poll_every = opt_.checkpoint_every > 0 ? opt_.checkpoint_every : 32;
+  int until_poll = opt_.checkpoint ? poll_every : -1;
   while (true) {
     if (iterations_ >= max_iters_) return LoopResult::IterLimit;
+    if (until_poll >= 0 && --until_poll < 0) {
+      until_poll = poll_every;
+      switch (opt_.checkpoint()) {
+        case CheckpointAction::Continue: break;
+        case CheckpointAction::Abort: return LoopResult::Aborted;
+        case CheckpointAction::Cutoff: return LoopResult::Cutoff;
+      }
+    }
     if (phase1 && total_infeasibility() <= opt_.feas_tol) {
       return LoopResult::Converged;
     }
@@ -628,6 +640,8 @@ Solution Simplex::run(const Model& model) {
        ++attempt) {
     LoopResult lr = iterate(/*phase1=*/true);
     if (lr == LoopResult::IterLimit) return fail(SolveStatus::IterationLimit);
+    if (lr == LoopResult::Aborted) return fail(SolveStatus::Aborted);
+    if (lr == LoopResult::Cutoff) return fail(SolveStatus::CutoffReached);
     if (lr != LoopResult::Converged) return fail(SolveStatus::Numerical);
     if (!reinvert()) return fail(SolveStatus::Numerical);
     compute_basic_values();
@@ -646,6 +660,8 @@ Solution Simplex::run(const Model& model) {
     if (lr == LoopResult::IterLimit) return fail(SolveStatus::IterationLimit);
     if (lr == LoopResult::Unbounded) return fail(SolveStatus::Unbounded);
     if (lr == LoopResult::Numerical) return fail(SolveStatus::Numerical);
+    if (lr == LoopResult::Aborted) return fail(SolveStatus::Aborted);
+    if (lr == LoopResult::Cutoff) return fail(SolveStatus::CutoffReached);
     if (!reinvert()) return fail(SolveStatus::Numerical);
     compute_basic_values();
     if (total_infeasibility() <= 10 * opt_.feas_tol) {
@@ -654,6 +670,8 @@ Solution Simplex::run(const Model& model) {
     }
     // Drifted: restore feasibility and re-optimise.
     LoopResult p1 = iterate(/*phase1=*/true);
+    if (p1 == LoopResult::Aborted) return fail(SolveStatus::Aborted);
+    if (p1 == LoopResult::Cutoff) return fail(SolveStatus::CutoffReached);
     if (p1 != LoopResult::Converged) return fail(SolveStatus::Numerical);
   }
 

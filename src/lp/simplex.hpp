@@ -17,6 +17,7 @@
 ///    strongly heterogeneous platforms used in the experiments.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,9 +31,30 @@ enum class SolveStatus {
   Unbounded,
   IterationLimit,
   Numerical,
+  Aborted,        ///< checkpoint requested a stop (deadline / cancellation)
+  CutoffReached,  ///< checkpoint cut the solve off (objective dominated)
 };
 
 const char* to_string(SolveStatus s);
+
+/// True for the two checkpoint-interrupt statuses: the solve was told to
+/// stop (deadline/cancellation Abort, or a pruning Cutoff), it did not
+/// fail. Callers must not treat these as solver errors — no fallback,
+/// no retry, no "Failed" classification.
+inline bool is_interrupted(SolveStatus s) {
+  return s == SolveStatus::Aborted || s == SolveStatus::CutoffReached;
+}
+
+/// Verdict of a SolverOptions::checkpoint poll. The two abort flavours are
+/// kept apart so callers can tell "we ran out of time" (Abort -> Aborted)
+/// from "the answer no longer matters" (Cutoff -> CutoffReached): the first
+/// is a budget event, the second a pruning event, and the runtime maps them
+/// to different outcome classifications.
+enum class CheckpointAction {
+  Continue,
+  Abort,   ///< stop now; solve returns SolveStatus::Aborted
+  Cutoff,  ///< stop now; solve returns SolveStatus::CutoffReached
+};
 
 struct SolverOptions {
   /// 0 = automatic (scales with the model size).
@@ -44,6 +66,18 @@ struct SolverOptions {
                             ///  (reinversion dominates large solves; the
                             ///  phase-2 drift check guards the numerics)
   bool scale = true;        ///< geometric-mean equilibration
+
+  /// Cooperative mid-solve hook, polled every checkpoint_every simplex
+  /// iterations (both phases). Returning Abort/Cutoff makes the solve stop
+  /// within one checkpoint interval and report the matching status; the
+  /// partially-iterated state is discarded by callers (no Solution values
+  /// are extracted for non-Optimal statuses). Null = never polled.
+  std::function<CheckpointAction()> checkpoint;
+  /// Iterations between checkpoint polls. A poll is two atomic loads and a
+  /// clock read in the runtime's guards — far below the cost of one pivot
+  /// (a full BTRAN + pricing pass + FTRAN) — so a small interval buys
+  /// deadline responsiveness at well under 1% overhead.
+  int checkpoint_every = 32;
 };
 
 struct Solution {

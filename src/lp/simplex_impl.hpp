@@ -152,7 +152,14 @@ class Simplex {
            opt_.feas_tol;
   }
 
-  enum class LoopResult { Converged, IterLimit, Unbounded, Numerical };
+  enum class LoopResult {
+    Converged,
+    IterLimit,
+    Unbounded,
+    Numerical,
+    Aborted,  // checkpoint said Abort
+    Cutoff,   // checkpoint said Cutoff
+  };
   LoopResult iterate(bool phase1);
 
   SolverOptions opt_;

@@ -1,10 +1,12 @@
 #pragma once
 /// \file budget.hpp
 /// Budget control for portfolio runs: wall-clock deadlines, work limits and
-/// cooperative cancellation. A SolveBudget is checked *between* solver
-/// stages (before a strategy starts, between LP re-solves is up to the
-/// strategy's own max_rounds), so overruns are bounded by the cost of one
-/// strategy — the engine never kills a thread mid-pivot.
+/// cooperative cancellation. A SolveBudget is checked before a strategy
+/// starts, between a strategy's LP probes, and — through the simplex
+/// checkpoint hook (lp::SolverOptions::checkpoint) — every few dozen
+/// iterations *inside* an LP solve, so overruns are bounded by one
+/// checkpoint interval. The engine still never kills a thread: every stop
+/// is cooperative, at a pivot boundary.
 
 #include <atomic>
 #include <chrono>
@@ -99,10 +101,17 @@ struct BudgetGuard {
   CancellationToken cancel;        ///< per-request token
   CancellationToken batch_cancel;  ///< owning batch's token
 
-  bool expired() const {
-    return cancel.stop_requested() || batch_cancel.stop_requested() ||
-           Clock::now() >= deadline;
+  /// The two expiry causes, split so outcomes can classify precisely
+  /// (DeadlineExpired vs Cancelled) instead of reporting a generic
+  /// budget event.
+  bool cancelled() const {
+    return cancel.stop_requested() || batch_cancel.stop_requested();
   }
+  bool deadline_passed() const {
+    return deadline != Clock::time_point::max() && Clock::now() >= deadline;
+  }
+
+  bool expired() const { return cancelled() || deadline_passed(); }
 };
 
 }  // namespace pmcast::runtime

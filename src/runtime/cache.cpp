@@ -2,15 +2,36 @@
 
 namespace pmcast::runtime {
 
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  std::size_t count = shards;
+  if (count == 0) {
+    count = capacity >= kShardThreshold ? kDefaultShards : 1;
+  }
+  if (count > capacity && capacity > 0) count = capacity;
+  if (count == 0) count = 1;  // capacity 0: one inert shard
+  shards_.reserve(count);
+  // Aggregate capacity is preserved exactly: the remainder of
+  // capacity / shards goes to the first shards, one entry each.
+  const std::size_t base = capacity / count;
+  const std::size_t extra = capacity % count;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < extra ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
 std::optional<PortfolioResult> ResultCache::get(const InstanceKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
     return std::nullopt;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
   PortfolioResult copy = it->second->result;
   copy.from_cache = true;
   return copy;
@@ -18,37 +39,44 @@ std::optional<PortfolioResult> ResultCache::get(const InstanceKey& key) {
 
 void ResultCache::put(const InstanceKey& key, const PortfolioResult& result) {
   if (capacity_ == 0 || !result.ok) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
     it->second->result = result;
     it->second->result.from_cache = false;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
+  if (shard.capacity == 0) return;
+  if (shard.lru.size() >= shard.capacity) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
   }
-  lru_.push_front(Entry{key, result});
-  lru_.front().result.from_cache = false;
-  index_[key] = lru_.begin();
-  stats_.entries = lru_.size();
+  shard.lru.push_front(Entry{key, result});
+  shard.lru.front().result.from_cache = false;
+  shard.index[key] = shard.lru.begin();
 }
 
 CacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  CacheStats s = stats_;
-  s.entries = lru_.size();
-  return s;
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.entries += shard->lru.size();
+  }
+  return total;
 }
 
 void ResultCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
-  stats_.entries = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
 }
 
 }  // namespace pmcast::runtime

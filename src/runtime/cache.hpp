@@ -6,12 +6,24 @@
 /// for again and again); re-running a portfolio that ends in dozens of LP
 /// solves to re-derive a value the engine certified seconds ago is the
 /// single biggest throughput lever in the runtime.
+///
+/// Sharding: a serving engine probes the cache once per request from every
+/// worker thread, and a single global mutex serialises exactly the moment
+/// the pool is busiest (a batch of hot duplicates arriving together). The
+/// cache therefore splits into key-hashed shards, each with its own mutex
+/// and LRU list; aggregate capacity and the hit/miss/eviction accounting
+/// semantics are preserved (stats() sums the shards). Recency is per
+/// shard — an entry can only evict entries of its own shard — which is the
+/// standard sharded-LRU approximation of global LRU. Small caches (below
+/// kShardThreshold entries) keep a single shard and exact global LRU.
 
 #include <cstddef>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "graph/hash.hpp"
 #include "runtime/portfolio.hpp"
@@ -33,21 +45,30 @@ struct CacheStats {
 
 class ResultCache {
  public:
-  /// \p capacity = max cached results; 0 disables caching entirely.
-  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+  /// Shard count for caches of at least kShardThreshold entries; smaller
+  /// caches use one shard (exact LRU, and a per-shard capacity of a
+  /// handful of entries would make eviction behaviour surprising).
+  static constexpr std::size_t kDefaultShards = 16;
+  static constexpr std::size_t kShardThreshold = 256;
+
+  /// \p capacity = max cached results across all shards; 0 disables
+  /// caching entirely. \p shards = 0 picks automatically (see above).
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 0);
 
   /// Look up \p key; a hit refreshes recency and returns a copy with
   /// from_cache set.
   std::optional<PortfolioResult> get(const InstanceKey& key);
 
   /// Insert (or refresh) \p result under \p key, evicting the least
-  /// recently used entry when full. Uncertified results are not cached:
-  /// a result that failed for budget reasons should be retried, not
-  /// remembered.
+  /// recently used entry of the key's shard when that shard is full.
+  /// Uncertified results are not cached: a result that failed for budget
+  /// reasons should be retried, not remembered.
   void put(const InstanceKey& key, const PortfolioResult& result);
 
   CacheStats stats() const;
   void clear();
+
+  std::size_t shard_count() const { return shards_.size(); }
 
  private:
   // MRU at the front. The map points into the list; list nodes carry the
@@ -57,11 +78,27 @@ class ResultCache {
     PortfolioResult result;
   };
 
+  struct Shard {
+    mutable std::mutex mutex;
+    std::size_t capacity = 0;
+    std::list<Entry> lru;
+    std::unordered_map<InstanceKey, std::list<Entry>::iterator> index;
+    CacheStats stats;
+  };
+
+  Shard& shard_of(const InstanceKey& key) {
+    return *shards_[shard_index(key)];
+  }
+  std::size_t shard_index(const InstanceKey& key) const {
+    // The instance key is already a high-quality 128-bit hash, so any
+    // 64-bit half spreads keys evenly across shards.
+    return shards_.size() == 1
+               ? 0
+               : static_cast<std::size_t>(key.hi) % shards_.size();
+  }
+
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;
-  std::unordered_map<InstanceKey, std::list<Entry>::iterator> index_;
-  CacheStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace pmcast::runtime

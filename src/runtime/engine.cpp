@@ -23,8 +23,11 @@ namespace detail {
 
 /// One coalesced group: the leader's problem raced by the portfolio,
 /// followers waiting for a copy. Strategy tasks write their outcome slot
-/// lock-free; the task that decrements `remaining` to zero assembles and
-/// delivers (acq_rel ordering makes every slot visible to it).
+/// lock-free; the task that decrements `stage_remaining` to zero owns the
+/// stage transition (acq_rel ordering makes every slot visible to it):
+/// it re-publishes the stage's certified bounds, freezes the incumbent
+/// snapshot and submits the next stage — or assembles and delivers when
+/// the last stage is done.
 struct EngineGroup {
   std::size_t leader = 0;
   core::MulticastProblem problem;  // copy: tasks outlive the caller's span
@@ -34,8 +37,17 @@ struct EngineGroup {
   BudgetGuard guard;
   std::vector<Strategy> strategies;
   std::vector<CandidateOutcome> outcomes;
-  std::atomic<std::size_t> remaining{0};
   int priority = 0;
+
+  // --- cooperative pruning state (see runtime/incumbent.hpp) ---
+  Incumbent incumbent;
+  std::vector<std::vector<std::size_t>> stages;  ///< slot indices per stage
+  std::size_t next_stage = 0;       ///< only touched by the stage owner
+  std::atomic<std::size_t> stage_remaining{0};
+  IncumbentSnapshot view;           ///< frozen at each stage start
+  std::vector<StrategyEnv> envs;    ///< per slot, refreshed per stage
+  bool lb_probe_pending = false;    ///< stage 0 carries the LB probe task
+  long long lb_probe_iterations = 0;
 };
 
 struct EngineBatchState {
@@ -93,6 +105,8 @@ struct EngineBatchState {
 
   void finish_group(EngineGroup& group) {
     PortfolioResult result = assemble_result(std::move(group.outcomes));
+    result.pruning.lb_probe_iterations = group.lb_probe_iterations;
+    result.pruning.proven_lb = group.incumbent.proven_lb();
     result.elapsed_ms = ms_since(start);
     if (cache != nullptr) cache->put(group.key, result);
     // Leader first, then followers — the order the doc comment promises.
@@ -244,22 +258,36 @@ SolveTicket PortfolioEngine::submit_batch(
     const RequestOptions& req = request_of(i);
     group->options.budget = req.budget.resolve(options_.portfolio.budget);
     if (!req.strategies.empty()) group->options.strategies = req.strategies;
+    if (req.pruning.has_value()) group->options.pruning = *req.pruning;
+    if (req.known_lower_bound > group->options.known_lower_bound) {
+      group->options.known_lower_bound = req.known_lower_bound;
+    }
     group->guard = BudgetGuard{group->options.budget.deadline_from(state->start),
                                req.cancel, state->batch_cancel};
     group->strategies = group->options.strategies.empty()
                             ? all_strategies()
                             : group->options.strategies;
     group->outcomes.resize(group->strategies.size());
-    group->remaining.store(group->strategies.size(),
-                           std::memory_order_relaxed);
+    group->envs.resize(group->strategies.size());
     group->priority = req.priority;
+
+    // Stage plan (shared with solve_portfolio): Deterministic races stage
+    // by stage behind barriers; Off/Aggressive keep the flat fan-out.
+    group->stages = plan_stages(group->strategies, group->options.pruning);
+    if (group->options.pruning != PruningPolicy::Off) {
+      group->lb_probe_pending = true;
+      if (group->options.known_lower_bound > 0.0) {
+        group->incumbent.publish_lower_bound(group->options.known_lower_bound);
+      }
+    }
     group_of_key.emplace(key, group.get());
     state->groups.push_back(std::move(group));
   }
 
-  // Step 3: fan every (leader, strategy) pair out onto the pool, highest
-  // priority first (stable on batch order for ties). The pool serves
-  // submissions roughly in order, so priority maps to dispatch order.
+  // Step 3: fan each group's first stage onto the pool, highest priority
+  // first (stable on batch order for ties). The pool serves submissions
+  // roughly in order, so priority maps to dispatch order; later stages are
+  // submitted by each group's stage owner as the race progresses.
   std::vector<EngineGroup*> dispatch;
   dispatch.reserve(state->groups.size());
   for (auto& group : state->groups) dispatch.push_back(group.get());
@@ -268,20 +296,62 @@ SolveTicket PortfolioEngine::submit_batch(
                      return a->priority > b->priority;
                    });
   for (EngineGroup* group : dispatch) {
-    for (std::size_t s = 0; s < group->strategies.size(); ++s) {
-      // Each task keeps the batch state alive; with 0 workers submit()
-      // runs the task inline, so small engines stay deterministic.
-      pool_.submit([state, group, s] {
-        group->outcomes[s] = run_strategy(group->problem,
-                                          group->strategies[s],
-                                          group->options, group->guard);
-        if (group->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          state->finish_group(*group);
-        }
-      });
-    }
+    dispatch_stage(state, group);
   }
   return SolveTicket(state);
+}
+
+void PortfolioEngine::dispatch_stage(
+    std::shared_ptr<detail::EngineBatchState> state,
+    detail::EngineGroup* group) {
+  const std::vector<std::size_t>& stage = group->stages[group->next_stage];
+  group->view = group->incumbent.freeze();
+  prepare_stage_envs(stage, group->options.pruning, group->incumbent,
+                     group->view, group->envs);
+  const bool with_lb_probe = group->lb_probe_pending;
+  group->lb_probe_pending = false;
+  group->stage_remaining.store(stage.size() + (with_lb_probe ? 1 : 0),
+                               std::memory_order_relaxed);
+  // Each task keeps the batch state alive; with 0 workers submit() runs
+  // the task inline, so small engines stay deterministic.
+  if (with_lb_probe) {
+    pool_.submit([this, state, group] {
+      group->lb_probe_iterations +=
+          run_lb_probe(group->problem, group->guard, group->incumbent);
+      complete_stage_task(state, group);
+    });
+  }
+  for (std::size_t s : stage) {
+    pool_.submit([this, state, group, s] {
+      group->outcomes[s] = run_strategy(group->problem,
+                                        group->strategies[s],
+                                        group->options, group->guard,
+                                        &group->envs[s]);
+      complete_stage_task(state, group);
+    });
+  }
+}
+
+void PortfolioEngine::complete_stage_task(
+    const std::shared_ptr<detail::EngineBatchState>& state,
+    detail::EngineGroup* group) {
+  if (group->stage_remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    return;
+  }
+  // Stage owner: everything in the stage (and every earlier stage) is
+  // visible. Re-publish certified bounds behind the barrier so a
+  // certification that raced the LB probe gets its early-win signal
+  // honoured.
+  if (group->options.pruning == PruningPolicy::Deterministic) {
+    republish_stage(group->stages[group->next_stage], group->outcomes,
+                    group->incumbent);
+  }
+  ++group->next_stage;
+  if (group->next_stage < group->stages.size()) {
+    dispatch_stage(state, group);
+    return;
+  }
+  state->finish_group(*group);
 }
 
 PortfolioResult PortfolioEngine::solve(const core::MulticastProblem& problem,

@@ -20,7 +20,13 @@
 ///  3. *Fan-out* — every (leader, strategy) pair becomes one pool task, so
 ///     strategy-level parallelism spans request boundaries and the pool
 ///     stays saturated even when one straggler request is left. Groups are
-///     dispatched in descending RequestOptions::priority order.
+///     dispatched in descending RequestOptions::priority order. Under
+///     PruningPolicy::Deterministic a group's tasks go out stage by stage
+///     (trees, then bound providers, then LP refinement heuristics): the
+///     task that completes a stage freezes the group's incumbent snapshot
+///     and submits the next stage, so pruning decisions depend only on
+///     which strategies ran — never on timing — while tasks of *different*
+///     groups still interleave freely and keep the pool saturated.
 ///  4. *Streaming delivery* — when the last strategy of a group finishes,
 ///     the group's result is assembled, cached and delivered (leader
 ///     first, then followers) through the batch callback; other requests
@@ -28,14 +34,17 @@
 ///     solve time, not the whole batch's.
 ///
 /// Budget semantics: deadlines are anchored when the batch enters the
-/// engine and enforced at strategy granularity (a strategy that already
-/// started is run to completion — nothing is killed mid-LP-pivot).
+/// engine and enforced cooperatively at checkpoint granularity — between
+/// strategies, between a strategy's LP probes, and every few dozen simplex
+/// iterations inside an LP solve — so an expired deadline surfaces within
+/// one checkpoint interval. Nothing is ever killed mid-pivot.
 /// Cancellation is cooperative through the same checkpoints, per request
 /// (RequestOptions::cancel) or per batch (SolveTicket::cancel()).
 
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -77,10 +86,17 @@ struct RequestOptions {
   /// Cooperative cancellation; request_stop() makes not-yet-started
   /// strategies of this request skip.
   CancellationToken cancel;
+  /// Cooperative-pruning override; nullopt inherits the engine portfolio's
+  /// policy. A coalesced group runs under its leader's policy.
+  std::optional<PruningPolicy> pruning;
+  /// Caller-proven lower bound on the achievable period (0 = none); seeds
+  /// the race's incumbent so early-win cuts can fire from the start.
+  double known_lower_bound = 0.0;
 };
 
 namespace detail {
 struct EngineBatchState;  // defined in engine.cpp
+struct EngineGroup;       // defined in engine.cpp
 }
 
 /// Streaming delivery: called once per request with its batch index, as
@@ -151,6 +167,16 @@ class PortfolioEngine {
   int thread_count() const { return pool_.thread_count(); }
 
  private:
+  /// Submit one group's current stage onto the pool (envs refreshed from
+  /// a barrier-fenced incumbent snapshot first).
+  void dispatch_stage(std::shared_ptr<detail::EngineBatchState> state,
+                      detail::EngineGroup* group);
+  /// Called by every finished stage task; the one that completes the
+  /// stage advances it (next dispatch_stage or final delivery).
+  void complete_stage_task(
+      const std::shared_ptr<detail::EngineBatchState>& state,
+      detail::EngineGroup* group);
+
   EngineOptions options_;
   // Declared before the pool so it outlives it: the pool's destructor
   // drains in-flight submit_batch() tasks, which still touch the cache.

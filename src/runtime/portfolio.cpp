@@ -1,6 +1,7 @@
 #include "runtime/portfolio.hpp"
 
 #include <functional>
+#include <memory>
 #include <utility>
 
 #include "core/certificate.hpp"
@@ -16,9 +17,49 @@ namespace {
 
 using core::MulticastProblem;
 
+/// Pruning a platform heuristic against the scatter bound needs a safety
+/// margin: its certified value is scatter-UB on a sub-platform, which is
+/// >= the full-platform scatter LP value *mathematically*, but the
+/// realised schedule may undercut the LP value by rationalisation dust
+/// (build_flow_schedule drops cycle flow below its decomposition
+/// tolerance). The margin is orders of magnitude above that dust, so
+/// `incumbent < scatter_ub * (1 - margin)` still proves strict dominance.
+constexpr double kDominanceMargin = 1e-4;
+
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
+}
+
+/// Is \p strategy certified via scatter on a reduced platform? Those
+/// candidates can never beat the full-platform Multicast-UB LP value
+/// (scatter is monotone under node removal), which is what the
+/// scatter-bound dominance cut trades on.
+bool certifies_via_sub_scatter(Strategy strategy) {
+  return strategy == Strategy::ReducedBroadcast ||
+         strategy == Strategy::AugmentedMulticast;
+}
+
+/// Early-win: a strategy launched before this one certified at (or below)
+/// the proven lower bound. Everything this strategy could certify is >=
+/// that bound, so it can at best tie — and ties break on launch order.
+bool early_win_cuts(const IncumbentSnapshot& snap, int launch_index) {
+  return snap.early_win_from < launch_index &&
+         snap.best_certified <= snap.proven_lb;
+}
+
+/// Dominance for the sub-scatter strategies (see certifies_via_sub_scatter).
+/// An unpublished scatter bound (infinity) must never cut: the comparison
+/// is only meaningful once MulticastUb has actually solved the LP.
+bool scatter_bound_cuts(const IncumbentSnapshot& snap) {
+  return snap.scatter_ub < kInfinity &&
+         snap.best_certified < snap.scatter_ub * (1.0 - kDominanceMargin);
+}
+
+/// The decision basis for a pruning predicate: the barrier-fenced stage
+/// snapshot under Deterministic, a live re-read under Aggressive.
+IncumbentSnapshot pruning_view(const StrategyEnv& env) {
+  return env.live && env.shared != nullptr ? env.shared->freeze() : env.view;
 }
 
 /// Certify a tree candidate: rate 1/period saturates the bottleneck port,
@@ -44,6 +85,26 @@ void certify_tree(const MulticastProblem& problem,
   }
   out.state = CandidateState::Certified;
   out.period = 1.0 / cert.throughput;
+}
+
+/// Fill a Skipped outcome for a solve the checkpoints interrupted.
+/// Only a Cutoff verdict counts as a pruning cutoff_abort; a deadline or
+/// cancellation abort is a budget event, not pruning activity.
+void mark_interrupted(CandidateOutcome& out, const BudgetGuard& guard,
+                      bool was_cutoff, SkipReason cut_reason) {
+  out.state = CandidateState::Skipped;
+  if (was_cutoff) {
+    ++out.prune.cutoff_aborts;
+    out.skip_reason = cut_reason;
+    out.detail = cut_reason == SkipReason::EarlyWin
+                     ? "stopped mid-solve: incumbent met the proven LB"
+                     : "stopped mid-solve: dominated by the incumbent";
+  } else {
+    out.skip_reason =
+        guard.cancelled() ? SkipReason::Cancelled : SkipReason::DeadlineExpired;
+    out.detail = guard.cancelled() ? "cancelled mid-solve"
+                                   : "deadline expired mid-solve";
+  }
 }
 
 /// Certify a scatter (Multicast-UB style) solution by reconstructing its
@@ -82,7 +143,9 @@ void certify_flow(const MulticastProblem& problem,
 /// scatter bound restricted to the reduced platform.
 void certify_platform(const MulticastProblem& problem,
                       const core::PlatformHeuristicResult& result,
-                      CandidateOutcome& out) {
+                      const core::FormulationOptions& lp_options,
+                      const BudgetGuard& guard,
+                      const SkipReason* cut_reason, CandidateOutcome& out) {
   out.bound_period = result.period;
   if (!result.ok) {
     out.state = CandidateState::Failed;
@@ -114,7 +177,16 @@ void certify_platform(const MulticastProblem& problem,
     out.detail = "reduced platform disconnects a target";
     return;
   }
-  core::FlowSolution ub = core::solve_multicast_ub(sub_problem);
+  core::FlowSolution ub = core::solve_multicast_ub(sub_problem, lp_options);
+  if (lp::is_interrupted(ub.status)) {
+    out.lp.solves += 1;
+    out.lp.iterations += ub.iterations;
+    mark_interrupted(out, guard, ub.status == lp::SolveStatus::CutoffReached,
+                     cut_reason != nullptr ? *cut_reason
+                                           : SkipReason::Dominated);
+    out.bound_period = result.period;
+    return;
+  }
   certify_flow(sub_problem, ub, out);
   out.bound_period = result.period;  // certify_flow overwrote it with UB's
   if (out.state == CandidateState::Certified) {
@@ -124,7 +196,10 @@ void certify_platform(const MulticastProblem& problem,
 }
 
 void run_exact(const MulticastProblem& problem,
-               const PortfolioOptions& options, CandidateOutcome& out) {
+               const PortfolioOptions& options, const BudgetGuard& guard,
+               const std::function<bool()>& should_abort,
+               const std::function<lp::CheckpointAction()>& checkpoint,
+               const SkipReason* cut_reason, CandidateOutcome& out) {
   // Guard against sentinel-valued budgets (SolveBudget::inherit()) that
   // reach a solve without being resolve()d against engine defaults:
   // "inherit" must never mean "skip everything" / "enumerate nothing".
@@ -143,7 +218,20 @@ void run_exact(const MulticastProblem& problem,
   }
   core::EnumerationLimits limits;
   limits.max_trees = max_trees;
+  limits.should_abort = should_abort;
+  limits.solver.checkpoint = checkpoint;
   core::ExactSolution exact = core::exact_optimal_throughput(problem, limits);
+  out.lp.solves += exact.lp_iterations > 0 ? 1 : 0;
+  out.lp.iterations += exact.lp_iterations;
+  if (exact.aborted || exact.cutoff) {
+    // The abort hook fires for budget *and* (Aggressive) early-win cuts;
+    // tell them apart the same way the LP checkpoints do.
+    bool was_cut = exact.cutoff || !guard.expired();
+    mark_interrupted(out, guard, was_cut,
+                     cut_reason != nullptr ? *cut_reason
+                                           : SkipReason::Dominated);
+    return;
+  }
   if (!exact.ok) {
     out.state = CandidateState::Skipped;
     out.skip_reason = SkipReason::EnumerationLimit;
@@ -191,15 +279,98 @@ std::vector<Strategy> all_strategies() {
 CandidateOutcome run_strategy(const core::MulticastProblem& problem,
                               Strategy strategy,
                               const PortfolioOptions& options,
-                              const BudgetGuard& guard) {
+                              const BudgetGuard& guard,
+                              const StrategyEnv* env) {
   CandidateOutcome out;
   out.strategy = strategy;
   if (guard.expired()) {
     out.state = CandidateState::Skipped;
-    out.skip_reason = SkipReason::Budget;
+    out.skip_reason = guard.cancelled() ? SkipReason::Cancelled
+                                        : SkipReason::DeadlineExpired;
     out.detail = "budget exhausted before start";
     return out;
   }
+
+  // --- start-of-strategy pruning checks (policy-gated) --------------------
+  const bool pruning = env != nullptr && env->shared != nullptr &&
+                       env->policy != PruningPolicy::Off;
+  if (pruning) {
+    IncumbentSnapshot snap = pruning_view(*env);
+    if (early_win_cuts(snap, env->launch_index)) {
+      out.state = CandidateState::Skipped;
+      out.skip_reason = SkipReason::EarlyWin;
+      out.detail = "incumbent already meets the proven lower bound";
+      return out;
+    }
+    if (certifies_via_sub_scatter(strategy) && scatter_bound_cuts(snap)) {
+      out.state = CandidateState::Skipped;
+      out.skip_reason = SkipReason::Dominated;
+      out.detail = "certifies via sub-platform scatter, which cannot beat "
+                   "the incumbent (below the full-platform scatter bound)";
+      return out;
+    }
+  }
+
+  // --- cooperative hooks shared by every solve of this strategy -----------
+  // cut_reason records *why* a Cutoff verdict fired so the outcome can
+  // report Dominated vs EarlyWin; only the lambdas below write it.
+  auto cut_reason = std::make_shared<SkipReason>(SkipReason::Dominated);
+  const bool live = pruning && env->live;
+  Incumbent* shared = pruning ? env->shared : nullptr;
+  const int launch_index = env != nullptr ? env->launch_index : 0;
+
+  // Live dominance re-check (Aggressive): between probes and at solver
+  // checkpoints. Returns true when this strategy provably cannot win.
+  auto dominated_now = [shared, live, launch_index, strategy,
+                        cut_reason]() -> bool {
+    if (!live) return false;
+    IncumbentSnapshot snap = shared->freeze();
+    if (early_win_cuts(snap, launch_index)) {
+      *cut_reason = SkipReason::EarlyWin;
+      return true;
+    }
+    if (certifies_via_sub_scatter(strategy) && scatter_bound_cuts(snap)) {
+      *cut_reason = SkipReason::Dominated;
+      return true;
+    }
+    return false;
+  };
+  auto checkpoint = [&guard, dominated_now]() -> lp::CheckpointAction {
+    if (guard.expired()) return lp::CheckpointAction::Abort;
+    if (dominated_now()) return lp::CheckpointAction::Cutoff;
+    return lp::CheckpointAction::Continue;
+  };
+  auto should_abort = [&guard]() { return guard.expired(); };
+
+  core::FormulationOptions lp_options;
+  lp_options.solver.checkpoint = checkpoint;
+  core::HeuristicOptions heuristic_options;
+  heuristic_options.lp = lp_options;
+  heuristic_options.control.should_abort = should_abort;
+  heuristic_options.control.dominated = dominated_now;
+
+  // Map a heuristic's abort/prune flags onto the outcome. Returns true
+  // when the strategy was interrupted and must not be certified.
+  auto finish_heuristic = [&](bool aborted, bool pruned, int probes_skipped,
+                              int cutoff_aborts) {
+    out.prune.probes_skipped += probes_skipped;
+    out.prune.cutoff_aborts += cutoff_aborts;
+    if (!aborted && !pruned) return false;
+    out.state = CandidateState::Skipped;
+    if (aborted) {
+      out.skip_reason = guard.cancelled() ? SkipReason::Cancelled
+                                          : SkipReason::DeadlineExpired;
+      out.detail = guard.cancelled() ? "cancelled mid-heuristic"
+                                     : "deadline expired mid-heuristic";
+    } else {
+      out.skip_reason = *cut_reason;
+      out.detail = *cut_reason == SkipReason::EarlyWin
+                       ? "pruned mid-heuristic: incumbent met the proven LB"
+                       : "pruned mid-heuristic: dominated by the incumbent";
+    }
+    return true;
+  };
+
   Clock::time_point start = Clock::now();
   switch (strategy) {
     case Strategy::Mcph:
@@ -217,13 +388,51 @@ CandidateOutcome run_strategy(const core::MulticastProblem& problem,
       }
       break;
     }
-    case Strategy::MulticastUb:
-      certify_flow(problem, core::solve_multicast_ub(problem), out);
+    case Strategy::MulticastUb: {
+      core::FlowSolution ub = core::solve_multicast_ub(problem, lp_options);
+      if (lp::is_interrupted(ub.status)) {
+        out.lp.solves += 1;
+        out.lp.iterations += ub.iterations;
+        // bound_period keeps its "no bound" default: an interrupted solve
+        // never assigned ub.period, which still holds FlowSolution's 0.0.
+        mark_interrupted(out, guard,
+                         ub.status == lp::SolveStatus::CutoffReached,
+                         *cut_reason);
+        break;
+      }
+      if (ub.ok() && shared != nullptr) {
+        // The full-platform scatter LP value: the dominance reference for
+        // the sub-scatter strategies. Published before certification so an
+        // Aggressive race benefits as early as possible.
+        shared->publish_scatter_ub(ub.period);
+      }
+      if (pruning && ub.ok()) {
+        // The certified value equals the LP value up to rationalisation
+        // dust, so an incumbent strictly below the margined bound makes
+        // the schedule reconstruction pointless.
+        IncumbentSnapshot snap = pruning_view(*env);
+        if (snap.best_certified < ub.period * (1.0 - kDominanceMargin)) {
+          out.lp.solves += 1;
+          out.lp.iterations += ub.iterations;
+          out.bound_period = ub.period;
+          out.state = CandidateState::Skipped;
+          out.skip_reason = SkipReason::Dominated;
+          out.detail = "scatter bound already beaten by the incumbent; "
+                       "schedule reconstruction skipped";
+          break;
+        }
+      }
+      certify_flow(problem, ub, out);
       break;
+    }
     case Strategy::AugmentedSources: {
-      auto as = core::augmented_sources(problem);
+      auto as = core::augmented_sources(problem, heuristic_options);
       out.bound_period = as.period;
       out.lp.merge(as.lp_stats);
+      if (finish_heuristic(as.aborted, as.pruned, as.probes_skipped,
+                           as.cutoff_aborts)) {
+        break;
+      }
       if (!as.ok) {
         out.state = CandidateState::Failed;
         out.detail = "augmented_sources failed";
@@ -248,39 +457,150 @@ CandidateOutcome run_strategy(const core::MulticastProblem& problem,
       break;
     }
     case Strategy::ReducedBroadcast: {
-      auto rb = core::reduced_broadcast(problem);
+      auto rb = core::reduced_broadcast(problem, heuristic_options);
       out.lp.merge(rb.lp_stats);
-      certify_platform(problem, rb, out);
+      if (finish_heuristic(rb.aborted, rb.pruned, rb.probes_skipped,
+                           rb.cutoff_aborts)) {
+        out.bound_period = rb.period;
+        break;
+      }
+      certify_platform(problem, rb, lp_options, guard, cut_reason.get(), out);
       break;
     }
     case Strategy::AugmentedMulticast: {
-      auto am = core::augmented_multicast(problem);
+      auto am = core::augmented_multicast(problem, heuristic_options);
       out.lp.merge(am.lp_stats);
-      certify_platform(problem, am, out);
+      if (finish_heuristic(am.aborted, am.pruned, am.probes_skipped,
+                           am.cutoff_aborts)) {
+        out.bound_period = am.period;
+        break;
+      }
+      certify_platform(problem, am, lp_options, guard, cut_reason.get(), out);
       break;
     }
     case Strategy::Exact:
-      run_exact(problem, options, out);
+      run_exact(problem, options, guard,
+                [&guard, dominated_now, cut_reason]() {
+                  // The enumerator has no Cutoff channel of its own; the
+                  // shared cut_reason (set by dominated_now) tells the
+                  // classifier which event stopped it.
+                  return guard.expired() || dominated_now();
+                },
+                checkpoint, cut_reason.get(), out);
       break;
   }
   out.elapsed_ms = ms_since(start);
+
+  // --- publish ------------------------------------------------------------
+  if (shared != nullptr && out.state == CandidateState::Certified) {
+    shared->publish_certified(out.period, launch_index);
+  }
   return out;
+}
+
+int strategy_stage(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::Mcph:
+    case Strategy::PrunedDijkstra:
+    case Strategy::Kmb:
+      return 0;
+    case Strategy::MulticastUb:
+    case Strategy::Exact:
+      return 1;
+    case Strategy::AugmentedSources:
+    case Strategy::ReducedBroadcast:
+    case Strategy::AugmentedMulticast:
+      return 2;
+  }
+  return 2;
 }
 
 PortfolioResult assemble_result(std::vector<CandidateOutcome> candidates) {
   PortfolioResult result;
   result.candidates = std::move(candidates);
   for (const CandidateOutcome& c : result.candidates) {
-    if (c.state != CandidateState::Certified) continue;
-    // Strict < keeps ties on the earlier (cheaper) strategy, which makes
-    // the winner independent of completion order and thread count.
-    if (c.period < result.period) {
-      result.period = c.period;
-      result.winner = c.strategy;
-      result.ok = true;
+    if (c.state == CandidateState::Certified) {
+      // Strict < keeps ties on the earlier (cheaper) strategy, which makes
+      // the winner independent of completion order and thread count.
+      if (c.period < result.period) {
+        result.period = c.period;
+        result.winner = c.strategy;
+        result.ok = true;
+      }
+    } else if (c.state == CandidateState::Skipped) {
+      if (c.skip_reason == SkipReason::Dominated) {
+        ++result.pruning.strategies_pruned;
+      } else if (c.skip_reason == SkipReason::EarlyWin) {
+        ++result.pruning.early_win_cancels;
+      }
     }
+    result.pruning.probes_skipped += c.prune.probes_skipped;
+    result.pruning.cutoff_aborts += c.prune.cutoff_aborts;
   }
   return result;
+}
+
+std::vector<std::vector<std::size_t>> plan_stages(
+    const std::vector<Strategy>& strategies, PruningPolicy policy) {
+  std::vector<std::vector<std::size_t>> stages;
+  if (policy == PruningPolicy::Deterministic) {
+    stages.assign(3, {});
+    for (std::size_t i = 0; i < strategies.size(); ++i) {
+      stages[static_cast<std::size_t>(strategy_stage(strategies[i]))]
+          .push_back(i);
+    }
+    std::erase_if(stages, [](const auto& s) { return s.empty(); });
+  } else {
+    stages.emplace_back(strategies.size());
+    for (std::size_t i = 0; i < strategies.size(); ++i) stages[0][i] = i;
+  }
+  return stages;
+}
+
+long long run_lb_probe(const MulticastProblem& problem,
+                       const BudgetGuard& guard, Incumbent& incumbent) {
+  core::FormulationOptions lp_options;
+  lp_options.solver.checkpoint = [&guard]() {
+    return guard.expired() ? lp::CheckpointAction::Abort
+                           : lp::CheckpointAction::Continue;
+  };
+  core::FlowSolution lb = core::solve_multicast_lb(problem, lp_options);
+  if (lb.ok()) {
+    // Deflate by the solver-tolerance scale before publishing: the
+    // simplex reports the objective of a primal-feasible point, which can
+    // OVERSHOOT the true LP optimum by tolerance dust — and an overshot
+    // lower bound could fire the early-win cut against a certified period
+    // that another strategy would have beaten by that same dust, breaking
+    // the period-identity guarantee. Caller-seeded bounds
+    // (known_lower_bound) are trusted as stated and not deflated.
+    constexpr double kLbOvershootGuard = 1e-7;
+    incumbent.publish_lower_bound(lb.period * (1.0 - kLbOvershootGuard));
+  }
+  return lb.iterations;
+}
+
+void prepare_stage_envs(const std::vector<std::size_t>& stage,
+                        PruningPolicy policy, Incumbent& incumbent,
+                        const IncumbentSnapshot& view,
+                        std::vector<StrategyEnv>& envs) {
+  for (std::size_t s : stage) {
+    StrategyEnv& env = envs[s];
+    env.shared = policy != PruningPolicy::Off ? &incumbent : nullptr;
+    env.view = view;
+    env.live = policy == PruningPolicy::Aggressive;
+    env.policy = policy;
+    env.launch_index = static_cast<int>(s);
+  }
+}
+
+void republish_stage(const std::vector<std::size_t>& stage,
+                     const std::vector<CandidateOutcome>& outcomes,
+                     Incumbent& incumbent) {
+  for (std::size_t s : stage) {
+    if (outcomes[s].state == CandidateState::Certified) {
+      incumbent.publish_certified(outcomes[s].period, static_cast<int>(s));
+    }
+  }
 }
 
 PortfolioResult solve_portfolio(const core::MulticastProblem& problem,
@@ -305,22 +625,60 @@ PortfolioResult solve_portfolio(const core::MulticastProblem& problem,
     return result;
   }
 
-  if (pool == nullptr) {
-    for (size_t i = 0; i < strategies.size(); ++i) {
-      outcomes[i] = run_strategy(problem, strategies[i], options, guard);
-    }
-  } else {
+  const PruningPolicy policy = options.pruning;
+  Incumbent incumbent;
+  long long lb_probe_iterations = 0;
+  if (policy != PruningPolicy::Off && options.known_lower_bound > 0.0) {
+    incumbent.publish_lower_bound(options.known_lower_bound);
+  }
+
+  // Stage plan: Off/Aggressive run one flat stage (the blind fan-out);
+  // Deterministic runs the three launch stages with a barrier after each,
+  // so every pruning decision reads a snapshot that depends only on which
+  // strategies ran before it — never on timing or thread count.
+  std::vector<std::vector<size_t>> stages = plan_stages(strategies, policy);
+
+  std::vector<StrategyEnv> envs(strategies.size());
+  bool lb_probe_pending = policy != PruningPolicy::Off;
+  for (const auto& stage : stages) {
+    IncumbentSnapshot view = incumbent.freeze();
+    prepare_stage_envs(stage, policy, incumbent, view, envs);
     std::vector<std::function<void()>> tasks;
-    tasks.reserve(strategies.size());
-    for (size_t i = 0; i < strategies.size(); ++i) {
-      tasks.push_back([&, i] {
-        outcomes[i] = run_strategy(problem, strategies[i], options, guard);
+    tasks.reserve(stage.size() + 1);
+    if (lb_probe_pending) {
+      // The LB probe rides along with the first stage (trees for the
+      // deterministic plan), so its bound is in every later snapshot —
+      // and it goes FIRST: under Aggressive (no barrier re-publish) a
+      // certification that lands before the bound can never raise the
+      // early-win signal, so the inline/1-thread orders matter.
+      lb_probe_pending = false;
+      tasks.push_back([&] {
+        lb_probe_iterations += run_lb_probe(problem, guard, incumbent);
       });
     }
-    pool->run_all(std::move(tasks));
+    for (size_t i : stage) {
+      tasks.push_back([&, i] {
+        outcomes[i] =
+            run_strategy(problem, strategies[i], options, guard, &envs[i]);
+      });
+    }
+
+    if (pool == nullptr) {
+      for (auto& task : tasks) task();
+    } else {
+      pool->run_all(std::move(tasks));
+    }
+
+    if (policy == PruningPolicy::Deterministic) {
+      // Re-publish behind the barrier: a strategy that certified before
+      // the LB probe landed gets its early-win signal honoured now.
+      republish_stage(stage, outcomes, incumbent);
+    }
   }
 
   PortfolioResult result = assemble_result(std::move(outcomes));
+  result.pruning.lb_probe_iterations = lb_probe_iterations;
+  result.pruning.proven_lb = incumbent.proven_lb();
   result.elapsed_ms = ms_since(start);
   return result;
 }

@@ -23,6 +23,17 @@
 /// Determinism: with no deadline, every strategy is a pure function of the
 /// instance, candidates land in fixed slots, and ties break by strategy
 /// order — the result is bit-identical across 1, 2 or 8 threads.
+///
+/// Cooperative pruning (PruningPolicy, runtime/incumbent.hpp): the race
+/// shares incumbent bounds so provably-dominated work is cut — the
+/// platform heuristics are skipped once a cheaper candidate beats the
+/// full-platform scatter bound, every strategy stops once a certified
+/// candidate meets the proven Multicast-LB lower bound, and deadlines
+/// interrupt LP solves mid-flight through the simplex checkpoint hook.
+/// Every cut is sound (the pruned work provably could not have changed
+/// the winner or its period); Deterministic additionally stages the race
+/// behind barriers so even the per-candidate outcomes are bit-identical
+/// across thread counts.
 
 #include <string>
 #include <vector>
@@ -30,6 +41,7 @@
 #include "core/problem.hpp"
 #include "lp/resolve.hpp"
 #include "runtime/budget.hpp"
+#include "runtime/incumbent.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace pmcast::runtime {
@@ -62,9 +74,25 @@ enum class CandidateState {
 /// facade's Status classification) never have to match detail strings.
 enum class SkipReason {
   NotSkipped = 0,
-  Budget,            ///< deadline expired or cancellation requested
+  Budget,            ///< unspecified budget event (kept for compatibility;
+                     ///< new code reports DeadlineExpired / Cancelled)
   Inapplicable,      ///< strategy doesn't apply (instance above exact size)
   EnumerationLimit,  ///< exact solver hit its tree-enumeration cap
+  DeadlineExpired,   ///< wall-clock deadline hit, possibly mid-LP-solve
+  Cancelled,         ///< cancellation token fired
+  Dominated,         ///< provably cannot beat the incumbent (pruned)
+  EarlyWin,          ///< incumbent already meets the proven lower bound
+};
+
+/// True for the two cooperative-pruning skip reasons.
+inline bool is_pruned(SkipReason reason) {
+  return reason == SkipReason::Dominated || reason == SkipReason::EarlyWin;
+}
+
+/// Per-candidate cooperative-pruning counters.
+struct PruneCounters {
+  int probes_skipped = 0;  ///< heuristic probes not run (dominance/early-win)
+  int cutoff_aborts = 0;   ///< LP solves stopped mid-flight by a checkpoint
 };
 
 struct CandidateOutcome {
@@ -77,6 +105,7 @@ struct CandidateOutcome {
   /// LP sequence counters (solves, warm-start hits, eta reuses, fallbacks,
   /// simplex iterations); all-zero for strategies that solve no LPs.
   lp::ResolveStats lp;
+  PruneCounters prune;              ///< cooperative-pruning counters
   std::string detail;               ///< failure reason / certification note
 };
 
@@ -87,6 +116,23 @@ struct PortfolioOptions {
   /// Extra discrete-event replay periods for tree certificates (0 = the
   /// static checks only; they already include the König orchestration).
   int simulate_periods = 0;
+  /// Cooperative pruning across the race (see runtime/incumbent.hpp).
+  PruningPolicy pruning = PruningPolicy::Deterministic;
+  /// Caller-proven lower bound on any achievable period for this instance
+  /// (e.g. from a previous solve of a relaxation); 0 = none. Seeds the
+  /// incumbent's proven LB, enabling early-win cuts from the start.
+  double known_lower_bound = 0.0;
+};
+
+/// Race-level pruning summary, aggregated over the candidates.
+struct PruningSummary {
+  int strategies_pruned = 0;   ///< candidates skipped as Dominated
+  int early_win_cancels = 0;   ///< candidates skipped/stopped as EarlyWin
+  int probes_skipped = 0;      ///< heuristic probes not run
+  int cutoff_aborts = 0;       ///< LP solves stopped by a cutoff checkpoint
+  long long lb_probe_iterations = 0;  ///< simplex iterations spent proving
+                                      ///< the Multicast-LB lower bound
+  double proven_lb = 0.0;      ///< best proven lower bound (0 = none)
 };
 
 struct PortfolioResult {
@@ -94,18 +140,76 @@ struct PortfolioResult {
   double period = kInfinity;   ///< best certified period
   Strategy winner = Strategy::Mcph;
   std::vector<CandidateOutcome> candidates;  ///< indexed by launch order
+  PruningSummary pruning;
   double elapsed_ms = 0.0;
   bool from_cache = false;  ///< served from the engine's LRU cache
   bool coalesced = false;   ///< duplicate within a batch, copied from leader
 };
 
+/// The cooperative-pruning environment of one run_strategy call. `view` is
+/// the decision basis for start-of-strategy checks; with `live` set
+/// (Aggressive) predicates re-read `shared` between probes and at solver
+/// checkpoints. `shared` is also where a finishing strategy publishes its
+/// bounds; null disables pruning entirely (deadline checkpoints remain).
+struct StrategyEnv {
+  Incumbent* shared = nullptr;
+  IncumbentSnapshot view;
+  bool live = false;
+  PruningPolicy policy = PruningPolicy::Off;
+  int launch_index = 0;
+};
+
 /// Run one strategy to completion on \p problem (pure, thread-safe).
+/// Deadlines and cancellation are enforced inside LP solves and the exact
+/// enumeration through cooperative checkpoints: an expired deadline makes
+/// the strategy return Skipped/DeadlineExpired within one checkpoint
+/// interval instead of running the solve to completion.
 CandidateOutcome run_strategy(const core::MulticastProblem& problem,
                               Strategy strategy,
                               const PortfolioOptions& options,
-                              const BudgetGuard& guard);
+                              const BudgetGuard& guard,
+                              const StrategyEnv* env = nullptr);
 
-/// Pick winner/ok/period out of completed candidate slots.
+/// The deterministic launch stage of a strategy: 0 = tree heuristics,
+/// 1 = bound providers (Multicast-UB, exact), 2 = LP refinement
+/// heuristics. PruningPolicy::Deterministic runs the race stage by stage
+/// (a barrier between stages) so pruning decisions depend only on which
+/// strategies ran, never on timing.
+int strategy_stage(Strategy strategy);
+
+/// The stage plan for one race: indices into \p strategies, grouped by
+/// strategy_stage() with empty stages dropped under Deterministic, one
+/// flat stage under Off/Aggressive. Shared by solve_portfolio and the
+/// engine so the two orchestrators cannot drift (the differential suite
+/// compares their results).
+std::vector<std::vector<std::size_t>> plan_stages(
+    const std::vector<Strategy>& strategies, PruningPolicy policy);
+
+/// Solve Multicast-LB of \p problem (deadline-checkpointed through
+/// \p guard) and publish the value as \p incumbent's proven lower bound —
+/// the one extra LP a pruning race pays. Returns the simplex iterations
+/// spent.
+long long run_lb_probe(const core::MulticastProblem& problem,
+                       const BudgetGuard& guard, Incumbent& incumbent);
+
+/// Populate the StrategyEnv slots of one stage from a freshly frozen
+/// snapshot (\p envs is indexed by strategy slot, like the outcomes).
+/// Shared by solve_portfolio and the engine.
+void prepare_stage_envs(const std::vector<std::size_t>& stage,
+                        PruningPolicy policy, Incumbent& incumbent,
+                        const IncumbentSnapshot& view,
+                        std::vector<StrategyEnv>& envs);
+
+/// Barrier re-publish of a completed stage's certified outcomes into the
+/// incumbent, so a certification that raced the LB probe still raises its
+/// early-win signal. Monotone, hence idempotent; callers gate on
+/// PruningPolicy::Deterministic (Aggressive publishes live).
+void republish_stage(const std::vector<std::size_t>& stage,
+                     const std::vector<CandidateOutcome>& outcomes,
+                     Incumbent& incumbent);
+
+/// Pick winner/ok/period out of completed candidate slots and aggregate
+/// the per-candidate pruning counters.
 PortfolioResult assemble_result(std::vector<CandidateOutcome> candidates);
 
 /// Race the portfolio on \p pool (nullptr = run inline on the caller).

@@ -7,7 +7,9 @@
 ///   SolveBudget / CancellationToken — budget control (budget.hpp)
 ///   Strategy / solve_portfolio — race all solvers, certify, pick the best
 ///                      (portfolio.hpp)
-///   ResultCache      — LRU over canonical instance keys (cache.hpp)
+///   Incumbent / PruningPolicy — shared bounds + cooperative pruning of
+///                      provably-dominated work (incumbent.hpp)
+///   ResultCache      — sharded LRU over canonical instance keys (cache.hpp)
 ///   PortfolioEngine  — batch serving: cache probe, request coalescing,
 ///                      strategy fan-out (engine.hpp)
 ///

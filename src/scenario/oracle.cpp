@@ -139,8 +139,14 @@ OracleReport cross_check(const core::MulticastProblem& problem,
 
 OracleReport cross_check(const core::MulticastProblem& problem,
                          const OracleOptions& options) {
+  // The oracle's whole point is differential coverage of every strategy;
+  // cooperative pruning would legitimately skip dominated ones, so the
+  // oracle's own portfolio runs blind. Precomputed results passed to the
+  // other overload keep whatever policy produced them.
+  runtime::PortfolioOptions portfolio = options.portfolio;
+  portfolio.pruning = runtime::PruningPolicy::Off;
   runtime::PortfolioResult result =
-      runtime::solve_portfolio(problem, options.portfolio);
+      runtime::solve_portfolio(problem, portfolio);
   return cross_check(problem, result, options);
 }
 

@@ -64,8 +64,13 @@ TEST(Service, SolveReturnsCertifiedResponse) {
   EXPECT_EQ(result->outcomes.size(), all_strategy_ids().size());
   EXPECT_FALSE(result->provenance.from_cache);
   int counted = result->certificate.certified + result->certificate.failed +
-                result->certificate.skipped;
+                result->certificate.skipped + result->certificate.pruned;
   EXPECT_EQ(counted, static_cast<int>(result->outcomes.size()));
+  // The default policy prunes cooperatively; pruned slots carry counters
+  // and per-request summaries stay consistent with the outcome states.
+  EXPECT_EQ(result->pruning.strategies_pruned +
+                result->pruning.early_win_cancels,
+            result->certificate.pruned);
   EXPECT_GE(result->timing.total_ms, 0.0);
 }
 
@@ -141,7 +146,11 @@ TEST(Service, NoDeadlineSentinelOptsOutOfTheServiceDefault) {
 }
 
 TEST(Service, LpStrategiesReportWarmStartCounters) {
-  Service service(with_threads(1));
+  // Pruning off: this test wants every LP heuristic to actually run its
+  // sequence so the warm-start counters are populated.
+  ServiceOptions options = with_threads(1);
+  options.pruning = PruningPolicy::Off;
+  Service service(options);
   Result<SolveResponse> result =
       service.solve(request_for(random_problem(32)));
   ASSERT_TRUE(result.ok()) << result.status().to_string();
@@ -216,8 +225,12 @@ TEST(Service, FutureReportsReadyAndGetIsRepeatable) {
 
 TEST(Service, FutureWaitForTimesOutWhileWorkerIsBusy) {
   // One worker, several LP-heavy instances: the tail request cannot be
-  // ready within a fraction of a millisecond of submission.
-  Service service(with_threads(1));
+  // ready within a fraction of a millisecond of submission. Pruning off
+  // keeps the workload heavy enough that this holds even on a loaded CI
+  // machine (cooperative pruning would cut it by more than half).
+  ServiceOptions options = with_threads(1);
+  options.pruning = PruningPolicy::Off;
+  Service service(options);
   std::vector<SolveRequest> requests;
   for (std::uint64_t s = 40; s < 46; ++s) {
     requests.push_back(request_for(random_problem(s, 8, 9)));

@@ -7,6 +7,7 @@ namespace {
 
 TEST(Model, VariableBookkeeping) {
   Model m;
+  m.set_debug_names(true);  // name storage is opt-in (Debug builds only)
   int x = m.add_variable(0.0, kInf, 1.0, "x");
   int y = m.add_variable(-1.0, 2.0, -3.0);
   EXPECT_EQ(x, 0);
@@ -16,6 +17,34 @@ TEST(Model, VariableBookkeeping) {
   EXPECT_DOUBLE_EQ(m.var_ub(y), 2.0);
   EXPECT_DOUBLE_EQ(m.obj(y), -3.0);
   EXPECT_EQ(m.var_name(x), "x");
+}
+
+TEST(Model, DebugNamesAreOptIn) {
+  Model m;
+  m.set_debug_names(false);
+  int x = m.add_variable(0.0, kInf, 1.0, "x");
+  int r = m.add_row_le(1.0, "cap");
+  // Disabled storage: names are dropped, lookups degrade to empty.
+  EXPECT_EQ(m.var_name(x), "");
+  EXPECT_EQ(m.row_name(r), "");
+
+  // Enabling mid-build backfills empty names for what already exists and
+  // stores names from then on.
+  m.set_debug_names(true);
+  int y = m.add_variable(0.0, 1.0, 0.0, "y");
+  int s = m.add_row_ge(0.0, "floor");
+  EXPECT_EQ(m.var_name(x), "");
+  EXPECT_EQ(m.var_name(y), "y");
+  EXPECT_EQ(m.row_name(s), "floor");
+
+  // Disabling again drops everything.
+  m.set_debug_names(false);
+  EXPECT_EQ(m.var_name(y), "");
+#ifdef NDEBUG
+  EXPECT_FALSE(Model().debug_names());  // release default: off (hot path)
+#else
+  EXPECT_TRUE(Model().debug_names());   // assert builds keep diagnostics
+#endif
 }
 
 TEST(Model, RowKinds) {

@@ -218,5 +218,74 @@ TEST(Simplex, EmptyObjectiveFeasibilityProblem) {
   EXPECT_NEAR(sol.x[static_cast<size_t>(x)], 7.0, kTol);
 }
 
+// A model the solver needs plenty of pivots on: a chained assignment-like
+// program whose phase 1 + phase 2 comfortably exceed several checkpoint
+// intervals, so interruption semantics can be observed mid-solve.
+Model checkpoint_workout(int n) {
+  Model m;
+  std::vector<int> vars;
+  for (int i = 0; i < n * n; ++i) {
+    vars.push_back(m.add_variable(0, kInf, ((i * 7919) % 97) + 1.0));
+  }
+  for (int i = 0; i < n; ++i) {
+    int row = m.add_row_eq(1.0);
+    for (int j = 0; j < n; ++j) m.add_entry(row, vars[i * n + j], 1.0);
+    int col = m.add_row_eq(1.0);
+    for (int j = 0; j < n; ++j) m.add_entry(col, vars[j * n + i], 1.0);
+  }
+  return m;
+}
+
+TEST(SimplexCheckpoint, AbortStopsWithinOneInterval) {
+  Model m = checkpoint_workout(24);
+  SolverOptions options;
+  options.checkpoint_every = 16;
+  int polls = 0;
+  options.checkpoint = [&polls]() {
+    return ++polls >= 3 ? CheckpointAction::Abort
+                        : CheckpointAction::Continue;
+  };
+  auto sol = solve(m, options);
+  EXPECT_EQ(sol.status, SolveStatus::Aborted);
+  EXPECT_EQ(polls, 3);
+  // Stopped within one checkpoint interval of the Abort verdict. The poll
+  // countdown restarts at the phase-1/phase-2 boundary, so allow one extra
+  // interval of slack on top of the three polled ones.
+  EXPECT_LE(sol.iterations, 4 * options.checkpoint_every + 1);
+}
+
+TEST(SimplexCheckpoint, CutoffReportsItsOwnStatus) {
+  Model m = checkpoint_workout(24);
+  SolverOptions options;
+  options.checkpoint_every = 16;
+  int polls = 0;
+  options.checkpoint = [&polls]() {
+    return ++polls >= 2 ? CheckpointAction::Cutoff
+                        : CheckpointAction::Continue;
+  };
+  auto sol = solve(m, options);
+  EXPECT_EQ(sol.status, SolveStatus::CutoffReached);
+}
+
+TEST(SimplexCheckpoint, ContinueVerdictsDoNotPerturbTheSolve) {
+  Model m = checkpoint_workout(16);
+  auto plain = solve(m);
+  ASSERT_TRUE(plain.optimal());
+
+  SolverOptions options;
+  options.checkpoint_every = 8;
+  int polls = 0;
+  options.checkpoint = [&polls]() {
+    ++polls;
+    return CheckpointAction::Continue;
+  };
+  auto watched = solve(m, options);
+  ASSERT_TRUE(watched.optimal());
+  EXPECT_GT(polls, 0);
+  // Same trajectory: the checkpoint is an observer, not a participant.
+  EXPECT_EQ(watched.iterations, plain.iterations);
+  EXPECT_DOUBLE_EQ(watched.objective, plain.objective);
+}
+
 }  // namespace
 }  // namespace pmcast::lp

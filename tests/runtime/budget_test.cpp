@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "graph/rng.hpp"
 #include "runtime/runtime.hpp"
+#include "topology/tiers.hpp"
 
 namespace pmcast::runtime {
 namespace {
@@ -108,6 +112,76 @@ TEST(SolveBudget, CoalescedFollowerWithNoDeadlineWidensTheGroupDeadline) {
   EXPECT_TRUE(results[1].coalesced);
   // Most-permissive semantics: the shared solve also serves the leader.
   EXPECT_TRUE(results[0].ok);
+}
+
+TEST(DeadlineGranularity, MidLpDeadlineReturnsWithinCheckpointInterval) {
+  // Regression for the pre-checkpoint behaviour where a deadline that
+  // expired mid-LP only took effect at the next *strategy* boundary: on
+  // this platform the blind portfolio spends >1 s inside the LP
+  // refinement heuristics, so strategy-boundary enforcement would blow
+  // far past the deadline. With the simplex checkpoint wired to the
+  // BudgetGuard the solve must come back within checkpoint granularity
+  // (observed overshoot: <1 ms; the bound below is CI-slack, still ~4x
+  // under the blind runtime).
+  topo::TiersParams params;
+  params.wan_nodes = 4;
+  params.mans = 2;
+  params.man_nodes = 3;
+  params.lans = 3;
+  params.lan_nodes = 12;
+  topo::Platform platform = topo::generate_tiers(params, 5);
+  Rng rng(5 + 17);
+  auto targets = topo::sample_targets(platform, 0.5, rng);
+  core::MulticastProblem problem(platform.graph, platform.source, targets);
+
+  PortfolioOptions options;
+  options.pruning = PruningPolicy::Off;  // isolate deadline enforcement
+  options.budget.deadline_ms = 25.0;
+  auto start = Clock::now();
+  PortfolioResult result = solve_portfolio(problem, options);
+  double elapsed_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+  // Generous bound: the blind run takes >1 s in Release and an order of
+  // magnitude more under the sanitizer lanes, while the deadline-bounded
+  // run returns in ~26 ms Release / a few hundred ms under TSan.
+  EXPECT_LT(elapsed_ms, 1500.0)
+      << "deadline was not enforced inside the LP solves";
+
+  // The deadline fired *inside* running work, not just between
+  // strategies: at least one candidate must report the mid-solve skip.
+  int deadline_skips = 0;
+  bool mid_solve = false;
+  for (const CandidateOutcome& c : result.candidates) {
+    if (c.skip_reason == SkipReason::DeadlineExpired) {
+      ++deadline_skips;
+      if (c.detail.find("mid-") != std::string::npos) mid_solve = true;
+      EXPECT_NE(c.state, CandidateState::Failed);
+    }
+  }
+  EXPECT_GE(deadline_skips, 1);
+  EXPECT_TRUE(mid_solve)
+      << "expected at least one strategy stopped mid-solve/mid-heuristic";
+  // The cheap tree tier still certifies within 25 ms.
+  EXPECT_TRUE(result.ok);
+}
+
+TEST(BudgetGuard, SplitsDeadlineFromCancellation) {
+  BudgetGuard guard;
+  EXPECT_FALSE(guard.expired());
+  EXPECT_FALSE(guard.deadline_passed());
+  EXPECT_FALSE(guard.cancelled());
+
+  guard.deadline = Clock::now() - std::chrono::milliseconds(1);
+  EXPECT_TRUE(guard.deadline_passed());
+  EXPECT_FALSE(guard.cancelled());
+  EXPECT_TRUE(guard.expired());
+
+  BudgetGuard cancelled;
+  cancelled.cancel.request_stop();
+  EXPECT_TRUE(cancelled.cancelled());
+  EXPECT_FALSE(cancelled.deadline_passed());
+  EXPECT_TRUE(cancelled.expired());
 }
 
 }  // namespace

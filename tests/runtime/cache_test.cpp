@@ -69,6 +69,69 @@ TEST(ResultCache, PutRefreshesExistingEntry) {
   EXPECT_FALSE(cache.get(key(2)).has_value());
 }
 
+TEST(ResultCache, SmallCachesStayUnshardedForExactLru) {
+  // Below the shard threshold the cache keeps one shard, so the exact
+  // global-LRU eviction semantics of the tests above are preserved.
+  EXPECT_EQ(ResultCache(8).shard_count(), 1u);
+  EXPECT_EQ(ResultCache(ResultCache::kShardThreshold - 1).shard_count(), 1u);
+}
+
+TEST(ResultCache, LargeCachesShardWithAggregateCapacity) {
+  ResultCache cache(1024);
+  EXPECT_EQ(cache.shard_count(), ResultCache::kDefaultShards);
+  // Aggregate capacity: inserting far more unique keys than capacity
+  // keeps the total entry count at (or under) the configured capacity —
+  // never above it, and with a uniform key hash never far below.
+  for (std::uint64_t id = 0; id < 4096; ++id) {
+    cache.put(key(id), certified(static_cast<double>(id)));
+  }
+  CacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, 1024u);
+  EXPECT_GE(stats.entries, 1000u);  // instance keys spread ~uniformly
+  EXPECT_EQ(stats.evictions, 4096u - stats.entries);
+}
+
+TEST(ResultCache, ShardedHitMissAccountingAggregates) {
+  ResultCache cache(1024, 16);
+  for (std::uint64_t id = 0; id < 32; ++id) {
+    cache.put(key(id), certified(1.0));
+  }
+  for (std::uint64_t id = 0; id < 32; ++id) {
+    EXPECT_TRUE(cache.get(key(id)).has_value());
+  }
+  for (std::uint64_t id = 100; id < 116; ++id) {
+    EXPECT_FALSE(cache.get(key(id)).has_value());
+  }
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 32u);
+  EXPECT_EQ(stats.misses, 16u);
+  EXPECT_EQ(stats.entries, 32u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // hit/miss history survives clear() (same semantics as before sharding).
+  EXPECT_EQ(cache.stats().hits, 32u);
+}
+
+TEST(ResultCache, ShardedConcurrentHammer) {
+  // Heavy mixed traffic across every shard; runs under the TSan lane.
+  ResultCache cache(1024);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 2000; ++i) {
+        std::uint64_t id = static_cast<std::uint64_t>((t * 131 + i) % 512);
+        if (i % 2 == 0) {
+          cache.put(key(id), certified(static_cast<double>(id)));
+        } else if (auto hit = cache.get(key(id))) {
+          EXPECT_DOUBLE_EQ(hit->period, static_cast<double>(id));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.stats().entries, 1024u);
+}
+
 TEST(ResultCache, ConcurrentMixedTraffic) {
   ResultCache cache(64);
   std::vector<std::thread> threads;
