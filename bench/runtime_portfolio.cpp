@@ -545,10 +545,12 @@ int main(int argc, char** argv) {
   // ---- cache contention micro-bench: sharded vs single mutex ----
   const int kCacheOps = full ? 400000 : 100000;
   double cache_unsharded_ms, cache_sharded_ms;
+  std::size_t cache_auto_shards;
   {
     runtime::ResultCache unsharded(4096, 1);
     cache_unsharded_ms = hammer_cache(unsharded, kThreads, kCacheOps);
-    runtime::ResultCache sharded(4096);  // auto: 16 shards
+    runtime::ResultCache sharded(4096);  // auto: scales with the machine
+    cache_auto_shards = sharded.stats().shards;
     cache_sharded_ms = hammer_cache(sharded, kThreads, kCacheOps);
   }
   double cache_speedup = cache_sharded_ms > 0.0
@@ -556,9 +558,9 @@ int main(int argc, char** argv) {
                              : 0.0;
   const unsigned hw_threads = std::thread::hardware_concurrency();
   std::printf("result-cache contention (%d threads x %d ops): single mutex "
-              "%.1f ms, 16 shards %.1f ms (%.2fx)\n",
-              kThreads, kCacheOps, cache_unsharded_ms, cache_sharded_ms,
-              cache_speedup);
+              "%.1f ms, %zu auto shard(s) %.1f ms (%.2fx)\n",
+              kThreads, kCacheOps, cache_unsharded_ms, cache_auto_shards,
+              cache_sharded_ms, cache_speedup);
   if (hw_threads <= 1) {
     std::printf("  note: %u hardware thread(s) — threads timeslice instead "
                 "of contending, so shard scaling cannot show here\n",
@@ -638,6 +640,7 @@ int main(int argc, char** argv) {
        << "  \"cache_contention\": {\n"
        << "    \"threads\": " << kThreads << ",\n"
        << "    \"hardware_threads\": " << hw_threads << ",\n"
+       << "    \"auto_shards\": " << cache_auto_shards << ",\n"
        << "    \"ops_per_thread\": " << kCacheOps << ",\n"
        << "    \"single_mutex_ms\": " << cache_unsharded_ms << ",\n"
        << "    \"sharded_ms\": " << cache_sharded_ms << ",\n"

@@ -1,200 +1,54 @@
 /// \file portfolio_server.cpp
-/// Demo of the pmcast v1 Service facade: a control plane receiving waves
-/// of multicast-provisioning requests over a fleet of Tiers platforms,
-/// answering each with the best *certified* steady-state period the
-/// portfolio can find under a per-request deadline.
+/// The v1 serving story in ~40 lines: the portfolio engine runs as a
+/// resident daemon (tools/pmcast_serve) owning the worker pool, the warm
+/// LP state and the shared result cache, and applications are thin remote
+/// clients — one cheap binary round-trip per solve.
 ///
-/// Usage:
-///   portfolio_server [threads] [batches] [batch-size]
-///   portfolio_server <platform-file>...   # serve your own instances once
+///   ./tools/pmcast_serve --port 9077 &
+///   ./examples/portfolio_server 9077 net1.platform net2.platform
 ///
-/// Each wave mixes repeat customers (hot platform+targets pairs, served
-/// from the cache or coalesced within the batch) with new target sets.
-/// Waves are submitted with submit_batch(): responses stream through the
-/// on_result callback as they certify — the wave report shows
-/// time-to-first-result next to the full-wave wall time, which is the
-/// facade's advantage over the old blocking solve_batch.
+/// A repeated platform+targets pair is answered from the daemon's cache in
+/// sub-millisecond server time (look for [cache] in the output).
 
-#include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
-#include <mutex>
-#include <string>
-#include <vector>
 
+#include "pmcast/client.hpp"
 #include "pmcast/pmcast.hpp"
-#include "pmcast/graph.hpp"
-#include "pmcast/topology.hpp"
 
 using namespace pmcast;
 
-namespace {
-
-using ExampleClock = std::chrono::steady_clock;
-
-double ms_since(ExampleClock::time_point start) {
-  return std::chrono::duration<double, std::milli>(ExampleClock::now() -
-                                                   start)
-      .count();
-}
-
-int serve_files(const std::vector<std::string>& files, Service& service) {
-  std::vector<SolveRequest> batch;
-  for (const std::string& file : files) {
-    Result<PlatformFile> parsed = load_platform(file);
-    if (!parsed.ok()) {
-      // file:line:column diagnostics straight from the Status.
-      std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
-      return 1;
-    }
-    SolveRequest request;
-    Result<Problem> problem =
-        make_problem(std::move(parsed->graph), parsed->source,
-                     std::move(parsed->targets));
-    if (!problem.ok()) {
-      std::fprintf(stderr, "%s: %s\n", file.c_str(),
-                   problem.status().to_string().c_str());
-      return 1;
-    }
-    request.problem = std::move(*problem);
-    batch.push_back(std::move(request));
-  }
-  std::vector<Result<SolveResponse>> results =
-      service.solve_batch(std::move(batch));
-  int failed = 0;
-  for (size_t i = 0; i < results.size(); ++i) {
-    if (results[i].ok()) {
-      const SolveResponse& r = *results[i];
-      std::printf("%s: period %.6g (throughput %.6g) via %s, %.1f ms\n",
-                  files[i].c_str(), r.period, r.throughput(),
-                  strategy_id_name(r.winner), r.timing.solve_ms);
-    } else {
-      std::printf("%s: %s\n", files[i].c_str(),
-                  results[i].status().to_string().c_str());
-      ++failed;
-    }
-  }
-  return failed == 0 ? 0 : 1;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  int threads = 8;
-  int batches = 3;
-  int batch_size = 12;
-  std::vector<std::string> files;
-  std::vector<int> numbers;
-  for (int i = 1; i < argc; ++i) {
-    char* end = nullptr;
-    long v = std::strtol(argv[i], &end, 10);
-    if (end != argv[i] && *end == '\0' && v > 0) {
-      numbers.push_back(static_cast<int>(v));
-    } else if (argv[i][0] == '-') {
-      std::fprintf(stderr,
-                   "usage: portfolio_server [threads] [batches] "
-                   "[batch-size]\n"
-                   "       portfolio_server <platform-file>...\n");
-      return 2;
-    } else {
-      files.emplace_back(argv[i]);
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <port> <platform-file>...\n", argv[0]);
+    return 2;
+  }
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+  Result<net::Client> client = net::Client::connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().to_string().c_str());
+    return 1;
+  }
+  int failed = 0;
+  for (int i = 2; i < argc; ++i) {
+    Result<PlatformFile> platform = load_platform(argv[i]);
+    Result<Problem> problem =
+        platform.ok() ? make_problem(std::move(platform->graph),
+                                     platform->source,
+                                     std::move(platform->targets))
+                      : platform.status();
+    SolveRequest request;
+    if (problem.ok()) request.problem = std::move(*problem);
+    Result<net::RemoteResponse> response =
+        problem.ok() ? client->solve(request) : problem.status();
+    if (!response.ok()) {
+      std::printf("%s: %s\n", argv[i], response.status().to_string().c_str());
+      ++failed;
+      continue;
     }
+    std::printf("%s: period %.6g via %s, %.2f ms server-side%s\n", argv[i],
+                response->period, strategy_id_name(response->winner),
+                response->total_ms, response->from_cache ? " [cache]" : "");
   }
-  if (numbers.size() > 0) threads = numbers[0];
-  if (numbers.size() > 1) batches = numbers[1];
-  if (numbers.size() > 2) batch_size = numbers[2];
-
-  ServiceOptions options;
-  options.threads = threads;
-  options.cache_capacity = 1024;
-  options.default_deadline_ms = 30'000.0;  // per-request ceiling
-  Service service(options);
-
-  if (!files.empty()) return serve_files(files, service);
-
-  std::printf("portfolio server: %d worker threads, %d waves of %d "
-              "requests\n\n", threads, batches, batch_size);
-
-  // A small fleet of platforms; customers = (platform, target set) pairs.
-  topo::TiersParams params;
-  params.wan_nodes = 3;
-  params.mans = 1;
-  params.man_nodes = 3;
-  params.lans = 2;
-  params.lan_nodes = 6;  // 12 nodes total: every strategy incl. LP ones is
-                         // interactive, and repeats exercise the cache
-  std::vector<topo::Platform> fleet;
-  for (std::uint64_t s = 1; s <= 3; ++s) {
-    fleet.push_back(topo::generate_tiers(params, s));
-  }
-
-  Rng rng(2026);
-  std::map<std::string, int> winners;
-  std::mutex winners_mutex;
-  int cache_served = 0, coalesced = 0, solved = 0, failed = 0;
-  for (int wave = 0; wave < batches; ++wave) {
-    std::vector<SolveRequest> batch;
-    for (int r = 0; r < batch_size; ++r) {
-      const topo::Platform& platform =
-          fleet[rng.uniform(fleet.size())];
-      // Hot customers: a third of requests reuse one fixed target set.
-      std::vector<NodeId> targets;
-      if (rng.bernoulli(0.33)) {
-        targets.assign(platform.lan.begin(),
-                       platform.lan.begin() + 3);
-      } else {
-        Rng customer(rng.uniform(4));  // few distinct customers per platform
-        targets = topo::sample_targets(platform, 0.5, customer);
-      }
-      SolveRequest request;
-      request.problem = Problem(platform.graph, platform.source, targets);
-      // Hot customers are latency-critical: dispatch them first.
-      request.priority = rng.bernoulli(0.33) ? 1 : 0;
-      batch.push_back(std::move(request));
-    }
-
-    // Streaming submission: the callback sees each response as it
-    // certifies, long before the wave's straggler finishes.
-    ExampleClock::time_point wave_start = ExampleClock::now();
-    std::atomic<int> delivered{0};
-    std::atomic<double> first_result_ms{0.0};
-    SolveBatch handle = service.submit_batch(
-        std::move(batch),
-        [&](std::size_t, const Result<SolveResponse>& result) {
-          if (delivered.fetch_add(1) == 0) {
-            first_result_ms.store(ms_since(wave_start));
-          }
-          if (!result.ok()) return;
-          std::lock_guard<std::mutex> lock(winners_mutex);
-          ++winners[strategy_id_name(result->winner)];
-        });
-    handle.wait_all();
-    double wave_ms = ms_since(wave_start);
-
-    for (std::size_t i = 0; i < handle.size(); ++i) {
-      Result<SolveResponse> r = handle.get(i);
-      if (!r.ok()) { ++failed; continue; }
-      if (r->provenance.from_cache) ++cache_served;
-      else if (r->provenance.coalesced) ++coalesced;
-      else ++solved;
-    }
-    CacheMetrics metrics = service.cache_metrics();
-    std::printf("wave %d: %zu requests, first result after %.1f ms, wave "
-                "done in %.1f ms  (cache %.0f%% hit rate, %zu entries)\n",
-                wave + 1, handle.size(), first_result_ms.load(), wave_ms,
-                100.0 * metrics.hit_rate(), metrics.entries);
-  }
-
-  std::printf("\nserved %d fresh, %d coalesced, %d from cache, %d failed\n",
-              solved, coalesced, cache_served, failed);
-  std::printf("winning strategies:\n");
-  for (const auto& [name, count] : winners) {
-    std::printf("  %-20s %d\n", name.c_str(), count);
-  }
-  std::printf("\nEvery reported period is certificate-validated: tree "
-              "winners via core::verify_certificate, flow winners via "
-              "schedule reconstruction + sched::validate_schedule.\n");
   return failed == 0 ? 0 : 1;
 }

@@ -1,0 +1,10 @@
+#pragma once
+/// \file pmcast/client.hpp
+/// Toolkit re-export: the blocking remote client for the pmcast daemon.
+/// A pmcast::net::Client turns a SolveRequest into one cheap binary
+/// round-trip against a resident pmcast_serve process — the thin-client
+/// half of the daemon split (hot state lives server-side, nothing is
+/// reloaded per process). Unversioned; see DESIGN_SERVER.md.
+
+#include "net/client.hpp"
+#include "net/protocol.hpp"

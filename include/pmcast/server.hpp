@@ -1,0 +1,10 @@
+#pragma once
+/// \file pmcast/server.hpp
+/// Toolkit re-export: the pmcast-serve resident daemon — an epoll socket
+/// server over pmcast::Service with a binary wire protocol, per-tenant
+/// admission control and graceful SIGTERM drain. Embed it to host the
+/// portfolio engine as a long-lived network service (tools/pmcast_serve is
+/// the stock daemon binary). Unversioned; see DESIGN_SERVER.md.
+
+#include "net/protocol.hpp"
+#include "net/server.hpp"

@@ -71,6 +71,9 @@ struct CacheMetrics {
   std::size_t misses = 0;
   std::size_t evictions = 0;
   std::size_t entries = 0;
+  /// Shard count the cache runs with (auto-scaled to hardware_concurrency
+  /// unless configured explicitly).
+  std::size_t shards = 1;
 
   double hit_rate() const {
     std::size_t total = hits + misses;

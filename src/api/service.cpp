@@ -500,6 +500,7 @@ CacheMetrics Service::cache_metrics() const {
   metrics.misses = stats.misses;
   metrics.evictions = stats.evictions;
   metrics.entries = stats.entries;
+  metrics.shards = stats.shards;
   return metrics;
 }
 

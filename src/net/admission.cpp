@@ -1,0 +1,104 @@
+#include "net/admission.hpp"
+
+#include <algorithm>
+
+namespace pmcast::net {
+
+AdmissionController::AdmissionController(Options options)
+    : options_(std::move(options)) {}
+
+AdmissionController::TenantState& AdmissionController::state_for(
+    std::uint32_t tenant, double now_ms) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  TenantState& state = it->second;
+  if (inserted) {
+    auto quota_it = options_.tenant_quotas.find(tenant);
+    state.quota = quota_it != options_.tenant_quotas.end()
+                      ? quota_it->second
+                      : options_.default_quota;
+  }
+  if (!state.primed) {
+    // First sight of this tenant: a full bucket, so short bursts from a
+    // fresh tenant are not penalised by an arbitrary epoch.
+    state.tokens = state.quota.burst > 0.0 ? state.quota.burst
+                                           : std::max(state.quota.qps, 1.0);
+    state.last_refill_ms = now_ms;
+    state.primed = true;
+  }
+  return state;
+}
+
+AdmissionDecision AdmissionController::admit(std::uint32_t tenant,
+                                             double now_ms, double deadline_ms,
+                                             int worker_threads) {
+  TenantState& state = state_for(tenant, now_ms);
+
+  // In-flight caps first: they bound memory and queue growth regardless of
+  // arrival rate, and apply to no-deadline requests too (a request that is
+  // willing to wait forever must not be allowed to queue forever).
+  if (options_.global_max_in_flight > 0 &&
+      global_in_flight_ >= options_.global_max_in_flight) {
+    return AdmissionDecision::kShedInFlight;
+  }
+  if (state.quota.max_in_flight > 0 &&
+      state.in_flight >= state.quota.max_in_flight) {
+    return AdmissionDecision::kShedInFlight;
+  }
+
+  // Token bucket at ms resolution; clock never moves backwards by contract
+  // (monotone clock), but clamp anyway so a bad caller cannot mint tokens.
+  if (state.quota.qps > 0.0) {
+    const double burst = state.quota.burst > 0.0
+                             ? state.quota.burst
+                             : std::max(state.quota.qps, 1.0);
+    const double elapsed_ms = std::max(0.0, now_ms - state.last_refill_ms);
+    state.tokens = std::min(
+        burst, state.tokens + elapsed_ms * state.quota.qps / 1000.0);
+    state.last_refill_ms = now_ms;
+    if (state.tokens < 1.0) return AdmissionDecision::kShedQps;
+  }
+
+  // Deadline-aware shedding: only for requests that actually carry a
+  // deadline (deadline_ms >= 0; negative = no deadline).
+  if (deadline_ms >= 0.0) {
+    const double est = estimated_queue_delay_ms(worker_threads);
+    if (est * options_.shed_safety_factor > deadline_ms) {
+      return AdmissionDecision::kShedDeadline;
+    }
+  }
+
+  if (state.quota.qps > 0.0) state.tokens -= 1.0;
+  ++state.in_flight;
+  ++global_in_flight_;
+  return AdmissionDecision::kAdmit;
+}
+
+void AdmissionController::complete(std::uint32_t tenant, double solve_ms) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.in_flight > 0) {
+    --it->second.in_flight;
+  }
+  if (global_in_flight_ > 0) --global_in_flight_;
+  if (solve_ms >= 0.0) {
+    if (!ewma_primed_) {
+      ewma_solve_ms_ = solve_ms;
+      ewma_primed_ = true;
+    } else {
+      ewma_solve_ms_ += options_.ewma_alpha * (solve_ms - ewma_solve_ms_);
+    }
+  }
+}
+
+double AdmissionController::estimated_queue_delay_ms(
+    int worker_threads) const {
+  if (!ewma_primed_ || global_in_flight_ == 0) return 0.0;
+  const double lanes = static_cast<double>(std::max(worker_threads, 1));
+  return static_cast<double>(global_in_flight_) / lanes * ewma_solve_ms_;
+}
+
+int AdmissionController::tenant_in_flight(std::uint32_t tenant) const {
+  auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second.in_flight : 0;
+}
+
+}  // namespace pmcast::net

@@ -1,0 +1,102 @@
+#pragma once
+/// \file admission.hpp
+/// Admission control for the pmcast daemon: per-tenant token-bucket QPS
+/// limits, per-tenant and global in-flight caps, and deadline-aware load
+/// shedding. The controller's job is to reject work *before* any solver
+/// budget is spent on it — a request whose deadline cannot survive the
+/// estimated queue delay is answered with an explicit Overloaded wire
+/// error in microseconds instead of burning a worker slot to produce a
+/// DeadlineExceeded seconds later.
+///
+/// All methods take an explicit `now_ms` timestamp (any monotone ms clock)
+/// so policies are unit-testable without sleeping. The controller is not
+/// thread-safe: the server calls it from the event-loop thread only.
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace pmcast::net {
+
+/// Per-tenant limits. Zero always means "unlimited" so a default-constructed
+/// quota admits everything.
+struct TenantQuota {
+  double qps = 0.0;         ///< sustained requests/second (0 = unlimited)
+  double burst = 0.0;       ///< bucket depth; 0 = max(qps, 1)
+  int max_in_flight = 0;    ///< concurrent admitted requests (0 = unlimited)
+};
+
+enum class AdmissionDecision {
+  kAdmit,
+  kShedQps,       ///< tenant token bucket empty
+  kShedInFlight,  ///< tenant (or global) in-flight cap reached
+  kShedDeadline,  ///< estimated queue delay exceeds the request deadline
+};
+
+inline const char* admission_decision_name(AdmissionDecision d) {
+  switch (d) {
+    case AdmissionDecision::kAdmit: return "admit";
+    case AdmissionDecision::kShedQps: return "shed_qps";
+    case AdmissionDecision::kShedInFlight: return "shed_in_flight";
+    case AdmissionDecision::kShedDeadline: return "shed_deadline";
+  }
+  return "?";
+}
+
+class AdmissionController {
+ public:
+  struct Options {
+    TenantQuota default_quota;  ///< applied to tenants without an override
+    std::unordered_map<std::uint32_t, TenantQuota> tenant_quotas;
+    int global_max_in_flight = 0;  ///< across all tenants (0 = unlimited)
+    /// Safety margin on the queue-delay shed: shed when
+    /// estimated_delay * factor > deadline. > 1 sheds earlier.
+    double shed_safety_factor = 1.0;
+    /// EWMA smoothing for the per-request solve-time estimate.
+    double ewma_alpha = 0.2;
+  };
+
+  explicit AdmissionController(Options options);
+
+  /// Decide one request. \p deadline_ms is the request's *relative* deadline
+  /// budget in ms, or a negative value for "no deadline" (no-deadline
+  /// requests are never deadline-shed but still count against — and are
+  /// rejected past — every in-flight cap). \p worker_threads scales the
+  /// queue-delay estimate. On kAdmit the tenant's in-flight count and token
+  /// bucket are charged; every other decision leaves all state untouched.
+  AdmissionDecision admit(std::uint32_t tenant, double now_ms,
+                          double deadline_ms, int worker_threads);
+
+  /// Release one admitted request and fold its observed solve time into the
+  /// queue-delay estimate (pass solve_ms < 0 to skip the EWMA update, e.g.
+  /// for requests that errored before solving).
+  void complete(std::uint32_t tenant, double solve_ms);
+
+  /// Estimated delay (ms) a newly admitted request would wait before a
+  /// worker picks it up: in-flight work ahead of it, spread over the
+  /// workers, times the smoothed per-request solve time. Zero until the
+  /// first completion is observed — admission must not shed on no data.
+  double estimated_queue_delay_ms(int worker_threads) const;
+
+  int global_in_flight() const { return global_in_flight_; }
+  int tenant_in_flight(std::uint32_t tenant) const;
+  double ewma_solve_ms() const { return ewma_solve_ms_; }
+
+ private:
+  struct TenantState {
+    TenantQuota quota;
+    double tokens = 0.0;
+    double last_refill_ms = 0.0;
+    bool primed = false;  ///< bucket starts full on first sight
+    int in_flight = 0;
+  };
+
+  TenantState& state_for(std::uint32_t tenant, double now_ms);
+
+  Options options_;
+  std::unordered_map<std::uint32_t, TenantState> tenants_;
+  int global_in_flight_ = 0;
+  double ewma_solve_ms_ = 0.0;
+  bool ewma_primed_ = false;
+};
+
+}  // namespace pmcast::net

@@ -1,0 +1,274 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace pmcast::net {
+namespace {
+
+using ClientClock = std::chrono::steady_clock;
+
+Status socket_error(const std::string& what) {
+  return Status(StatusCode::kUnavailable, what + ": " + std::strerror(errno));
+}
+
+void set_recv_timeout(int fd, double timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0.0) {
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;
+  }
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      options_(other.options_),
+      next_request_id_(other.next_request_id_),
+      in_(std::move(other.in_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    options_ = other.options_;
+    next_request_id_ = other.next_request_id_;
+    in_ = std::move(other.in_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+}
+
+Result<Client> Client::connect(const std::string& host, std::uint16_t port,
+                               ClientOptions options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return socket_error("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not a dotted quad: resolve it.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* resolved = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &resolved) != 0 ||
+        resolved == nullptr) {
+      ::close(fd);
+      return Status(StatusCode::kNotFound,
+                    "cannot resolve host '" + host + "'");
+    }
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(resolved->ai_addr)->sin_addr;
+    ::freeaddrinfo(resolved);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = socket_error("connect " + host + ":" +
+                                 std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Client client;
+  client.fd_ = fd;
+  client.options_ = options;
+  return client;
+}
+
+Status Client::send_all(const std::vector<std::uint8_t>& bytes) {
+  if (fd_ < 0) return Status(StatusCode::kUnavailable, "client not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return socket_error("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<Frame> Client::read_matching(std::uint64_t request_id,
+                                    double timeout_ms) {
+  const ClientClock::time_point start = ClientClock::now();
+  while (true) {
+    // Frames already buffered first.
+    while (true) {
+      Frame frame;
+      std::size_t consumed = 0;
+      std::string error;
+      const FrameStatus status =
+          extract_frame(in_, &frame, &consumed, &error);
+      if (status == FrameStatus::kMalformed) {
+        close();
+        return Status(StatusCode::kInternal,
+                      "protocol error from server: " + error);
+      }
+      if (status == FrameStatus::kNeedMore) break;
+      in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(
+                                               consumed));
+      if (frame.header.request_id == request_id) return frame;
+      // A stale frame (response to an id we stopped waiting for): drop it.
+    }
+
+    double remaining_ms = -1.0;
+    if (timeout_ms >= 0.0) {
+      const double elapsed =
+          std::chrono::duration<double, std::milli>(ClientClock::now() -
+                                                    start)
+              .count();
+      remaining_ms = timeout_ms - elapsed;
+      if (remaining_ms <= 0.0) {
+        return Status(StatusCode::kDeadlineExceeded,
+                      "timed out waiting for the server's response");
+      }
+    }
+    set_recv_timeout(fd_, remaining_ms > 0.0 ? remaining_ms : 0.0);
+
+    std::uint8_t chunk[16 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      in_.insert(in_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR)) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status(StatusCode::kDeadlineExceeded,
+                    "timed out waiting for the server's response");
+    }
+    close();
+    return Status(StatusCode::kUnavailable,
+                  n == 0 ? "server closed the connection"
+                         : std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<RemoteResponse> Client::solve(const SolveRequest& request) {
+  if (fd_ < 0) return Status(StatusCode::kUnavailable, "client not connected");
+  Status valid = validate_problem(request.problem);
+  if (!valid.ok()) return valid;
+
+  WireRequest wire;
+  wire.tenant = options_.tenant;
+  wire.request_id = next_request_id_++;
+  if (request.deadline_ms < 0.0) {
+    wire.no_deadline = true;  // the explicit kNoDeadline sentinel
+  } else {
+    wire.deadline_ms = request.deadline_ms;
+  }
+  wire.priority = request.priority;
+  wire.strategy_mask = mask_from_strategies(request.strategies);
+  wire.exact_max_nodes = request.limits.exact_max_nodes;
+  wire.exact_max_trees =
+      static_cast<std::uint64_t>(request.limits.exact_max_trees);
+  if (request.pruning.has_value()) {
+    wire.pruning = static_cast<std::uint8_t>(*request.pruning);
+  }
+  wire.known_lower_bound = request.known_lower_bound;
+  wire.problem = request.problem;
+
+  Status sent = send_all(encode_solve_request(wire));
+  if (!sent.ok()) return sent;
+
+  // How long to block: the request's own deadline plus slack, or the
+  // no-deadline client cap (0 = forever).
+  double timeout_ms = -1.0;
+  if (!wire.no_deadline && wire.deadline_ms > 0.0) {
+    timeout_ms = wire.deadline_ms + options_.response_slack_ms;
+  } else if (options_.response_timeout_ms > 0.0) {
+    timeout_ms = options_.response_timeout_ms;
+  }
+
+  Result<Frame> frame = read_matching(wire.request_id, timeout_ms);
+  if (!frame.ok()) return frame.status();
+
+  if (frame->header.type == MessageType::kError) {
+    Result<WireErrorMessage> error = decode_error(*frame);
+    if (!error.ok()) {
+      close();
+      return Status(StatusCode::kInternal,
+                    "undecodable error frame: " + error.status().message());
+    }
+    return error->to_status();
+  }
+  if (frame->header.type != MessageType::kSolveResponse) {
+    close();
+    return Status(StatusCode::kInternal,
+                  std::string("unexpected frame type ") +
+                      message_type_name(frame->header.type));
+  }
+  Result<WireResponse> wire_response = decode_solve_response(*frame);
+  if (!wire_response.ok()) {
+    close();
+    return Status(StatusCode::kInternal, "undecodable response frame: " +
+                                             wire_response.status().message());
+  }
+
+  RemoteResponse out;
+  out.period = wire_response->period;
+  out.winner = static_cast<StrategyId>(wire_response->winner);
+  out.from_cache = wire_response->from_cache != 0;
+  out.coalesced = wire_response->coalesced != 0;
+  out.solve_ms = wire_response->solve_ms;
+  out.total_ms = wire_response->total_ms;
+  out.queue_ms = wire_response->queue_ms;
+  out.certified = static_cast<int>(wire_response->certified);
+  out.failed = static_cast<int>(wire_response->failed);
+  out.skipped = static_cast<int>(wire_response->skipped);
+  out.pruned = static_cast<int>(wire_response->pruned);
+  out.proven_lower_bound = wire_response->proven_lower_bound;
+  out.outcomes = std::move(wire_response->outcomes);
+  return out;
+}
+
+Status Client::cancel(std::uint64_t request_id) {
+  return send_all(encode_cancel(request_id, options_.tenant));
+}
+
+Result<ServerWireStats> Client::stats() {
+  if (fd_ < 0) return Status(StatusCode::kUnavailable, "client not connected");
+  const std::uint64_t id = next_request_id_++;
+  Status sent = send_all(encode_stats_request(id));
+  if (!sent.ok()) return sent;
+  const double timeout_ms =
+      options_.response_timeout_ms > 0.0 ? options_.response_timeout_ms
+                                         : 10'000.0;
+  Result<Frame> frame = read_matching(id, timeout_ms);
+  if (!frame.ok()) return frame.status();
+  if (frame->header.type != MessageType::kStatsResponse) {
+    return Status(StatusCode::kInternal,
+                  std::string("unexpected frame type ") +
+                      message_type_name(frame->header.type));
+  }
+  return decode_stats_response(*frame);
+}
+
+}  // namespace pmcast::net

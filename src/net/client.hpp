@@ -1,0 +1,109 @@
+#pragma once
+/// \file client.hpp
+/// Thin blocking client for the pmcast daemon (src/net/server.hpp). One
+/// Client owns one TCP connection and issues one request at a time —
+/// the cheap-remote-round-trip half of the resident-daemon split: all hot
+/// state (worker pool, warm LP bases, result cache) lives in the server
+/// process, so a client round-trip for a cached instance costs a network
+/// hop instead of a portfolio solve.
+///
+/// Concurrency model: a Client is not thread-safe and pipelines nothing;
+/// open one Client per concurrent caller (connections are cheap, the
+/// daemon multiplexes thousands). solve() blocks until the response or
+/// error frame for its request id arrives.
+///
+/// Deadlines travel as relative milliseconds and are re-anchored by the
+/// server on arrival (clock skew between hosts never taints a deadline);
+/// SolveRequest::kNoDeadline is preserved end-to-end as a protocol flag,
+/// never as a sentinel float on the wire. The client additionally bounds
+/// its own blocking time: deadline + ClientOptions::response_slack_ms for
+/// deadline'd requests, ClientOptions::response_timeout_ms otherwise.
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.hpp"
+#include "pmcast/request.hpp"
+#include "pmcast/status.hpp"
+
+namespace pmcast::net {
+
+struct ClientOptions {
+  /// Tenant id stamped on every frame (admission control key).
+  std::uint32_t tenant = 0;
+  /// Wall-clock cap on waiting for a response when the request carries no
+  /// deadline; 0 = wait forever.
+  double response_timeout_ms = 0.0;
+  /// Extra wait beyond a request's own deadline before giving up on the
+  /// socket (covers transfer + scheduling noise).
+  double response_slack_ms = 2'000.0;
+};
+
+/// What a remote solve returns: the certified answer plus the server-side
+/// provenance/timing the wire carries (see WireResponse).
+struct RemoteResponse {
+  double period = 0.0;
+  StrategyId winner = StrategyId::Mcph;
+  bool from_cache = false;
+  bool coalesced = false;
+  double solve_ms = 0.0;
+  double total_ms = 0.0;
+  double queue_ms = 0.0;
+  int certified = 0;
+  int failed = 0;
+  int skipped = 0;
+  int pruned = 0;
+  double proven_lower_bound = 0.0;
+  std::vector<WireOutcome> outcomes;
+
+  double throughput() const { return period > 0.0 ? 1.0 / period : 0.0; }
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a daemon. Fails with kUnavailable when nobody listens.
+  static Result<Client> connect(const std::string& host, std::uint16_t port,
+                                ClientOptions options = {});
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Solve one instance remotely. The request's cancellation token is
+  /// ignored (remote cancellation is cancel_last()); everything else —
+  /// deadline (incl. kNoDeadline), priority, strategy allowlist, limits,
+  /// pruning override, known_lower_bound — travels on the wire.
+  Result<RemoteResponse> solve(const SolveRequest& request);
+
+  /// Fire-and-forget cancel for the most recent solve's request id — only
+  /// useful from another thread's Client or after a timeout, since solve()
+  /// itself blocks.
+  Status cancel(std::uint64_t request_id);
+
+  /// Fetch the daemon's counter snapshot.
+  Result<ServerWireStats> stats();
+
+  /// The id solve() will stamp on its next request.
+  std::uint64_t next_request_id() const { return next_request_id_; }
+
+  void close();
+
+ private:
+  Status send_all(const std::vector<std::uint8_t>& bytes);
+  /// Read frames until one with \p request_id arrives (or timeout_ms < 0 =
+  /// forever). Stale responses for earlier, timed-out ids are discarded.
+  Result<Frame> read_matching(std::uint64_t request_id, double timeout_ms);
+
+  int fd_ = -1;
+  ClientOptions options_;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<std::uint8_t> in_;
+};
+
+}  // namespace pmcast::net

@@ -35,6 +35,9 @@ struct CacheStats {
   std::size_t misses = 0;
   std::size_t evictions = 0;
   std::size_t entries = 0;
+  /// The shard count this cache actually runs with (the auto-pick depends
+  /// on hardware_concurrency, so report it wherever stats land).
+  std::size_t shards = 1;
 
   double hit_rate() const {
     std::size_t total = hits + misses;
@@ -45,14 +48,21 @@ struct CacheStats {
 
 class ResultCache {
  public:
-  /// Shard count for caches of at least kShardThreshold entries; smaller
-  /// caches use one shard (exact LRU, and a per-shard capacity of a
-  /// handful of entries would make eviction behaviour surprising).
-  static constexpr std::size_t kDefaultShards = 16;
+  /// Cap on the automatic shard count; caches below kShardThreshold
+  /// entries always use one shard (exact LRU, and a per-shard capacity of
+  /// a handful of entries would make eviction behaviour surprising).
+  static constexpr std::size_t kMaxAutoShards = 16;
+  /// Deprecated alias (pre-auto-scaling name); the auto-pick no longer
+  /// uses a fixed 16 — see the constructor.
+  static constexpr std::size_t kDefaultShards = kMaxAutoShards;
   static constexpr std::size_t kShardThreshold = 256;
 
   /// \p capacity = max cached results across all shards; 0 disables
-  /// caching entirely. \p shards = 0 picks automatically (see above).
+  /// caching entirely. \p shards = 0 picks automatically: the smallest
+  /// power of two >= hardware_concurrency, capped at kMaxAutoShards — so a
+  /// 1-core box gets a single mutex (sharding there is pure overhead: the
+  /// threads timeslice instead of contending) and a 16-way box gets 16
+  /// shards. The chosen count is reported via stats().shards.
   explicit ResultCache(std::size_t capacity, std::size_t shards = 0);
 
   /// Look up \p key; a hit refreshes recency and returns a copy with

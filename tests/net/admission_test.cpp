@@ -1,0 +1,177 @@
+/// Admission-control policy suite. Everything runs against an explicit
+/// millisecond clock — no sleeping — because the controller takes now_ms as
+/// a parameter precisely so these policies are unit-testable.
+
+#include "net/admission.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmcast::net {
+namespace {
+
+TEST(Admission, DefaultQuotaAdmitsEverything) {
+  AdmissionController ctl({});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(ctl.admit(0, 0.0, 100.0, 4), AdmissionDecision::kAdmit);
+  }
+  EXPECT_EQ(ctl.global_in_flight(), 1000);
+}
+
+TEST(Admission, TokenBucketPrimesFullThenRefillsAtQps) {
+  AdmissionController::Options options;
+  options.default_quota.qps = 10.0;  // 1 token per 100 ms
+  options.default_quota.burst = 3.0;
+  AdmissionController ctl(options);
+
+  // Fresh tenant: the bucket starts full (burst deep), so a short burst
+  // is not penalised by epoch placement.
+  double now = 5000.0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ctl.admit(1, now, -1.0, 1), AdmissionDecision::kAdmit) << i;
+  }
+  EXPECT_EQ(ctl.admit(1, now, -1.0, 1), AdmissionDecision::kShedQps);
+
+  // 100 ms buys exactly one token at 10 qps.
+  now += 99.0;
+  EXPECT_EQ(ctl.admit(1, now, -1.0, 1), AdmissionDecision::kShedQps);
+  now += 1.0;
+  EXPECT_EQ(ctl.admit(1, now, -1.0, 1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(1, now, -1.0, 1), AdmissionDecision::kShedQps);
+
+  // Refill is capped at the burst depth no matter how long the idle gap.
+  now += 3600.0 * 1000.0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ctl.admit(1, now, -1.0, 1), AdmissionDecision::kAdmit) << i;
+  }
+  EXPECT_EQ(ctl.admit(1, now, -1.0, 1), AdmissionDecision::kShedQps);
+}
+
+TEST(Admission, ShedRequestsDoNotChargeTheBucket) {
+  AdmissionController::Options options;
+  options.default_quota.qps = 10.0;
+  options.default_quota.burst = 1.0;
+  options.default_quota.max_in_flight = 1;
+  AdmissionController ctl(options);
+
+  EXPECT_EQ(ctl.admit(1, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
+  // In-flight shed must not burn the token that refilled meanwhile.
+  EXPECT_EQ(ctl.admit(1, 200.0, -1.0, 1), AdmissionDecision::kShedInFlight);
+  ctl.complete(1, -1.0);
+  EXPECT_EQ(ctl.admit(1, 200.0, -1.0, 1), AdmissionDecision::kAdmit);
+}
+
+TEST(Admission, NoDeadlineRequestsAreStillCappedInFlight) {
+  // The satellite contract: "no deadline" opts out of deadline shedding
+  // only — a request willing to wait forever must not be allowed to queue
+  // forever, so every in-flight cap still applies.
+  AdmissionController::Options options;
+  options.default_quota.max_in_flight = 2;
+  AdmissionController ctl(options);
+
+  EXPECT_EQ(ctl.admit(3, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(3, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(3, 0.0, -1.0, 1), AdmissionDecision::kShedInFlight);
+  EXPECT_EQ(ctl.tenant_in_flight(3), 2);
+
+  ctl.complete(3, 50.0);
+  EXPECT_EQ(ctl.admit(3, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
+}
+
+TEST(Admission, GlobalInFlightCapSpansTenants) {
+  AdmissionController::Options options;
+  options.global_max_in_flight = 3;
+  AdmissionController ctl(options);
+
+  EXPECT_EQ(ctl.admit(1, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(2, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(3, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(4, 0.0, -1.0, 1), AdmissionDecision::kShedInFlight);
+  ctl.complete(2, 10.0);
+  EXPECT_EQ(ctl.admit(4, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
+}
+
+TEST(Admission, DeadlineShedUsesEstimatedQueueDelay) {
+  AdmissionController ctl({});
+
+  // No completions observed yet: the estimate is zero — never shed on no
+  // data, whatever is in flight.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(ctl.admit(1, 0.0, 1.0, 1), AdmissionDecision::kAdmit);
+  }
+  EXPECT_DOUBLE_EQ(ctl.estimated_queue_delay_ms(1), 0.0);
+
+  // One completion primes the EWMA at its solve time.
+  ctl.complete(1, 100.0);
+  EXPECT_DOUBLE_EQ(ctl.ewma_solve_ms(), 100.0);
+  // 7 in flight / 1 worker * 100 ms = 700 ms estimated delay.
+  EXPECT_DOUBLE_EQ(ctl.estimated_queue_delay_ms(1), 700.0);
+  // More workers divide the delay.
+  EXPECT_DOUBLE_EQ(ctl.estimated_queue_delay_ms(7), 100.0);
+
+  // A 500 ms budget cannot survive a 700 ms queue; 1000 ms can.
+  EXPECT_EQ(ctl.admit(1, 0.0, 500.0, 1), AdmissionDecision::kShedDeadline);
+  EXPECT_EQ(ctl.admit(1, 0.0, 1000.0, 1), AdmissionDecision::kAdmit);
+  // And a no-deadline request is never deadline-shed.
+  EXPECT_EQ(ctl.admit(1, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
+}
+
+TEST(Admission, ShedSafetyFactorShedsEarlier) {
+  AdmissionController::Options options;
+  options.shed_safety_factor = 2.0;
+  AdmissionController ctl(options);
+  EXPECT_EQ(ctl.admit(1, 0.0, 0.0, 1), AdmissionDecision::kAdmit);
+  ctl.complete(1, 100.0);
+  EXPECT_EQ(ctl.admit(1, 0.0, 150.0, 1), AdmissionDecision::kAdmit);
+  ctl.complete(1, 100.0);
+  // est = 1 in flight... none in flight now: estimate 0, admit anything.
+  EXPECT_EQ(ctl.admit(1, 0.0, 1.0, 1), AdmissionDecision::kAdmit);
+  // One in flight, EWMA 100 ms -> est 100, doubled by the factor: a 150 ms
+  // budget now sheds where factor 1.0 would admit.
+  EXPECT_EQ(ctl.admit(1, 0.0, 150.0, 1), AdmissionDecision::kShedDeadline);
+  EXPECT_EQ(ctl.admit(1, 0.0, 250.0, 1), AdmissionDecision::kAdmit);
+}
+
+TEST(Admission, PerTenantQuotaOverridesDefault) {
+  AdmissionController::Options options;
+  options.default_quota.max_in_flight = 1;
+  options.tenant_quotas[42] = TenantQuota{0.0, 0.0, 3};
+  AdmissionController ctl(options);
+
+  EXPECT_EQ(ctl.admit(1, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(1, 0.0, -1.0, 1), AdmissionDecision::kShedInFlight);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ctl.admit(42, 0.0, -1.0, 1), AdmissionDecision::kAdmit) << i;
+  }
+  EXPECT_EQ(ctl.admit(42, 0.0, -1.0, 1), AdmissionDecision::kShedInFlight);
+}
+
+TEST(Admission, TenantBucketsAreIsolated) {
+  AdmissionController::Options options;
+  options.default_quota.qps = 1.0;
+  options.default_quota.burst = 1.0;
+  AdmissionController ctl(options);
+
+  EXPECT_EQ(ctl.admit(1, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(ctl.admit(1, 0.0, -1.0, 1), AdmissionDecision::kShedQps);
+  // Tenant 2's bucket is untouched by tenant 1 draining its own.
+  EXPECT_EQ(ctl.admit(2, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
+}
+
+TEST(Admission, EwmaSmoothsAndSkipsErroredRequests) {
+  AdmissionController::Options options;
+  options.ewma_alpha = 0.5;
+  AdmissionController ctl(options);
+  ctl.admit(1, 0.0, -1.0, 1);
+  ctl.admit(1, 0.0, -1.0, 1);
+  ctl.admit(1, 0.0, -1.0, 1);
+  ctl.complete(1, 100.0);
+  ctl.complete(1, 200.0);  // 100 + 0.5 * (200 - 100)
+  EXPECT_DOUBLE_EQ(ctl.ewma_solve_ms(), 150.0);
+  ctl.complete(1, -1.0);  // errored before solving: accounting only
+  EXPECT_DOUBLE_EQ(ctl.ewma_solve_ms(), 150.0);
+  EXPECT_EQ(ctl.global_in_flight(), 0);
+}
+
+}  // namespace
+}  // namespace pmcast::net

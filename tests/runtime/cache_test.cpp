@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <thread>
 
 namespace pmcast::runtime {
@@ -76,9 +78,27 @@ TEST(ResultCache, SmallCachesStayUnshardedForExactLru) {
   EXPECT_EQ(ResultCache(ResultCache::kShardThreshold - 1).shard_count(), 1u);
 }
 
-TEST(ResultCache, LargeCachesShardWithAggregateCapacity) {
+TEST(ResultCache, AutoShardCountScalesWithHardwareConcurrency) {
+  // The auto-pick matches the parallelism that can actually collide: the
+  // next power of two >= hardware_concurrency, capped at kMaxAutoShards.
+  // On a 1-core box that is a single mutex — a fixed 16-way split measured
+  // 0.9x vs one mutex there.
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  const std::size_t expected =
+      std::min(ResultCache::kMaxAutoShards, std::bit_ceil(hw));
   ResultCache cache(1024);
-  EXPECT_EQ(cache.shard_count(), ResultCache::kDefaultShards);
+  EXPECT_EQ(cache.shard_count(), expected);
+  EXPECT_EQ(cache.stats().shards, expected);
+  // Explicit shard counts are honoured verbatim and reported in stats.
+  EXPECT_EQ(ResultCache(1024, 4).shard_count(), 4u);
+  EXPECT_EQ(ResultCache(1024, 4).stats().shards, 4u);
+  EXPECT_EQ(ResultCache(1024, 1).stats().shards, 1u);
+}
+
+TEST(ResultCache, LargeCachesShardWithAggregateCapacity) {
+  ResultCache cache(1024, ResultCache::kMaxAutoShards);
+  EXPECT_EQ(cache.shard_count(), ResultCache::kMaxAutoShards);
   // Aggregate capacity: inserting far more unique keys than capacity
   // keeps the total entry count at (or under) the configured capacity —
   // never above it, and with a uniform key hash never far below.

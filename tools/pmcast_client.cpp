@@ -1,0 +1,163 @@
+/// \file pmcast_client.cpp
+/// Command-line client for a running pmcast_serve daemon: solve platform
+/// files remotely over the binary wire protocol, or fetch the daemon's
+/// counter snapshot.
+///
+/// Usage:
+///   pmcast_client [--host H] [--port P] [--tenant T]
+///                 [--deadline-ms MS | --no-deadline] [--stats]
+///                 [<platform-file>...]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pmcast/client.hpp"
+#include "pmcast/pmcast.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--tenant T]\n"
+               "          [--deadline-ms MS | --no-deadline] [--stats]\n"
+               "          [<platform-file>...]\n",
+               argv0);
+  return 2;
+}
+
+void print_stats(const pmcast::net::ServerWireStats& s) {
+  std::printf("uptime              %.1f s\n", s.uptime_ms / 1000.0);
+  std::printf("connections         %llu accepted, %llu open\n",
+              static_cast<unsigned long long>(s.connections_accepted),
+              static_cast<unsigned long long>(s.connections_open));
+  std::printf("requests            %llu admitted, %llu in flight\n",
+              static_cast<unsigned long long>(s.requests_admitted),
+              static_cast<unsigned long long>(s.in_flight));
+  std::printf("responses / errors  %llu / %llu\n",
+              static_cast<unsigned long long>(s.responses_sent),
+              static_cast<unsigned long long>(s.errors_sent));
+  std::printf("shed                %llu (qps %llu, in-flight %llu, "
+              "deadline %llu, shutdown %llu)\n",
+              static_cast<unsigned long long>(s.total_shed()),
+              static_cast<unsigned long long>(s.shed_qps),
+              static_cast<unsigned long long>(s.shed_in_flight),
+              static_cast<unsigned long long>(s.shed_deadline),
+              static_cast<unsigned long long>(s.shed_shutdown));
+  std::printf("protocol errors     %llu\n",
+              static_cast<unsigned long long>(s.protocol_errors));
+  std::printf("cache               %.0f%% hit rate (%llu hits / %llu "
+              "misses), %llu entries, %u shard(s)\n",
+              100.0 * s.cache_hit_rate(),
+              static_cast<unsigned long long>(s.cache_hits),
+              static_cast<unsigned long long>(s.cache_misses),
+              static_cast<unsigned long long>(s.cache_entries),
+              static_cast<unsigned>(s.cache_shards));
+  std::printf("workers             %u threads, EWMA solve %.1f ms\n",
+              static_cast<unsigned>(s.worker_threads), s.ewma_solve_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  pmcast::net::ClientOptions client_options;
+  double deadline_ms = 0.0;
+  bool no_deadline = false;
+  bool want_stats = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      host = next_value("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<std::uint16_t>(
+          std::strtoul(next_value("--port"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--tenant") == 0) {
+      client_options.tenant = static_cast<std::uint32_t>(
+          std::strtoul(next_value("--tenant"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      deadline_ms = std::strtod(next_value("--deadline-ms"), nullptr);
+    } else if (std::strcmp(argv[i], "--no-deadline") == 0) {
+      no_deadline = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "%s: --port is required\n", argv[0]);
+    return usage(argv[0]);
+  }
+  if (!want_stats && files.empty()) return usage(argv[0]);
+
+  pmcast::Result<pmcast::net::Client> connected =
+      pmcast::net::Client::connect(host, port, client_options);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.status().to_string().c_str());
+    return 1;
+  }
+  pmcast::net::Client client = std::move(*connected);
+
+  int failed = 0;
+  for (const std::string& file : files) {
+    pmcast::Result<pmcast::PlatformFile> parsed =
+        pmcast::load_platform(file);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
+      ++failed;
+      continue;
+    }
+    pmcast::Result<pmcast::Problem> problem =
+        pmcast::make_problem(std::move(parsed->graph), parsed->source,
+                             std::move(parsed->targets));
+    if (!problem.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   problem.status().to_string().c_str());
+      ++failed;
+      continue;
+    }
+    pmcast::SolveRequest request;
+    request.problem = std::move(*problem);
+    request.deadline_ms =
+        no_deadline ? pmcast::SolveRequest::kNoDeadline : deadline_ms;
+    pmcast::Result<pmcast::net::RemoteResponse> response =
+        client.solve(request);
+    if (!response.ok()) {
+      std::printf("%s: %s\n", file.c_str(),
+                  response.status().to_string().c_str());
+      ++failed;
+      continue;
+    }
+    std::printf("%s: period %.6g (throughput %.6g) via %s, %.1f ms "
+                "server-side%s%s\n",
+                file.c_str(), response->period, response->throughput(),
+                pmcast::strategy_id_name(response->winner),
+                response->total_ms,
+                response->from_cache ? " [cache]" : "",
+                response->coalesced ? " [coalesced]" : "");
+  }
+
+  if (want_stats) {
+    pmcast::Result<pmcast::net::ServerWireStats> stats = client.stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().to_string().c_str());
+      return 1;
+    }
+    print_stats(*stats);
+  }
+  return failed == 0 ? 0 : 1;
+}
