@@ -47,6 +47,7 @@
 #include "pmcast/graph.hpp"
 #include "pmcast/pmcast.hpp"
 #include "pmcast/runtime.hpp"
+#include "pmcast/scenario.hpp"
 #include "pmcast/topology.hpp"
 
 using namespace pmcast;
@@ -72,6 +73,37 @@ core::MulticastProblem random_instance(std::uint64_t seed, int n) {
     core::MulticastProblem p(g, 0, targets);
     if (p.feasible()) return p;
   }
+}
+
+core::MulticastProblem hunted_instance(scenario::Family family,
+                                       scenario::TargetPolicy policy,
+                                       int nodes, double density,
+                                       std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.family = family;
+  spec.policy = policy;
+  spec.nodes = nodes;
+  spec.target_density = density;
+  spec.seed = seed;
+  return scenario::generate_scenario(spec).problem;
+}
+
+/// The adversarial corpus found by `pmcast_gen --hunt` (same specs as the
+/// hunted tests/data golden instances): the first three make a tree
+/// heuristic certify AT the probe's lower bound (the early-win cut), the
+/// last two make a dominance verdict land mid-probe-sequence (the
+/// probes-skipped cut). Random dense digraphs exercise neither, which is
+/// how both counters managed to stay at zero for a whole release.
+std::vector<core::MulticastProblem> hunted_corpus() {
+  using scenario::Family;
+  using scenario::TargetPolicy;
+  return {
+      hunted_instance(Family::FatTree, TargetPolicy::Hotspot, 8, 0.5, 1),
+      hunted_instance(Family::Star, TargetPolicy::LeafBiased, 8, 0.5, 1),
+      hunted_instance(Family::Grid, TargetPolicy::Uniform, 10, 0.5, 1),
+      hunted_instance(Family::Tiers, TargetPolicy::Uniform, 10, 0.5, 1),
+      hunted_instance(Family::FatTree, TargetPolicy::Uniform, 8, 0.5, 1),
+  };
 }
 
 using BenchClock = std::chrono::steady_clock;
@@ -327,6 +359,40 @@ void print_pruning_report(const PruningReport& report) {
               report.mismatches);
 }
 
+/// -------- tracing overhead: Off vs Counters (the always-on default) ---
+struct TraceOverheadReport {
+  double off_ms = 0.0;       ///< best-of-N wall, tracing compiled out
+  double counters_ms = 0.0;  ///< best-of-N wall, default Counters detail
+  double overhead_pct() const {
+    return off_ms > 0.0 ? 100.0 * (counters_ms - off_ms) / off_ms : 0.0;
+  }
+};
+
+TraceOverheadReport run_trace_overhead(
+    const std::vector<core::MulticastProblem>& corpus, int threads) {
+  // Best-of-3 per arm: the 2% acceptance bar is below single-run noise on
+  // a loaded CI box, and the minimum is the right estimator for a fixed
+  // workload (noise only ever adds time).
+  TraceOverheadReport report;
+  auto best_of = [&](runtime::TraceDetail detail) {
+    double best = kInfinity;
+    for (int rep = 0; rep < 3; ++rep) {
+      runtime::EngineOptions options;
+      options.threads = threads;
+      options.cache_capacity = 0;
+      options.portfolio.trace = detail;
+      runtime::PortfolioEngine engine(options);
+      BenchClock::time_point t0 = BenchClock::now();
+      engine.solve_batch(corpus);
+      best = std::min(best, ms_since(t0));
+    }
+    return best;
+  };
+  report.off_ms = best_of(runtime::TraceDetail::Off);
+  report.counters_ms = best_of(runtime::TraceDetail::Counters);
+  return report;
+}
+
 /// -------- cache contention micro-bench (sharded vs single mutex) ------
 double hammer_cache(runtime::ResultCache& cache, int threads, int ops) {
   // Realistic payload: a full portfolio result (candidate slots, detail
@@ -391,6 +457,7 @@ int run_smoke() {
   }
   corpus.push_back(tiers_instance(5, 11));
   corpus.push_back(tiers_instance(6, 112));
+  for (auto& problem : hunted_corpus()) corpus.push_back(std::move(problem));
   PruningReport report = run_pruning_phase(corpus, 8);
   print_pruning_report(report);
   int violations = report.mismatches;
@@ -399,6 +466,19 @@ int run_smoke() {
       std::printf("VIOLATION: a smoke instance failed to certify\n");
       ++violations;
     }
+  }
+  // Dead-counter tripwires: the hunted instances fire both cuts by
+  // construction, so a zero here means the cut regressed to unreachable
+  // (the exact failure mode this PR fixed), not that the corpus is soft.
+  if (report.det.early_win_cancels == 0) {
+    std::printf("VIOLATION: early_win_cancels == 0 over the smoke corpus "
+                "(the probe-derived early-win cut is dead again)\n");
+    ++violations;
+  }
+  if (report.det.probes_skipped == 0) {
+    std::printf("VIOLATION: probes_skipped == 0 over the smoke corpus "
+                "(the between-probe incumbent poll is dead again)\n");
+    ++violations;
   }
   std::printf("bench_smoke: %d violations over %zu instances\n", violations,
               corpus.size());
@@ -538,9 +618,30 @@ int main(int argc, char** argv) {
               "cache) ===\n");
   std::vector<core::MulticastProblem> pruning_corpus = pool_instances;
   for (const auto& p : lp_instances) pruning_corpus.push_back(p);
+  for (auto& p : hunted_corpus()) pruning_corpus.push_back(std::move(p));
   PruningReport pruning_report = run_pruning_phase(pruning_corpus, kThreads);
   print_pruning_report(pruning_report);
   violations += pruning_report.mismatches;
+  if (pruning_report.det.early_win_cancels == 0 ||
+      pruning_report.det.probes_skipped == 0) {
+    std::printf("VIOLATION: a pruning counter is dead (early_win_cancels "
+                "%d, probes_skipped %d) despite the hunted corpus\n",
+                pruning_report.det.early_win_cancels,
+                pruning_report.det.probes_skipped);
+    ++violations;
+  }
+
+  // ---- tracing overhead: Off vs the always-on Counters default ----
+  TraceOverheadReport trace_overhead =
+      run_trace_overhead(pruning_corpus, kThreads);
+  std::printf("\ntracing overhead (Counters vs Off, best of 3): %.1f ms vs "
+              "%.1f ms (%+.2f%%; acceptance bar 2%%)\n",
+              trace_overhead.counters_ms, trace_overhead.off_ms,
+              trace_overhead.overhead_pct());
+
+  // The phase-1 service ran with the default Counters detail: its merged
+  // trace is the production profiling view (what kTraceRequest serves).
+  SolveTrace aggregate = service.aggregate_trace();
 
   // ---- cache contention micro-bench: sharded vs single mutex ----
   const int kCacheOps = full ? 400000 : 100000;
@@ -586,6 +687,7 @@ int main(int argc, char** argv) {
        << "  \"unique_instances\": " << kUnique << ",\n"
        << "  \"nodes_per_instance\": " << kNodes << ",\n"
        << "  \"threads\": " << kThreads << ",\n"
+       << "  \"hardware_threads\": " << hw_threads << ",\n"
        << "  \"sequential_ms\": " << baseline_ms << ",\n"
        << "  \"engine_cold_ms\": " << engine_ms << ",\n"
        << "  \"engine_warm_ms\": " << warm_ms << ",\n"
@@ -636,6 +738,41 @@ int main(int argc, char** argv) {
        << "    \"aggressive_cutoff_aborts\": "
        << pruning_report.aggressive.cutoff_aborts << ",\n"
        << "    \"period_mismatches\": " << pruning_report.mismatches << "\n"
+       << "  },\n";
+  auto json_predicate = [&json](const char* name,
+                                const CutPredicateTrace& p, bool last) {
+    json << "      \"" << name << "\": {\"evaluated\": " << p.evaluated
+         << ", \"hits\": " << p.hits << ", \"closest_miss\": ";
+    if (std::isfinite(p.closest_miss)) {
+      json << p.closest_miss;
+    } else {
+      json << "null";  // infinity = never missed; JSON has no Inf literal
+    }
+    json << "}" << (last ? "\n" : ",\n");
+  };
+  json << "  \"trace\": {\n"
+       << "    \"detail\": \"" << trace_detail_name(aggregate.detail)
+       << "\",\n"
+       << "    \"overhead_off_ms\": " << trace_overhead.off_ms << ",\n"
+       << "    \"overhead_counters_ms\": " << trace_overhead.counters_ms
+       << ",\n"
+       << "    \"overhead_pct\": " << trace_overhead.overhead_pct() << ",\n"
+       << "    \"predicates\": {\n";
+  json_predicate("sub_scatter", aggregate.sub_scatter, false);
+  json_predicate("early_win", aggregate.early_win, false);
+  json_predicate("probe_poll", aggregate.probe_poll, false);
+  json_predicate("reconstruct_skip", aggregate.reconstruct_skip, true);
+  json << "    },\n"
+       << "    \"checkpoint_polls\": " << aggregate.checkpoint_polls << ",\n"
+       << "    \"checkpoint_mean_us\": " << aggregate.checkpoint_mean_us()
+       << ",\n"
+       << "    \"checkpoint_max_us\": " << aggregate.checkpoint_max_us
+       << ",\n"
+       << "    \"checkpoint_hist\": [";
+  for (size_t i = 0; i < aggregate.checkpoint_hist.size(); ++i) {
+    json << (i ? ", " : "") << aggregate.checkpoint_hist[i];
+  }
+  json << "]\n"
        << "  },\n"
        << "  \"cache_contention\": {\n"
        << "    \"threads\": " << kThreads << ",\n"
@@ -651,6 +788,59 @@ int main(int argc, char** argv) {
        << "  \"violations\": " << violations << "\n"
        << "}\n";
   std::printf("wrote BENCH_runtime.json\n\n");
+
+  // ---- trace timeline artifact: one hunted race at Timeline detail ----
+  // The early-win fat-tree instance tells the whole story in 8 slots:
+  // trees certify, the probe proves the bound, the tail gets cancelled.
+  {
+    ServiceOptions timeline_options = service_options;
+    timeline_options.trace = TraceDetail::Timeline;
+    timeline_options.cache_capacity = 0;
+    Service traced(timeline_options);
+    SolveRequest request;
+    request.problem = hunted_instance(scenario::Family::FatTree,
+                                      scenario::TargetPolicy::Hotspot, 8,
+                                      0.5, 1);
+    Result<SolveResponse> response = traced.solve(request);
+    std::ofstream tl("BENCH_trace_timeline.json");
+    tl << "{\n"
+       << "  \"bench\": \"trace_timeline\",\n"
+       << "  \"instance\": \"fat_tree-n8-d50h-s1\",\n"
+       << "  \"threads\": " << kThreads << ",\n"
+       << "  \"hardware_threads\": " << hw_threads << ",\n";
+    if (response.ok()) {
+      const SolveTrace& trace = response->trace;
+      tl << "  \"ok\": true,\n"
+         << "  \"period\": " << response->period << ",\n"
+         << "  \"winner\": \"" << strategy_id_name(response->winner)
+         << "\",\n"
+         << "  \"detail\": \"" << trace_detail_name(trace.detail) << "\",\n"
+         << "  \"events\": [\n";
+      for (size_t i = 0; i < trace.timeline.size(); ++i) {
+        const TraceTimelineEvent& e = trace.timeline[i];
+        tl << "    {\"t_us\": " << e.t_us << ", \"kind\": \""
+           << trace_event_name(e.kind) << "\", \"strategy\": \""
+           << strategy_id_name(e.strategy) << "\", \"slot\": " << e.slot
+           << ", \"thread\": " << e.thread << ", \"value\": " << e.value
+           << "}" << (i + 1 < trace.timeline.size() ? ",\n" : "\n");
+      }
+      tl << "  ]\n";
+      std::printf("trace timeline: %zu events over %zu strategies "
+                  "(winner %s)\n",
+                  trace.timeline.size(), response->outcomes.size(),
+                  strategy_id_name(response->winner));
+      if (trace.timeline.empty()) {
+        std::printf("VIOLATION: Timeline detail produced no events\n");
+        ++violations;
+      }
+    } else {
+      tl << "  \"ok\": false\n";
+      std::printf("VIOLATION: the timeline instance failed to certify\n");
+      ++violations;
+    }
+    tl << "}\n";
+    std::printf("wrote BENCH_trace_timeline.json\n\n");
+  }
 
   // ---- phase 2: blocking solve_batch vs streaming submit_batch ----
   // Fresh cold Service per mode so the comparison is caching-fair.
@@ -730,6 +920,7 @@ int main(int argc, char** argv) {
            << "  \"unique_instances\": " << kUnique << ",\n"
            << "  \"nodes_per_instance\": " << kNodes << ",\n"
            << "  \"threads\": " << kThreads << ",\n"
+           << "  \"hardware_threads\": " << hw_threads << ",\n"
            << "  \"blocking_wall_ms\": " << blocking_wall_ms << ",\n"
            << "  \"blocking_ttfr_ms\": " << blocking_ttfr_ms << ",\n"
            << "  \"blocking_p50_ms\": " << blocking_p50 << ",\n"

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -153,6 +154,8 @@ int main() {
        << "  \"main_nodes\": " << kNodes << ",\n"
        << "  \"small_nodes\": " << kSmallNodes << ",\n"
        << "  \"threads\": " << kThreads << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
        << "  \"batch_ms\": " << batch_ms << ",\n"
        << "  \"exact_participations\": " << exact_certified << ",\n"
        << "  \"byte_deterministic\": "

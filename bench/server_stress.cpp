@@ -354,6 +354,7 @@ std::string json_escape_free_summary(const Config& cfg,
       "  \"mode\": \"%s\",\n"
       "  \"connections\": %d,\n"
       "  \"server_threads\": %d,\n"
+      "  \"hardware_threads\": %u,\n"
       "  \"requests\": {\"sent\": %llu, \"ok\": %llu, \"ok_cached\": %llu,\n"
       "    \"deadline_expired\": %llu, \"shed_observed\": %llu,\n"
       "    \"shutdown_observed\": %llu, \"cancelled\": %llu,\n"
@@ -371,6 +372,7 @@ std::string json_escape_free_summary(const Config& cfg,
       "    \"drained_clean\": %s}\n"
       "}\n",
       cfg.mode, cfg.connections, cfg.server_threads,
+      std::thread::hardware_concurrency(),
       static_cast<unsigned long long>(total.sent),
       static_cast<unsigned long long>(total.ok),
       static_cast<unsigned long long>(total.ok_cached),

@@ -10,6 +10,7 @@
 ///
 /// This header is self-contained apart from pmcast/strategy.hpp.
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -95,8 +96,106 @@ struct PruningSummary {
   /// one extra LP a pruning race pays; 0 when pruning is off).
   long long lb_probe_iterations = 0;
   /// Best proven lower bound on the achievable period (0 = none). The
-  /// certified period is always >= this value.
+  /// certified period is >= this value up to floating-point dust in the
+  /// LP objective evaluation (a certified period *equal* to the bound is
+  /// the early-win signal that stops the race).
   double proven_lower_bound = 0.0;
+};
+
+/// Tracing/profiling detail level (ServiceOptions::trace).
+enum class TraceDetail {
+  Off = 0,       ///< record nothing: no clocks, no atomics, no allocations
+  Counters = 1,  ///< cut-predicate accounting + LP checkpoint latency
+  Timeline = 2,  ///< Counters plus per-strategy event timelines
+};
+
+inline const char* trace_detail_name(TraceDetail detail) {
+  switch (detail) {
+    case TraceDetail::Off: return "off";
+    case TraceDetail::Counters: return "counters";
+    case TraceDetail::Timeline: return "timeline";
+  }
+  return "?";
+}
+
+/// Timeline event kinds (SolveTrace::timeline, Timeline detail only).
+enum class TraceEventKind {
+  Launch = 0,             ///< strategy task started executing
+  FirstLpCheckpoint = 1,  ///< first in-LP budget checkpoint of the strategy
+  Certified = 2,          ///< strategy certified a period (event value)
+  Pruned = 3,             ///< strategy cooperatively cut
+  Skipped = 4,            ///< strategy never ran usefully (budget, filter)
+  Failed = 5,             ///< strategy finished without a certificate
+};
+
+inline const char* trace_event_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::Launch: return "launch";
+    case TraceEventKind::FirstLpCheckpoint: return "first_lp_checkpoint";
+    case TraceEventKind::Certified: return "certified";
+    case TraceEventKind::Pruned: return "pruned";
+    case TraceEventKind::Skipped: return "skipped";
+    case TraceEventKind::Failed: return "failed";
+  }
+  return "?";
+}
+
+/// Accounting for one cut predicate of the cooperative-pruning race.
+struct CutPredicateTrace {
+  std::uint64_t evaluated = 0;  ///< times the predicate was checked
+  std::uint64_t hits = 0;       ///< times it fired (work was cut)
+  /// Smallest finite margin by which the predicate missed — "how close it
+  /// came to firing", in period units. Infinity when every evaluation hit
+  /// or no finite margin was observed. This is the field that diagnoses a
+  /// dead cut: a counter stuck at 0 hits with misses clustering at some
+  /// tiny epsilon means the predicate is off by exactly that epsilon.
+  double closest_miss = std::numeric_limits<double>::infinity();
+
+  std::uint64_t misses() const { return evaluated - hits; }
+};
+
+/// One entry of the per-strategy event timeline (Timeline detail).
+struct TraceTimelineEvent {
+  TraceEventKind kind = TraceEventKind::Launch;
+  StrategyId strategy = StrategyId::Mcph;
+  int slot = 0;               ///< launch index within the race
+  std::uint32_t thread = 0;   ///< hashed thread id (stable within a race)
+  double t_us = 0.0;          ///< microseconds since the race started
+  /// Kind-specific payload: certified period for Certified, advisory bound
+  /// for Pruned/Skipped/Failed when one exists, else 0.
+  double value = 0.0;
+};
+
+/// What the tracing/profiling layer recorded for this solve (see
+/// ServiceOptions::trace; detail == Off means everything here is empty).
+/// Cache hits return the trace of the originating solve — check
+/// Provenance::from_cache before attributing its cost to this request.
+struct SolveTrace {
+  TraceDetail detail = TraceDetail::Off;
+
+  // Cut-predicate accounting (Counters and above).
+  CutPredicateTrace sub_scatter;      ///< start-of-strategy scatter dominance
+  CutPredicateTrace early_win;        ///< incumbent met the proven LB
+  CutPredicateTrace probe_poll;       ///< between-probe polls (dominance,
+                                      ///< abort and LB-convergence cuts)
+  CutPredicateTrace reconstruct_skip; ///< multicast_ub reconstruction skip
+
+  /// LP checkpoint latency histogram: bucket 0 counts gaps below 1us,
+  /// bucket i counts gaps in [2^(i-1), 2^i) us, the last bucket absorbs
+  /// the tail. Empty when detail == Off.
+  std::vector<std::uint64_t> checkpoint_hist;
+  std::uint64_t checkpoint_polls = 0;
+  double checkpoint_total_us = 0.0;
+  double checkpoint_max_us = 0.0;
+
+  /// Per-strategy event timeline, sorted by timestamp (Timeline detail).
+  std::vector<TraceTimelineEvent> timeline;
+
+  double checkpoint_mean_us() const {
+    return checkpoint_polls == 0
+               ? 0.0
+               : checkpoint_total_us / static_cast<double>(checkpoint_polls);
+  }
 };
 
 /// Where the answer came from.
@@ -118,6 +217,7 @@ struct SolveResponse {
   std::vector<StrategyOutcome> outcomes;  ///< indexed by launch order
   CertificateSummary certificate;
   PruningSummary pruning;
+  SolveTrace trace;
   Provenance provenance;
   Timing timing;
 

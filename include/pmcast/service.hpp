@@ -63,6 +63,13 @@ struct ServiceOptions {
   /// is identical under every policy, and Deterministic keeps even the
   /// per-strategy outcomes bit-identical across thread counts.
   PruningPolicy pruning = PruningPolicy::Deterministic;
+  /// Tracing/profiling detail recorded into every SolveResponse::trace
+  /// (and the service-wide aggregate_trace()). Counters — cut-predicate
+  /// accounting and LP checkpoint latency histograms, a couple of relaxed
+  /// atomic bumps per record — is cheap enough to stay on in production;
+  /// Timeline additionally records per-strategy event timelines; Off
+  /// removes the layer entirely (zero allocations, zero clock reads).
+  TraceDetail trace = TraceDetail::Counters;
 };
 
 /// Cumulative result-cache counters (mirror of the runtime's CacheStats).
@@ -74,6 +81,15 @@ struct CacheMetrics {
   /// Shard count the cache runs with (auto-scaled to hardware_concurrency
   /// unless configured explicitly).
   std::size_t shards = 1;
+  /// Per-shard heat (index == shard id): how evenly the canonical-key hash
+  /// spreads traffic, and which shards carry the hot entries.
+  struct ShardHeat {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  std::vector<ShardHeat> shard_heat;
 
   double hit_rate() const {
     std::size_t total = hits + misses;
@@ -177,6 +193,10 @@ class Service {
       std::vector<SolveRequest> requests);
 
   CacheMetrics cache_metrics() const;
+  /// Cumulative trace merged over every solve this service has finished
+  /// (counters only; timelines stay on the individual responses). The
+  /// profiling view a daemon exports — see the kTraceRequest wire frame.
+  SolveTrace aggregate_trace() const;
   void clear_cache();
   int thread_count() const;
 

@@ -50,12 +50,40 @@ static_assert(
             static_cast<int>(runtime::PruningPolicy::Aggressive),
     "PruningPolicy must mirror runtime::PruningPolicy");
 
+static_assert(
+    static_cast<int>(TraceDetail::Off) ==
+            static_cast<int>(runtime::TraceDetail::Off) &&
+        static_cast<int>(TraceDetail::Counters) ==
+            static_cast<int>(runtime::TraceDetail::Counters) &&
+        static_cast<int>(TraceDetail::Timeline) ==
+            static_cast<int>(runtime::TraceDetail::Timeline),
+    "TraceDetail must mirror runtime::TraceDetail");
+
+static_assert(
+    static_cast<int>(TraceEventKind::Launch) ==
+            static_cast<int>(runtime::TraceEventKind::Launch) &&
+        static_cast<int>(TraceEventKind::FirstLpCheckpoint) ==
+            static_cast<int>(runtime::TraceEventKind::FirstLpCheckpoint) &&
+        static_cast<int>(TraceEventKind::Certified) ==
+            static_cast<int>(runtime::TraceEventKind::Certified) &&
+        static_cast<int>(TraceEventKind::Pruned) ==
+            static_cast<int>(runtime::TraceEventKind::Pruned) &&
+        static_cast<int>(TraceEventKind::Skipped) ==
+            static_cast<int>(runtime::TraceEventKind::Skipped) &&
+        static_cast<int>(TraceEventKind::Failed) ==
+            static_cast<int>(runtime::TraceEventKind::Failed),
+    "TraceEventKind must mirror runtime::TraceEventKind");
+
 runtime::Strategy to_runtime(StrategyId id) {
   return static_cast<runtime::Strategy>(static_cast<int>(id));
 }
 
 runtime::PruningPolicy to_runtime(PruningPolicy policy) {
   return static_cast<runtime::PruningPolicy>(static_cast<int>(policy));
+}
+
+runtime::TraceDetail to_runtime(TraceDetail detail) {
+  return static_cast<runtime::TraceDetail>(static_cast<int>(detail));
 }
 
 StrategyId to_public(runtime::Strategy s) {
@@ -67,6 +95,43 @@ std::vector<runtime::Strategy> to_runtime(
   std::vector<runtime::Strategy> out;
   out.reserve(ids.size());
   for (StrategyId id : ids) out.push_back(to_runtime(id));
+  return out;
+}
+
+/// Flatten a runtime trace summary into the public SolveTrace. Cheap for
+/// the Off/Counters common cases (the histogram copy is 16 integers).
+SolveTrace to_public(const runtime::TraceSummary& trace) {
+  SolveTrace out;
+  out.detail = static_cast<TraceDetail>(static_cast<int>(trace.detail));
+  if (trace.detail == runtime::TraceDetail::Off) return out;
+  auto predicate = [&](runtime::CutPredicate p) {
+    CutPredicateTrace t;
+    const runtime::PredicateTrace& src = trace.predicate(p);
+    t.evaluated = src.evaluated;
+    t.hits = src.hits;
+    t.closest_miss = src.closest_miss;
+    return t;
+  };
+  out.sub_scatter = predicate(runtime::CutPredicate::SubScatter);
+  out.early_win = predicate(runtime::CutPredicate::EarlyWin);
+  out.probe_poll = predicate(runtime::CutPredicate::ProbePoll);
+  out.reconstruct_skip = predicate(runtime::CutPredicate::ReconstructSkip);
+  out.checkpoint_hist.assign(trace.checkpoint_hist.begin(),
+                             trace.checkpoint_hist.end());
+  out.checkpoint_polls = trace.checkpoint_polls;
+  out.checkpoint_total_us = trace.checkpoint_total_us;
+  out.checkpoint_max_us = trace.checkpoint_max_us;
+  out.timeline.reserve(trace.timeline.size());
+  for (const runtime::TraceEvent& e : trace.timeline) {
+    TraceTimelineEvent event;
+    event.kind = static_cast<TraceEventKind>(static_cast<int>(e.kind));
+    event.strategy = static_cast<StrategyId>(static_cast<int>(e.strategy));
+    event.slot = e.slot;
+    event.thread = e.thread;
+    event.t_us = e.t_us;
+    event.value = e.value;
+    out.timeline.push_back(event);
+  }
   return out;
 }
 
@@ -244,6 +309,7 @@ Result<SolveResponse> to_response(const runtime::PortfolioResult& run,
   response.pruning.cutoff_aborts = run.pruning.cutoff_aborts;
   response.pruning.lb_probe_iterations = run.pruning.lb_probe_iterations;
   response.pruning.proven_lower_bound = run.pruning.proven_lb;
+  response.trace = to_public(run.trace);
   response.provenance.from_cache = run.from_cache;
   response.provenance.coalesced = run.coalesced;
   response.timing.solve_ms = run.from_cache ? 0.0 : run.elapsed_ms;
@@ -379,6 +445,7 @@ struct Service::Impl {
     eo.portfolio.simulate_periods = o.simulate_periods;
     eo.portfolio.strategies = to_runtime(o.strategies);
     eo.portfolio.pruning = to_runtime(o.pruning);
+    eo.portfolio.trace = to_runtime(o.trace);
     return eo;
   }
 
@@ -501,7 +568,17 @@ CacheMetrics Service::cache_metrics() const {
   metrics.evictions = stats.evictions;
   metrics.entries = stats.entries;
   metrics.shards = stats.shards;
+  std::vector<runtime::CacheStats> shards = impl_->engine.cache_shard_stats();
+  metrics.shard_heat.reserve(shards.size());
+  for (const runtime::CacheStats& s : shards) {
+    metrics.shard_heat.push_back(
+        CacheMetrics::ShardHeat{s.hits, s.misses, s.evictions, s.entries});
+  }
   return metrics;
+}
+
+SolveTrace Service::aggregate_trace() const {
+  return to_public(impl_->engine.trace_summary());
 }
 
 void Service::clear_cache() { impl_->engine.clear_cache(); }

@@ -22,14 +22,18 @@ std::vector<NodeId> sorted_by_score(const std::vector<NodeId>& candidates,
 
 /// Between-probe poll of the runtime's cooperative controls. Abort
 /// (deadline/cancel) outranks Prune: a dead request should stop reporting
-/// "pruned" and start reporting "deadline".
-enum class ProbeVerdict { Run, Abort, Prune };
+/// "pruned" and start reporting "deadline". Converge ranks last: it only
+/// says the remaining probes are futile, not that the result is unwanted.
+enum class ProbeVerdict { Run, Abort, Prune, Converge };
 
-ProbeVerdict poll(const ProbeControl& control) {
+ProbeVerdict poll(const ProbeControl& control, double current) {
   if (control.should_abort && control.should_abort()) {
     return ProbeVerdict::Abort;
   }
   if (control.dominated && control.dominated()) return ProbeVerdict::Prune;
+  if (control.converged && current < kInfinity && control.converged(current)) {
+    return ProbeVerdict::Converge;
+  }
   return ProbeVerdict::Run;
 }
 
@@ -53,7 +57,7 @@ void record_interrupt(Result& result, lp::SolveStatus status) {
 template <typename Result>
 bool stop_requested(const ProbeControl& control, int planned, int probed,
                     Result& result) {
-  switch (poll(control)) {
+  switch (poll(control, result.period)) {
     case ProbeVerdict::Run:
       return false;
     case ProbeVerdict::Abort:
@@ -61,6 +65,11 @@ bool stop_requested(const ProbeControl& control, int planned, int probed,
       break;
     case ProbeVerdict::Prune:
       result.pruned = true;
+      break;
+    case ProbeVerdict::Converge:
+      // Keep ok/period: the heuristic's current value stands, only the
+      // provably futile remainder of the descent is skipped.
+      result.converged = true;
       break;
   }
   result.probes_skipped += planned - probed;

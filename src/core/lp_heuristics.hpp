@@ -44,6 +44,15 @@ struct ProbeControl {
   /// `pruned` set. Only ever driven by *sound* dominance predicates (see
   /// runtime/incumbent.hpp) — the certified portfolio winner is unaffected.
   std::function<bool()> dominated;
+  /// Lower-bound convergence: called with the heuristic's current accepted
+  /// period; true => that value already meets a proven lower bound, so no
+  /// remaining probe can be accepted (acceptance demands a strictly better
+  /// period and every achievable period is >= the bound). The heuristic
+  /// stops probing but *keeps* its result — ok/period stay valid and the
+  /// candidate still certifies — with `converged` set and the skipped
+  /// probes accounted in probes_skipped. Never called while the current
+  /// period is infinite.
+  std::function<bool(double)> converged;
 };
 
 struct HeuristicOptions {
@@ -66,6 +75,7 @@ struct PlatformHeuristicResult {
   lp::ResolveStats lp_stats;   ///< warm-start counters of the LP sequence
   bool aborted = false;        ///< stopped by ProbeControl::should_abort
   bool pruned = false;         ///< stopped by ProbeControl::dominated
+  bool converged = false;      ///< stopped by ProbeControl::converged
   int probes_skipped = 0;      ///< probes of the interrupted round not run
   int cutoff_aborts = 0;       ///< LP solves stopped by the checkpoint
 };
@@ -87,6 +97,7 @@ struct AugmentedSourcesResult {
   lp::ResolveStats lp_stats;    ///< warm-start counters of the LP sequence
   bool aborted = false;         ///< stopped by ProbeControl::should_abort
   bool pruned = false;          ///< stopped by ProbeControl::dominated
+  bool converged = false;       ///< stopped by ProbeControl::converged
   int probes_skipped = 0;       ///< probes of the interrupted round not run
   int cutoff_aborts = 0;        ///< LP solves stopped by the checkpoint
 };

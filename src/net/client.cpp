@@ -271,4 +271,22 @@ Result<ServerWireStats> Client::stats() {
   return decode_stats_response(*frame);
 }
 
+Result<ServerWireTrace> Client::trace() {
+  if (fd_ < 0) return Status(StatusCode::kUnavailable, "client not connected");
+  const std::uint64_t id = next_request_id_++;
+  Status sent = send_all(encode_trace_request(id));
+  if (!sent.ok()) return sent;
+  const double timeout_ms =
+      options_.response_timeout_ms > 0.0 ? options_.response_timeout_ms
+                                         : 10'000.0;
+  Result<Frame> frame = read_matching(id, timeout_ms);
+  if (!frame.ok()) return frame.status();
+  if (frame->header.type != MessageType::kTraceResponse) {
+    return Status(StatusCode::kInternal,
+                  std::string("unexpected frame type ") +
+                      message_type_name(frame->header.type));
+  }
+  return decode_trace_response(*frame);
+}
+
 }  // namespace pmcast::net

@@ -89,6 +89,10 @@ class Client {
   /// Fetch the daemon's counter snapshot.
   Result<ServerWireStats> stats();
 
+  /// Fetch the daemon's cumulative profiling snapshot (aggregate trace
+  /// counters + cache shard heat).
+  Result<ServerWireTrace> trace();
+
   /// The id solve() will stamp on its next request.
   std::uint64_t next_request_id() const { return next_request_id_; }
 

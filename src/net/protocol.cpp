@@ -184,7 +184,7 @@ std::vector<std::uint8_t> finish_frame(MessageType type, std::uint16_t flags,
 
 bool known_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(MessageType::kSolveRequest) &&
-         t <= static_cast<std::uint8_t>(MessageType::kStatsResponse);
+         t <= static_cast<std::uint8_t>(MessageType::kTraceResponse);
 }
 
 }  // namespace
@@ -638,6 +638,108 @@ Result<ServerWireStats> decode_stats_response(const Frame& frame) {
   if (r.failed()) return malformed("truncated stats_response body");
   if (r.remaining() != 0) {
     return malformed("trailing bytes after stats_response body");
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- trace --
+
+std::vector<std::uint8_t> encode_trace_request(std::uint64_t request_id) {
+  return finish_frame(MessageType::kTraceRequest, 0, 0, request_id, Writer{});
+}
+
+namespace {
+
+void put_predicate(Writer& w, const WirePredicateTrace& p) {
+  w.u64(p.evaluated);
+  w.u64(p.hits);
+  w.f64(p.closest_miss);
+}
+
+WirePredicateTrace take_predicate(Reader& r) {
+  WirePredicateTrace p;
+  p.evaluated = r.u64();
+  p.hits = r.u64();
+  p.closest_miss = r.f64();
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_trace_response(const ServerWireTrace& trace,
+                                                std::uint64_t request_id) {
+  Writer p;
+  p.u8(trace.detail);
+  put_predicate(p, trace.sub_scatter);
+  put_predicate(p, trace.early_win);
+  put_predicate(p, trace.probe_poll);
+  put_predicate(p, trace.reconstruct_skip);
+  p.u32(static_cast<std::uint32_t>(std::min<std::size_t>(
+      trace.checkpoint_hist.size(), kMaxTraceHistBuckets)));
+  std::size_t buckets = 0;
+  for (std::uint64_t b : trace.checkpoint_hist) {
+    if (buckets++ >= kMaxTraceHistBuckets) break;
+    p.u64(b);
+  }
+  p.u64(trace.checkpoint_polls);
+  p.f64(trace.checkpoint_total_us);
+  p.f64(trace.checkpoint_max_us);
+  p.u32(static_cast<std::uint32_t>(
+      std::min<std::size_t>(trace.shard_heat.size(), kMaxTraceShards)));
+  std::size_t shards = 0;
+  for (const WireShardHeat& s : trace.shard_heat) {
+    if (shards++ >= kMaxTraceShards) break;
+    p.u64(s.hits);
+    p.u64(s.misses);
+    p.u64(s.evictions);
+    p.u64(s.entries);
+  }
+  return finish_frame(MessageType::kTraceResponse, 0, 0, request_id,
+                      std::move(p));
+}
+
+Result<ServerWireTrace> decode_trace_response(const Frame& frame) {
+  if (frame.header.type != MessageType::kTraceResponse) {
+    return malformed("not a trace_response frame");
+  }
+  ServerWireTrace out;
+  Reader r{frame.payload};
+  out.detail = r.u8();
+  out.sub_scatter = take_predicate(r);
+  out.early_win = take_predicate(r);
+  out.probe_poll = take_predicate(r);
+  out.reconstruct_skip = take_predicate(r);
+  const std::uint32_t n_buckets = r.u32();
+  if (r.failed()) return malformed("truncated trace_response body");
+  if (n_buckets > kMaxTraceHistBuckets || !count_fits(r, n_buckets, 8)) {
+    return malformed("histogram bucket count " + std::to_string(n_buckets) +
+                     " does not fit the payload");
+  }
+  out.checkpoint_hist.reserve(n_buckets);
+  for (std::uint32_t i = 0; i < n_buckets; ++i) {
+    out.checkpoint_hist.push_back(r.u64());
+  }
+  out.checkpoint_polls = r.u64();
+  out.checkpoint_total_us = r.f64();
+  out.checkpoint_max_us = r.f64();
+  const std::uint32_t n_shards = r.u32();
+  if (r.failed()) return malformed("truncated trace_response checkpoints");
+  if (n_shards > kMaxTraceShards || !count_fits(r, n_shards, 32)) {
+    return malformed("shard count " + std::to_string(n_shards) +
+                     " does not fit the payload");
+  }
+  out.shard_heat.reserve(n_shards);
+  for (std::uint32_t i = 0; i < n_shards; ++i) {
+    WireShardHeat s;
+    s.hits = r.u64();
+    s.misses = r.u64();
+    s.evictions = r.u64();
+    s.entries = r.u64();
+    if (r.failed()) return malformed("truncated shard heat list");
+    out.shard_heat.push_back(s);
+  }
+  if (r.remaining() != 0) {
+    return malformed("trailing bytes after trace_response body");
   }
   return out;
 }

@@ -73,6 +73,8 @@ enum class MessageType : std::uint8_t {
   kCancel = 4,         ///< client -> server: cancel an in-flight request_id
   kStatsRequest = 5,   ///< client -> server: snapshot request (empty payload)
   kStatsResponse = 6,  ///< server -> client: ServerWireStats
+  kTraceRequest = 7,   ///< client -> server: profiling snapshot (empty payload)
+  kTraceResponse = 8,  ///< server -> client: ServerWireTrace
 };
 
 inline const char* message_type_name(MessageType t) {
@@ -83,6 +85,8 @@ inline const char* message_type_name(MessageType t) {
     case MessageType::kCancel: return "cancel";
     case MessageType::kStatsRequest: return "stats_request";
     case MessageType::kStatsResponse: return "stats_response";
+    case MessageType::kTraceRequest: return "trace_request";
+    case MessageType::kTraceResponse: return "trace_response";
   }
   return "?";
 }
@@ -270,6 +274,61 @@ struct ServerWireStats {
 std::vector<std::uint8_t> encode_stats_response(const ServerWireStats& stats,
                                                 std::uint64_t request_id = 0);
 Result<ServerWireStats> decode_stats_response(const Frame& frame);
+
+// ------------------------------------------------------------------- trace --
+
+/// Trace request has an empty payload, like stats.
+std::vector<std::uint8_t> encode_trace_request(std::uint64_t request_id = 0);
+
+/// Hard caps on the variable-length trace sections. The histogram is 16
+/// buckets today; the cap leaves room to grow without a protocol bump.
+inline constexpr std::uint32_t kMaxTraceHistBuckets = 64;
+inline constexpr std::uint32_t kMaxTraceShards = 1u << 10;
+
+/// One cut predicate's accounting as it travels on the wire (mirrors
+/// pmcast::CutPredicateTrace).
+struct WirePredicateTrace {
+  std::uint64_t evaluated = 0;
+  std::uint64_t hits = 0;
+  double closest_miss = 0.0;
+};
+
+/// Per-cache-shard heat counters (mirrors CacheMetrics::ShardHeat).
+struct WireShardHeat {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+};
+
+/// The daemon's cumulative profiling view as served to a kTraceRequest:
+/// the Service-wide aggregate SolveTrace (counters only — timelines stay
+/// on individual responses) plus the ResultCache per-shard heat map.
+struct ServerWireTrace {
+  /// Aggregate TraceDetail as u8 (max detail any merged solve ran at).
+  std::uint8_t detail = 0;
+  /// Fixed predicate order: sub_scatter, early_win, probe_poll,
+  /// reconstruct_skip — new predicates append.
+  WirePredicateTrace sub_scatter;
+  WirePredicateTrace early_win;
+  WirePredicateTrace probe_poll;
+  WirePredicateTrace reconstruct_skip;
+  std::vector<std::uint64_t> checkpoint_hist;
+  std::uint64_t checkpoint_polls = 0;
+  double checkpoint_total_us = 0.0;
+  double checkpoint_max_us = 0.0;
+  std::vector<WireShardHeat> shard_heat;
+
+  double checkpoint_mean_us() const {
+    return checkpoint_polls == 0
+               ? 0.0
+               : checkpoint_total_us / static_cast<double>(checkpoint_polls);
+  }
+};
+
+std::vector<std::uint8_t> encode_trace_response(const ServerWireTrace& trace,
+                                                std::uint64_t request_id = 0);
+Result<ServerWireTrace> decode_trace_response(const Frame& frame);
 
 // ------------------------------------------------- canonical problem body --
 // Exposed for the round-trip property tests; the request codec uses them.

@@ -339,9 +339,14 @@ struct Server::Impl {
         send_bytes(conn, encode_stats_response(wire_stats(),
                                                frame.header.request_id));
         return;
+      case MessageType::kTraceRequest:
+        send_bytes(conn, encode_trace_response(wire_trace(),
+                                               frame.header.request_id));
+        return;
       case MessageType::kSolveResponse:
       case MessageType::kError:
       case MessageType::kStatsResponse:
+      case MessageType::kTraceResponse:
         // Server-to-client message types arriving at the server.
         protocol_errors.fetch_add(1, std::memory_order_relaxed);
         send_error(conn, frame.header.request_id, frame.header.tenant,
@@ -615,6 +620,32 @@ struct Server::Impl {
     stats.cache_entries = cache.entries;
     stats.ewma_solve_ms = admission.ewma_solve_ms();
     return stats;
+  }
+
+  /// The daemon's cumulative profiling view: the Service's aggregate trace
+  /// plus the cache's per-shard heat map.
+  ServerWireTrace wire_trace() {
+    ServerWireTrace out;
+    const SolveTrace trace = service.aggregate_trace();
+    out.detail = static_cast<std::uint8_t>(trace.detail);
+    auto predicate = [](const CutPredicateTrace& p) {
+      return WirePredicateTrace{p.evaluated, p.hits, p.closest_miss};
+    };
+    out.sub_scatter = predicate(trace.sub_scatter);
+    out.early_win = predicate(trace.early_win);
+    out.probe_poll = predicate(trace.probe_poll);
+    out.reconstruct_skip = predicate(trace.reconstruct_skip);
+    out.checkpoint_hist = trace.checkpoint_hist;
+    out.checkpoint_polls = trace.checkpoint_polls;
+    out.checkpoint_total_us = trace.checkpoint_total_us;
+    out.checkpoint_max_us = trace.checkpoint_max_us;
+    CacheMetrics cache = service.cache_metrics();
+    out.shard_heat.reserve(cache.shard_heat.size());
+    for (const CacheMetrics::ShardHeat& s : cache.shard_heat) {
+      out.shard_heat.push_back(
+          WireShardHeat{s.hits, s.misses, s.evictions, s.entries});
+    }
+    return out;
   }
 };
 

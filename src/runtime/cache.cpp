@@ -84,6 +84,19 @@ CacheStats ResultCache::stats() const {
   return total;
 }
 
+std::vector<CacheStats> ResultCache::shard_stats() const {
+  std::vector<CacheStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    CacheStats s = shard->stats;
+    s.entries = shard->lru.size();
+    s.shards = shards_.size();
+    out.push_back(s);
+  }
+  return out;
+}
+
 void ResultCache::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);

@@ -76,6 +76,11 @@ class ResultCache {
   void put(const InstanceKey& key, const PortfolioResult& result);
 
   CacheStats stats() const;
+  /// Per-shard heat snapshot (index == shard id, each entry's `shards`
+  /// field holds the total shard count). The profiling view behind the
+  /// aggregate stats(): a skewed hit/entry distribution here is how a bad
+  /// shard hash or a too-small per-shard capacity shows up.
+  std::vector<CacheStats> shard_stats() const;
   void clear();
 
   std::size_t shard_count() const { return shards_.size(); }

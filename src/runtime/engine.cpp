@@ -48,6 +48,11 @@ struct EngineGroup {
   std::vector<StrategyEnv> envs;    ///< per slot, refreshed per stage
   bool lb_probe_pending = false;    ///< stage 0 carries the LB probe task
   long long lb_probe_iterations = 0;
+
+  /// Race-wide tracer; allocated only when the group's options ask for a
+  /// nonzero detail, so a disabled trace adds no heap traffic. Groups are
+  /// held by unique_ptr, so the address is stable for the tasks.
+  std::unique_ptr<Tracer> tracer;
 };
 
 struct EngineBatchState {
@@ -65,6 +70,10 @@ struct EngineBatchState {
   Clock::time_point start;
   std::vector<std::unique_ptr<EngineGroup>> groups;
   ResultCache* cache = nullptr;
+  /// Engine-wide cumulative trace (both owned by the engine, which
+  /// outlives every task of this batch).
+  TraceSummary* engine_trace = nullptr;
+  std::mutex* engine_trace_mutex = nullptr;
 
   /// Publish one request's result and fire the callback. The callback
   /// gets a copy so a concurrent result()/take_all() cannot race it;
@@ -107,6 +116,13 @@ struct EngineBatchState {
     PortfolioResult result = assemble_result(std::move(group.outcomes));
     result.pruning.lb_probe_iterations = group.lb_probe_iterations;
     result.pruning.proven_lb = group.incumbent.proven_lb();
+    if (group.tracer != nullptr) {
+      result.trace = group.tracer->summary();
+      if (engine_trace != nullptr) {
+        std::lock_guard<std::mutex> lock(*engine_trace_mutex);
+        engine_trace->merge(result.trace);
+      }
+    }
     result.elapsed_ms = ms_since(start);
     if (cache != nullptr) cache->put(group.key, result);
     // Leader first, then followers — the order the doc comment promises.
@@ -206,6 +222,8 @@ SolveTicket PortfolioEngine::submit_batch(
   state->ready.assign(n, 0);
   state->start = Clock::now();
   state->cache = &cache_;
+  state->engine_trace = &trace_;
+  state->engine_trace_mutex = &trace_mutex_;
   // An empty batch never delivers, so never store the callback for one —
   // a callback that (indirectly) owns the ticket would leak the state.
   if (n == 0) return SolveTicket(state);
@@ -270,6 +288,10 @@ SolveTicket PortfolioEngine::submit_batch(
     group->outcomes.resize(group->strategies.size());
     group->envs.resize(group->strategies.size());
     group->priority = req.priority;
+    if (group->options.trace != TraceDetail::Off) {
+      group->tracer = std::make_unique<Tracer>(group->options.trace,
+                                               group->strategies.size());
+    }
 
     // Stage plan (shared with solve_portfolio): Deterministic races stage
     // by stage behind barriers; Off/Aggressive keep the flat fan-out.
@@ -307,7 +329,7 @@ void PortfolioEngine::dispatch_stage(
   const std::vector<std::size_t>& stage = group->stages[group->next_stage];
   group->view = group->incumbent.freeze();
   prepare_stage_envs(stage, group->options.pruning, group->incumbent,
-                     group->view, group->envs);
+                     group->view, group->envs, group->tracer.get());
   const bool with_lb_probe = group->lb_probe_pending;
   group->lb_probe_pending = false;
   group->stage_remaining.store(stage.size() + (with_lb_probe ? 1 : 0),
@@ -316,8 +338,9 @@ void PortfolioEngine::dispatch_stage(
   // the task inline, so small engines stay deterministic.
   if (with_lb_probe) {
     pool_.submit([this, state, group] {
-      group->lb_probe_iterations +=
-          run_lb_probe(group->problem, group->guard, group->incumbent);
+      group->lb_probe_iterations += run_lb_probe(
+          group->problem, group->guard, group->incumbent,
+          group->tracer.get());
       complete_stage_task(state, group);
     });
   }
@@ -352,6 +375,11 @@ void PortfolioEngine::complete_stage_task(
     return;
   }
   state->finish_group(*group);
+}
+
+TraceSummary PortfolioEngine::trace_summary() const {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  return trace_;
 }
 
 PortfolioResult PortfolioEngine::solve(const core::MulticastProblem& problem,

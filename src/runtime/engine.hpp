@@ -44,6 +44,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -163,8 +164,16 @@ class PortfolioEngine {
       std::span<const RequestOptions> requests = {});
 
   CacheStats cache_stats() const { return cache_.stats(); }
+  /// Per-shard heat counters of the result cache (index == shard id).
+  std::vector<CacheStats> cache_shard_stats() const {
+    return cache_.shard_stats();
+  }
   void clear_cache() { cache_.clear(); }
   int thread_count() const { return pool_.thread_count(); }
+  /// Cumulative trace merged over every group this engine has finished.
+  /// Counters only — timelines stay on the individual PortfolioResults
+  /// (their timestamps share no origin across races).
+  TraceSummary trace_summary() const;
 
  private:
   /// Submit one group's current stage onto the pool (envs refreshed from
@@ -178,9 +187,12 @@ class PortfolioEngine {
       detail::EngineGroup* group);
 
   EngineOptions options_;
-  // Declared before the pool so it outlives it: the pool's destructor
-  // drains in-flight submit_batch() tasks, which still touch the cache.
+  // Declared before the pool so they outlive it: the pool's destructor
+  // drains in-flight submit_batch() tasks, which still touch the cache
+  // and the cumulative trace.
   ResultCache cache_;
+  mutable std::mutex trace_mutex_;
+  TraceSummary trace_;
   ThreadPool pool_;
 };
 

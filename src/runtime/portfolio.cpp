@@ -26,6 +26,15 @@ using core::MulticastProblem;
 /// `incumbent < scatter_ub * (1 - margin)` still proves strict dominance.
 constexpr double kDominanceMargin = 1e-4;
 
+/// Two certified periods within this *relative* distance are a tie, broken
+/// on launch order. This is the certification pipeline's own numeric
+/// tolerance: two candidates evaluating the same optimum can disagree by
+/// floating dust (observed ~1e-15 relative between an LP-derived bound and
+/// a schedule-derived period), and letting such dust pick the winner makes
+/// the result depend on whether a pruning cut stopped the later candidate —
+/// exactly the Det-vs-Off divergence the differential suite forbids.
+constexpr double kWinnerTieTol = 1e-9;
+
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
@@ -60,6 +69,44 @@ bool scatter_bound_cuts(const IncumbentSnapshot& snap) {
 /// snapshot under Deterministic, a live re-read under Aggressive.
 IncumbentSnapshot pruning_view(const StrategyEnv& env) {
   return env.live && env.shared != nullptr ? env.shared->freeze() : env.view;
+}
+
+/// Which timeline event a finished strategy maps to.
+TraceEventKind terminal_event(const CandidateOutcome& out) {
+  switch (out.state) {
+    case CandidateState::Certified: return TraceEventKind::Certified;
+    case CandidateState::Failed: return TraceEventKind::Failed;
+    case CandidateState::Skipped:
+      return is_pruned(out.skip_reason) ? TraceEventKind::Pruned
+                                        : TraceEventKind::Skipped;
+  }
+  return TraceEventKind::Failed;
+}
+
+/// Checkpoint-gap measurement state shared by every LP solve of one
+/// strategy. Allocated only when tracing is enabled, so a disabled tracer
+/// adds zero heap traffic to the hot path.
+struct CheckpointProbe {
+  Clock::time_point prev{};
+  bool first = true;
+};
+
+/// Record the latency since the previous LP checkpoint (and, once, the
+/// FirstLpCheckpoint timeline event). Called from inside the simplex
+/// checkpoint hook, i.e. every lp::SolverOptions::checkpoint_every
+/// iterations.
+void record_checkpoint(Tracer* tracer, CheckpointProbe* probe, int slot,
+                       std::uint8_t strategy) {
+  if (probe == nullptr) return;
+  const Clock::time_point now = Clock::now();
+  if (probe->first) {
+    probe->first = false;
+    tracer->event(TraceEventKind::FirstLpCheckpoint, slot, strategy, 0.0);
+  } else {
+    tracer->checkpoint_gap(
+        std::chrono::duration<double, std::micro>(now - probe->prev).count());
+  }
+  probe->prev = now;
 }
 
 /// Certify a tree candidate: rate 1/period saturates the bottleneck port,
@@ -276,11 +323,15 @@ std::vector<Strategy> all_strategies() {
           Strategy::AugmentedMulticast, Strategy::Exact};
 }
 
-CandidateOutcome run_strategy(const core::MulticastProblem& problem,
-                              Strategy strategy,
-                              const PortfolioOptions& options,
-                              const BudgetGuard& guard,
-                              const StrategyEnv* env) {
+namespace {
+
+/// The body of run_strategy; the public wrapper adds the Launch/terminal
+/// timeline events around it so no early return can skip them.
+CandidateOutcome run_strategy_impl(const core::MulticastProblem& problem,
+                                   Strategy strategy,
+                                   const PortfolioOptions& options,
+                                   const BudgetGuard& guard,
+                                   const StrategyEnv* env, Tracer* tracer) {
   CandidateOutcome out;
   out.strategy = strategy;
   if (guard.expired()) {
@@ -296,18 +347,37 @@ CandidateOutcome run_strategy(const core::MulticastProblem& problem,
                        env->policy != PruningPolicy::Off;
   if (pruning) {
     IncumbentSnapshot snap = pruning_view(*env);
-    if (early_win_cuts(snap, env->launch_index)) {
+    const bool early_win = early_win_cuts(snap, env->launch_index);
+    if (tracer != nullptr) {
+      // Miss margin: how far the incumbent still is from the proven LB
+      // (infinite while either side is missing).
+      tracer->predicate(CutPredicate::EarlyWin, early_win,
+                        snap.proven_lb > 0.0
+                            ? snap.best_certified - snap.proven_lb
+                            : kInfinity);
+    }
+    if (early_win) {
       out.state = CandidateState::Skipped;
       out.skip_reason = SkipReason::EarlyWin;
       out.detail = "incumbent already meets the proven lower bound";
       return out;
     }
-    if (certifies_via_sub_scatter(strategy) && scatter_bound_cuts(snap)) {
-      out.state = CandidateState::Skipped;
-      out.skip_reason = SkipReason::Dominated;
-      out.detail = "certifies via sub-platform scatter, which cannot beat "
-                   "the incumbent (below the full-platform scatter bound)";
-      return out;
+    if (certifies_via_sub_scatter(strategy)) {
+      const bool cut = scatter_bound_cuts(snap);
+      if (tracer != nullptr) {
+        tracer->predicate(CutPredicate::SubScatter, cut,
+                          snap.scatter_ub < kInfinity
+                              ? snap.best_certified -
+                                    snap.scatter_ub * (1.0 - kDominanceMargin)
+                              : kInfinity);
+      }
+      if (cut) {
+        out.state = CandidateState::Skipped;
+        out.skip_reason = SkipReason::Dominated;
+        out.detail = "certifies via sub-platform scatter, which cannot beat "
+                     "the incumbent (below the full-platform scatter bound)";
+        return out;
+      }
     }
   }
 
@@ -321,21 +391,43 @@ CandidateOutcome run_strategy(const core::MulticastProblem& problem,
 
   // Live dominance re-check (Aggressive): between probes and at solver
   // checkpoints. Returns true when this strategy provably cannot win.
-  auto dominated_now = [shared, live, launch_index, strategy,
-                        cut_reason]() -> bool {
+  auto dominated_now = [shared, live, launch_index, strategy, cut_reason,
+                        tracer]() -> bool {
     if (!live) return false;
     IncumbentSnapshot snap = shared->freeze();
     if (early_win_cuts(snap, launch_index)) {
       *cut_reason = SkipReason::EarlyWin;
+      if (tracer != nullptr) {
+        tracer->predicate(CutPredicate::ProbePoll, true, 0.0);
+      }
       return true;
     }
     if (certifies_via_sub_scatter(strategy) && scatter_bound_cuts(snap)) {
       *cut_reason = SkipReason::Dominated;
+      if (tracer != nullptr) {
+        tracer->predicate(CutPredicate::ProbePoll, true, 0.0);
+      }
       return true;
+    }
+    if (tracer != nullptr) {
+      tracer->predicate(CutPredicate::ProbePoll, false,
+                        snap.proven_lb > 0.0
+                            ? snap.best_certified - snap.proven_lb
+                            : kInfinity);
     }
     return false;
   };
-  auto checkpoint = [&guard, dominated_now]() -> lp::CheckpointAction {
+
+  // Checkpoint-gap measurement (and the FirstLpCheckpoint event) for the
+  // latency histogram; heap-free unless tracing is on.
+  std::shared_ptr<CheckpointProbe> probe;
+  if (tracer != nullptr && tracer->enabled()) {
+    probe = std::make_shared<CheckpointProbe>();
+  }
+  auto checkpoint = [&guard, dominated_now, tracer, probe, launch_index,
+                     strategy]() -> lp::CheckpointAction {
+    record_checkpoint(tracer, probe.get(), launch_index,
+                      static_cast<std::uint8_t>(strategy));
     if (guard.expired()) return lp::CheckpointAction::Abort;
     if (dominated_now()) return lp::CheckpointAction::Cutoff;
     return lp::CheckpointAction::Continue;
@@ -348,6 +440,27 @@ CandidateOutcome run_strategy(const core::MulticastProblem& problem,
   heuristic_options.lp = lp_options;
   heuristic_options.control.should_abort = should_abort;
   heuristic_options.control.dominated = dominated_now;
+  if (pruning) {
+    // LB-convergence cut for the greedy descents: once the heuristic's
+    // current accepted period meets the proven lower bound, no remaining
+    // probe can be accepted (acceptance is strict improvement, achievable
+    // periods are >= the bound), so the rest of the descent is skipped.
+    // Under Deterministic the view is the barrier-fenced stage snapshot
+    // and the trajectory is a pure function of the instance, so the cut
+    // fires identically across thread counts.
+    const StrategyEnv* env_ptr = env;
+    heuristic_options.control.converged = [env_ptr,
+                                           tracer](double current) -> bool {
+      IncumbentSnapshot snap = pruning_view(*env_ptr);
+      const bool hit = snap.proven_lb > 0.0 && current <= snap.proven_lb;
+      if (tracer != nullptr) {
+        tracer->predicate(CutPredicate::ProbePoll, hit,
+                          snap.proven_lb > 0.0 ? current - snap.proven_lb
+                                               : kInfinity);
+      }
+      return hit;
+    };
+  }
 
   // Map a heuristic's abort/prune flags onto the outcome. Returns true
   // when the strategy was interrupted and must not be certified.
@@ -411,7 +524,13 @@ CandidateOutcome run_strategy(const core::MulticastProblem& problem,
         // dust, so an incumbent strictly below the margined bound makes
         // the schedule reconstruction pointless.
         IncumbentSnapshot snap = pruning_view(*env);
-        if (snap.best_certified < ub.period * (1.0 - kDominanceMargin)) {
+        const double threshold = ub.period * (1.0 - kDominanceMargin);
+        const bool cut = snap.best_certified < threshold;
+        if (tracer != nullptr) {
+          tracer->predicate(CutPredicate::ReconstructSkip, cut,
+                            snap.best_certified - threshold);
+        }
+        if (cut) {
           out.lp.solves += 1;
           out.lp.iterations += ub.iterations;
           out.bound_period = ub.period;
@@ -498,6 +617,32 @@ CandidateOutcome run_strategy(const core::MulticastProblem& problem,
   return out;
 }
 
+}  // namespace
+
+CandidateOutcome run_strategy(const core::MulticastProblem& problem,
+                              Strategy strategy,
+                              const PortfolioOptions& options,
+                              const BudgetGuard& guard,
+                              const StrategyEnv* env) {
+  Tracer* tracer = env != nullptr ? env->tracer : nullptr;
+  const int slot = env != nullptr ? env->launch_index : 0;
+  if (tracer != nullptr) {
+    tracer->event(TraceEventKind::Launch, slot,
+                  static_cast<std::uint8_t>(strategy), 0.0);
+  }
+  CandidateOutcome out =
+      run_strategy_impl(problem, strategy, options, guard, env, tracer);
+  if (tracer != nullptr) {
+    const double value = out.state == CandidateState::Certified
+                             ? out.period
+                             : (out.bound_period < kInfinity ? out.bound_period
+                                                             : 0.0);
+    tracer->event(terminal_event(out), slot,
+                  static_cast<std::uint8_t>(strategy), value);
+  }
+  return out;
+}
+
 int strategy_stage(Strategy strategy) {
   switch (strategy) {
     case Strategy::Mcph:
@@ -520,9 +665,12 @@ PortfolioResult assemble_result(std::vector<CandidateOutcome> candidates) {
   result.candidates = std::move(candidates);
   for (const CandidateOutcome& c : result.candidates) {
     if (c.state == CandidateState::Certified) {
-      // Strict < keeps ties on the earlier (cheaper) strategy, which makes
-      // the winner independent of completion order and thread count.
-      if (c.period < result.period) {
+      // A later candidate must improve by more than the tie tolerance to
+      // displace the incumbent winner: exact ties AND sub-tolerance dust
+      // stay on the earlier (cheaper) strategy, which makes the winner
+      // independent of completion order, thread count, and whether a
+      // pruning cut stopped a candidate that could only tie.
+      if (c.period < result.period * (1.0 - kWinnerTieTol)) {
         result.period = c.period;
         result.winner = c.strategy;
         result.ok = true;
@@ -558,23 +706,37 @@ std::vector<std::vector<std::size_t>> plan_stages(
 }
 
 long long run_lb_probe(const MulticastProblem& problem,
-                       const BudgetGuard& guard, Incumbent& incumbent) {
+                       const BudgetGuard& guard, Incumbent& incumbent,
+                       Tracer* tracer) {
   core::FormulationOptions lp_options;
-  lp_options.solver.checkpoint = [&guard]() {
+  std::shared_ptr<CheckpointProbe> probe;
+  if (tracer != nullptr && tracer->enabled()) {
+    probe = std::make_shared<CheckpointProbe>();
+  }
+  lp_options.solver.checkpoint = [&guard, tracer,
+                                  probe]() -> lp::CheckpointAction {
+    if (probe != nullptr) {
+      // The LB probe has no strategy slot; it only feeds the latency
+      // histogram (slot -1 makes the event a no-op).
+      record_checkpoint(tracer, probe.get(), /*slot=*/-1, /*strategy=*/0xFF);
+    }
     return guard.expired() ? lp::CheckpointAction::Abort
                            : lp::CheckpointAction::Continue;
   };
   core::FlowSolution lb = core::solve_multicast_lb(problem, lp_options);
   if (lb.ok()) {
-    // Deflate by the solver-tolerance scale before publishing: the
-    // simplex reports the objective of a primal-feasible point, which can
-    // OVERSHOOT the true LP optimum by tolerance dust — and an overshot
-    // lower bound could fire the early-win cut against a certified period
-    // that another strategy would have beaten by that same dust, breaking
-    // the period-identity guarantee. Caller-seeded bounds
-    // (known_lower_bound) are trusted as stated and not deflated.
-    constexpr double kLbOvershootGuard = 1e-7;
-    incumbent.publish_lower_bound(lb.period * (1.0 - kLbOvershootGuard));
+    // Publish the LP value as reported. An earlier revision deflated it by
+    // 1e-7 to guard against the simplex overshooting the true optimum by
+    // tolerance dust — but certified periods are *achievable*, hence >=
+    // the true lower bound, so the deflation made "certified <= proven_lb"
+    // (the early-win predicate) unsatisfiable on every instance: the cut
+    // was dead code, confirmed by the tracer's miss margins clustering at
+    // exactly lb * 1e-7. Overshoot dust is bounded by fp rounding of the
+    // objective evaluation (~1e-13 relative), far below the 1e-9
+    // acceptance tolerance the heuristics use, and the differential suite
+    // (Deterministic vs Off bit-identity on the golden corpus) guards the
+    // soundness empirically.
+    incumbent.publish_lower_bound(lb.period);
   }
   return lb.iterations;
 }
@@ -582,7 +744,7 @@ long long run_lb_probe(const MulticastProblem& problem,
 void prepare_stage_envs(const std::vector<std::size_t>& stage,
                         PruningPolicy policy, Incumbent& incumbent,
                         const IncumbentSnapshot& view,
-                        std::vector<StrategyEnv>& envs) {
+                        std::vector<StrategyEnv>& envs, Tracer* tracer) {
   for (std::size_t s : stage) {
     StrategyEnv& env = envs[s];
     env.shared = policy != PruningPolicy::Off ? &incumbent : nullptr;
@@ -590,6 +752,7 @@ void prepare_stage_envs(const std::vector<std::size_t>& stage,
     env.live = policy == PruningPolicy::Aggressive;
     env.policy = policy;
     env.launch_index = static_cast<int>(s);
+    env.tracer = tracer != nullptr && tracer->enabled() ? tracer : nullptr;
   }
 }
 
@@ -638,11 +801,15 @@ PortfolioResult solve_portfolio(const core::MulticastProblem& problem,
   // strategies ran before it — never on timing or thread count.
   std::vector<std::vector<size_t>> stages = plan_stages(strategies, policy);
 
+  // The race-wide tracer lives on this frame; Counters detail allocates
+  // nothing, Timeline sizes one event buffer per strategy slot.
+  Tracer tracer(options.trace, strategies.size());
+
   std::vector<StrategyEnv> envs(strategies.size());
   bool lb_probe_pending = policy != PruningPolicy::Off;
   for (const auto& stage : stages) {
     IncumbentSnapshot view = incumbent.freeze();
-    prepare_stage_envs(stage, policy, incumbent, view, envs);
+    prepare_stage_envs(stage, policy, incumbent, view, envs, &tracer);
     std::vector<std::function<void()>> tasks;
     tasks.reserve(stage.size() + 1);
     if (lb_probe_pending) {
@@ -653,7 +820,8 @@ PortfolioResult solve_portfolio(const core::MulticastProblem& problem,
       // early-win signal, so the inline/1-thread orders matter.
       lb_probe_pending = false;
       tasks.push_back([&] {
-        lb_probe_iterations += run_lb_probe(problem, guard, incumbent);
+        lb_probe_iterations += run_lb_probe(problem, guard, incumbent,
+                                            &tracer);
       });
     }
     for (size_t i : stage) {
@@ -679,6 +847,7 @@ PortfolioResult solve_portfolio(const core::MulticastProblem& problem,
   PortfolioResult result = assemble_result(std::move(outcomes));
   result.pruning.lb_probe_iterations = lb_probe_iterations;
   result.pruning.proven_lb = incumbent.proven_lb();
+  result.trace = tracer.summary();
   result.elapsed_ms = ms_since(start);
   return result;
 }

@@ -43,6 +43,7 @@
 #include "runtime/budget.hpp"
 #include "runtime/incumbent.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/trace.hpp"
 
 namespace pmcast::runtime {
 
@@ -122,6 +123,10 @@ struct PortfolioOptions {
   /// (e.g. from a previous solve of a relaxation); 0 = none. Seeds the
   /// incumbent's proven LB, enabling early-win cuts from the start.
   double known_lower_bound = 0.0;
+  /// Tracing/profiling detail recorded into PortfolioResult::trace (see
+  /// runtime/trace.hpp). Counters is cheap enough to stay on by default;
+  /// Off removes every atomic/clock/allocation from the trace path.
+  TraceDetail trace = TraceDetail::Counters;
 };
 
 /// Race-level pruning summary, aggregated over the candidates.
@@ -141,6 +146,9 @@ struct PortfolioResult {
   Strategy winner = Strategy::Mcph;
   std::vector<CandidateOutcome> candidates;  ///< indexed by launch order
   PruningSummary pruning;
+  /// What the tracer recorded for this race (detail == Off when tracing
+  /// was disabled; see PortfolioOptions::trace).
+  TraceSummary trace;
   double elapsed_ms = 0.0;
   bool from_cache = false;  ///< served from the engine's LRU cache
   bool coalesced = false;   ///< duplicate within a batch, copied from leader
@@ -157,6 +165,9 @@ struct StrategyEnv {
   bool live = false;
   PruningPolicy policy = PruningPolicy::Off;
   int launch_index = 0;
+  /// Race-wide tracer (null or disabled = record nothing). Shared by all
+  /// strategies of the race; each strategy owns its launch-index slot.
+  Tracer* tracer = nullptr;
 };
 
 /// Run one strategy to completion on \p problem (pure, thread-safe).
@@ -190,7 +201,8 @@ std::vector<std::vector<std::size_t>> plan_stages(
 /// the one extra LP a pruning race pays. Returns the simplex iterations
 /// spent.
 long long run_lb_probe(const core::MulticastProblem& problem,
-                       const BudgetGuard& guard, Incumbent& incumbent);
+                       const BudgetGuard& guard, Incumbent& incumbent,
+                       Tracer* tracer = nullptr);
 
 /// Populate the StrategyEnv slots of one stage from a freshly frozen
 /// snapshot (\p envs is indexed by strategy slot, like the outcomes).
@@ -198,7 +210,8 @@ long long run_lb_probe(const core::MulticastProblem& problem,
 void prepare_stage_envs(const std::vector<std::size_t>& stage,
                         PruningPolicy policy, Incumbent& incumbent,
                         const IncumbentSnapshot& view,
-                        std::vector<StrategyEnv>& envs);
+                        std::vector<StrategyEnv>& envs,
+                        Tracer* tracer = nullptr);
 
 /// Barrier re-publish of a completed stage's certified outcomes into the
 /// incumbent, so a certification that raced the LB probe still raises its

@@ -12,6 +12,8 @@
 ///   ResultCache      — sharded LRU over canonical instance keys (cache.hpp)
 ///   PortfolioEngine  — batch serving: cache probe, request coalescing,
 ///                      strategy fan-out (engine.hpp)
+///   Tracer / TraceSummary — always-on tracing/profiling: cut-predicate
+///                      accounting, checkpoint latency, timelines (trace.hpp)
 ///
 /// Quickstart:
 ///   runtime::PortfolioEngine engine({.threads = 8});
@@ -24,3 +26,4 @@
 #include "runtime/engine.hpp"
 #include "runtime/portfolio.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/trace.hpp"

@@ -130,7 +130,7 @@ TEST(Protocol, BadVersionAndUnknownTypeAreMalformed) {
   bytes[5] = 0;  // type byte below the valid range
   EXPECT_EQ(extract_frame(bytes, &frame, &consumed, &error),
             FrameStatus::kMalformed);
-  bytes[5] = 7;  // above the valid range
+  bytes[5] = 9;  // above the valid range (8 = kTraceResponse is the last)
   EXPECT_EQ(extract_frame(bytes, &frame, &consumed, &error),
             FrameStatus::kMalformed);
   EXPECT_NE(error.find("message type"), std::string::npos) << error;
@@ -461,6 +461,75 @@ TEST(Protocol, StatsRoundTripsEveryCounter) {
   EXPECT_EQ(decoded->cache_shards, original.cache_shards);
   EXPECT_DOUBLE_EQ(decoded->cache_hit_rate(), 0.9);
   EXPECT_DOUBLE_EQ(decoded->ewma_solve_ms, original.ewma_solve_ms);
+}
+
+// -------------------------------------------------------------------- trace --
+
+ServerWireTrace sample_trace() {
+  ServerWireTrace t;
+  t.detail = 2;
+  t.sub_scatter = {120, 30, 0.125};
+  t.early_win = {60, 4, 1e-9};
+  t.probe_poll = {900, 50, 0.5};
+  t.reconstruct_skip = {10, 2, 3.25};
+  t.checkpoint_hist = {5, 9, 14, 3, 0, 0, 1};
+  t.checkpoint_polls = 32;
+  t.checkpoint_total_us = 4096.0;
+  t.checkpoint_max_us = 900.5;
+  t.shard_heat = {{100, 20, 3, 40}, {80, 25, 0, 37}};
+  return t;
+}
+
+TEST(Protocol, TraceRoundTripsEveryField) {
+  ServerWireTrace original = sample_trace();
+  Result<ServerWireTrace> decoded =
+      decode_trace_response(must_extract(encode_trace_response(original, 9)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->detail, original.detail);
+  EXPECT_EQ(decoded->sub_scatter.evaluated, original.sub_scatter.evaluated);
+  EXPECT_EQ(decoded->sub_scatter.hits, original.sub_scatter.hits);
+  EXPECT_DOUBLE_EQ(decoded->sub_scatter.closest_miss,
+                   original.sub_scatter.closest_miss);
+  EXPECT_EQ(decoded->early_win.hits, original.early_win.hits);
+  EXPECT_DOUBLE_EQ(decoded->early_win.closest_miss,
+                   original.early_win.closest_miss);
+  EXPECT_EQ(decoded->probe_poll.evaluated, original.probe_poll.evaluated);
+  EXPECT_EQ(decoded->reconstruct_skip.hits, original.reconstruct_skip.hits);
+  EXPECT_EQ(decoded->checkpoint_hist, original.checkpoint_hist);
+  EXPECT_EQ(decoded->checkpoint_polls, original.checkpoint_polls);
+  EXPECT_DOUBLE_EQ(decoded->checkpoint_total_us, original.checkpoint_total_us);
+  EXPECT_DOUBLE_EQ(decoded->checkpoint_max_us, original.checkpoint_max_us);
+  ASSERT_EQ(decoded->shard_heat.size(), 2u);
+  EXPECT_EQ(decoded->shard_heat[0].hits, 100u);
+  EXPECT_EQ(decoded->shard_heat[1].entries, 37u);
+  EXPECT_DOUBLE_EQ(decoded->checkpoint_mean_us(), 128.0);
+}
+
+TEST(Protocol, TraceRequestIsAnEmptyPayloadFrame) {
+  Frame frame = must_extract(encode_trace_request(77));
+  EXPECT_EQ(frame.header.type, MessageType::kTraceRequest);
+  EXPECT_EQ(frame.header.request_id, 77u);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(Protocol, TraceCountsMustFitThePayload) {
+  // Claim 2 shard-heat entries but truncate the frame after the first:
+  // the decoder must reject without trusting the count.
+  std::vector<std::uint8_t> bytes = encode_trace_response(sample_trace(), 1);
+  Frame frame = must_extract(bytes);
+  ASSERT_GE(frame.payload.size(), 32u);
+  frame.payload.resize(frame.payload.size() - 32);
+  Result<ServerWireTrace> decoded = decode_trace_response(frame);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Protocol, TraceTrailingBytesAreMalformed) {
+  std::vector<std::uint8_t> bytes = encode_trace_response(sample_trace(), 1);
+  Frame frame = must_extract(bytes);
+  frame.payload.push_back(0);
+  Result<ServerWireTrace> decoded = decode_trace_response(frame);
+  EXPECT_FALSE(decoded.ok());
 }
 
 // ------------------------------------------------------------ golden corpus --

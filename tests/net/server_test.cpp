@@ -125,6 +125,36 @@ TEST(ServerTest, RemoteStatsReflectServing) {
   EXPECT_GT(stats->ewma_solve_ms, 0.0);
 }
 
+TEST(ServerTest, RemoteTraceExposesCutAccountingAndShardHeat) {
+  ServerOptions options;
+  options.service.threads = 2;
+  TestDaemon daemon(options);
+
+  Result<Client> client =
+      Client::connect("127.0.0.1", daemon.server.port());
+  ASSERT_TRUE(client.ok());
+  SolveRequest request;
+  request.problem = diamond_problem();
+  ASSERT_TRUE(client->solve(request).ok());
+  ASSERT_TRUE(client->solve(request).ok());  // cache hit
+
+  Result<ServerWireTrace> trace = client->trace();
+  ASSERT_TRUE(trace.ok()) << trace.status().to_string();
+  // The default service runs at Counters detail, so the solve above left
+  // cut-predicate accounting behind (the race evaluates early-win and
+  // sub-scatter dominance at every strategy start).
+  EXPECT_GE(trace->detail, 1u);
+  EXPECT_GT(trace->early_win.evaluated, 0u);
+  // The sub-scatter check only runs for strategies the early-win cut did
+  // not already skip, so either it was evaluated or early-win fired first.
+  EXPECT_TRUE(trace->sub_scatter.evaluated > 0 || trace->early_win.hits > 0);
+  // One shard-heat row per cache shard, and the cache hit landed somewhere.
+  ASSERT_FALSE(trace->shard_heat.empty());
+  std::uint64_t total_hits = 0;
+  for (const WireShardHeat& s : trace->shard_heat) total_hits += s.hits;
+  EXPECT_GE(total_hits, 1u);
+}
+
 TEST(ServerTest, MalformedBytesGetOneProtocolErrorThenClose) {
   ServerOptions options;
   options.service.threads = 1;

@@ -366,6 +366,65 @@ TEST(Pruning, EarlyWinStopsTheRaceOnAStar) {
   EXPECT_EQ(result.winner, blind.winner);
 }
 
+TEST(Pruning, ProbeDerivedBoundFiresEarlyWinWithoutAHint) {
+  // Regression for the dead early_win_cancels counter: the LB probe used
+  // to publish its bound deflated by a 1e-7 relative safety margin, so a
+  // strategy certifying exactly AT the bound could never satisfy
+  // `best_certified <= proven_lb` and the cut was unreachable without a
+  // caller-supplied known_lower_bound. The hunted corpus instances were
+  // selected because a tree heuristic certifies at the probe's bound —
+  // with the raw bound published, the cut must fire on at least one.
+  std::vector<core::MulticastProblem> corpus = golden_corpus();
+  int early_win_cancels = 0;
+  for (const auto& problem : corpus) {
+    PortfolioOptions det;
+    det.pruning = PruningPolicy::Deterministic;  // no known_lower_bound hint
+    PortfolioResult pruned = solve_portfolio(problem, det);
+    ASSERT_TRUE(pruned.ok);
+    early_win_cancels += pruned.pruning.early_win_cancels;
+
+    // The cut stays sound: identical answer with pruning off.
+    PortfolioOptions off;
+    off.pruning = PruningPolicy::Off;
+    PortfolioResult blind = solve_portfolio(problem, off);
+    ASSERT_TRUE(blind.ok);
+    EXPECT_EQ(pruned.period, blind.period);
+    EXPECT_EQ(pruned.winner, blind.winner);
+  }
+  EXPECT_GT(early_win_cancels, 0)
+      << "the probe-derived lower bound never triggered an early win on "
+         "the whole golden corpus — the raw-LB publication regressed";
+}
+
+TEST(Pruning, DominatedHeuristicsSkipTheirRemainingProbes) {
+  // Regression for the dead probes_skipped counter: the LP heuristics
+  // only polled the incumbent BEFORE the first probe, so a dominance or
+  // early-win verdict arriving mid-sequence never cancelled the remaining
+  // probes. With the between-probe poll in place, at least one corpus
+  // instance must record skipped probes — and the kept partial result
+  // must not perturb the certified answer.
+  std::vector<core::MulticastProblem> corpus = golden_corpus();
+  int probes_skipped = 0;
+  for (const auto& problem : corpus) {
+    PortfolioOptions det;
+    det.pruning = PruningPolicy::Deterministic;
+    PortfolioResult pruned = solve_portfolio(problem, det);
+    ASSERT_TRUE(pruned.ok);
+    probes_skipped += pruned.pruning.probes_skipped;
+    // Abandoning probes mid-sequence keeps the partial result (it may even
+    // win, when the skip came from LB convergence) — it must never turn a
+    // strategy into a Failed outcome.
+    for (const CandidateOutcome& c : pruned.candidates) {
+      if (c.prune.probes_skipped > 0) {
+        EXPECT_NE(c.state, CandidateState::Failed) << strategy_name(c.strategy);
+      }
+    }
+  }
+  EXPECT_GT(probes_skipped, 0)
+      << "no heuristic ever abandoned its probe sequence on the whole "
+         "golden corpus — the between-probe incumbent poll regressed";
+}
+
 TEST(Pruning, KnownLowerBoundRidesTheRequestThroughTheEngine) {
   core::MulticastProblem problem = dense_instance(3);
   PortfolioOptions off;

@@ -5,7 +5,7 @@
 ///
 /// Usage:
 ///   pmcast_client [--host H] [--port P] [--tenant T]
-///                 [--deadline-ms MS | --no-deadline] [--stats]
+///                 [--deadline-ms MS | --no-deadline] [--stats] [--trace]
 ///                 [<platform-file>...]
 
 #include <cstdio>
@@ -23,7 +23,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--tenant T]\n"
                "          [--deadline-ms MS | --no-deadline] [--stats]\n"
-               "          [<platform-file>...]\n",
+               "          [--trace] [<platform-file>...]\n",
                argv0);
   return 2;
 }
@@ -59,6 +59,45 @@ void print_stats(const pmcast::net::ServerWireStats& s) {
               static_cast<unsigned>(s.worker_threads), s.ewma_solve_ms);
 }
 
+void print_predicate(const char* name,
+                     const pmcast::net::WirePredicateTrace& p) {
+  std::printf("  %-16s %llu evaluated, %llu hits", name,
+              static_cast<unsigned long long>(p.evaluated),
+              static_cast<unsigned long long>(p.hits));
+  if (p.evaluated > p.hits && p.closest_miss < 1e300) {
+    std::printf(", closest miss %.3g", p.closest_miss);
+  }
+  std::printf("\n");
+}
+
+void print_trace(const pmcast::net::ServerWireTrace& t) {
+  std::printf("trace detail        %u\n", static_cast<unsigned>(t.detail));
+  std::printf("cut predicates\n");
+  print_predicate("sub_scatter", t.sub_scatter);
+  print_predicate("early_win", t.early_win);
+  print_predicate("probe_poll", t.probe_poll);
+  print_predicate("reconstruct_skip", t.reconstruct_skip);
+  std::printf("lp checkpoints      %llu polls, mean gap %.1f us, max %.1f us\n",
+              static_cast<unsigned long long>(t.checkpoint_polls),
+              t.checkpoint_mean_us(), t.checkpoint_max_us);
+  if (t.checkpoint_polls > 0) {
+    std::printf("  gap histogram    ");
+    for (std::uint64_t b : t.checkpoint_hist) {
+      std::printf(" %llu", static_cast<unsigned long long>(b));
+    }
+    std::printf("\n");
+  }
+  std::printf("cache shard heat    (hits/misses/evictions/entries)\n");
+  for (std::size_t i = 0; i < t.shard_heat.size(); ++i) {
+    const pmcast::net::WireShardHeat& s = t.shard_heat[i];
+    std::printf("  shard %-2zu         %llu/%llu/%llu/%llu\n", i,
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses),
+                static_cast<unsigned long long>(s.evictions),
+                static_cast<unsigned long long>(s.entries));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,6 +107,7 @@ int main(int argc, char** argv) {
   double deadline_ms = 0.0;
   bool no_deadline = false;
   bool want_stats = false;
+  bool want_trace = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -92,6 +132,8 @@ int main(int argc, char** argv) {
       no_deadline = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       want_stats = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      want_trace = true;
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -102,7 +144,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: --port is required\n", argv[0]);
     return usage(argv[0]);
   }
-  if (!want_stats && files.empty()) return usage(argv[0]);
+  if (!want_stats && !want_trace && files.empty()) return usage(argv[0]);
 
   pmcast::Result<pmcast::net::Client> connected =
       pmcast::net::Client::connect(host, port, client_options);
@@ -158,6 +200,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     print_stats(*stats);
+  }
+  if (want_trace) {
+    pmcast::Result<pmcast::net::ServerWireTrace> trace = client.trace();
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s\n", trace.status().to_string().c_str());
+      return 1;
+    }
+    print_trace(*trace);
   }
   return failed == 0 ? 0 : 1;
 }
