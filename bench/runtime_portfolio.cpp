@@ -444,6 +444,175 @@ std::vector<SolveRequest> make_requests(
   return requests;
 }
 
+/// -------- lp_scale phase: sparse LP + column-generation scaling -------
+/// One point = one certified end-to-end solve of a generated instance
+/// through the public Service facade with the exact strategy routed to the
+/// column-generation solver (colgen_max_nodes = n). The tree heuristics
+/// ride along both as the baseline the CG master must not lose to (its
+/// seed columns ARE their trees, so losing means the master or pricing
+/// regressed) and as the fallback that keeps the point certified if a
+/// deadline cuts the master. Pruning is off: the Multicast-LB probe is a
+/// T*E-variable flow LP, far bigger than the 2n-row master at these sizes.
+struct LpScalePoint {
+  std::string family;
+  int nodes = 0;
+  int edges = 0;
+  int targets = 0;
+  bool certified = false;
+  bool colgen_certified = false;
+  double period = kInfinity;
+  double heuristic_period = kInfinity;  ///< best tree-heuristic period
+  double colgen_bound = kInfinity;      ///< CG master's advisory bound
+  double wall_ms = 0.0;
+  int columns_priced = 0;
+  int master_iterations = 0;
+  double pricing_ms = 0.0;
+  long long lp_iterations = 0;
+  std::string winner;
+};
+
+core::MulticastProblem lp_scale_instance(scenario::Family family, int nodes,
+                                         std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.family = family;
+  spec.policy = scenario::TargetPolicy::Uniform;
+  spec.nodes = nodes;
+  spec.target_density = 0.3;
+  spec.seed = seed;
+  return scenario::generate_scenario(spec).problem;
+}
+
+std::vector<LpScalePoint> run_lp_scale(const std::vector<int>& sizes,
+                                       int threads, int* violations) {
+  ServiceOptions options;
+  options.threads = threads;
+  options.cache_capacity = 0;
+  Service service(options);
+
+  std::vector<LpScalePoint> points;
+  for (int n : sizes) {
+    for (scenario::Family family :
+         {scenario::Family::PowerLaw, scenario::Family::FatTree}) {
+      LpScalePoint point;
+      point.family = scenario::family_name(family);
+      core::MulticastProblem problem =
+          lp_scale_instance(family, n, 7 + static_cast<std::uint64_t>(n));
+      point.nodes = problem.graph.node_count();
+      point.edges = problem.graph.edge_count();
+      point.targets = static_cast<int>(problem.targets.size());
+
+      SolveRequest request;
+      request.problem = problem;
+      request.strategies = {StrategyId::Mcph, StrategyId::PrunedDijkstra,
+                            StrategyId::Kmb, StrategyId::Exact};
+      request.pruning = PruningPolicy::Off;
+      request.limits.colgen_max_nodes = point.nodes;
+      // Generous per-point ceiling so a pathological point cannot hang the
+      // bench; the heuristics still certify the point if it fires.
+      request.deadline_ms = 120'000.0;
+
+      BenchClock::time_point t0 = BenchClock::now();
+      Result<SolveResponse> response = service.solve(request);
+      point.wall_ms = ms_since(t0);
+
+      if (response.ok()) {
+        point.certified = true;
+        point.period = response->period;
+        point.winner = strategy_id_name(response->winner);
+        for (const StrategyOutcome& o : response->outcomes) {
+          point.lp_iterations += o.lp.iterations;
+          if (o.strategy == StrategyId::Exact) {
+            point.colgen_certified = o.state == OutcomeState::Certified;
+            point.colgen_bound = o.bound_period;
+            point.columns_priced = o.lp.columns_priced;
+            point.master_iterations = o.lp.master_iterations;
+            point.pricing_ms = o.lp.pricing_ms;
+          } else if (o.state == OutcomeState::Certified) {
+            point.heuristic_period =
+                std::min(point.heuristic_period, o.period);
+          }
+        }
+        if (!point.colgen_certified) {
+          std::printf("VIOLATION: lp_scale %s n=%d: column generation did "
+                      "not certify\n", point.family.c_str(), point.nodes);
+          ++*violations;
+        } else if (point.period >
+                   point.heuristic_period + 1e-6 * point.heuristic_period) {
+          // The master's seed columns are the heuristics' trees, so the
+          // certified winner can never be worse than the best heuristic.
+          std::printf("VIOLATION: lp_scale %s n=%d: period %.6g worse than "
+                      "best seed heuristic %.6g\n", point.family.c_str(),
+                      point.nodes, point.period, point.heuristic_period);
+          ++*violations;
+        }
+      } else {
+        std::printf("VIOLATION: lp_scale %s n=%d failed to certify: %s\n",
+                    point.family.c_str(), point.nodes,
+                    response.status().to_string().c_str());
+        ++*violations;
+      }
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+void print_lp_scale(const std::vector<LpScalePoint>& points) {
+  bench::Table table({"family", "n", "edges", "wall ms", "columns",
+                      "masters", "pricing ms", "winner", "period"});
+  for (const LpScalePoint& p : points) {
+    table.add_row({p.family, std::to_string(p.nodes),
+                   std::to_string(p.edges), bench::fmt(p.wall_ms, 1),
+                   std::to_string(p.columns_priced),
+                   std::to_string(p.master_iterations),
+                   bench::fmt(p.pricing_ms, 1),
+                   p.certified ? p.winner : "UNCERTIFIED",
+                   bench::fmt(p.period, 4)});
+  }
+  table.print();
+}
+
+void json_lp_scale(std::ofstream& json, const std::vector<LpScalePoint>& points,
+                   int violations) {
+  json << "  \"lp_scale\": {\n"
+       << "    \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LpScalePoint& p = points[i];
+    json << "      {\"family\": \"" << p.family << "\", \"nodes\": "
+         << p.nodes << ", \"edges\": " << p.edges << ", \"targets\": "
+         << p.targets << ", \"certified\": "
+         << (p.certified ? "true" : "false") << ", \"colgen_certified\": "
+         << (p.colgen_certified ? "true" : "false") << ", \"period\": "
+         << (p.certified ? p.period : -1.0) << ", \"wall_ms\": " << p.wall_ms
+         << ", \"columns_priced\": " << p.columns_priced
+         << ", \"master_iterations\": " << p.master_iterations
+         << ", \"pricing_ms\": " << p.pricing_ms
+         << ", \"lp_iterations\": " << p.lp_iterations << ", \"winner\": \""
+         << p.winner << "\"}" << (i + 1 < points.size() ? ",\n" : "\n");
+  }
+  json << "    ],\n"
+       << "    \"violations\": " << violations << "\n"
+       << "  },\n";
+}
+
+/// --lp-scale-smoke / --lp-scale-full: the standalone scaling gates (the
+/// tier-1 n<=100 smoke and the slow-labelled full curve). Exit 1 on any
+/// uncertified point or a CG master losing to its own seed heuristics.
+int run_lp_scale_standalone(bool full_curve) {
+  std::vector<int> sizes = full_curve ? std::vector<int>{10, 50, 100, 500,
+                                                         1000}
+                                      : std::vector<int>{10, 50, 100};
+  std::printf("=== lp_scale%s: sparse LP + column generation, n up to %d "
+              "===\n", full_curve ? " (full curve)" : " (smoke)",
+              sizes.back());
+  int violations = 0;
+  std::vector<LpScalePoint> points = run_lp_scale(sizes, 8, &violations);
+  print_lp_scale(points);
+  std::printf("lp_scale: %d violations over %zu points\n", violations,
+              points.size());
+  return violations > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 /// --smoke: the bench_smoke tier-1 ctest target. A reduced corpus, the
@@ -488,6 +657,12 @@ int run_smoke() {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+    if (std::strcmp(argv[i], "--lp-scale-smoke") == 0) {
+      return run_lp_scale_standalone(false);
+    }
+    if (std::strcmp(argv[i], "--lp-scale-full") == 0) {
+      return run_lp_scale_standalone(true);
+    }
   }
   const bool full = bench::full_mode();
   const int kUnique = full ? 40 : 25;
@@ -631,6 +806,15 @@ int main(int argc, char** argv) {
     ++violations;
   }
 
+  // ---- lp_scale: sparse LP + column generation scaling curve ----
+  std::printf("\n=== lp_scale: sparse LP + column generation (n up to "
+              "1000) ===\n");
+  int lp_scale_violations = 0;
+  std::vector<LpScalePoint> lp_scale_points =
+      run_lp_scale({10, 50, 100, 500, 1000}, kThreads, &lp_scale_violations);
+  print_lp_scale(lp_scale_points);
+  violations += lp_scale_violations;
+
   // ---- tracing overhead: Off vs the always-on Counters default ----
   TraceOverheadReport trace_overhead =
       run_trace_overhead(pruning_corpus, kThreads);
@@ -739,6 +923,7 @@ int main(int argc, char** argv) {
        << pruning_report.aggressive.cutoff_aborts << ",\n"
        << "    \"period_mismatches\": " << pruning_report.mismatches << "\n"
        << "  },\n";
+  json_lp_scale(json, lp_scale_points, lp_scale_violations);
   auto json_predicate = [&json](const char* name,
                                 const CutPredicateTrace& p, bool last) {
     json << "      \"" << name << "\": {\"evaluated\": " << p.evaluated

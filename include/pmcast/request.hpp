@@ -25,6 +25,13 @@ using CancelToken = runtime::CancellationToken;
 struct SolveLimits {
   int exact_max_nodes = -1;         ///< < 0 inherits the service default
   std::size_t exact_max_trees = 0;  ///< 0 inherits the service default
+  /// Column-generation ceiling: instances above exact_max_nodes but at
+  /// most this many nodes solve the exact strategy via the restricted
+  /// master + pricing oracle instead of skipping. < 0 inherits the
+  /// service default (which is 0 = disabled). In-process knob only — the
+  /// wire protocol does not carry it, so remote requests always use the
+  /// server's configured default.
+  int colgen_max_nodes = -1;
 };
 
 struct SolveRequest {

@@ -52,6 +52,13 @@ struct LpStats {
   int cold_fallbacks = 0;  ///< warm attempts re-run cold after a failure
   long long iterations = 0;///< total simplex iterations
 
+  // Column-generation counters, populated only when the exact strategy
+  // runs its restricted-master pricing loop (instances above
+  // exact_max_nodes but within colgen_max_nodes); all-zero otherwise.
+  int columns_priced = 0;     ///< tree columns appended by the oracle
+  int master_iterations = 0;  ///< restricted-master re-solves in the loop
+  double pricing_ms = 0.0;    ///< wall-clock spent in the pricing oracle
+
   double warm_hit_rate() const {
     return solves > 0 ? static_cast<double>(warm_starts) / solves : 0.0;
   }

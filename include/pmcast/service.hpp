@@ -54,6 +54,12 @@ struct ServiceOptions {
   /// Default exact-solver limits (overridden by SolveRequest::limits).
   int exact_max_nodes = 9;
   std::size_t exact_max_trees = 200'000;
+  /// Default column-generation ceiling for the exact strategy: instances
+  /// in (exact_max_nodes, colgen_max_nodes] use the restricted-master
+  /// pricing loop. 0 (the default) disables column generation, keeping
+  /// the portfolio's certified results identical to the
+  /// enumeration-only engine.
+  int colgen_max_nodes = 0;
   /// Extra discrete-event replay periods for tree certificates.
   int simulate_periods = 0;
   /// Default strategy portfolio; empty = all strategies.

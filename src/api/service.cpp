@@ -280,6 +280,9 @@ Result<SolveResponse> to_response(const runtime::PortfolioResult& run,
     out.lp.eta_reuses = c.lp.eta_reuses;
     out.lp.cold_fallbacks = c.lp.cold_fallbacks;
     out.lp.iterations = c.lp.iterations;
+    out.lp.columns_priced = c.lp.columns_priced;
+    out.lp.master_iterations = c.lp.master_iterations;
+    out.lp.pricing_ms = c.lp.pricing_ms;
     out.prune.probes_skipped = c.prune.probes_skipped;
     out.prune.cutoff_aborts = c.prune.cutoff_aborts;
     out.detail = c.detail;
@@ -442,6 +445,7 @@ struct Service::Impl {
     eo.portfolio.budget.deadline_ms = o.default_deadline_ms;
     eo.portfolio.budget.exact_max_nodes = o.exact_max_nodes;
     eo.portfolio.budget.exact_max_trees = o.exact_max_trees;
+    eo.portfolio.budget.colgen_max_nodes = o.colgen_max_nodes;
     eo.portfolio.simulate_periods = o.simulate_periods;
     eo.portfolio.strategies = to_runtime(o.strategies);
     eo.portfolio.pruning = to_runtime(o.pruning);
@@ -502,6 +506,7 @@ SolveBatch Service::submit_batch(std::vector<SolveRequest> requests,
     ro.budget.deadline_ms = req.deadline_ms;
     ro.budget.exact_max_nodes = req.limits.exact_max_nodes;
     ro.budget.exact_max_trees = req.limits.exact_max_trees;
+    ro.budget.colgen_max_nodes = req.limits.colgen_max_nodes;
     ro.strategies = to_runtime(req.strategies);
     ro.priority = req.priority;
     ro.cancel = req.cancel;

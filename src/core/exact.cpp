@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <queue>
+#include <set>
+#include <utility>
 
+#include "core/tree_heuristics.hpp"
+#include "lp/resolve.hpp"
 #include "lp/simplex.hpp"
 
 namespace pmcast::core {
@@ -201,25 +208,30 @@ ExactSolution exact_optimal_throughput(const MulticastProblem& problem,
   out.trees_enumerated = trees->size();
 
   const Digraph& g = problem.graph;
+  // Port rows first — one send row and one receive row per node — then
+  // one column per tree via the sparse column builder. Row ids and entry
+  // emission order are identical to the historical interleaved build, so
+  // the pivot sequence (and the golden traces pinned to it) is unchanged.
   lp::Model model(lp::Sense::Maximize);
-  for (size_t k = 0; k < trees->size(); ++k) {
-    model.add_variable(0.0, lp::kInf, 1.0);
-  }
-  // Port rows: one send row and one receive row per node.
   std::vector<int> send_row(static_cast<size_t>(g.node_count()));
   std::vector<int> recv_row(static_cast<size_t>(g.node_count()));
   for (NodeId v = 0; v < g.node_count(); ++v) {
     send_row[static_cast<size_t>(v)] = model.add_row_le(1.0);
     recv_row[static_cast<size_t>(v)] = model.add_row_le(1.0);
   }
+  std::vector<int> col_rows;
+  std::vector<double> col_vals;
   for (size_t k = 0; k < trees->size(); ++k) {
+    col_rows.clear();
+    col_vals.clear();
     for (EdgeId e : (*trees)[k].edges) {
       const Edge& edge = g.edge(e);
-      model.add_entry(send_row[static_cast<size_t>(edge.from)],
-                      static_cast<int>(k), edge.cost);
-      model.add_entry(recv_row[static_cast<size_t>(edge.to)],
-                      static_cast<int>(k), edge.cost);
+      col_rows.push_back(send_row[static_cast<size_t>(edge.from)]);
+      col_vals.push_back(edge.cost);
+      col_rows.push_back(recv_row[static_cast<size_t>(edge.to)]);
+      col_vals.push_back(edge.cost);
     }
+    model.add_column(0.0, lp::kInf, 1.0, col_rows, col_vals);
   }
   lp::Solution sol = lp::solve(model, limits.solver);
   out.lp_iterations = sol.iterations;
@@ -240,6 +252,241 @@ ExactSolution exact_optimal_throughput(const MulticastProblem& problem,
       out.combination.rates.push_back(sol.x[k]);
     }
   }
+  return out;
+}
+
+namespace {
+
+/// Pricing oracle: a min-weight shortest-path arborescence from the source
+/// under the (non-negative) reduced-cost edge weights, pruned to the paths
+/// that serve targets. This is the classic pruned-Dijkstra directed-Steiner
+/// heuristic, re-run every round on fresh dual weights. Deterministic: the
+/// heap orders by (distance, node id) and ties keep the first-found parent,
+/// so identical duals always price the identical tree.
+std::optional<MulticastTree> price_tree(const Digraph& g, NodeId source,
+                                        const std::vector<char>& target_mask,
+                                        const std::vector<double>& weight) {
+  const auto n = static_cast<size_t>(g.node_count());
+  std::vector<double> dist(n, kInfinity);
+  std::vector<EdgeId> parent(n, kInvalidEdge);
+  std::vector<char> done(n, 0);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+  dist[static_cast<size_t>(source)] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (done[static_cast<size_t>(u)]) continue;
+    done[static_cast<size_t>(u)] = 1;
+    for (EdgeId e : g.out_edges(u)) {
+      const NodeId v = g.edge(e).to;
+      const double nd = d + weight[static_cast<size_t>(e)];
+      if (nd < dist[static_cast<size_t>(v)]) {
+        dist[static_cast<size_t>(v)] = nd;
+        parent[static_cast<size_t>(v)] = e;
+        heap.push({nd, v});
+      }
+    }
+  }
+  // Keep exactly the nodes on some source->target path; every pruned-tree
+  // leaf is then a target by construction.
+  std::vector<char> keep(n, 0);
+  keep[static_cast<size_t>(source)] = 1;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!target_mask[static_cast<size_t>(v)]) continue;
+    if (!done[static_cast<size_t>(v)]) return std::nullopt;  // unreachable
+    NodeId cur = v;
+    while (!keep[static_cast<size_t>(cur)]) {
+      keep[static_cast<size_t>(cur)] = 1;
+      cur = g.edge(parent[static_cast<size_t>(cur)]).from;
+    }
+  }
+  MulticastTree tree;
+  tree.source = source;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v != source && keep[static_cast<size_t>(v)]) {
+      tree.edges.push_back(parent[static_cast<size_t>(v)]);
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+ExactSolution column_generation_throughput(const MulticastProblem& problem,
+                                           const ColumnGenLimits& limits) {
+  using Clock = std::chrono::steady_clock;
+  ExactSolution out;
+  out.column_generation = true;
+  const Digraph& g = problem.graph;
+  if (problem.target_count() == 0) return out;
+  const std::vector<char> target_mask = problem.target_mask();
+
+  // Theorem 4: 2|E| trees suffice at the optimum, so the automatic column
+  // cap scales with the graph rather than the (exponential) tree space.
+  const int max_columns =
+      limits.max_columns > 0 ? limits.max_columns
+                             : std::max(64, 2 * g.edge_count());
+  const int max_rounds =
+      limits.max_rounds > 0 ? limits.max_rounds : max_columns;
+
+  // Seed the restricted master with the portfolio's tree heuristics (the
+  // master can only certify combinations of columns it has, so good seeds
+  // bound how much pricing has to discover). Dedup by sorted edge set.
+  std::vector<MulticastTree> trees;
+  std::set<std::vector<EdgeId>> seen;
+  auto admit = [&](std::optional<MulticastTree> t) -> bool {
+    if (!t || t->edges.empty()) return false;
+    std::vector<EdgeId> key = t->edges;
+    std::sort(key.begin(), key.end());
+    if (!seen.insert(std::move(key)).second) return false;
+    trees.push_back(std::move(*t));
+    return true;
+  };
+  admit(mcph(problem));
+  admit(pruned_dijkstra(problem));
+  admit(kmb(problem));
+  if (trees.empty()) return out;  // some target is unreachable
+
+  // Restricted master (rows first so tree columns can append): the same
+  // per-node send/recv LP as exact_optimal_throughput, over a growing
+  // column set.
+  lp::Model master(lp::Sense::Maximize);
+  std::vector<int> send_row(static_cast<size_t>(g.node_count()));
+  std::vector<int> recv_row(static_cast<size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    send_row[static_cast<size_t>(v)] = master.add_row_le(1.0);
+    recv_row[static_cast<size_t>(v)] = master.add_row_le(1.0);
+  }
+  lp::ResolvableModel rm(std::move(master));
+  std::vector<std::pair<int, double>> acc;
+  std::vector<int> col_rows;
+  std::vector<double> col_vals;
+  auto append_tree_column = [&](const MulticastTree& t) {
+    // Merge per-row coefficients locally (a node's send row is hit once
+    // per child) so each column lands clean in the solver's CSC store.
+    acc.clear();
+    for (EdgeId e : t.edges) {
+      const Edge& edge = g.edge(e);
+      acc.emplace_back(send_row[static_cast<size_t>(edge.from)], edge.cost);
+      acc.emplace_back(recv_row[static_cast<size_t>(edge.to)], edge.cost);
+    }
+    std::sort(acc.begin(), acc.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    col_rows.clear();
+    col_vals.clear();
+    for (size_t k = 0; k < acc.size();) {
+      size_t k2 = k;
+      double sum = 0.0;
+      while (k2 < acc.size() && acc[k2].first == acc[k].first) {
+        sum += acc[k2].second;
+        ++k2;
+      }
+      col_rows.push_back(acc[k].first);
+      col_vals.push_back(sum);
+      k = k2;
+    }
+    rm.add_column(0.0, lp::kInf, 1.0, col_rows, col_vals);
+  };
+  for (const MulticastTree& t : trees) append_tree_column(t);
+
+  lp::SolverOptions sopts = limits.solver;
+  sopts.pricing = limits.master_pricing;
+  lp::IncrementalSimplex master_solver(sopts);
+
+  double pricing_ms = 0.0;
+  int columns_priced = 0;
+  auto record_stats = [&]() {
+    out.lp = master_solver.stats();
+    out.lp.master_iterations = out.lp.solves;
+    out.lp.columns_priced = columns_priced;
+    out.lp.pricing_ms = pricing_ms;
+    out.lp_iterations = static_cast<int>(out.lp.iterations);
+    out.trees_enumerated = trees.size();
+  };
+
+  std::vector<double> weight(static_cast<size_t>(g.edge_count()), 0.0);
+  lp::Solution sol;
+  lp::Solution best;  // last optimal master solution (the anytime result)
+  int rounds = 0;
+  // Emit a combination from a master solution. Budget stops route through
+  // this too: every optimal master solution is already a feasible,
+  // certifiable weighted combination of the columns it was solved over, so
+  // a deadline mid-pricing degrades the value (fewer columns priced), never
+  // the certificate. x may be shorter than `trees` when a column was
+  // appended after the solve being emitted.
+  auto emit = [&](const lp::Solution& s) {
+    record_stats();
+    out.ok = true;
+    out.throughput = s.objective;
+    for (size_t k = 0; k < s.x.size(); ++k) {
+      if (s.x[k] > 1e-9) {
+        out.combination.trees.push_back(trees[k]);
+        out.combination.rates.push_back(s.x[k]);
+      }
+    }
+  };
+  while (true) {
+    if (limits.should_abort && limits.should_abort()) {
+      out.aborted = true;
+      if (best.optimal()) emit(best); else record_stats();
+      return out;
+    }
+    sol = master_solver.solve(rm);
+    if (sol.status == lp::SolveStatus::Aborted) {
+      out.aborted = true;
+      if (best.optimal()) emit(best); else record_stats();
+      return out;
+    }
+    if (sol.status == lp::SolveStatus::CutoffReached) {
+      // A pruning cutoff means the incumbent already dominates whatever
+      // this master could certify — no anytime emission, it cannot win.
+      out.cutoff = true;
+      record_stats();
+      return out;
+    }
+    if (!sol.optimal()) {
+      record_stats();
+      return out;  // numerical failure in the master: ok stays false
+    }
+    best = sol;
+    if (++rounds > max_rounds) break;
+    if (static_cast<int>(trees.size()) >= max_columns) break;
+
+    // Reduced-cost weights: a tree column prices out at
+    //   1 - sum_e c_e (u_send(from_e) + u_recv(to_e)),
+    // so an improving tree is one whose weight under
+    //   w_e = c_e (u_send + u_recv)
+    // is below 1. The duals of the active <=-rows of this maximisation are
+    // non-negative up to solver tolerance; clamp the noise at zero so the
+    // oracle's shortest-path weights stay non-negative.
+    const auto t0 = Clock::now();
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Edge& edge = g.edge(e);
+      const double u =
+          sol.dual[static_cast<size_t>(
+              send_row[static_cast<size_t>(edge.from)])] +
+          sol.dual[static_cast<size_t>(recv_row[static_cast<size_t>(
+              edge.to)])];
+      weight[static_cast<size_t>(e)] = std::max(0.0, edge.cost * u);
+    }
+    std::optional<MulticastTree> priced =
+        price_tree(g, problem.source, target_mask, weight);
+    pricing_ms +=
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    if (!priced) break;
+    double rc_weight = 0.0;
+    for (EdgeId e : priced->edges) {
+      rc_weight += weight[static_cast<size_t>(e)];
+    }
+    if (rc_weight >= 1.0 - limits.rc_tol) break;  // nothing improving left
+    if (!admit(std::move(priced))) break;  // oracle repeated a known tree
+    append_tree_column(trees.back());
+    ++columns_priced;
+  }
+
+  emit(sol);
   return out;
 }
 

@@ -23,6 +23,7 @@
 
 #include "core/problem.hpp"
 #include "core/tree.hpp"
+#include "lp/resolve.hpp"
 #include "lp/simplex.hpp"
 
 namespace pmcast::core {
@@ -68,12 +69,44 @@ struct ExactSolution {
                                   ///< should_abort or an LP Abort checkpoint
   bool cutoff = false;            ///< LP stopped by a Cutoff checkpoint
   int lp_iterations = 0;          ///< simplex iterations of the tree LP
+  bool column_generation = false; ///< solved by the pricing loop, not
+                                  ///< enumeration — the throughput is a
+                                  ///< certified primal value, not a proven
+                                  ///< optimum (heuristic pricing)
+  lp::ResolveStats lp;            ///< master warm-start + pricing counters
+                                  ///< (column-generation path only)
 };
 
 /// The exact optimal steady-state throughput (COMPACT-WEIGHTED-MULTICAST
 /// optimum) by LP over all enumerated trees.
 ExactSolution exact_optimal_throughput(const MulticastProblem& problem,
                                        const EnumerationLimits& limits = {});
+
+/// Limits and knobs for column_generation_throughput().
+struct ColumnGenLimits {
+  int max_columns = 0;  ///< master column cap; 0 = automatic (Theorem 4
+                        ///  says 2|E| columns suffice at the optimum, so
+                        ///  the automatic cap scales with the graph)
+  int max_rounds = 0;   ///< pricing-loop round cap; 0 = automatic
+  double rc_tol = 1e-9; ///< improvement threshold: a priced tree enters
+                        ///  only when its dual weight is below 1 - rc_tol
+  std::function<bool()> should_abort;  ///< polled once per pricing round
+  lp::SolverOptions solver;  ///< master LP options (checkpoint included);
+                             ///  the pricing rule below overrides .pricing
+  lp::PricingRule master_pricing = lp::PricingRule::Devex;
+};
+
+/// Large-instance replacement for exact_optimal_throughput(): a restricted
+/// master over a growing set of trees (the same per-node send/recv LP),
+/// re-solved warm through lp::IncrementalSimplex after every column
+/// append, with new trees priced by a shortest-path-arborescence heuristic
+/// over the master's duals. The returned combination is feasible and
+/// certifiable end-to-end; because exact pricing is the NP-hard directed
+/// Steiner problem, a heuristic oracle means the value is a strong lower
+/// bound on the optimum, not a proven optimum (ExactSolution::
+/// column_generation documents this on the result).
+ExactSolution column_generation_throughput(const MulticastProblem& problem,
+                                           const ColumnGenLimits& limits = {});
 
 struct BestTreeSolution {
   bool ok = false;

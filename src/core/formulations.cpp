@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace pmcast::core {
 namespace {
@@ -13,6 +15,36 @@ struct VarLayout {
   int x(int t, int e) const { return t * edges + e; }
   int n(int e) const { return targets * edges + e; }
   int period() const { return targets * edges + edges; }
+};
+
+/// Rows-first model assembly for the flow programs. The constraint rows are
+/// created on the model up front (add_row_*), while coefficients are
+/// buffered per *column*; flush() then materialises every variable through
+/// Model::add_column in layout order. This matches the solver's sparse CSC
+/// storage (columns are the unit of both construction and pricing) and is
+/// the same build path column generation extends at runtime. The entry
+/// *set* per column is exactly what the historical row-major builders
+/// emitted, so the solve is unchanged.
+class ColumnBuffer {
+ public:
+  explicit ColumnBuffer(int vars)
+      : rows_(static_cast<size_t>(vars)), vals_(static_cast<size_t>(vars)) {}
+
+  void add(int row, int var, double value) {
+    rows_[static_cast<size_t>(var)].push_back(row);
+    vals_[static_cast<size_t>(var)].push_back(value);
+  }
+
+  /// Append variable \p var to \p model with its buffered column.
+  void flush(lp::Model& model, int var, double lb, double ub, double obj,
+             std::string name = {}) {
+    model.add_column(lb, ub, obj, rows_[static_cast<size_t>(var)],
+                     vals_[static_cast<size_t>(var)], std::move(name));
+  }
+
+ private:
+  std::vector<std::vector<int>> rows_;
+  std::vector<std::vector<double>> vals_;
 };
 
 /// Build and solve the single-source formulation with the given edge-load
@@ -37,8 +69,66 @@ FlowSolution solve_single_source(const MulticastProblem& problem,
 
   VarLayout layout{T, E};
   lp::Model model(lp::Sense::Minimize);
-  // x variables, then n variables, then T*. Flow into the source and flow
-  // out of a commodity's own target are pinned to zero: the constraints
+  ColumnBuffer cols(layout.period() + 1);
+
+  // (1) full message leaves the source; (2) full message reaches target;
+  // (3) conservation elsewhere.
+  for (int t = 0; t < T; ++t) {
+    NodeId tv = problem.targets[static_cast<size_t>(t)];
+    int r1 = model.add_row_eq(1.0);
+    for (EdgeId e : g.out_edges(problem.source)) {
+      cols.add(r1, layout.x(t, e), 1.0);
+    }
+    int r2 = model.add_row_eq(1.0);
+    for (EdgeId e : g.in_edges(tv)) {
+      cols.add(r2, layout.x(t, e), 1.0);
+    }
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      if (j == problem.source || j == tv) continue;
+      int r = model.add_row_eq(0.0);
+      for (EdgeId e : g.out_edges(j)) cols.add(r, layout.x(t, e), 1.0);
+      for (EdgeId e : g.in_edges(j)) cols.add(r, layout.x(t, e), -1.0);
+    }
+  }
+
+  // Edge-load aggregation: (10') n_e >= x_{t,e}  or  (10) n_e = sum_t x.
+  if (aggregation == EdgeAggregation::Max) {
+    for (int t = 0; t < T; ++t) {
+      for (int e = 0; e < E; ++e) {
+        int r = model.add_row_ge(0.0);
+        cols.add(r, layout.n(e), 1.0);
+        cols.add(r, layout.x(t, e), -1.0);
+      }
+    }
+  } else {
+    for (int e = 0; e < E; ++e) {
+      int r = model.add_row_eq(0.0);
+      cols.add(r, layout.n(e), 1.0);
+      for (int t = 0; t < T; ++t) cols.add(r, layout.x(t, e), -1.0);
+    }
+  }
+
+  // (4,7) edge occupation; (5,8) in-ports; (6,9) out-ports.
+  for (int e = 0; e < E; ++e) {
+    int r = model.add_row_ge(0.0);
+    cols.add(r, layout.period(), 1.0);
+    cols.add(r, layout.n(e), -g.edge(e).cost);
+  }
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    int rin = model.add_row_ge(0.0);
+    cols.add(rin, layout.period(), 1.0);
+    for (EdgeId e : g.in_edges(j)) {
+      cols.add(rin, layout.n(e), -g.edge(e).cost);
+    }
+    int rout = model.add_row_ge(0.0);
+    cols.add(rout, layout.period(), 1.0);
+    for (EdgeId e : g.out_edges(j)) {
+      cols.add(rout, layout.n(e), -g.edge(e).cost);
+    }
+  }
+
+  // x columns, then n columns, then T*. Flow into the source and flow
+  // out of a commodity's own target is pinned to zero: the constraints
   // (1,2,3) alone would admit "bounce" solutions (one unit shipped to a
   // neighbour and straight back satisfies the emission row; a target can
   // likewise feed its own inflow through a local 2-cycle) that skip the
@@ -48,67 +138,13 @@ FlowSolution solve_single_source(const MulticastProblem& problem,
     for (int e = 0; e < E; ++e) {
       const Edge& edge = g.edge(e);
       bool banned = edge.to == problem.source || edge.from == tv;
-      model.add_variable(0.0, banned ? 0.0 : lp::kInf, 0.0);
+      cols.flush(model, layout.x(t, e), 0.0, banned ? 0.0 : lp::kInf, 0.0);
     }
   }
-  for (int e = 0; e < E; ++e) model.add_variable(0.0, lp::kInf, 0.0);
-  model.add_variable(0.0, lp::kInf, 1.0, "T");
-
-  // (1) full message leaves the source; (2) full message reaches target;
-  // (3) conservation elsewhere.
-  for (int t = 0; t < T; ++t) {
-    NodeId tv = problem.targets[static_cast<size_t>(t)];
-    int r1 = model.add_row_eq(1.0);
-    for (EdgeId e : g.out_edges(problem.source)) {
-      model.add_entry(r1, layout.x(t, e), 1.0);
-    }
-    int r2 = model.add_row_eq(1.0);
-    for (EdgeId e : g.in_edges(tv)) {
-      model.add_entry(r2, layout.x(t, e), 1.0);
-    }
-    for (NodeId j = 0; j < g.node_count(); ++j) {
-      if (j == problem.source || j == tv) continue;
-      int r = model.add_row_eq(0.0);
-      for (EdgeId e : g.out_edges(j)) model.add_entry(r, layout.x(t, e), 1.0);
-      for (EdgeId e : g.in_edges(j)) model.add_entry(r, layout.x(t, e), -1.0);
-    }
-  }
-
-  // Edge-load aggregation: (10') n_e >= x_{t,e}  or  (10) n_e = sum_t x.
-  if (aggregation == EdgeAggregation::Max) {
-    for (int t = 0; t < T; ++t) {
-      for (int e = 0; e < E; ++e) {
-        int r = model.add_row_ge(0.0);
-        model.add_entry(r, layout.n(e), 1.0);
-        model.add_entry(r, layout.x(t, e), -1.0);
-      }
-    }
-  } else {
-    for (int e = 0; e < E; ++e) {
-      int r = model.add_row_eq(0.0);
-      model.add_entry(r, layout.n(e), 1.0);
-      for (int t = 0; t < T; ++t) model.add_entry(r, layout.x(t, e), -1.0);
-    }
-  }
-
-  // (4,7) edge occupation; (5,8) in-ports; (6,9) out-ports.
   for (int e = 0; e < E; ++e) {
-    int r = model.add_row_ge(0.0);
-    model.add_entry(r, layout.period(), 1.0);
-    model.add_entry(r, layout.n(e), -g.edge(e).cost);
+    cols.flush(model, layout.n(e), 0.0, lp::kInf, 0.0);
   }
-  for (NodeId j = 0; j < g.node_count(); ++j) {
-    int rin = model.add_row_ge(0.0);
-    model.add_entry(rin, layout.period(), 1.0);
-    for (EdgeId e : g.in_edges(j)) {
-      model.add_entry(rin, layout.n(e), -g.edge(e).cost);
-    }
-    int rout = model.add_row_ge(0.0);
-    model.add_entry(rout, layout.period(), 1.0);
-    for (EdgeId e : g.out_edges(j)) {
-      model.add_entry(rout, layout.n(e), -g.edge(e).cost);
-    }
-  }
+  cols.flush(model, layout.period(), 0.0, lp::kInf, 1.0, "T");
 
   lp::Solution sol = lp::solve(model, options.solver);
   out.status = sol.status;
@@ -219,20 +255,7 @@ MultiSourceSolution solve_multisource_impl(const MulticastProblem& problem,
   auto xvar = [&](int k, int e) { return k * E + e; };
   const int nvar0 = K * E;
   const int period_var = nvar0 + E;
-  // As in the single-source programs, pin flow into a commodity's origin
-  // and out of its destination to zero to exclude "bounce" pseudo-flows.
-  for (int k = 0; k < K; ++k) {
-    NodeId origin = sources[static_cast<size_t>(
-        out.commodities[static_cast<size_t>(k)].origin)];
-    NodeId dest = out.commodities[static_cast<size_t>(k)].dest;
-    for (int e = 0; e < E; ++e) {
-      const Edge& edge = g.edge(e);
-      bool banned = edge.to == origin || edge.from == dest;
-      model.add_variable(0.0, banned ? 0.0 : lp::kInf, 0.0);
-    }
-  }
-  for (int e = 0; e < E; ++e) model.add_variable(0.0, lp::kInf, 0.0);
-  model.add_variable(0.0, lp::kInf, 1.0, "T");
+  ColumnBuffer cols(period_var + 1);
 
   // (1)/(1b) and (2)/(2b): for each destination, one full unit is emitted
   // by its allowed origins and one full unit arrives. Both row families are
@@ -260,10 +283,10 @@ MultiSourceSolution solve_multisource_impl(const MulticastProblem& problem,
         NodeId origin = sources[static_cast<size_t>(
             out.commodities[static_cast<size_t>(k)].origin)];
         for (EdgeId e : g.out_edges(origin)) {
-          model.add_entry(remit, xvar(k, e), 1.0);
+          cols.add(remit, xvar(k, e), 1.0);
         }
         for (EdgeId e : g.in_edges(dests[di])) {
-          model.add_entry(rrecv, xvar(k, e), 1.0);
+          cols.add(rrecv, xvar(k, e), 1.0);
         }
       }
     }
@@ -276,35 +299,53 @@ MultiSourceSolution solve_multisource_impl(const MulticastProblem& problem,
     for (NodeId j = 0; j < g.node_count(); ++j) {
       if (j == origin || j == commodity.dest) continue;
       int r = model.add_row_eq(0.0);
-      for (EdgeId e : g.out_edges(j)) model.add_entry(r, xvar(k, e), 1.0);
-      for (EdgeId e : g.in_edges(j)) model.add_entry(r, xvar(k, e), -1.0);
+      for (EdgeId e : g.out_edges(j)) cols.add(r, xvar(k, e), 1.0);
+      for (EdgeId e : g.in_edges(j)) cols.add(r, xvar(k, e), -1.0);
     }
   }
 
   // (10): scatter aggregation n_e = sum over commodities.
   for (int e = 0; e < E; ++e) {
     int r = model.add_row_eq(0.0);
-    model.add_entry(r, nvar0 + e, 1.0);
-    for (int k = 0; k < K; ++k) model.add_entry(r, xvar(k, e), -1.0);
+    cols.add(r, nvar0 + e, 1.0);
+    for (int k = 0; k < K; ++k) cols.add(r, xvar(k, e), -1.0);
   }
   // (7,8,9): edge and port occupation under T*.
   for (int e = 0; e < E; ++e) {
     int r = model.add_row_ge(0.0);
-    model.add_entry(r, period_var, 1.0);
-    model.add_entry(r, nvar0 + e, -g.edge(e).cost);
+    cols.add(r, period_var, 1.0);
+    cols.add(r, nvar0 + e, -g.edge(e).cost);
   }
   for (NodeId j = 0; j < g.node_count(); ++j) {
     int rin = model.add_row_ge(0.0);
-    model.add_entry(rin, period_var, 1.0);
+    cols.add(rin, period_var, 1.0);
     for (EdgeId e : g.in_edges(j)) {
-      model.add_entry(rin, nvar0 + e, -g.edge(e).cost);
+      cols.add(rin, nvar0 + e, -g.edge(e).cost);
     }
     int rout = model.add_row_ge(0.0);
-    model.add_entry(rout, period_var, 1.0);
+    cols.add(rout, period_var, 1.0);
     for (EdgeId e : g.out_edges(j)) {
-      model.add_entry(rout, nvar0 + e, -g.edge(e).cost);
+      cols.add(rout, nvar0 + e, -g.edge(e).cost);
     }
   }
+
+  // x columns k-major, then n, then T*. As in the single-source programs,
+  // pin flow into a commodity's origin and out of its destination to zero
+  // to exclude "bounce" pseudo-flows.
+  for (int k = 0; k < K; ++k) {
+    NodeId origin = sources[static_cast<size_t>(
+        out.commodities[static_cast<size_t>(k)].origin)];
+    NodeId dest = out.commodities[static_cast<size_t>(k)].dest;
+    for (int e = 0; e < E; ++e) {
+      const Edge& edge = g.edge(e);
+      bool banned = edge.to == origin || edge.from == dest;
+      cols.flush(model, xvar(k, e), 0.0, banned ? 0.0 : lp::kInf, 0.0);
+    }
+  }
+  for (int e = 0; e < E; ++e) {
+    cols.flush(model, nvar0 + e, 0.0, lp::kInf, 0.0);
+  }
+  cols.flush(model, period_var, 0.0, lp::kInf, 1.0, "T");
 
   lp::Solution sol = solver != nullptr ? solver->solve_model(model)
                                        : lp::solve(model, options.solver);
@@ -358,6 +399,57 @@ MaskedBroadcastEb::MaskedBroadcastEb(const Digraph& graph, NodeId source,
   // source / out of a commodity's own target) are remembered so mask
   // updates never accidentally re-open them.
   lp::Model model(lp::Sense::Minimize);
+  const int nvar0 = T * E;
+  const int period_var = nvar0 + E;
+  ColumnBuffer cols(period_var + 1);
+
+  // (1) emission, (2) arrival, (3) conservation — per commodity.
+  for (int t = 0; t < T; ++t) {
+    NodeId tv = targets_[static_cast<size_t>(t)];
+    int r1 = model.add_row_eq(1.0);
+    for (EdgeId e : g.out_edges(source_)) {
+      cols.add(r1, t * E + e, 1.0);
+    }
+    int r2 = model.add_row_eq(1.0);
+    for (EdgeId e : g.in_edges(tv)) {
+      cols.add(r2, t * E + e, 1.0);
+    }
+    emission_row_.push_back(r1);
+    arrival_row_.push_back(r2);
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      if (j == source_ || j == tv) continue;
+      int r = model.add_row_eq(0.0);
+      for (EdgeId e : g.out_edges(j)) cols.add(r, t * E + e, 1.0);
+      for (EdgeId e : g.in_edges(j)) cols.add(r, t * E + e, -1.0);
+    }
+  }
+  // (10') max aggregation: n_e >= x_{t,e}.
+  for (int t = 0; t < T; ++t) {
+    for (int e = 0; e < E; ++e) {
+      int r = model.add_row_ge(0.0);
+      cols.add(r, nvar0 + e, 1.0);
+      cols.add(r, t * E + e, -1.0);
+    }
+  }
+  // (4,7) edge occupation; (5,8) in-ports; (6,9) out-ports.
+  for (int e = 0; e < E; ++e) {
+    int r = model.add_row_ge(0.0);
+    cols.add(r, period_var, 1.0);
+    cols.add(r, nvar0 + e, -g.edge(e).cost);
+  }
+  for (NodeId j = 0; j < g.node_count(); ++j) {
+    int rin = model.add_row_ge(0.0);
+    cols.add(rin, period_var, 1.0);
+    for (EdgeId e : g.in_edges(j)) {
+      cols.add(rin, nvar0 + e, -g.edge(e).cost);
+    }
+    int rout = model.add_row_ge(0.0);
+    cols.add(rout, period_var, 1.0);
+    for (EdgeId e : g.out_edges(j)) {
+      cols.add(rout, nvar0 + e, -g.edge(e).cost);
+    }
+  }
+
   banned_.assign(static_cast<size_t>(T) * static_cast<size_t>(E), 0);
   for (int t = 0; t < T; ++t) {
     NodeId tv = targets_[static_cast<size_t>(t)];
@@ -366,60 +458,13 @@ MaskedBroadcastEb::MaskedBroadcastEb(const Digraph& graph, NodeId source,
       bool banned = edge.to == source_ || edge.from == tv;
       banned_[static_cast<size_t>(t) * static_cast<size_t>(E) +
               static_cast<size_t>(e)] = banned ? 1 : 0;
-      model.add_variable(0.0, banned ? 0.0 : lp::kInf, 0.0);
+      cols.flush(model, t * E + e, 0.0, banned ? 0.0 : lp::kInf, 0.0);
     }
   }
-  for (int e = 0; e < E; ++e) model.add_variable(0.0, lp::kInf, 0.0);
-  model.add_variable(0.0, lp::kInf, 1.0, "T");
-  const int nvar0 = T * E;
-  const int period_var = nvar0 + E;
-
-  // (1) emission, (2) arrival, (3) conservation — per commodity.
-  for (int t = 0; t < T; ++t) {
-    NodeId tv = targets_[static_cast<size_t>(t)];
-    int r1 = model.add_row_eq(1.0);
-    for (EdgeId e : g.out_edges(source_)) {
-      model.add_entry(r1, t * E + e, 1.0);
-    }
-    int r2 = model.add_row_eq(1.0);
-    for (EdgeId e : g.in_edges(tv)) {
-      model.add_entry(r2, t * E + e, 1.0);
-    }
-    emission_row_.push_back(r1);
-    arrival_row_.push_back(r2);
-    for (NodeId j = 0; j < g.node_count(); ++j) {
-      if (j == source_ || j == tv) continue;
-      int r = model.add_row_eq(0.0);
-      for (EdgeId e : g.out_edges(j)) model.add_entry(r, t * E + e, 1.0);
-      for (EdgeId e : g.in_edges(j)) model.add_entry(r, t * E + e, -1.0);
-    }
-  }
-  // (10') max aggregation: n_e >= x_{t,e}.
-  for (int t = 0; t < T; ++t) {
-    for (int e = 0; e < E; ++e) {
-      int r = model.add_row_ge(0.0);
-      model.add_entry(r, nvar0 + e, 1.0);
-      model.add_entry(r, t * E + e, -1.0);
-    }
-  }
-  // (4,7) edge occupation; (5,8) in-ports; (6,9) out-ports.
   for (int e = 0; e < E; ++e) {
-    int r = model.add_row_ge(0.0);
-    model.add_entry(r, period_var, 1.0);
-    model.add_entry(r, nvar0 + e, -g.edge(e).cost);
+    cols.flush(model, nvar0 + e, 0.0, lp::kInf, 0.0);
   }
-  for (NodeId j = 0; j < g.node_count(); ++j) {
-    int rin = model.add_row_ge(0.0);
-    model.add_entry(rin, period_var, 1.0);
-    for (EdgeId e : g.in_edges(j)) {
-      model.add_entry(rin, nvar0 + e, -g.edge(e).cost);
-    }
-    int rout = model.add_row_ge(0.0);
-    model.add_entry(rout, period_var, 1.0);
-    for (EdgeId e : g.out_edges(j)) {
-      model.add_entry(rout, nvar0 + e, -g.edge(e).cost);
-    }
-  }
+  cols.flush(model, period_var, 0.0, lp::kInf, 1.0, "T");
   model_ = lp::ResolvableModel(std::move(model));
 }
 

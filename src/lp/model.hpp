@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,21 @@ class Model {
     assert(row >= 0 && row < num_rows());
     assert(var >= 0 && var < num_vars());
     if (value != 0.0) entries_.push_back({row, var, value});
+  }
+
+  /// Add a variable together with its full constraint column: coefficients
+  /// values[k] in rows[k] (all rows must already exist). This is the
+  /// column-generation growth path — the solver can absorb a column
+  /// appended this way without refactorising, because it only ever adds
+  /// entries for the new variable. Returns the new variable's index.
+  int add_column(double lb, double ub, double obj, std::span<const int> rows,
+                 std::span<const double> values, std::string name = {}) {
+    assert(rows.size() == values.size());
+    const int j = add_variable(lb, ub, obj, std::move(name));
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      add_entry(rows[k], j, values[k]);
+    }
+    return j;
   }
 
   // In-place data edits (used by the warm-start layer, lp/resolve.hpp).

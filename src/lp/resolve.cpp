@@ -22,16 +22,31 @@ void IncrementalSimplex::reset() {
   last_vars_ = last_rows_ = -1;
   bound_serial_ = 0;
   bound_structure_ = 0;
+  bound_columns_ = 0;
   cold_reference_iters_ = -1;
   warm_strikes_ = 0;
   warm_disabled_ = false;
 }
 
 Solution IncrementalSimplex::solve(const ResolvableModel& rm) {
-  bool eta_ok = engine_ != nullptr && bound_serial_ == rm.serial() &&
-                bound_structure_ == rm.structure_version() &&
-                last_vars_ == rm.model().num_vars() &&
-                last_rows_ == rm.model().num_rows();
+  // Same live sequence = same object, same structural history, same rows.
+  const bool same_sequence =
+      engine_ != nullptr && bound_serial_ == rm.serial() &&
+      bound_structure_ == rm.structure_version() &&
+      last_rows_ == rm.model().num_rows();
+  Reuse reuse = Reuse::Cold;
+  if (same_sequence && bound_columns_ == rm.columns_version() &&
+      last_vars_ == rm.model().num_vars()) {
+    reuse = Reuse::Eta;
+  } else if (same_sequence && rm.columns_version() > bound_columns_ &&
+             rm.model().num_vars() > last_vars_) {
+    // Only add_column() calls since the last solve: the engine can absorb
+    // the new columns without losing its factorisation.
+    reuse = Reuse::Append;
+  } else if (!last_basis_.empty() && last_vars_ == rm.model().num_vars() &&
+             last_rows_ == rm.model().num_rows()) {
+    reuse = Reuse::Basis;
+  }
   if (!pending_basis_.empty()) {
     // A start-basis override anchors this solve on the caller's snapshot.
     // When the snapshot IS where the engine already sits, the eta file
@@ -39,14 +54,20 @@ Solution IncrementalSimplex::solve(const ResolvableModel& rm) {
     // snapshot, which forces the basis-load (refactorise) route.
     if (pending_basis_.status != last_basis_.status) {
       last_basis_ = std::move(pending_basis_);
-      eta_ok = false;
+      if (reuse == Reuse::Eta || reuse == Reuse::Append) {
+        reuse = last_basis_.shaped_for(rm.model().num_vars(),
+                                       rm.model().num_rows())
+                    ? Reuse::Basis
+                    : Reuse::Cold;
+      }
     }
     pending_basis_ = Basis{};
   }
-  Solution sol = solve_internal(rm.model(), eta_ok);
+  Solution sol = solve_internal(rm.model(), reuse);
   if (sol.optimal()) {
     bound_serial_ = rm.serial();
     bound_structure_ = rm.structure_version();
+    bound_columns_ = rm.columns_version();
   } else {
     // Don't trust the state for eta reuse after a failed solve.
     bound_serial_ = 0;
@@ -56,11 +77,15 @@ Solution IncrementalSimplex::solve(const ResolvableModel& rm) {
 
 Solution IncrementalSimplex::solve_model(const Model& model) {
   bound_serial_ = 0;  // a free-standing model invalidates eta reuse
-  return solve_internal(model, /*allow_eta_reuse=*/false);
+  const Reuse reuse = !last_basis_.empty() &&
+                              last_vars_ == model.num_vars() &&
+                              last_rows_ == model.num_rows()
+                          ? Reuse::Basis
+                          : Reuse::Cold;
+  return solve_internal(model, reuse);
 }
 
-Solution IncrementalSimplex::solve_internal(const Model& model,
-                                            bool allow_eta_reuse) {
+Solution IncrementalSimplex::solve_internal(const Model& model, Reuse reuse) {
   ++stats_.solves;
   const int n = model.num_vars();
   const int m = model.num_rows();
@@ -76,11 +101,19 @@ Solution IncrementalSimplex::solve_internal(const Model& model,
   Solution sol;
   bool warm_attempted = false;
 
+  if (reuse == Reuse::Append && !warm_disabled_ &&
+      !engine_->append_columns(model)) {
+    // The model mutated in a way the append contract excludes.
+    reuse = Reuse::Cold;
+  }
+  const bool append_path = reuse == Reuse::Append;
+
   if (warm_disabled_) {
     sol = cold();
-  } else if (allow_eta_reuse) {
-    // Same structure as the model this engine was built with: reload the
-    // bounds/costs in place, keep the basis and the eta file.
+  } else if (reuse == Reuse::Eta || reuse == Reuse::Append) {
+    // Same structure as the model this engine was built with (after any
+    // just-absorbed column append): reload the bounds/costs in place, keep
+    // the basis and the eta file.
     engine_->refresh_data(model);
     sol = engine_->run(model);
     stats_.iterations += sol.iterations;
@@ -89,7 +122,8 @@ Solution IncrementalSimplex::solve_internal(const Model& model,
       ++stats_.warm_starts;
       ++stats_.eta_reuses;
     }
-  } else if (!last_basis_.empty() && last_vars_ == n && last_rows_ == m) {
+  } else if (reuse == Reuse::Basis && !last_basis_.empty() &&
+             last_vars_ == n && last_rows_ == m) {
     // Same shape, different coefficients: rebuild, adopt the last basis
     // (refactorised with repair). A snapshot the refactorisation rejects
     // outright is a straight cold fallback.
@@ -117,7 +151,16 @@ Solution IncrementalSimplex::solve_internal(const Model& model,
     // strike — the warm start didn't fail, it was told to quit).
     ++stats_.cold_fallbacks;
     sol = cold();
-  } else if (warm_attempted && !interrupted && cold_reference_iters_ > 0) {
+  } else if (warm_attempted && !interrupted && cold_reference_iters_ > 0 &&
+             !append_path) {
+    // (Append re-solves are exempt from the strike system: a column
+    // generation master GROWS across the sequence, so the cold reference —
+    // taken from the small initial model — systematically understates what
+    // a cold solve of the current model would cost. Judging the append
+    // path against it disables warm starts exactly where they pay most:
+    // the appended column enters the basis in a handful of pivots, while a
+    // cold master re-solve costs hundreds. A genuinely bad append start
+    // still falls back cold through the non-optimal branch above.)
     // Adaptive guard: warm-started solves should come in well under the
     // latest cold solve of this sequence; one without 2x headroom earns a
     // strike, a clearly-good one pays a strike back, and three net

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 
 #include "lp/model.hpp"
@@ -44,6 +45,11 @@ struct ResolveStats {
   int cold_fallbacks = 0;  ///< warm attempts re-run cold after a failure
   long long iterations = 0;///< total simplex iterations (incl. fallbacks)
 
+  // Column-generation accounting (zero outside a pricing loop).
+  int columns_priced = 0;     ///< columns appended by a pricing oracle
+  int master_iterations = 0;  ///< restricted-master re-solves in the loop
+  double pricing_ms = 0.0;    ///< wall-clock spent inside the oracle
+
   double warm_hit_rate() const {
     return solves > 0 ? static_cast<double>(warm_starts) / solves : 0.0;
   }
@@ -54,6 +60,9 @@ struct ResolveStats {
     eta_reuses += other.eta_reuses;
     cold_fallbacks += other.cold_fallbacks;
     iterations += other.iterations;
+    columns_priced += other.columns_priced;
+    master_iterations += other.master_iterations;
+    pricing_ms += other.pricing_ms;
   }
 };
 
@@ -73,15 +82,18 @@ class ResolvableModel {
   ResolvableModel(const ResolvableModel& other)
       : model_(other.model_),
         structure_(other.structure_),
-        data_(other.data_) {}
+        data_(other.data_),
+        columns_(other.columns_) {}
   ResolvableModel(ResolvableModel&& other) noexcept
       : model_(std::move(other.model_)),
         structure_(other.structure_),
-        data_(other.data_) {}
+        data_(other.data_),
+        columns_(other.columns_) {}
   ResolvableModel& operator=(const ResolvableModel& other) {
     model_ = other.model_;
     structure_ = other.structure_;
     data_ = other.data_;
+    columns_ = other.columns_;
     serial_ = next_serial();
     return *this;
   }
@@ -89,6 +101,7 @@ class ResolvableModel {
     model_ = std::move(other.model_);
     structure_ = other.structure_;
     data_ = other.data_;
+    columns_ = other.columns_;
     serial_ = next_serial();
     return *this;
   }
@@ -116,6 +129,20 @@ class ResolvableModel {
     ++data_;
   }
 
+  // --- column appends (basis and eta file survive; the solver absorbs
+  //     the new columns without refactorising) ---
+
+  /// Add a variable with its full constraint column (Model::add_column).
+  /// Tracked separately from structural edits: an append only ever adds
+  /// entries for the new variable, so the solver keeps its factorisation
+  /// and the very next solve is an eta-reuse warm start — the mutation
+  /// class column generation lives on.
+  int add_column(double lb, double ub, double obj, std::span<const int> rows,
+                 std::span<const double> values, std::string name = {}) {
+    ++columns_;
+    return model_.add_column(lb, ub, obj, rows, values, std::move(name));
+  }
+
   // --- structural edits (bounded row/column growth between solves) ---
   int add_variable(double lb, double ub, double obj, std::string name = {}) {
     ++structure_;
@@ -138,6 +165,7 @@ class ResolvableModel {
 
   std::uint64_t structure_version() const { return structure_; }
   std::uint64_t data_version() const { return data_; }
+  std::uint64_t columns_version() const { return columns_; }
 
  private:
   static std::uint64_t next_serial() {
@@ -148,6 +176,7 @@ class ResolvableModel {
   Model model_;
   std::uint64_t structure_ = 0;
   std::uint64_t data_ = 0;
+  std::uint64_t columns_ = 0;
   std::uint64_t serial_ = next_serial();
 };
 
@@ -189,7 +218,14 @@ class IncrementalSimplex {
   const ResolveStats& stats() const { return stats_; }
 
  private:
-  Solution solve_internal(const Model& model, bool allow_eta_reuse);
+  /// How much live engine state the mutation history lets this solve keep.
+  enum class Reuse {
+    Cold,    ///< rebuild from scratch
+    Basis,   ///< rebuild, adopt the last basis (refactorise + repair)
+    Eta,     ///< reload data in place; basis and eta file survive
+    Append,  ///< absorb freshly appended columns, then the Eta path
+  };
+  Solution solve_internal(const Model& model, Reuse reuse);
 
   SolverOptions options_;
   ResolveStats stats_;
@@ -200,6 +236,7 @@ class IncrementalSimplex {
   int last_rows_ = -1;
   std::uint64_t bound_serial_ = 0;  ///< ResolvableModel::serial(), 0 = none
   std::uint64_t bound_structure_ = 0;
+  std::uint64_t bound_columns_ = 0;
 
   // Adaptive guard: on degenerate, flow-heavy instances the phase-1 repair
   // from a warm basis can cost more than a cold solve. Each warm solve is

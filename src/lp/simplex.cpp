@@ -36,37 +36,17 @@ Simplex::Simplex(const Model& model, const SolverOptions& opt)
 void Simplex::build(const Model& model) {
   sense_sign_ = (model.sense() == Sense::Minimize) ? 1.0 : -1.0;
 
-  cols_.assign(static_cast<size_t>(nt_), {});
   lb_.resize(static_cast<size_t>(nt_));
   ub_.resize(static_cast<size_t>(nt_));
   cost_.assign(static_cast<size_t>(nt_), 0.0);
 
-  for (int i = 0; i < m_; ++i) {
-    int j = n_ + i;
-    cols_[static_cast<size_t>(j)].idx.push_back(i);
-    cols_[static_cast<size_t>(j)].val.push_back(-1.0);
-  }
-
-  // Accumulate duplicate entries, then build CSC columns.
+  // Compress the model triplets into CSC (duplicates summed). Logical
+  // columns are implicit (-e_i), never stored.
+  mat_.clear();
   std::vector<Model::Entry> entries = model.entries();
-  std::sort(entries.begin(), entries.end(),
-            [](const Model::Entry& a, const Model::Entry& b) {
-              return std::tie(a.var, a.row) < std::tie(b.var, b.row);
-            });
-  for (size_t k = 0; k < entries.size();) {
-    size_t k2 = k;
-    double sum = 0.0;
-    while (k2 < entries.size() && entries[k2].var == entries[k].var &&
-           entries[k2].row == entries[k].row) {
-      sum += entries[k2].value;
-      ++k2;
-    }
-    if (sum != 0.0) {
-      cols_[static_cast<size_t>(entries[k].var)].idx.push_back(entries[k].row);
-      cols_[static_cast<size_t>(entries[k].var)].val.push_back(sum);
-    }
-    k = k2;
-  }
+  entries_seen_ = entries.size();
+  CscMatrix::sort_entries(entries);
+  mat_.append_sorted(entries, n_);
 
   row_scale_.assign(static_cast<size_t>(m_), 1.0);
   col_scale_.assign(static_cast<size_t>(n_), 1.0);
@@ -79,38 +59,39 @@ void Simplex::build(const Model& model) {
 }
 
 void Simplex::compute_scaling() {
-  // Geometric-mean equilibration, two sweeps. Depends only on the entry
-  // values, so the scales stay valid across refresh_data() reloads.
+  // Geometric-mean equilibration, two sweeps, O(nnz) per sweep. Depends
+  // only on the entry values, so the scales stay valid across
+  // refresh_data() reloads. The row pass computes every row factor from
+  // the pre-sweep values before touching any entry, then multiplies each
+  // entry once — the same products, in the same per-entry order, as the
+  // historical row-at-a-time loop, so the scaled matrix is bit-identical.
+  const std::int64_t nnz = mat_.nnz();
+  std::vector<double> srow(static_cast<size_t>(m_));
   for (int sweep = 0; sweep < 2; ++sweep) {
     std::vector<double> rmin(static_cast<size_t>(m_), kInf);
     std::vector<double> rmax(static_cast<size_t>(m_), 0.0);
-    for (int j = 0; j < n_; ++j) {
-      const SparseCol& c = cols_[static_cast<size_t>(j)];
-      for (size_t k = 0; k < c.idx.size(); ++k) {
-        double a = std::fabs(c.val[k]);
-        auto r = static_cast<size_t>(c.idx[k]);
-        rmin[r] = std::min(rmin[r], a);
-        rmax[r] = std::max(rmax[r], a);
-      }
+    for (std::int64_t k = 0; k < nnz; ++k) {
+      double a = std::fabs(mat_.value(k));
+      auto r = static_cast<size_t>(mat_.row(k));
+      rmin[r] = std::min(rmin[r], a);
+      rmax[r] = std::max(rmax[r], a);
     }
     for (int i = 0; i < m_; ++i) {
       auto si = static_cast<size_t>(i);
+      srow[si] = 1.0;
       if (rmax[si] <= 0.0) continue;
       double s = 1.0 / std::sqrt(rmin[si] * rmax[si]);
       if (!std::isfinite(s) || s <= 0.0) continue;
       row_scale_[si] *= s;
-      for (int j = 0; j < n_; ++j) {
-        SparseCol& c = cols_[static_cast<size_t>(j)];
-        for (size_t k = 0; k < c.idx.size(); ++k) {
-          if (c.idx[k] == i) c.val[k] *= s;
-        }
-      }
+      srow[si] = s;
+    }
+    for (std::int64_t k = 0; k < nnz; ++k) {
+      mat_.value_ref(k) *= srow[static_cast<size_t>(mat_.row(k))];
     }
     for (int j = 0; j < n_; ++j) {
-      SparseCol& c = cols_[static_cast<size_t>(j)];
       double cmin = kInf, cmax = 0.0;
-      for (double v : c.val) {
-        double a = std::fabs(v);
+      for (std::int64_t k = mat_.col_begin(j); k < mat_.col_end(j); ++k) {
+        double a = std::fabs(mat_.value(k));
         cmin = std::min(cmin, a);
         cmax = std::max(cmax, a);
       }
@@ -118,7 +99,9 @@ void Simplex::compute_scaling() {
       double s = 1.0 / std::sqrt(cmin * cmax);
       if (!std::isfinite(s) || s <= 0.0) continue;
       col_scale_[static_cast<size_t>(j)] *= s;
-      for (double& v : c.val) v *= s;
+      for (std::int64_t k = mat_.col_begin(j); k < mat_.col_end(j); ++k) {
+        mat_.value_ref(k) *= s;
+      }
     }
   }
 }
@@ -250,6 +233,109 @@ void Simplex::refresh_data(const Model& model) {
   }
 }
 
+bool Simplex::append_columns(const Model& model) {
+  if (model.num_rows() != m_ || model.num_vars() < n_) return false;
+  const int new_n = model.num_vars();
+  const int add = new_n - n_;
+  const auto& all = model.entries();
+  if (all.size() < entries_seen_) return false;
+  // Entries are append-only in a Model, so everything past the high-water
+  // mark belongs to the new columns — anything older that changed would
+  // have bumped the caller's structure version instead of landing here.
+  std::vector<Model::Entry> tail(all.begin() + static_cast<std::ptrdiff_t>(
+                                                   entries_seen_),
+                                 all.end());
+  for (const Model::Entry& e : tail) {
+    if (e.var < n_ || e.var >= new_n || e.row < 0 || e.row >= m_) {
+      return false;  // touches pre-existing columns: rebuild cold
+    }
+  }
+  if (add == 0) {
+    entries_seen_ = all.size();
+    return tail.empty();
+  }
+
+  // Compress the new columns. Row scales are fixed (they depend on the
+  // rows, which did not change); each new column gets one fresh
+  // geometric-mean equilibration pass of its own — not the two interleaved
+  // sweeps a from-scratch build would run, which only affects
+  // conditioning, never the solution.
+  CscMatrix::sort_entries(tail);
+  for (Model::Entry& e : tail) {
+    e.value *= row_scale_[static_cast<size_t>(e.row)];
+  }
+  const int old_cols = mat_.num_cols();
+  mat_.append_sorted(tail, add);
+  for (int c = 0; c < add; ++c) {
+    const int j = old_cols + c;
+    double s = 1.0;
+    if (opt_.scale) {
+      double cmin = kInf, cmax = 0.0;
+      for (std::int64_t k = mat_.col_begin(j); k < mat_.col_end(j); ++k) {
+        double a = std::fabs(mat_.value(k));
+        cmin = std::min(cmin, a);
+        cmax = std::max(cmax, a);
+      }
+      if (cmax > 0.0) {
+        double cand = 1.0 / std::sqrt(cmin * cmax);
+        if (std::isfinite(cand) && cand > 0.0) s = cand;
+      }
+    }
+    col_scale_.push_back(s);
+    if (s != 1.0) {
+      for (std::int64_t k = mat_.col_begin(j); k < mat_.col_end(j); ++k) {
+        mat_.value_ref(k) *= s;
+      }
+    }
+  }
+  entries_seen_ = all.size();
+
+  // Open `add` structural slots at index n_: the per-variable arrays shift
+  // their logical tails up, basic row->var entries pointing at logicals
+  // move up with them, and basic_pos_ stays aligned because it is indexed
+  // by variable. Keeping structurals-first is load-bearing: Bland's rule
+  // and the reinversion orderings break ties by variable index, and
+  // renumbering existing variables would perturb pinned pivot sequences.
+  auto at = [&](auto& vec) { return vec.begin() + n_; };
+  lb_.insert(at(lb_), static_cast<size_t>(add), 0.0);
+  ub_.insert(at(ub_), static_cast<size_t>(add), 0.0);
+  cost_.insert(at(cost_), static_cast<size_t>(add), 0.0);
+  value_.insert(at(value_), static_cast<size_t>(add), 0.0);
+  status_.insert(at(status_), static_cast<size_t>(add), kNonbasicLower);
+  basic_pos_.insert(at(basic_pos_), static_cast<size_t>(add), -1);
+  if (!devex_w_.empty()) {
+    devex_w_.insert(devex_w_.begin() + n_, static_cast<size_t>(add), 1.0);
+  }
+  for (int& b : basic_) {
+    if (b >= n_) b += add;
+  }
+  n_ = new_n;
+  nt_ = n_ + m_;
+  if (opt_.max_iterations <= 0) max_iters_ = 20000 + 40 * (m_ + n_);
+
+  // Seat the new columns nonbasic on a finite bound (refresh_data will
+  // re-derive the exact values from the model it is handed next).
+  for (int j = new_n - add; j < new_n; ++j) {
+    auto sj = static_cast<size_t>(j);
+    double s = col_scale_[sj];
+    double lo = model.var_lb(j), hi = model.var_ub(j);
+    lb_[sj] = std::isfinite(lo) ? lo / s : lo;
+    ub_[sj] = std::isfinite(hi) ? hi / s : hi;
+    cost_[sj] = sense_sign_ * model.obj(j) * s;
+    if (std::isfinite(lb_[sj])) {
+      status_[sj] = kNonbasicLower;
+      value_[sj] = lb_[sj];
+    } else if (std::isfinite(ub_[sj])) {
+      status_[sj] = kNonbasicUpper;
+      value_[sj] = ub_[sj];
+    } else {
+      status_[sj] = kNonbasicFree;
+      value_[sj] = 0.0;
+    }
+  }
+  return true;
+}
+
 bool Simplex::reinvert() {
   etas_.clear();
   factorized_ = false;
@@ -259,40 +345,75 @@ bool Simplex::reinvert() {
   std::sort(vars.begin(), vars.end(), [&](int a, int b) {
     bool la = a >= n_, lbv = b >= n_;
     if (la != lbv) return la;
-    size_t na = cols_[static_cast<size_t>(a)].idx.size();
-    size_t nb = cols_[static_cast<size_t>(b)].idx.size();
+    size_t na = col_nnz(a);
+    size_t nb = col_nnz(b);
     if (na != nb) return na < nb;
     return a < b;
   });
 
   std::vector<char> pivoted(static_cast<size_t>(m_), 0);
   std::vector<int> new_basic(static_cast<size_t>(m_), -1);
-  std::vector<double> w(static_cast<size_t>(m_));
+  std::vector<double> w(static_cast<size_t>(m_), 0.0);
+  std::vector<int> pat;
+  std::vector<char> mark(static_cast<size_t>(m_), 0);
   std::vector<int> dropped;
+  const bool sparse = opt_.sparse_ftran;
 
   auto pivot_column = [&](int var) -> bool {
-    std::fill(w.begin(), w.end(), 0.0);
-    scatter_column(var, w);
-    ftran(w);
     int best = -1;
     double best_abs = opt_.pivot_tol;
-    for (int i = 0; i < m_; ++i) {
-      if (pivoted[static_cast<size_t>(i)]) continue;
-      double a = std::fabs(w[static_cast<size_t>(i)]);
-      if (a > best_abs) {
-        best_abs = a;
-        best = i;
-      }
-    }
-    if (best < 0) return false;
     Eta e;
-    e.r = best;
-    e.pivot = w[static_cast<size_t>(best)];
-    for (int i = 0; i < m_; ++i) {
-      double v = w[static_cast<size_t>(i)];
-      if (i != best && std::fabs(v) > kDropTol) {
-        e.idx.push_back(i);
-        e.val.push_back(v);
+    if (sparse) {
+      // Clear only what the previous column touched, then FTRAN over the
+      // tracked pattern. Sorting the pattern reproduces the dense loop's
+      // ascending-row scans (pivot choice and eta layout are identical).
+      for (int i : pat) {
+        w[static_cast<size_t>(i)] = 0.0;
+        mark[static_cast<size_t>(i)] = 0;
+      }
+      pat.clear();
+      scatter_column_pattern(var, w, pat, mark);
+      ftran_sparse(w, pat, mark);
+      std::sort(pat.begin(), pat.end());
+      for (int i : pat) {
+        if (pivoted[static_cast<size_t>(i)]) continue;
+        double a = std::fabs(w[static_cast<size_t>(i)]);
+        if (a > best_abs) {
+          best_abs = a;
+          best = i;
+        }
+      }
+      if (best < 0) return false;
+      e.r = best;
+      e.pivot = w[static_cast<size_t>(best)];
+      for (int i : pat) {
+        double v = w[static_cast<size_t>(i)];
+        if (i != best && std::fabs(v) > kDropTol) {
+          e.idx.push_back(i);
+          e.val.push_back(v);
+        }
+      }
+    } else {
+      std::fill(w.begin(), w.end(), 0.0);
+      scatter_column(var, w);
+      ftran(w);
+      for (int i = 0; i < m_; ++i) {
+        if (pivoted[static_cast<size_t>(i)]) continue;
+        double a = std::fabs(w[static_cast<size_t>(i)]);
+        if (a > best_abs) {
+          best_abs = a;
+          best = i;
+        }
+      }
+      if (best < 0) return false;
+      e.r = best;
+      e.pivot = w[static_cast<size_t>(best)];
+      for (int i = 0; i < m_; ++i) {
+        double v = w[static_cast<size_t>(i)];
+        if (i != best && std::fabs(v) > kDropTol) {
+          e.idx.push_back(i);
+          e.val.push_back(v);
+        }
       }
     }
     etas_.push_back(std::move(e));
@@ -355,9 +476,12 @@ void Simplex::compute_basic_values() {
     if (status_[sj] == kBasic) continue;
     double v = value_[sj];
     if (v == 0.0) continue;
-    const SparseCol& c = cols_[sj];
-    for (size_t k = 0; k < c.idx.size(); ++k) {
-      rhs[static_cast<size_t>(c.idx[k])] -= c.val[k] * v;
+    if (j >= n_) {
+      rhs[static_cast<size_t>(j - n_)] += v;  // logical column is -e_i
+      continue;
+    }
+    for (std::int64_t k = mat_.col_begin(j); k < mat_.col_end(j); ++k) {
+      rhs[static_cast<size_t>(mat_.row(k))] -= mat_.value(k) * v;
     }
   }
   ftran(rhs);
@@ -380,6 +504,12 @@ double Simplex::total_infeasibility() const {
 
 Simplex::Pricing Simplex::price(const std::vector<double>& y,
                                 bool phase1) const {
+  // Eligibility (|d| beyond opt_tol) is rule-independent; only the score
+  // changes: Dantzig ranks by |d|, devex by d^2 over the reference weight.
+  // Bland's fallback overrides both (lowest eligible index, termination
+  // guarantee).
+  const bool devex = opt_.pricing == PricingRule::Devex && !bland_ &&
+                     devex_w_.size() == static_cast<size_t>(nt_);
   Pricing best;
   for (int j = 0; j < nt_; ++j) {
     auto sj = static_cast<size_t>(j);
@@ -411,14 +541,44 @@ Simplex::Pricing Simplex::price(const std::vector<double>& y,
     }
     if (dir == 0) continue;
     if (bland_) return Pricing{j, dir, score};  // lowest index wins
+    if (devex) score = score * score / devex_w_[sj];
     if (score > best.score) best = Pricing{j, dir, score};
   }
   return best;
 }
 
+void Simplex::update_devex(int enter, int leave_pos,
+                           const std::vector<double>& w) {
+  const double aq = w[static_cast<size_t>(leave_pos)];
+  if (aq == 0.0) return;
+  auto se = static_cast<size_t>(enter);
+  const double gq = std::max(devex_w_[se], 1.0);
+  // alpha_rj for every nonbasic j via one BTRAN of e_r (pre-pivot basis).
+  std::vector<double> rho(static_cast<size_t>(m_), 0.0);
+  rho[static_cast<size_t>(leave_pos)] = 1.0;
+  btran(rho);
+  double wmax = 1.0;
+  for (int j = 0; j < nt_; ++j) {
+    auto sj = static_cast<size_t>(j);
+    if (status_[sj] == kBasic || j == enter) continue;
+    double arj = dot_column(j, rho);
+    if (arj == 0.0) continue;
+    double ratio = arj / aq;
+    double cand = ratio * ratio * gq;
+    if (cand > devex_w_[sj]) devex_w_[sj] = cand;
+    wmax = std::max(wmax, devex_w_[sj]);
+  }
+  // The leaving variable's weight in the post-pivot frame.
+  auto lj = static_cast<size_t>(basic_[static_cast<size_t>(leave_pos)]);
+  devex_w_[lj] = std::max(gq / (aq * aq), 1.0);
+  // Reference-framework reset: once the weights have drifted far from the
+  // frame they were measured in, they stop approximating steepest edge.
+  if (wmax > 1e10 || devex_w_[lj] > 1e10) reset_devex();
+}
+
 Simplex::Ratio Simplex::ratio_test(int enter, int direction,
-                                   const std::vector<double>& w,
-                                   bool phase1) const {
+                                   const std::vector<double>& w, bool phase1,
+                                   const std::vector<int>* pat) const {
   Ratio r;
   auto se = static_cast<size_t>(enter);
   double best = kInf;
@@ -428,7 +588,13 @@ Simplex::Ratio Simplex::ratio_test(int enter, int direction,
   }
   double best_pivot = 0.0;
   const double sigma = static_cast<double>(direction);
-  for (int p = 0; p < m_; ++p) {
+  // Visit rows in ascending order either way (positions the dense scan
+  // would skip as zero are exactly the ones absent from the pattern), so
+  // the non-Bland near-tie rule and Bland's index rule break ties
+  // identically on both paths.
+  const std::size_t count = pat ? pat->size() : static_cast<size_t>(m_);
+  for (std::size_t pi = 0; pi < count; ++pi) {
+    const int p = pat ? (*pat)[pi] : static_cast<int>(pi);
     double wp = w[static_cast<size_t>(p)];
     if (std::fabs(wp) <= opt_.pivot_tol) continue;
     auto j = static_cast<size_t>(basic_[static_cast<size_t>(p)]);
@@ -489,12 +655,15 @@ Simplex::Ratio Simplex::ratio_test(int enter, int direction,
 }
 
 void Simplex::apply_step(int enter, int direction, const Ratio& r,
-                         std::vector<double>& w) {
+                         std::vector<double>& w,
+                         const std::vector<int>* pat) {
   auto se = static_cast<size_t>(enter);
   const double sigma = static_cast<double>(direction);
   const double t = r.step;
   if (t != 0.0) {
-    for (int p = 0; p < m_; ++p) {
+    const std::size_t count = pat ? pat->size() : static_cast<size_t>(m_);
+    for (std::size_t pi = 0; pi < count; ++pi) {
+      const int p = pat ? (*pat)[pi] : static_cast<int>(pi);
       double wp = w[static_cast<size_t>(p)];
       if (wp == 0.0) continue;
       auto j = static_cast<size_t>(basic_[static_cast<size_t>(p)]);
@@ -522,7 +691,9 @@ void Simplex::apply_step(int enter, int direction, const Ratio& r,
   Eta e;
   e.r = p;
   e.pivot = w[static_cast<size_t>(p)];
-  for (int i = 0; i < m_; ++i) {
+  const std::size_t count = pat ? pat->size() : static_cast<size_t>(m_);
+  for (std::size_t pi = 0; pi < count; ++pi) {
+    const int i = pat ? (*pat)[pi] : static_cast<int>(pi);
     double v = w[static_cast<size_t>(i)];
     if (i != p && std::fabs(v) > kDropTol) {
       e.idx.push_back(i);
@@ -535,7 +706,10 @@ void Simplex::apply_step(int enter, int direction, const Ratio& r,
 
 Simplex::LoopResult Simplex::iterate(bool phase1) {
   std::vector<double> y(static_cast<size_t>(m_));
-  std::vector<double> w(static_cast<size_t>(m_));
+  std::vector<double> w(static_cast<size_t>(m_), 0.0);
+  const bool sparse = opt_.sparse_ftran;
+  std::vector<int> pat;
+  std::vector<char> mark(static_cast<size_t>(m_), 0);
   const int poll_every = opt_.checkpoint_every > 0 ? opt_.checkpoint_every : 32;
   int until_poll = opt_.checkpoint ? poll_every : -1;
   while (true) {
@@ -577,15 +751,32 @@ Simplex::LoopResult Simplex::iterate(bool phase1) {
       return LoopResult::Converged;
     }
 
-    std::fill(w.begin(), w.end(), 0.0);
-    scatter_column(pr.var, w);
-    ftran(w);
+    const std::vector<int>* wpat = nullptr;
+    if (sparse) {
+      for (int i : pat) {
+        w[static_cast<size_t>(i)] = 0.0;
+        mark[static_cast<size_t>(i)] = 0;
+      }
+      pat.clear();
+      scatter_column_pattern(pr.var, w, pat, mark);
+      ftran_sparse(w, pat, mark);
+      std::sort(pat.begin(), pat.end());
+      wpat = &pat;
+    } else {
+      std::fill(w.begin(), w.end(), 0.0);
+      scatter_column(pr.var, w);
+      ftran(w);
+    }
 
-    Ratio r = ratio_test(pr.var, pr.direction, w, phase1);
+    Ratio r = ratio_test(pr.var, pr.direction, w, phase1, wpat);
     if (r.unbounded) {
       return phase1 ? LoopResult::Numerical : LoopResult::Unbounded;
     }
-    apply_step(pr.var, pr.direction, r, w);
+    if (opt_.pricing == PricingRule::Devex && !r.bound_flip &&
+        devex_w_.size() == static_cast<size_t>(nt_)) {
+      update_devex(pr.var, r.leave_pos, w);
+    }
+    apply_step(pr.var, pr.direction, r, w, wpat);
     ++iterations_;
 
     if (r.step <= 1e-10) {
@@ -617,6 +808,8 @@ Solution Simplex::run(const Model& model) {
   iterations_ = 0;
   degenerate_run_ = 0;
   bland_ = false;
+  // Each run opens a fresh devex reference framework.
+  if (opt_.pricing == PricingRule::Devex) reset_devex();
 
   if (!factorized_) {
     if (!reinvert()) {

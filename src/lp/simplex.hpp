@@ -56,6 +56,18 @@ enum class CheckpointAction {
   Cutoff,  ///< stop now; solve returns SolveStatus::CutoffReached
 };
 
+/// Entering-variable selection rule.
+enum class PricingRule {
+  /// Most-negative reduced cost. The historical default — every bit-exact
+  /// golden trace was recorded under it, so it stays the default.
+  Dantzig,
+  /// Forrest–Goldfarb reference-framework weights (approximate steepest
+  /// edge). Costs one extra BTRAN plus a pricing-sized pass per pivot but
+  /// takes far fewer pivots on the long, thin restricted masters that
+  /// column generation produces; that is where the engine turns it on.
+  Devex,
+};
+
 struct SolverOptions {
   /// 0 = automatic (scales with the model size).
   int max_iterations = 0;
@@ -78,6 +90,15 @@ struct SolverOptions {
   /// (a full BTRAN + pricing pass + FTRAN) — so a small interval buys
   /// deadline responsiveness at well under 1% overhead.
   int checkpoint_every = 32;
+
+  PricingRule pricing = PricingRule::Dantzig;
+
+  /// Pattern-tracked sparse FTRAN for pivot columns and reinversion. The
+  /// arithmetic is bit-identical to the dense reference loops it replaces
+  /// (the pattern is sorted before any order-sensitive scan); false keeps
+  /// the dense loops, which the sparse-vs-dense differential suite runs
+  /// as its reference.
+  bool sparse_ftran = true;
 };
 
 struct Solution {

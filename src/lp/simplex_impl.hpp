@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "lp/simplex.hpp"
+#include "lp/sparse.hpp"
 
 namespace pmcast::lp::detail {
 
@@ -33,11 +34,6 @@ enum VarStatus : signed char {
   kNonbasicUpper = 1,
   kBasic = 2,
   kNonbasicFree = 3,
-};
-
-struct SparseCol {
-  std::vector<int> idx;
-  std::vector<double> val;
 };
 
 /// Product-form eta: the basis changed by replacing the column pivoted at
@@ -75,6 +71,16 @@ class Simplex {
   /// existing factorisation.
   void refresh_data(const Model& model);
 
+  /// Absorb the columns \p model gained (via Model::add_column) since this
+  /// engine was built or last appended. The internal index layout keeps
+  /// structurals in [0, n) — logicals shift up — but the eta file
+  /// references row positions only, so the factorisation survives
+  /// untouched and the very next solve is an eta-reuse warm start. New
+  /// columns enter nonbasic at a finite bound. Returns false (engine
+  /// unchanged, caller rebuilds cold) when the model's rows changed, its
+  /// variable count shrank, or new entries touch pre-existing columns.
+  bool append_columns(const Model& model);
+
  private:
   void build(const Model& model);
   void compute_scaling();
@@ -106,20 +112,76 @@ class Simplex {
     }
   }
 
+  /// Sparse FTRAN: same arithmetic as ftran() — each eta is skipped when
+  /// v[e.r] == 0.0, so results are bit-equal — but every position written
+  /// is recorded in \p pat (deduplicated via \p mark), sparing callers the
+  /// O(m) zero scan afterwards. The pattern is a superset of the true
+  /// nonzeros (cancellations stay listed) and comes out unsorted; callers
+  /// whose downstream scans are order-sensitive must sort it first.
+  void ftran_sparse(std::vector<double>& v, std::vector<int>& pat,
+                    std::vector<char>& mark) const {
+    for (const Eta& e : etas_) {
+      double t = v[static_cast<size_t>(e.r)];
+      if (t == 0.0) continue;
+      t /= e.pivot;
+      v[static_cast<size_t>(e.r)] = t;
+      const size_t k = e.idx.size();
+      for (size_t i = 0; i < k; ++i) {
+        auto p = static_cast<size_t>(e.idx[i]);
+        v[p] -= e.val[i] * t;
+        if (!mark[p]) {
+          mark[p] = 1;
+          pat.push_back(e.idx[i]);
+        }
+      }
+    }
+  }
+
+  // Column access: structural j < n_ is a CSC slice of mat_; logical
+  // j >= n_ is the singleton -e_{j - n_} (never materialised).
   void scatter_column(int var, std::vector<double>& dense) const {
-    const SparseCol& c = cols_[static_cast<size_t>(var)];
-    for (size_t k = 0; k < c.idx.size(); ++k) {
-      dense[static_cast<size_t>(c.idx[k])] += c.val[k];
+    if (var >= n_) {
+      dense[static_cast<size_t>(var - n_)] += -1.0;
+      return;
+    }
+    for (std::int64_t k = mat_.col_begin(var); k < mat_.col_end(var); ++k) {
+      dense[static_cast<size_t>(mat_.row(k))] += mat_.value(k);
+    }
+  }
+
+  /// scatter_column that also records the touched positions in pat/mark —
+  /// the seed pattern for ftran_sparse.
+  void scatter_column_pattern(int var, std::vector<double>& dense,
+                              std::vector<int>& pat,
+                              std::vector<char>& mark) const {
+    auto touch = [&](int i, double v) {
+      auto p = static_cast<size_t>(i);
+      dense[p] += v;
+      if (!mark[p]) {
+        mark[p] = 1;
+        pat.push_back(i);
+      }
+    };
+    if (var >= n_) {
+      touch(var - n_, -1.0);
+      return;
+    }
+    for (std::int64_t k = mat_.col_begin(var); k < mat_.col_end(var); ++k) {
+      touch(mat_.row(k), mat_.value(k));
     }
   }
 
   double dot_column(int var, const std::vector<double>& y) const {
-    const SparseCol& c = cols_[static_cast<size_t>(var)];
+    if (var >= n_) return -y[static_cast<size_t>(var - n_)];
     double s = 0.0;
-    for (size_t k = 0; k < c.idx.size(); ++k) {
-      s += c.val[k] * y[static_cast<size_t>(c.idx[k])];
+    for (std::int64_t k = mat_.col_begin(var); k < mat_.col_end(var); ++k) {
+      s += mat_.value(k) * y[static_cast<size_t>(mat_.row(k))];
     }
     return s;
+  }
+
+  std::size_t col_nnz(int var) const {
+    return var >= n_ ? 1 : mat_.col_nnz(var);
   }
 
   bool reinvert();
@@ -141,11 +203,21 @@ class Simplex {
     double step = 0.0;
     signed char leave_status = kNonbasicLower;  // bound the leaver lands on
   };
+  /// \p pat: sorted nonzero pattern of w, or nullptr for the dense
+  /// reference scan (SolverOptions::sparse_ftran == false). The sorted
+  /// pattern reproduces the dense loop's ascending-row visit order, so
+  /// tie-breaking is identical.
   Ratio ratio_test(int enter, int direction, const std::vector<double>& w,
-                   bool phase1) const;
+                   bool phase1, const std::vector<int>* pat) const;
 
   void apply_step(int enter, int direction, const Ratio& r,
-                  std::vector<double>& w);
+                  std::vector<double>& w, const std::vector<int>* pat);
+
+  // Devex (Forrest–Goldfarb) reference-framework weights; only maintained
+  // when opt_.pricing == PricingRule::Devex. Called with the pre-pivot
+  // basis (before apply_step appends the pivot's eta).
+  void update_devex(int enter, int leave_pos, const std::vector<double>& w);
+  void reset_devex() { devex_w_.assign(static_cast<size_t>(nt_), 1.0); }
 
   bool is_fixed(int j) const {
     return ub_[static_cast<size_t>(j)] - lb_[static_cast<size_t>(j)] <
@@ -166,10 +238,14 @@ class Simplex {
   int m_, n_, nt_;
   double sense_sign_ = 1.0;  // +1 Minimize, -1 Maximize
 
-  std::vector<SparseCol> cols_;       // nt_ columns (logical i = column -e_i)
+  CscMatrix mat_;                     // n_ structural columns (scaled);
+                                      // logical i = implicit column -e_i
+  std::size_t entries_seen_ = 0;      // model entries consumed so far —
+                                      // append_columns resumes here
   std::vector<double> lb_, ub_;       // nt_
   std::vector<double> cost_;          // nt_, minimisation costs (scaled)
   std::vector<double> row_scale_, col_scale_;
+  std::vector<double> devex_w_;       // nt_ when devex pricing is active
 
   std::vector<int> basic_;            // m_: var basic at row position p
   std::vector<int> basic_pos_;        // nt_: position or -1

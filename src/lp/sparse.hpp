@@ -1,0 +1,96 @@
+#pragma once
+/// \file sparse.hpp
+/// Compressed sparse column (CSC) storage for the LP engine. The Model
+/// accumulates coefficients as append-only (row, var, value) triplets —
+/// the convenient form for builders — and the solver compresses them once
+/// per build into column slices it can scan, scale and FTRAN without ever
+/// touching a dense matrix.
+///
+/// Invariants:
+///  * row indices are strictly ascending within a column;
+///  * duplicate (row, var) model entries are summed at build time, and a
+///    sum that cancels to exactly 0.0 is dropped — both matching the
+///    historical builder bit for bit (the golden corpus pins its traces);
+///  * columns are append-only, never removed or reordered: exactly the
+///    growth pattern column generation needs, and what lets the engine's
+///    eta file (which references row positions only) survive an append.
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace pmcast::lp::detail {
+
+class CscMatrix {
+ public:
+  CscMatrix() { ptr_.push_back(0); }
+
+  void clear() {
+    ptr_.assign(1, 0);
+    idx_.clear();
+    val_.clear();
+  }
+
+  int num_cols() const { return static_cast<int>(ptr_.size()) - 1; }
+  std::int64_t nnz() const { return ptr_.back(); }
+
+  std::int64_t col_begin(int j) const { return ptr_[static_cast<size_t>(j)]; }
+  std::int64_t col_end(int j) const {
+    return ptr_[static_cast<size_t>(j) + 1];
+  }
+  std::size_t col_nnz(int j) const {
+    return static_cast<std::size_t>(col_end(j) - col_begin(j));
+  }
+  int row(std::int64_t k) const { return idx_[static_cast<size_t>(k)]; }
+  double value(std::int64_t k) const { return val_[static_cast<size_t>(k)]; }
+  double& value_ref(std::int64_t k) { return val_[static_cast<size_t>(k)]; }
+
+  /// Sort \p entries exactly the way the engine has always compressed
+  /// models: by (var, row), with std::sort's (deterministic for a given
+  /// input sequence) handling of equal keys — duplicate summation order is
+  /// part of the pinned numerical behaviour.
+  static void sort_entries(std::vector<Model::Entry>& entries) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Model::Entry& a, const Model::Entry& b) {
+                return std::tie(a.var, a.row) < std::tie(b.var, b.row);
+              });
+  }
+
+  /// Append \p count columns whose coefficients are \p entries, which must
+  /// already be sorted with sort_entries() and span exactly the var range
+  /// [num_cols(), num_cols() + count). Duplicates are summed in array
+  /// order; exact-zero sums are dropped. Columns without entries come out
+  /// empty.
+  void append_sorted(const std::vector<Model::Entry>& entries, int count) {
+    const int base = num_cols();
+    std::size_t k = 0;
+    for (int c = 0; c < count; ++c) {
+      const int var = base + c;
+      while (k < entries.size() && entries[k].var == var) {
+        std::size_t k2 = k;
+        double sum = 0.0;
+        while (k2 < entries.size() && entries[k2].var == var &&
+               entries[k2].row == entries[k].row) {
+          sum += entries[k2].value;
+          ++k2;
+        }
+        if (sum != 0.0) {
+          idx_.push_back(entries[k].row);
+          val_.push_back(sum);
+        }
+        k = k2;
+      }
+      ptr_.push_back(static_cast<std::int64_t>(idx_.size()));
+    }
+  }
+
+ private:
+  std::vector<std::int64_t> ptr_;  // size num_cols()+1
+  std::vector<int> idx_;           // row indices, ascending per column
+  std::vector<double> val_;
+};
+
+}  // namespace pmcast::lp::detail

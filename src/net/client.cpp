@@ -40,7 +40,9 @@ Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       options_(other.options_),
       next_request_id_(other.next_request_id_),
-      in_(std::move(other.in_)) {}
+      in_(std::move(other.in_)),
+      host_(std::move(other.host_)),
+      port_(other.port_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -49,6 +51,8 @@ Client& Client::operator=(Client&& other) noexcept {
     options_ = other.options_;
     next_request_id_ = other.next_request_id_;
     in_ = std::move(other.in_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
   }
   return *this;
 }
@@ -61,8 +65,11 @@ void Client::close() {
   in_.clear();
 }
 
-Result<Client> Client::connect(const std::string& host, std::uint16_t port,
-                               ClientOptions options) {
+namespace {
+
+/// Open a fresh TCP connection to host:port. Shared by the initial
+/// connect() and by reconnect() on solve()'s retry-once path.
+Result<int> dial(const std::string& host, std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return socket_error("socket");
 
@@ -93,11 +100,33 @@ Result<Client> Client::connect(const std::string& host, std::uint16_t port,
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Result<Client> Client::connect(const std::string& host, std::uint16_t port,
+                               ClientOptions options) {
+  Result<int> fd = dial(host, port);
+  if (!fd.ok()) return fd.status();
 
   Client client;
-  client.fd_ = fd;
+  client.fd_ = *fd;
   client.options_ = options;
+  client.host_ = host;
+  client.port_ = port;
   return client;
+}
+
+Status Client::reconnect() {
+  close();
+  if (host_.empty()) {
+    return Status(StatusCode::kUnavailable, "no remembered endpoint");
+  }
+  Result<int> fd = dial(host_, port_);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  return Status::Ok();
 }
 
 Status Client::send_all(const std::vector<std::uint8_t>& bytes) {
@@ -195,9 +224,6 @@ Result<RemoteResponse> Client::solve(const SolveRequest& request) {
   wire.known_lower_bound = request.known_lower_bound;
   wire.problem = request.problem;
 
-  Status sent = send_all(encode_solve_request(wire));
-  if (!sent.ok()) return sent;
-
   // How long to block: the request's own deadline plus slack, or the
   // no-deadline client cap (0 = forever).
   double timeout_ms = -1.0;
@@ -207,7 +233,20 @@ Result<RemoteResponse> Client::solve(const SolveRequest& request) {
     timeout_ms = options_.response_timeout_ms;
   }
 
-  Result<Frame> frame = read_matching(wire.request_id, timeout_ms);
+  const std::vector<std::uint8_t> encoded = encode_solve_request(wire);
+  auto round_trip = [&]() -> Result<Frame> {
+    Status sent = send_all(encoded);
+    if (!sent.ok()) return sent;
+    return read_matching(wire.request_id, timeout_ms);
+  };
+  Result<Frame> frame = round_trip();
+  if (!frame.ok() && frame.status().code() == StatusCode::kUnavailable) {
+    // The connection died mid-round-trip (server restart, idle reset,
+    // ECONNRESET/EPIPE): dial again and resend the identical frame once.
+    // Only kUnavailable retries — a timeout or protocol error means the
+    // server is alive and re-sending would double the damage.
+    if (reconnect().ok()) frame = round_trip();
+  }
   if (!frame.ok()) return frame.status();
 
   if (frame->header.type == MessageType::kError) {

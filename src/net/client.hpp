@@ -79,6 +79,14 @@ class Client {
   /// ignored (remote cancellation is cancel_last()); everything else —
   /// deadline (incl. kNoDeadline), priority, strategy allowlist, limits,
   /// pruning override, known_lower_bound — travels on the wire.
+  ///
+  /// Resilience: when the round-trip fails because the *connection* died
+  /// (kUnavailable — server restart, idle reset, ECONNRESET/EPIPE mapped
+  /// by send/recv), the client dials the remembered endpoint again and
+  /// resends the identical frame exactly once. Solves are idempotent on
+  /// the server (same instance key, cache-backed), so a retry can at
+  /// worst recompute. Timeouts (kDeadlineExceeded), protocol errors
+  /// (kInternal) and server-reported errors are never retried.
   Result<RemoteResponse> solve(const SolveRequest& request);
 
   /// Fire-and-forget cancel for the most recent solve's request id — only
@@ -103,11 +111,17 @@ class Client {
   /// Read frames until one with \p request_id arrives (or timeout_ms < 0 =
   /// forever). Stale responses for earlier, timed-out ids are discarded.
   Result<Frame> read_matching(std::uint64_t request_id, double timeout_ms);
+  /// Dial the remembered endpoint again after a lost connection (solve()'s
+  /// retry-once path). Any half-read input buffer is dropped with the
+  /// old socket.
+  Status reconnect();
 
   int fd_ = -1;
   ClientOptions options_;
   std::uint64_t next_request_id_ = 1;
   std::vector<std::uint8_t> in_;
+  std::string host_;  ///< remembered endpoint for reconnect()
+  std::uint16_t port_ = 0;
 };
 
 }  // namespace pmcast::net

@@ -62,12 +62,21 @@ struct SolveBudget {
   /// budget = inherit.
   std::size_t exact_max_trees = 200'000;
 
+  /// Instances above exact_max_nodes but at most this many nodes route the
+  /// exact strategy to the column-generation solver (restricted master +
+  /// pricing oracle) instead of skipping. 0 disables column generation —
+  /// the engine default, keeping small-instance results bit-identical to
+  /// the enumeration-only portfolio; negative on a request budget =
+  /// inherit.
+  int colgen_max_nodes = 0;
+
   /// Request-level budget with every field deferring to the engine's.
   static SolveBudget inherit() {
     SolveBudget budget;
     budget.deadline_ms = 0.0;
     budget.exact_max_nodes = -1;
     budget.exact_max_trees = 0;
+    budget.colgen_max_nodes = -1;
     return budget;
   }
 
@@ -81,6 +90,7 @@ struct SolveBudget {
     }
     if (exact_max_nodes >= 0) merged.exact_max_nodes = exact_max_nodes;
     if (exact_max_trees > 0) merged.exact_max_trees = exact_max_trees;
+    if (colgen_max_nodes >= 0) merged.colgen_max_nodes = colgen_max_nodes;
     return merged;
   }
 

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "core/certificate.hpp"
@@ -242,6 +243,57 @@ void certify_platform(const MulticastProblem& problem,
   }
 }
 
+/// Column-generation variant of the exact strategy for instances above the
+/// enumeration ceiling: a restricted master over priced trees
+/// (core::column_generation_throughput) instead of the exponential sweep.
+/// The combination it returns is certified end-to-end exactly like the
+/// enumerated one; bound_period is advisory because heuristic pricing
+/// makes the master value a strong lower bound on throughput, not a
+/// proven optimum.
+void run_exact_colgen(const MulticastProblem& problem,
+                      const PortfolioOptions& options,
+                      const BudgetGuard& guard,
+                      const std::function<bool()>& should_abort,
+                      const std::function<lp::CheckpointAction()>& checkpoint,
+                      const SkipReason* cut_reason, CandidateOutcome& out) {
+  core::ColumnGenLimits limits;
+  limits.should_abort = should_abort;
+  limits.solver.checkpoint = checkpoint;
+  core::ExactSolution cg = core::column_generation_throughput(problem, limits);
+  out.lp.merge(cg.lp);
+  // A budget stop with a usable anytime combination still certifies below;
+  // only a pruning cutoff (the incumbent dominates) or an abort before the
+  // first optimal master lands here.
+  if (cg.cutoff || (cg.aborted && !(cg.ok && cg.throughput > 0.0))) {
+    bool was_cut = cg.cutoff || !guard.expired();
+    mark_interrupted(out, guard, was_cut,
+                     cut_reason != nullptr ? *cut_reason
+                                           : SkipReason::Dominated);
+    return;
+  }
+  if (!cg.ok || cg.throughput <= 0.0) {
+    out.state = CandidateState::Skipped;
+    out.skip_reason = SkipReason::Inapplicable;
+    out.detail = "column generation produced no usable combination";
+    return;
+  }
+  out.bound_period = 1.0 / cg.throughput;
+  auto cert = core::verify_certificate(problem, cg.combination,
+                                       options.simulate_periods);
+  if (!cert.valid || cert.throughput <= 0.0) {
+    out.state = CandidateState::Failed;
+    out.detail = "certificate rejected: " + cert.reason;
+    return;
+  }
+  out.state = CandidateState::Certified;
+  out.period = 1.0 / cert.throughput;
+  out.detail = "certified via column generation (" +
+               std::to_string(cg.lp.columns_priced) +
+               std::string(cg.aborted ? " columns priced, budget stop)"
+                                      : " columns priced)") +
+               "; bound is advisory";
+}
+
 void run_exact(const MulticastProblem& problem,
                const PortfolioOptions& options, const BudgetGuard& guard,
                const std::function<bool()>& should_abort,
@@ -258,6 +310,17 @@ void run_exact(const MulticastProblem& problem,
                                     ? options.budget.exact_max_trees
                                     : defaults.exact_max_trees;
   if (problem.graph.node_count() > max_nodes) {
+    // Too large to enumerate; the column-generation solver picks instances
+    // up to colgen_max_nodes instead of skipping. Off (0) by default so
+    // the enumeration-only portfolio is unchanged unless opted in.
+    const int colgen_max = options.budget.colgen_max_nodes >= 0
+                               ? options.budget.colgen_max_nodes
+                               : defaults.colgen_max_nodes;
+    if (problem.graph.node_count() <= colgen_max) {
+      run_exact_colgen(problem, options, guard, should_abort, checkpoint,
+                       cut_reason, out);
+      return;
+    }
     out.state = CandidateState::Skipped;
     out.skip_reason = SkipReason::Inapplicable;
     out.detail = "instance above exact_max_nodes";

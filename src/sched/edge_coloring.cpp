@@ -15,78 +15,6 @@ namespace {
 /// rates around 1e+9 it treats accumulated fp dust as real residual load.
 constexpr double kRelEps = 1e-12;
 
-/// Kuhn's augmenting-path maximum bipartite matching. Sizes here are tiny
-/// (ports of one platform), so the O(V·E) bound is more than enough.
-class BipartiteMatcher {
- public:
-  BipartiteMatcher(int n_left, int n_right)
-      : adj_(static_cast<size_t>(n_left)),
-        match_left_(static_cast<size_t>(n_left), -1),
-        match_right_(static_cast<size_t>(n_right), -1) {}
-
-  void add_edge(int l, int r, int payload) {
-    adj_[static_cast<size_t>(l)].push_back({r, payload});
-  }
-
-  /// Returns the matching size; match_left()[l] = payload of matched edge.
-  int solve() {
-    int matched = 0;
-    for (int l = 0; l < static_cast<int>(adj_.size()); ++l) {
-      visited_.assign(match_right_.size(), 0);
-      if (try_augment(l)) ++matched;
-    }
-    return matched;
-  }
-
-  const std::vector<int>& match_left_payload() const { return payload_left_; }
-  int left_count() const { return static_cast<int>(adj_.size()); }
-
-  /// payload of the edge matched at left node l, or -1.
-  int matched_payload(int l) const {
-    return payload_left_.empty() ? -1 : payload_left_[static_cast<size_t>(l)];
-  }
-
-  void finalize_payloads() {
-    payload_left_.assign(adj_.size(), -1);
-    for (size_t l = 0; l < adj_.size(); ++l) {
-      if (match_left_[l] >= 0) {
-        for (const auto& [r, payload] : adj_[l]) {
-          if (r == match_left_[l]) {
-            payload_left_[l] = payload;
-            break;
-          }
-        }
-      }
-    }
-  }
-
-  int match_of_left(int l) const { return match_left_[static_cast<size_t>(l)]; }
-
- private:
-  bool try_augment(int l) {
-    for (const auto& [r, payload] : adj_[static_cast<size_t>(l)]) {
-      auto sr = static_cast<size_t>(r);
-      if (visited_[sr]) continue;
-      visited_[sr] = 1;
-      if (match_right_[sr] < 0 || try_augment(match_right_[sr])) {
-        match_right_[sr] = l;
-        match_left_[static_cast<size_t>(l)] = r;
-        return true;
-      }
-    }
-    return false;
-  }
-
-  struct Arc {
-    int to;
-    int payload;
-  };
-  std::vector<std::vector<std::pair<int, int>>> adj_;
-  std::vector<int> match_left_, match_right_;
-  std::vector<int> payload_left_;
-  std::vector<char> visited_;
-};
-
 }  // namespace
 
 double max_port_load(std::span<const Communication> comms, int node_count) {
@@ -178,8 +106,8 @@ ColoringResult color_communications(std::span<const Communication> comms,
     }
   }
 
-  // Peel perfect matchings. Port ids are compacted to the ports that carry
-  // load (every compacted port has total load exactly M throughout).
+  // Compact port ids to the ports that carry load (every compacted port has
+  // total load exactly M throughout the peeling).
   std::vector<int> sender_id(static_cast<size_t>(virtual_ports), -1);
   std::vector<int> receiver_id(static_cast<size_t>(virtual_ports), -1);
   int n_send = 0, n_recv = 0;
@@ -192,62 +120,132 @@ ColoringResult color_communications(std::span<const Communication> comms,
     }
   }
 
+  // Peel perfect matchings, maintaining ONE maximum matching incrementally
+  // across rounds instead of re-running Kuhn from scratch each time. A
+  // round only zeroes the edges it peeled to dust, so re-augmenting from
+  // the left ports those edges freed restores maximality (Kuhn's lemma: a
+  // left vertex with no augmenting path now never gains one later). The
+  // from-scratch rebuild made the decomposition O(rounds * V * E) — hours
+  // on the ~20k-communication certificates column generation emits at
+  // n = 1000; this is O(rounds * E) in the same worst case and seconds in
+  // practice.
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n_send));
+  for (size_t i = 0; i < edges.size(); ++i) {
+    adj[static_cast<size_t>(sender_id[static_cast<size_t>(
+        edges[i].sender)])].push_back(static_cast<int>(i));
+  }
+  std::vector<int> match_left_edge(static_cast<size_t>(n_send), -1);
+  std::vector<int> match_right(static_cast<size_t>(n_recv), -1);
+  std::vector<char> visited(static_cast<size_t>(n_recv), 0);
+  std::size_t live_real = 0;
+  for (const WorkEdge& e : edges) {
+    if (e.payload >= 0 && e.weight > kEps) ++live_real;
+  }
+
+  // Iterative augmenting-path search (the recursive form overflows the
+  // stack on thousand-port instances): classic Kuhn over live edges.
+  // via_edge[d] is the edge through which stack[d-1] descended into
+  // stack[d]'s subtree; on success every ancestor re-matches along it.
+  std::vector<int> stack, arc_pos, via_edge;
+  auto try_augment = [&](int root) -> bool {
+    stack.assign(1, root);
+    arc_pos.assign(1, 0);
+    via_edge.assign(1, -1);
+    while (!stack.empty()) {
+      const size_t d = stack.size() - 1;
+      const int l = stack[d];
+      bool descended = false;
+      const auto& arcs = adj[static_cast<size_t>(l)];
+      while (arc_pos[d] < static_cast<int>(arcs.size())) {
+        const int ei = arcs[static_cast<size_t>(arc_pos[d]++)];
+        const WorkEdge& e = edges[static_cast<size_t>(ei)];
+        if (e.weight <= kEps) continue;
+        const int r = receiver_id[static_cast<size_t>(e.receiver)];
+        if (visited[static_cast<size_t>(r)]) continue;
+        visited[static_cast<size_t>(r)] = 1;
+        if (match_right[static_cast<size_t>(r)] < 0) {
+          match_right[static_cast<size_t>(r)] = l;
+          match_left_edge[static_cast<size_t>(l)] = ei;
+          for (size_t a = d; a > 0; --a) {
+            const int ae = via_edge[a];
+            const int ar = receiver_id[static_cast<size_t>(
+                edges[static_cast<size_t>(ae)].receiver)];
+            match_right[static_cast<size_t>(ar)] = stack[a - 1];
+            match_left_edge[static_cast<size_t>(stack[a - 1])] = ae;
+          }
+          return true;
+        }
+        stack.push_back(match_right[static_cast<size_t>(r)]);
+        arc_pos.push_back(0);
+        via_edge.push_back(ei);
+        descended = true;
+        break;
+      }
+      if (descended) continue;
+      stack.pop_back();
+      arc_pos.pop_back();
+      via_edge.pop_back();
+    }
+    return false;
+  };
+
   double time_cursor = 0.0;
   double realised = M;  // grows past M only when dust strands weight
   const size_t max_rounds = edges.size() + 8;
   for (size_t round = 0; round < max_rounds; ++round) {
-    // Remaining live edges.
-    std::vector<int> live;
-    bool real_left = false;
-    for (size_t i = 0; i < edges.size(); ++i) {
-      if (edges[i].weight > kEps) {
-        live.push_back(static_cast<int>(i));
-        if (edges[i].payload >= 0) real_left = true;
-      }
-    }
-    if (!real_left) {
+    if (live_real == 0) {
       result.ok = true;
       result.makespan = realised;
       return result;
     }
-
-    BipartiteMatcher matcher(n_send, n_recv);
-    for (int ei : live) {
-      const WorkEdge& e = edges[static_cast<size_t>(ei)];
-      matcher.add_edge(sender_id[static_cast<size_t>(e.sender)],
-                       receiver_id[static_cast<size_t>(e.receiver)], ei);
+    // Restore maximality: one augmentation attempt per unmatched left.
+    for (int l = 0; l < n_send; ++l) {
+      if (match_left_edge[static_cast<size_t>(l)] >= 0) continue;
+      bool has_live = false;
+      for (int ei : adj[static_cast<size_t>(l)]) {
+        if (edges[static_cast<size_t>(ei)].weight > kEps) {
+          has_live = true;
+          break;
+        }
+      }
+      if (!has_live) continue;
+      std::fill(visited.begin(), visited.end(), 0);
+      try_augment(l);
     }
-    // On an exactly-regular weighted graph the matching is perfect. A port
-    // whose load sits within dust distance of M gets no dummy padding, so
-    // floating-point dust can break regularity and strand residual weight
-    // on a few ports; a *maximum* matching still zeroes at least one edge
-    // per round, so peeling it keeps the decomposition going and the
+
+    // Peel the minimum matched weight. On an exactly-regular weighted
+    // graph the matching is perfect; floating-point dust can break
+    // regularity and strand residual weight on a few ports, but a
+    // *maximum* matching still zeroes at least one edge per round, so the
     // makespan overshoots M by at most the stranded dust (absorbed by the
     // schedule validators' tolerance).
-    matcher.solve();
-    matcher.finalize_payloads();
-
-    // Peel the minimum matched weight.
     double delta = kInfinity;
-    std::vector<int> matched_edges;
     for (int l = 0; l < n_send; ++l) {
-      int ei = matcher.matched_payload(l);
+      const int ei = match_left_edge[static_cast<size_t>(l)];
       if (ei < 0) continue;
-      matched_edges.push_back(ei);
       delta = std::min(delta, edges[static_cast<size_t>(ei)].weight);
     }
-    if (matched_edges.empty() || delta == kInfinity || delta <= kEps) {
+    if (delta == kInfinity || delta <= kEps) {
       result.ok = false;
       return result;
     }
     ColorSlot slot;
     slot.start = time_cursor;
     slot.length = delta;
-    for (int ei : matched_edges) {
+    for (int l = 0; l < n_send; ++l) {
+      const int ei = match_left_edge[static_cast<size_t>(l)];
+      if (ei < 0) continue;
       WorkEdge& e = edges[static_cast<size_t>(ei)];
       e.weight -= delta;
-      if (e.weight < kEps) e.weight = 0.0;
       if (e.payload >= 0) slot.comm_indices.push_back(e.payload);
+      if (e.weight < kEps) {
+        e.weight = 0.0;
+        if (e.payload >= 0) --live_real;
+        // Free both endpoints; the next round re-augments from here.
+        match_left_edge[static_cast<size_t>(l)] = -1;
+        match_right[static_cast<size_t>(
+            receiver_id[static_cast<size_t>(e.receiver)])] = -1;
+      }
     }
     if (!slot.comm_indices.empty()) {
       realised = std::max(realised, slot.start + slot.length);
@@ -271,12 +269,12 @@ bool validate_coloring(const ColoringResult& result,
   const double slot_tol = tol * std::max(1.0, result.makespan);
   std::vector<double> assigned(comms.size(), 0.0);
   double cursor = 0.0;
+  std::vector<char> sender_busy(static_cast<size_t>(node_count), 0);
+  std::vector<char> receiver_busy(static_cast<size_t>(node_count), 0);
   for (const ColorSlot& slot : result.slots) {
     if (slot.start < cursor - slot_tol) return false;  // no slot overlap
     cursor = slot.start + slot.length;
     if (cursor > result.makespan + slot_tol) return false;
-    std::vector<char> sender_busy(static_cast<size_t>(node_count), 0);
-    std::vector<char> receiver_busy(static_cast<size_t>(node_count), 0);
     for (int ci : slot.comm_indices) {
       const Communication& c = comms[static_cast<size_t>(ci)];
       if (sender_busy[static_cast<size_t>(c.sender)]) return false;
@@ -284,6 +282,11 @@ bool validate_coloring(const ColoringResult& result,
       sender_busy[static_cast<size_t>(c.sender)] = 1;
       receiver_busy[static_cast<size_t>(c.receiver)] = 1;
       assigned[static_cast<size_t>(ci)] += slot.length;
+    }
+    for (int ci : slot.comm_indices) {
+      const Communication& c = comms[static_cast<size_t>(ci)];
+      sender_busy[static_cast<size_t>(c.sender)] = 0;
+      receiver_busy[static_cast<size_t>(c.receiver)] = 0;
     }
   }
   // Each communication's assigned time is checked on its *own* scale — a

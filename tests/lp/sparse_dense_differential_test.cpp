@@ -1,0 +1,169 @@
+/// Sparse-vs-dense differential suite over the golden corpus, plus the
+/// column-generation-vs-enumeration agreement check.
+///
+/// The sparse revised simplex (CSC storage, pattern-tracked FTRAN/BTRAN,
+/// devex pricing) replaced the dense reference loops wholesale; the dense
+/// path survives behind SolverOptions::sparse_ftran = false precisely so
+/// this suite can pin the two against each other. Objectives must agree to
+/// 1e-9 relative on every golden instance — any divergence means the
+/// sparse kernel dropped a nonzero or mis-tracked an eta pattern.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/certificate.hpp"
+#include "core/exact.hpp"
+#include "core/formulations.hpp"
+#include "core/problem.hpp"
+#include "graph/digraph.hpp"
+#include "graph/io.hpp"
+
+#ifndef PMCAST_TEST_DATA_DIR
+#error "PMCAST_TEST_DATA_DIR must point at tests/data (set by CMake)"
+#endif
+
+namespace pmcast {
+namespace {
+
+std::vector<std::string> golden_files() {
+  std::ifstream in(std::string(PMCAST_TEST_DATA_DIR) +
+                   "/golden_manifest.txt");
+  EXPECT_TRUE(in.good()) << "missing tests/data/golden_manifest.txt";
+  std::vector<std::string> files;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string file;
+    if (ls >> file) files.push_back(std::move(file));
+  }
+  return files;
+}
+
+core::MulticastProblem load_problem(const std::string& file) {
+  Result<PlatformFile> platform =
+      load_platform(std::string(PMCAST_TEST_DATA_DIR) + "/" + file);
+  EXPECT_TRUE(platform.ok()) << file << ": "
+                             << platform.status().to_string();
+  return core::MulticastProblem(platform->graph, platform->source,
+                                platform->targets);
+}
+
+/// |a - b| <= 1e-9 * (1 + max(|a|, |b|)) — the ISSUE's agreement bar.
+void expect_objectives_agree(double a, double b, const std::string& what) {
+  const double scale = 1.0 + std::max(std::fabs(a), std::fabs(b));
+  EXPECT_LE(std::fabs(a - b), 1e-9 * scale)
+      << what << ": " << a << " vs " << b;
+}
+
+TEST(SparseDenseDifferential, GoldenCorpusObjectivesAgree) {
+  const std::vector<std::string> files = golden_files();
+  ASSERT_GE(files.size(), 10u);
+  for (const std::string& file : files) {
+    const core::MulticastProblem problem = load_problem(file);
+
+    core::FormulationOptions sparse;  // defaults: sparse_ftran = true
+    core::FormulationOptions dense;
+    dense.solver.sparse_ftran = false;
+
+    const core::FlowSolution lb_sparse =
+        core::solve_multicast_lb(problem, sparse);
+    const core::FlowSolution lb_dense =
+        core::solve_multicast_lb(problem, dense);
+    ASSERT_EQ(lb_sparse.status, lp::SolveStatus::Optimal) << file;
+    ASSERT_EQ(lb_dense.status, lp::SolveStatus::Optimal) << file;
+    expect_objectives_agree(lb_sparse.period, lb_dense.period,
+                            file + " multicast-LB");
+
+    const core::FlowSolution ub_sparse =
+        core::solve_multicast_ub(problem, sparse);
+    const core::FlowSolution ub_dense =
+        core::solve_multicast_ub(problem, dense);
+    ASSERT_EQ(ub_sparse.status, lp::SolveStatus::Optimal) << file;
+    ASSERT_EQ(ub_dense.status, lp::SolveStatus::Optimal) << file;
+    expect_objectives_agree(ub_sparse.period, ub_dense.period,
+                            file + " multicast-UB");
+  }
+}
+
+TEST(SparseDenseDifferential, DevexMatchesDantzigOnGoldenCorpus) {
+  // Pricing rules walk different pivot sequences but must land on the
+  // same optimum. Dantzig is the pinned bit-compat default; devex is what
+  // the column-generation master runs.
+  for (const std::string& file : golden_files()) {
+    const core::MulticastProblem problem = load_problem(file);
+
+    core::FormulationOptions dantzig;  // default pricing
+    core::FormulationOptions devex;
+    devex.solver.pricing = lp::PricingRule::Devex;
+
+    const core::FlowSolution a = core::solve_multicast_lb(problem, dantzig);
+    const core::FlowSolution b = core::solve_multicast_lb(problem, devex);
+    ASSERT_EQ(a.status, lp::SolveStatus::Optimal) << file;
+    ASSERT_EQ(b.status, lp::SolveStatus::Optimal) << file;
+    expect_objectives_agree(a.period, b.period, file + " devex-vs-dantzig");
+  }
+}
+
+/// A 20-node double-lane ladder: source -> {u1,v1}, lane edges
+/// u_i -> u_{i+1} / v_i -> v_{i+1}, cross edges u_i -> v_{i+1} and
+/// v_i -> u_{i+1}, both lane tails -> sink. Every irredundant multicast
+/// tree for the single target is one of the 512 source-to-sink paths, so
+/// enumeration has real work to do while column generation can stop as
+/// soon as its master's duals price no improving path.
+core::MulticastProblem ladder20() {
+  Digraph g(20);
+  const NodeId source = 0;
+  const NodeId sink = 19;
+  auto u = [](int i) { return static_cast<NodeId>(i); };        // 1..9
+  auto v = [](int i) { return static_cast<NodeId>(9 + i); };    // 10..18
+  g.add_edge(source, u(1), 1.0);
+  g.add_edge(source, v(1), 1.0);
+  for (int i = 1; i < 9; ++i) {
+    g.add_edge(u(i), u(i + 1), 1.0);
+    g.add_edge(v(i), v(i + 1), 1.0);
+    g.add_edge(u(i), v(i + 1), 1.0);
+    g.add_edge(v(i), u(i + 1), 1.0);
+  }
+  g.add_edge(u(9), sink, 1.0);
+  g.add_edge(v(9), sink, 1.0);
+  return core::MulticastProblem(std::move(g), source, {sink});
+}
+
+TEST(ColumnGeneration, PricesFewerTreesThanEnumerationOn20Nodes) {
+  const core::MulticastProblem problem = ladder20();
+
+  const core::ExactSolution full = core::exact_optimal_throughput(problem);
+  ASSERT_TRUE(full.ok);
+  EXPECT_FALSE(full.column_generation);
+  EXPECT_EQ(full.trees_enumerated, 512u);  // 2 * 2^8 lane choices
+
+  const core::ExactSolution cg =
+      core::column_generation_throughput(problem);
+  ASSERT_TRUE(cg.ok);
+  EXPECT_TRUE(cg.column_generation);
+  // The whole point: the master holds a handful of priced columns, not
+  // the exponential tree set.
+  EXPECT_LT(cg.trees_enumerated, full.trees_enumerated);
+  EXPECT_GT(cg.lp.columns_priced + 1, 0);  // stats are threaded through
+
+  // The CG value is a certified primal lower bound on the true optimum.
+  EXPECT_LE(cg.throughput, full.throughput + 1e-6);
+  const core::CertificateResult cert =
+      core::verify_certificate(problem, cg.combination);
+  ASSERT_TRUE(cert.valid) << cert.reason;
+  expect_objectives_agree(cert.throughput, cg.throughput,
+                          "certificate replay");
+  // On this instance the one-port source caps throughput at 1 and a
+  // single path achieves it, so heuristic pricing reaches the optimum.
+  expect_objectives_agree(cg.throughput, full.throughput,
+                          "ladder cg-vs-enumeration");
+}
+
+}  // namespace
+}  // namespace pmcast

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -375,6 +376,49 @@ TEST(ServerTest, SolveAfterDrainIsAnsweredShuttingDown) {
   loop.join();
   slow.join();
   EXPECT_TRUE(server.drained());
+}
+
+TEST(ServerTest, ClientReconnectsAndRetriesOnceAfterServerRestart) {
+  SolveRequest request;
+  request.problem = diamond_problem();
+
+  ServerOptions options;
+  options.service.threads = 1;
+
+  std::uint16_t port = 0;
+  std::optional<Client> client;
+  {
+    TestDaemon daemon(options);
+    port = daemon.server.port();
+    Result<Client> connected = Client::connect("127.0.0.1", port);
+    ASSERT_TRUE(connected.ok()) << connected.status().to_string();
+    client.emplace(std::move(*connected));
+    Result<RemoteResponse> first = client->solve(request);
+    ASSERT_TRUE(first.ok()) << first.status().to_string();
+  }  // daemon drained; the client's connection is now dead
+
+  {
+    // Restart a fresh daemon on the SAME port (SO_REUSEADDR) and reuse
+    // the old client object: its first round-trip hits the dead socket
+    // (kUnavailable) and the retry-once path dials the remembered
+    // endpoint and resends the identical frame.
+    ServerOptions restart = options;
+    restart.port = port;
+    TestDaemon daemon(restart);
+    ASSERT_EQ(daemon.server.port(), port);
+
+    Result<RemoteResponse> second = client->solve(request);
+    ASSERT_TRUE(second.ok()) << second.status().to_string();
+    EXPECT_GT(second->period, 0.0);
+    EXPECT_TRUE(client->connected());
+  }
+
+  // Nobody listens any more: the dead socket fails, the one reconnect
+  // attempt is refused, and solve() reports kUnavailable instead of
+  // hanging or retrying in a loop.
+  Result<RemoteResponse> third = client->solve(request);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kUnavailable);
 }
 
 }  // namespace

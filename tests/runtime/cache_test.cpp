@@ -152,6 +152,52 @@ TEST(ResultCache, ShardedConcurrentHammer) {
   EXPECT_LE(cache.stats().entries, 1024u);
 }
 
+TEST(ResultCache, HotInstancesSpreadAcrossShardStats) {
+  // Eight explicit shards so shard ownership (key.hi % shards) is
+  // deterministic regardless of hardware_concurrency. 64 hot instances
+  // cover every residue class, so a hit-dominated multi-thread workload
+  // must leave hit counts on ALL shards — a skewed shard_stats() here
+  // would mean the key half feeding shard_index lost its spread.
+  ResultCache cache(1024, 8);
+  ASSERT_EQ(cache.shard_stats().size(), 8u);
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    cache.put(key(id), certified(static_cast<double>(id)));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 4000; ++i) {
+        std::uint64_t id = static_cast<std::uint64_t>((t * 131 + i * 7) % 64);
+        auto hit = cache.get(key(id));
+        if (!hit) {
+          ADD_FAILURE() << "hot instance " << id << " missed";
+        } else {
+          EXPECT_DOUBLE_EQ(hit->period, static_cast<double>(id));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::vector<CacheStats> shards = cache.shard_stats();
+  ASSERT_EQ(shards.size(), 8u);
+  std::size_t total_hits = 0, total_entries = 0, shards_hit = 0;
+  for (const CacheStats& s : shards) {
+    total_hits += s.hits;
+    total_entries += s.entries;
+    if (s.hits > 0) ++shards_hit;
+    // The hot set fits with headroom; no shard may have evicted.
+    EXPECT_EQ(s.evictions, 0u);
+  }
+  EXPECT_EQ(shards_hit, 8u);  // every shard served part of the hot set
+  EXPECT_EQ(total_entries, 64u);
+  EXPECT_EQ(total_hits, 8u * 4000u);  // hit-dominated: no misses after warmup
+  // The aggregate view must equal the per-shard breakdown.
+  CacheStats aggregate = cache.stats();
+  EXPECT_EQ(aggregate.hits, total_hits);
+  EXPECT_EQ(aggregate.entries, total_entries);
+}
+
 TEST(ResultCache, ConcurrentMixedTraffic) {
   ResultCache cache(64);
   std::vector<std::thread> threads;
