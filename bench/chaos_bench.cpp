@@ -1,0 +1,624 @@
+/// \file chaos_bench.cpp
+/// Closed-loop chaos harness for the pmcast daemon (ISSUE 10): every run
+/// drives real clients over loopback against an in-process server while a
+/// seeded FaultPlan injects connection resets, short writes and delays on
+/// both sides of the wire. Five phases:
+///
+///   determinism  two FaultPlans with the same seed + rules are polled in
+///                lockstep -> the schedules must be bit-identical
+///   steady       N clients x M requests under ~1-2% injected resets on
+///                the read/write/send/recv paths -> p50/p99 latency,
+///                retry amplification (attempts / logical requests), and
+///                certificate checks (every answered period must equal
+///                the local Service's answer for the same instance)
+///   recovery     the daemon is killed and restarted on the same port
+///                ~100 ms later while clients hammer it with retry
+///                budgets -> per-client recovery latency
+///   shed-only    a slow request pins the queue estimator high (cranked
+///                safety factor) and K deadline'd requests arrive -> all
+///                must shed
+///   brownout     the same load against a brownout-enabled daemon -> the
+///                first infeasible request is admitted on the cheap
+///                heuristic allowlist (provenance checked on the
+///                response) and the shed count must be strictly below
+///                the shed-only daemon's at equal load
+///
+/// The bench *fails* (nonzero exit) on any orphaned request (a solve that
+/// exhausted its retry budget without an explicit answer), any double
+/// answer (stale response frames observed by any client), any certificate
+/// violation, a non-deterministic schedule, or a brownout shed count not
+/// strictly below shed-only. Results land in BENCH_chaos.json.
+///
+/// Modes: --smoke (tiny, tier-1 ctest, sanitizer-safe), default,
+/// PMCAST_FULL=1 (more clients, longer steady phase).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "pmcast/client.hpp"
+#include "pmcast/pmcast.hpp"
+#include "pmcast/server.hpp"
+#include "pmcast/topology.hpp"
+
+using namespace pmcast;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Config {
+  const char* mode = "standard";
+  int clients = 8;
+  int steady_per_client = 20;
+  int server_threads = 4;
+  int brownout_requests = 5;  // K deadline'd requests per A/B daemon
+  std::uint64_t seed = 0xC0FFEE;
+  double reset_probability = 0.01;
+  double restart_delay_ms = 100.0;
+};
+
+Config make_config(bool smoke) {
+  Config cfg;
+  if (smoke) {
+    cfg.mode = "smoke";
+    cfg.clients = 4;
+    cfg.steady_per_client = 8;
+    cfg.server_threads = 2;
+    cfg.brownout_requests = 3;
+  } else if (bench::full_mode()) {
+    cfg.mode = "full";
+    cfg.clients = 16;
+    cfg.steady_per_client = 30;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0) {
+    cfg.server_threads =
+        std::min(cfg.server_threads, static_cast<int>(std::max(hw, 2u)));
+  }
+  return cfg;
+}
+
+/// A 12-node three-level platform (matches server_stress): solves are
+/// milliseconds even under sanitizers, so injected faults dominate.
+topo::TiersParams tiny_params() {
+  topo::TiersParams p;
+  p.wan_nodes = 3;
+  p.mans = 1;
+  p.man_nodes = 3;
+  p.lans = 2;
+  p.lan_nodes = 6;
+  p.wan_redundancy = 1;
+  p.man_redundancy = 1;
+  return p;
+}
+
+Problem generate_problem(std::uint64_t seed) {
+  topo::Platform platform = topo::generate_tiers(tiny_params(), seed);
+  Rng rng(seed * 2654435761u + 1);
+  std::vector<NodeId> targets = topo::sample_targets(platform, 0.6, rng);
+  Result<Problem> problem = make_problem(std::move(platform.graph),
+                                         platform.source, std::move(targets));
+  if (!problem.ok()) {
+    std::fprintf(stderr, "generate_problem(%llu): %s\n",
+                 static_cast<unsigned long long>(seed),
+                 problem.status().to_string().c_str());
+    std::abort();
+  }
+  return std::move(*problem);
+}
+
+/// Big enough to stay in flight while the estimator is consulted.
+Problem slow_problem() {
+  topo::Platform platform =
+      topo::generate_tiers(topo::TiersParams::small30(), 7);
+  std::vector<NodeId> targets(platform.lan.begin(),
+                              platform.lan.begin() + 8);
+  return Problem(platform.graph, platform.source, std::move(targets));
+}
+
+net::FaultRule rule(net::FaultPoint point, net::FaultAction action,
+                    double probability) {
+  net::FaultRule r;
+  r.point = point;
+  r.action = action;
+  r.trigger = net::FaultTrigger::kProbability;
+  r.probability = probability;
+  return r;
+}
+
+net::FaultRule every_nth(net::FaultPoint point, std::uint64_t nth) {
+  net::FaultRule r;
+  r.point = point;
+  r.action = net::FaultAction::kReset;
+  r.trigger = net::FaultTrigger::kNth;
+  r.nth = nth;
+  return r;
+}
+
+/// Probabilistic resets plus a deterministic every-Nth floor, so even the
+/// tiny smoke run is guaranteed to exercise the recovery paths.
+std::vector<net::FaultRule> server_rules(double p) {
+  return {
+      rule(net::FaultPoint::kServerRead, net::FaultAction::kReset, p),
+      rule(net::FaultPoint::kServerWrite, net::FaultAction::kReset, p),
+      every_nth(net::FaultPoint::kServerRead, 20),
+  };
+}
+
+std::vector<net::FaultRule> client_rules(double p) {
+  return {
+      rule(net::FaultPoint::kClientSend, net::FaultAction::kReset, p),
+      rule(net::FaultPoint::kClientRecv, net::FaultAction::kReset, p),
+      every_nth(net::FaultPoint::kClientSend, 5),
+  };
+}
+
+/// Phase 1: two plans, same seed + rules, polled in lockstep across every
+/// point. Any divergence breaks replayability and fails the bench.
+bool schedule_is_deterministic(const Config& cfg) {
+  const std::vector<net::FaultRule> rules = server_rules(0.1);
+  net::FaultPlan a(cfg.seed, rules);
+  net::FaultPlan b(cfg.seed, rules);
+  for (int i = 0; i < 5'000; ++i) {
+    const auto point = static_cast<net::FaultPoint>(
+        static_cast<int>(i) % net::kFaultPointCount);
+    const net::FaultDecision da = a.poll(point);
+    const net::FaultDecision db = b.poll(point);
+    if (da.action != db.action || da.magnitude != db.magnitude) return false;
+  }
+  return a.total_fired() == b.total_fired();
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double rank = q * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+bool is_cheap_strategy(StrategyId id) {
+  return id == StrategyId::Mcph || id == StrategyId::PrunedDijkstra ||
+         id == StrategyId::Kmb;
+}
+
+/// Everything one steady-phase client observes; merged after join.
+struct ClientTally {
+  std::vector<double> latency_ms;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t orphaned = 0;  // retry budget exhausted, no explicit answer
+  std::uint64_t certificate_violations = 0;
+  std::uint64_t attempts = 0;        // round trips incl. retries
+  std::uint64_t stale_frames = 0;    // the double-answer signal
+  std::uint64_t client_faults = 0;   // injected by this client's plan
+
+  void merge(const ClientTally& other) {
+    latency_ms.insert(latency_ms.end(), other.latency_ms.begin(),
+                      other.latency_ms.end());
+    sent += other.sent;
+    ok += other.ok;
+    orphaned += other.orphaned;
+    certificate_violations += other.certificate_violations;
+    attempts += other.attempts;
+    stale_frames += other.stale_frames;
+    client_faults += other.client_faults;
+  }
+};
+
+net::ClientOptions chaos_client_options(const Config& cfg, int id) {
+  net::ClientOptions options;
+  options.response_slack_ms = 30'000.0;  // sanitizer lanes are slow
+  options.retry.max_attempts = 5;
+  options.retry.initial_backoff_ms = 1.0;
+  options.retry.max_backoff_ms = 50.0;
+  options.retry.seed = cfg.seed * 7919 + static_cast<std::uint64_t>(id);
+  options.fault_plan = std::make_shared<net::FaultPlan>(
+      cfg.seed + 1'000 + static_cast<std::uint64_t>(id),
+      client_rules(cfg.reset_probability));
+  return options;
+}
+
+void steady_worker(const Config& cfg, int id, std::uint16_t port,
+                   const std::vector<Problem>& hot,
+                   const std::vector<double>& expected, ClientTally& tally) {
+  net::ClientOptions options = chaos_client_options(cfg, id);
+  std::shared_ptr<net::FaultPlan> plan = options.fault_plan;
+  Result<net::Client> client = net::Client::connect("127.0.0.1", port,
+                                                    options);
+  if (!client.ok()) {
+    // Connect itself can eat an injected fault; one retry by hand.
+    client = net::Client::connect("127.0.0.1", port, options);
+  }
+  if (!client.ok()) {
+    tally.orphaned += static_cast<std::uint64_t>(cfg.steady_per_client);
+    return;
+  }
+  for (int i = 0; i < cfg.steady_per_client; ++i) {
+    const std::size_t slot =
+        static_cast<std::size_t>(id * 31 + i) % hot.size();
+    SolveRequest request;
+    request.problem = hot[slot];
+    request.deadline_ms = SolveRequest::kNoDeadline;
+    const Clock::time_point begin = Clock::now();
+    Result<net::RemoteResponse> result = client->solve(request);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - begin)
+            .count();
+    ++tally.sent;
+    if (result.ok()) {
+      ++tally.ok;
+      tally.latency_ms.push_back(ms);
+      // Certificate check: the chaos layer must not change answers. Every
+      // response for instance `slot` carries the same certified period the
+      // local engine produced.
+      const double want = expected[slot];
+      if (std::abs(result->period - want) >
+          1e-9 * std::max(1.0, std::abs(want))) {
+        ++tally.certificate_violations;
+      }
+    } else {
+      // Every error here exhausted a 5-attempt budget under ~2% faults:
+      // that is a request the harness considers unanswered.
+      ++tally.orphaned;
+    }
+  }
+  tally.attempts = client->total_attempts();
+  tally.stale_frames = client->stale_frames_discarded();
+  tally.client_faults = plan->total_fired();
+}
+
+/// Park one slow no-deadline request so the estimator sees work in
+/// flight, then fire K deadline'd cold requests at the daemon. Returns
+/// how many were answered OK (and, via out-params, provenance details).
+struct BrownoutResult {
+  std::uint64_t answered = 0;
+  std::uint64_t brownout_answers = 0;
+  std::uint64_t provenance_violations = 0;
+  std::uint64_t stale_frames = 0;
+};
+
+BrownoutResult deadline_volley(net::Server& server, const Config& cfg,
+                               std::uint64_t cold_base) {
+  BrownoutResult out;
+  std::thread slow([&] {
+    net::ClientOptions options;
+    options.response_slack_ms = 60'000.0;
+    Result<net::Client> client =
+        net::Client::connect("127.0.0.1", server.port(), options);
+    if (!client.ok()) return;
+    SolveRequest request;
+    request.problem = slow_problem();
+    request.deadline_ms = SolveRequest::kNoDeadline;
+    (void)client->solve(request);
+  });
+  for (int i = 0; i < 10'000 && server.stats().in_flight == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  net::ClientOptions options;
+  options.response_slack_ms = 60'000.0;
+  options.retry.max_attempts = 1;  // sheds must surface, not retry
+  Result<net::Client> client =
+      net::Client::connect("127.0.0.1", server.port(), options);
+  if (client.ok()) {
+    for (int i = 0; i < cfg.brownout_requests; ++i) {
+      SolveRequest request;
+      request.problem =
+          generate_problem(cold_base + static_cast<std::uint64_t>(i));
+      request.deadline_ms = 10'000.0;
+      Result<net::RemoteResponse> result = client->solve(request);
+      if (!result.ok()) continue;  // shed: counted from server stats
+      ++out.answered;
+      if (result->brownout) {
+        ++out.brownout_answers;
+        // Provenance: a brownout answer must come from the cheap
+        // heuristic allowlist only.
+        if (!is_cheap_strategy(result->winner)) ++out.provenance_violations;
+        for (const net::WireOutcome& o : result->outcomes) {
+          if (!is_cheap_strategy(static_cast<StrategyId>(o.strategy))) {
+            ++out.provenance_violations;
+          }
+        }
+      }
+    }
+    out.stale_frames = client->stale_frames_discarded();
+  }
+  slow.join();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const Config cfg = make_config(smoke);
+  std::printf("=== pmcast-serve chaos harness (%s): %d clients, %d server "
+              "threads, %.1f%% resets, seed %llu ===\n\n",
+              cfg.mode, cfg.clients, cfg.server_threads,
+              100.0 * cfg.reset_probability,
+              static_cast<unsigned long long>(cfg.seed));
+
+  // ---- phase 1: schedule determinism ------------------------------------
+  const bool deterministic = schedule_is_deterministic(cfg);
+  std::printf("determinism: same seed => %s schedule\n",
+              deterministic ? "identical" : "DIVERGENT");
+
+  // ---- local ground truth for certificate checks ------------------------
+  std::vector<Problem> hot;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    hot.push_back(generate_problem(seed));
+  }
+  std::vector<double> expected;
+  {
+    ServiceOptions local_options;
+    local_options.threads = 1;
+    Service local(local_options);
+    for (const Problem& problem : hot) {
+      SolveRequest request;
+      request.problem = problem;
+      Result<SolveResponse> response = local.solve(request);
+      if (!response.ok()) {
+        std::fprintf(stderr, "local ground truth: %s\n",
+                     response.status().to_string().c_str());
+        return 1;
+      }
+      expected.push_back(response->period);
+    }
+  }
+
+  // ---- phase 2: faulted steady state ------------------------------------
+  auto server_plan = std::make_shared<net::FaultPlan>(
+      cfg.seed, server_rules(cfg.reset_probability));
+  net::ServerOptions options;
+  options.service.threads = cfg.server_threads;
+  options.fault_plan = server_plan;
+  std::optional<net::Server> server;
+  server.emplace(std::move(options));
+  if (Status started = server->start(); !started.ok()) {
+    std::fprintf(stderr, "server start: %s\n", started.to_string().c_str());
+    return 1;
+  }
+  const std::uint16_t port = server->port();
+  std::thread loop([&] { server->run(); });
+
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(cfg.clients));
+  std::vector<std::thread> workers;
+  const Clock::time_point steady_begin = Clock::now();
+  for (int i = 0; i < cfg.clients; ++i) {
+    workers.emplace_back(steady_worker, std::cref(cfg), i, port,
+                         std::cref(hot), std::cref(expected),
+                         std::ref(tallies[static_cast<std::size_t>(i)]));
+  }
+  for (std::thread& t : workers) t.join();
+  const double steady_ms = std::chrono::duration<double, std::milli>(
+                               Clock::now() - steady_begin)
+                               .count();
+  ClientTally total;
+  for (const ClientTally& t : tallies) total.merge(t);
+  // Accounting must settle: dropped completions still release in-flight.
+  for (int i = 0; i < 60'000 && server->stats().in_flight != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const net::ServerStats steady_stats = server->stats();
+
+  std::sort(total.latency_ms.begin(), total.latency_ms.end());
+  const double p50 = percentile(total.latency_ms, 0.50);
+  const double p99 = percentile(total.latency_ms, 0.99);
+  const double amplification =
+      total.sent > 0 ? static_cast<double>(total.attempts) /
+                           static_cast<double>(total.sent)
+                     : 0.0;
+  std::printf("steady: %llu sent, %llu ok in %.0f ms; p50 %.2f / p99 %.2f "
+              "ms; %.3fx retry amplification\n",
+              static_cast<unsigned long long>(total.sent),
+              static_cast<unsigned long long>(total.ok), steady_ms, p50, p99,
+              amplification);
+  std::printf("faults: server fired %llu, clients fired %llu\n",
+              static_cast<unsigned long long>(steady_stats.faults_injected),
+              static_cast<unsigned long long>(total.client_faults));
+
+  // ---- phase 3: kill + restart on the same port -------------------------
+  server->request_drain();
+  loop.join();
+  const bool drained_first = server->drained();
+  server.reset();
+
+  net::ServerOptions restart;
+  restart.port = port;
+  restart.service.threads = cfg.server_threads;
+  restart.shed_safety_factor = 1e6;  // phase 4 uses this daemon too
+  std::optional<net::Server> revived;
+  std::atomic<bool> restart_ok{false};
+  std::thread restart_thread([&] {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        cfg.restart_delay_ms));
+    revived.emplace(std::move(restart));
+    if (!revived->start().ok()) return;
+    restart_ok.store(true, std::memory_order_release);
+    revived->run();
+  });
+
+  std::vector<double> recovery_ms(static_cast<std::size_t>(cfg.clients),
+                                  -1.0);
+  std::vector<std::thread> recoverers;
+  for (int i = 0; i < cfg.clients; ++i) {
+    recoverers.emplace_back([&, i] {
+      net::ClientOptions copts;
+      copts.response_slack_ms = 30'000.0;
+      copts.connect_timeout_ms = 1'000.0;
+      copts.retry.max_attempts = 50;
+      copts.retry.initial_backoff_ms = 5.0;
+      copts.retry.max_backoff_ms = 100.0;
+      copts.retry.seed = cfg.seed + static_cast<std::uint64_t>(i);
+      const Clock::time_point begin = Clock::now();
+      Result<net::Client> client =
+          net::Client::connect("127.0.0.1", port, copts);
+      for (int tries = 0; !client.ok() && tries < 200; ++tries) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        client = net::Client::connect("127.0.0.1", port, copts);
+      }
+      if (!client.ok()) return;
+      SolveRequest request;
+      request.problem = hot[static_cast<std::size_t>(i) % hot.size()];
+      request.deadline_ms = SolveRequest::kNoDeadline;
+      if (client->solve(request).ok()) {
+        recovery_ms[static_cast<std::size_t>(i)] =
+            std::chrono::duration<double, std::milli>(Clock::now() - begin)
+                .count();
+      }
+    });
+  }
+  for (std::thread& t : recoverers) t.join();
+  bool recovered_all = restart_ok.load(std::memory_order_acquire);
+  double recovery_max = 0.0, recovery_sum = 0.0;
+  for (double ms : recovery_ms) {
+    if (ms < 0.0) recovered_all = false;
+    recovery_max = std::max(recovery_max, ms);
+    recovery_sum += std::max(ms, 0.0);
+  }
+  const double recovery_mean =
+      cfg.clients > 0 ? recovery_sum / cfg.clients : 0.0;
+  std::printf("recovery: restart +%.0f ms; all %d clients recovered=%s; "
+              "mean %.1f / max %.1f ms\n",
+              cfg.restart_delay_ms, cfg.clients,
+              recovered_all ? "true" : "false", recovery_mean, recovery_max);
+
+  // ---- phase 4: shed-only volley on the revived daemon ------------------
+  const BrownoutResult shed_only =
+      deadline_volley(*revived, cfg, 2'000'000);
+  const std::uint64_t shed_only_shed = revived->stats().shed_deadline;
+  revived->request_drain();
+  restart_thread.join();
+  const bool drained_second = revived->drained();
+  revived.reset();
+
+  // ---- phase 5: the same volley against a brownout-enabled daemon -------
+  net::ServerOptions bopts;
+  bopts.service.threads = cfg.server_threads;
+  bopts.shed_safety_factor = 1e6;
+  bopts.brownout.enabled = true;
+  net::Server brownout_server(std::move(bopts));
+  if (Status started = brownout_server.start(); !started.ok()) {
+    std::fprintf(stderr, "brownout server start: %s\n",
+                 started.to_string().c_str());
+    return 1;
+  }
+  std::thread brownout_loop([&] { brownout_server.run(); });
+  {
+    // Prime the full-portfolio EWMA so the estimator has data.
+    Result<net::Client> primer =
+        net::Client::connect("127.0.0.1", brownout_server.port());
+    if (primer.ok()) {
+      SolveRequest request;
+      request.problem = hot[0];
+      (void)primer->solve(request);
+    }
+  }
+  const BrownoutResult brownout =
+      deadline_volley(brownout_server, cfg, 2'000'000);
+  const net::ServerStats brownout_stats = brownout_server.stats();
+  const std::uint64_t brownout_shed = brownout_stats.shed_deadline;
+  brownout_server.request_drain();
+  brownout_loop.join();
+  const bool drained_third = brownout_server.drained();
+
+  std::printf("brownout A/B: shed-only shed %llu of %d; brownout shed %llu, "
+              "admitted %llu degraded (%llu provenance violations)\n",
+              static_cast<unsigned long long>(shed_only_shed),
+              cfg.brownout_requests,
+              static_cast<unsigned long long>(brownout_shed),
+              static_cast<unsigned long long>(brownout_stats.brownout_admitted),
+              static_cast<unsigned long long>(brownout.provenance_violations));
+
+  // ---- verdict -----------------------------------------------------------
+  const std::uint64_t double_answers =
+      total.stale_frames + shed_only.stale_frames + brownout.stale_frames;
+  const std::uint64_t certificate_violations =
+      total.certificate_violations + brownout.provenance_violations;
+  const bool drained_clean =
+      drained_first && drained_second && drained_third;
+  const bool faults_active =
+      steady_stats.faults_injected > 0 && total.client_faults > 0;
+  const bool pass =
+      deterministic && total.orphaned == 0 && double_answers == 0 &&
+      certificate_violations == 0 && faults_active && recovered_all &&
+      brownout_stats.brownout_admitted >= 1 &&
+      brownout_shed < shed_only_shed && shed_only.answered == 0 &&
+      amplification < 3.0 && steady_stats.in_flight == 0 && drained_clean;
+
+  char buf[4096];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"bench\": \"chaos\",\n"
+      "  \"mode\": \"%s\",\n"
+      "  \"seed\": %llu,\n"
+      "  \"reset_probability\": %.4f,\n"
+      "  \"schedule_deterministic\": %s,\n"
+      "  \"steady\": {\"sent\": %llu, \"ok\": %llu, \"duration_ms\": %.1f,\n"
+      "    \"latency_ms\": {\"p50\": %.3f, \"p99\": %.3f},\n"
+      "    \"attempts\": %llu, \"retry_amplification\": %.4f,\n"
+      "    \"server_faults_injected\": %llu, \"client_faults_injected\": "
+      "%llu},\n"
+      "  \"recovery\": {\"restart_delay_ms\": %.1f, \"recovered_all\": %s,\n"
+      "    \"mean_ms\": %.2f, \"max_ms\": %.2f},\n"
+      "  \"brownout\": {\"requests\": %d, \"shed_only_shed\": %llu,\n"
+      "    \"brownout_shed\": %llu, \"brownout_admitted\": %llu,\n"
+      "    \"brownout_answers\": %llu},\n"
+      "  \"violations\": {\"orphaned\": %llu, \"double_answers\": %llu,\n"
+      "    \"certificate_violations\": %llu},\n"
+      "  \"pass\": %s\n"
+      "}\n",
+      cfg.mode, static_cast<unsigned long long>(cfg.seed),
+      cfg.reset_probability, deterministic ? "true" : "false",
+      static_cast<unsigned long long>(total.sent),
+      static_cast<unsigned long long>(total.ok), steady_ms, p50, p99,
+      static_cast<unsigned long long>(total.attempts), amplification,
+      static_cast<unsigned long long>(steady_stats.faults_injected),
+      static_cast<unsigned long long>(total.client_faults),
+      cfg.restart_delay_ms, recovered_all ? "true" : "false", recovery_mean,
+      recovery_max, cfg.brownout_requests,
+      static_cast<unsigned long long>(shed_only_shed),
+      static_cast<unsigned long long>(brownout_shed),
+      static_cast<unsigned long long>(brownout_stats.brownout_admitted),
+      static_cast<unsigned long long>(brownout.brownout_answers),
+      static_cast<unsigned long long>(total.orphaned),
+      static_cast<unsigned long long>(double_answers),
+      static_cast<unsigned long long>(certificate_violations),
+      pass ? "true" : "false");
+  std::ofstream("BENCH_chaos.json") << buf;
+  std::printf("\nwrote BENCH_chaos.json\n%s\n", pass ? "PASS" : "FAIL");
+  if (!pass) {
+    std::fprintf(
+        stderr,
+        "FAIL: deterministic=%d orphaned=%llu double_answers=%llu "
+        "cert_violations=%llu faults_active=%d recovered=%d "
+        "brownout_admitted=%llu shed %llu vs %llu amplification=%.3f "
+        "in_flight=%llu drained=%d\n",
+        deterministic ? 1 : 0,
+        static_cast<unsigned long long>(total.orphaned),
+        static_cast<unsigned long long>(double_answers),
+        static_cast<unsigned long long>(certificate_violations),
+        faults_active ? 1 : 0, recovered_all ? 1 : 0,
+        static_cast<unsigned long long>(brownout_stats.brownout_admitted),
+        static_cast<unsigned long long>(brownout_shed),
+        static_cast<unsigned long long>(shed_only_shed), amplification,
+        static_cast<unsigned long long>(steady_stats.in_flight),
+        drained_clean ? 1 : 0);
+  }
+  return pass ? 0 : 1;
+}

@@ -6,5 +6,6 @@
 /// portfolio engine as a long-lived network service (tools/pmcast_serve is
 /// the stock daemon binary). Unversioned; see DESIGN_SERVER.md.
 
+#include "net/faultpoint.hpp"
 #include "net/protocol.hpp"
 #include "net/server.hpp"

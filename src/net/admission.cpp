@@ -30,7 +30,8 @@ AdmissionController::TenantState& AdmissionController::state_for(
 
 AdmissionDecision AdmissionController::admit(std::uint32_t tenant,
                                              double now_ms, double deadline_ms,
-                                             int worker_threads) {
+                                             int worker_threads,
+                                             bool brownout_enabled) {
   TenantState& state = state_for(tenant, now_ms);
 
   // In-flight caps first: they bound memory and queue growth regardless of
@@ -60,31 +61,43 @@ AdmissionDecision AdmissionController::admit(std::uint32_t tenant,
 
   // Deadline-aware shedding: only for requests that actually carry a
   // deadline (deadline_ms >= 0; negative = no deadline).
+  AdmissionDecision verdict = AdmissionDecision::kAdmit;
   if (deadline_ms >= 0.0) {
     const double est = estimated_queue_delay_ms(worker_threads);
     if (est * options_.shed_safety_factor > deadline_ms) {
-      return AdmissionDecision::kShedDeadline;
+      if (!brownout_enabled) return AdmissionDecision::kShedDeadline;
+      // Brownout second chance: would the cheap heuristic arms alone still
+      // make the deadline? Degrade answer quality before availability; shed
+      // only when even the degraded portfolio cannot make it.
+      const double est_cheap = estimated_brownout_delay_ms(worker_threads);
+      if (est_cheap * options_.shed_safety_factor > deadline_ms) {
+        return AdmissionDecision::kShedDeadline;
+      }
+      verdict = AdmissionDecision::kAdmitBrownout;
     }
   }
 
   if (state.quota.qps > 0.0) state.tokens -= 1.0;
   ++state.in_flight;
   ++global_in_flight_;
-  return AdmissionDecision::kAdmit;
+  return verdict;
 }
 
-void AdmissionController::complete(std::uint32_t tenant, double solve_ms) {
+void AdmissionController::complete(std::uint32_t tenant, double solve_ms,
+                                   bool brownout) {
   auto it = tenants_.find(tenant);
   if (it != tenants_.end() && it->second.in_flight > 0) {
     --it->second.in_flight;
   }
   if (global_in_flight_ > 0) --global_in_flight_;
   if (solve_ms >= 0.0) {
-    if (!ewma_primed_) {
-      ewma_solve_ms_ = solve_ms;
-      ewma_primed_ = true;
+    double& ewma = brownout ? ewma_brownout_ms_ : ewma_solve_ms_;
+    bool& primed = brownout ? ewma_brownout_primed_ : ewma_primed_;
+    if (!primed) {
+      ewma = solve_ms;
+      primed = true;
     } else {
-      ewma_solve_ms_ += options_.ewma_alpha * (solve_ms - ewma_solve_ms_);
+      ewma += options_.ewma_alpha * (solve_ms - ewma);
     }
   }
 }
@@ -94,6 +107,13 @@ double AdmissionController::estimated_queue_delay_ms(
   if (!ewma_primed_ || global_in_flight_ == 0) return 0.0;
   const double lanes = static_cast<double>(std::max(worker_threads, 1));
   return static_cast<double>(global_in_flight_) / lanes * ewma_solve_ms_;
+}
+
+double AdmissionController::estimated_brownout_delay_ms(
+    int worker_threads) const {
+  if (!ewma_brownout_primed_ || global_in_flight_ == 0) return 0.0;
+  const double lanes = static_cast<double>(std::max(worker_threads, 1));
+  return static_cast<double>(global_in_flight_) / lanes * ewma_brownout_ms_;
 }
 
 int AdmissionController::tenant_in_flight(std::uint32_t tenant) const {

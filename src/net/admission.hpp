@@ -27,14 +27,16 @@ struct TenantQuota {
 
 enum class AdmissionDecision {
   kAdmit,
-  kShedQps,       ///< tenant token bucket empty
-  kShedInFlight,  ///< tenant (or global) in-flight cap reached
-  kShedDeadline,  ///< estimated queue delay exceeds the request deadline
+  kAdmitBrownout,  ///< admitted, but only cheap heuristic arms may run
+  kShedQps,        ///< tenant token bucket empty
+  kShedInFlight,   ///< tenant (or global) in-flight cap reached
+  kShedDeadline,   ///< estimated queue delay exceeds the request deadline
 };
 
 inline const char* admission_decision_name(AdmissionDecision d) {
   switch (d) {
     case AdmissionDecision::kAdmit: return "admit";
+    case AdmissionDecision::kAdmitBrownout: return "admit_brownout";
     case AdmissionDecision::kShedQps: return "shed_qps";
     case AdmissionDecision::kShedInFlight: return "shed_in_flight";
     case AdmissionDecision::kShedDeadline: return "shed_deadline";
@@ -61,15 +63,26 @@ class AdmissionController {
   /// budget in ms, or a negative value for "no deadline" (no-deadline
   /// requests are never deadline-shed but still count against — and are
   /// rejected past — every in-flight cap). \p worker_threads scales the
-  /// queue-delay estimate. On kAdmit the tenant's in-flight count and token
-  /// bucket are charged; every other decision leaves all state untouched.
+  /// queue-delay estimate. On kAdmit/kAdmitBrownout the tenant's in-flight
+  /// count and token bucket are charged; every other decision leaves all
+  /// state untouched.
+  ///
+  /// With \p brownout_enabled, a request the deadline-feasibility check
+  /// would shed gets a second chance against the cheap-arm solve-time
+  /// estimate (heuristic strategies only, no exact/CG): if the degraded
+  /// portfolio can still meet the deadline the decision is kAdmitBrownout —
+  /// overload degrades answer quality before it degrades availability.
+  /// Shed only when even the cheap arms cannot make it.
   AdmissionDecision admit(std::uint32_t tenant, double now_ms,
-                          double deadline_ms, int worker_threads);
+                          double deadline_ms, int worker_threads,
+                          bool brownout_enabled = false);
 
   /// Release one admitted request and fold its observed solve time into the
   /// queue-delay estimate (pass solve_ms < 0 to skip the EWMA update, e.g.
-  /// for requests that errored before solving).
-  void complete(std::uint32_t tenant, double solve_ms);
+  /// for requests that errored before solving). Brownout completions feed
+  /// the cheap-arm EWMA instead of the full-portfolio one.
+  void complete(std::uint32_t tenant, double solve_ms,
+                bool brownout = false);
 
   /// Estimated delay (ms) a newly admitted request would wait before a
   /// worker picks it up: in-flight work ahead of it, spread over the
@@ -77,9 +90,15 @@ class AdmissionController {
   /// first completion is observed — admission must not shed on no data.
   double estimated_queue_delay_ms(int worker_threads) const;
 
+  /// Same estimate under the brownout allowlist's cheap-arm EWMA. Zero
+  /// until the first brownout completion — never shed on no data, so the
+  /// first wave of brownout admissions always goes through.
+  double estimated_brownout_delay_ms(int worker_threads) const;
+
   int global_in_flight() const { return global_in_flight_; }
   int tenant_in_flight(std::uint32_t tenant) const;
   double ewma_solve_ms() const { return ewma_solve_ms_; }
+  double ewma_brownout_solve_ms() const { return ewma_brownout_ms_; }
 
  private:
   struct TenantState {
@@ -97,6 +116,8 @@ class AdmissionController {
   int global_in_flight_ = 0;
   double ewma_solve_ms_ = 0.0;
   bool ewma_primed_ = false;
+  double ewma_brownout_ms_ = 0.0;
+  bool ewma_brownout_primed_ = false;
 };
 
 }  // namespace pmcast::net

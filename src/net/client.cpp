@@ -1,15 +1,20 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace pmcast::net {
@@ -19,6 +24,16 @@ using ClientClock = std::chrono::steady_clock;
 
 Status socket_error(const std::string& what) {
   return Status(StatusCode::kUnavailable, what + ": " + std::strerror(errno));
+}
+
+/// splitmix64, matching faultpoint.cpp: retry jitter must be bit-stable
+/// across platforms so a seeded chaos run replays exactly.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
 }
 
 void set_recv_timeout(int fd, double timeout_ms) {
@@ -38,21 +53,25 @@ Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      options_(other.options_),
+      options_(std::move(other.options_)),
       next_request_id_(other.next_request_id_),
       in_(std::move(other.in_)),
       host_(std::move(other.host_)),
-      port_(other.port_) {}
+      port_(other.port_),
+      attempts_(other.attempts_),
+      stale_discarded_(other.stale_discarded_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
-    options_ = other.options_;
+    options_ = std::move(other.options_);
     next_request_id_ = other.next_request_id_;
     in_ = std::move(other.in_);
     host_ = std::move(other.host_);
     port_ = other.port_;
+    attempts_ = other.attempts_;
+    stale_discarded_ = other.stale_discarded_;
   }
   return *this;
 }
@@ -65,11 +84,25 @@ void Client::close() {
   in_.clear();
 }
 
+FaultDecision Client::poll_fault(FaultPoint point) {
+  FaultPlan* plan = options_.fault_plan.get();
+  if (plan == nullptr) return {};
+  FaultDecision decision = plan->poll(point);
+  if (decision.action == FaultAction::kDelay && decision.delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(decision.delay_ms));
+  }
+  return decision;
+}
+
 namespace {
 
 /// Open a fresh TCP connection to host:port. Shared by the initial
-/// connect() and by reconnect() on solve()'s retry-once path.
-Result<int> dial(const std::string& host, std::uint16_t port) {
+/// connect() and by reconnect() on solve()'s retry path. With a positive
+/// \p connect_timeout_ms the connect runs non-blocking and is bounded by a
+/// poll(); a timeout maps to kUnavailable so the retry policy covers it.
+Result<int> dial(const std::string& host, std::uint16_t port,
+                 double connect_timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return socket_error("socket");
 
@@ -92,9 +125,42 @@ Result<int> dial(const std::string& host, std::uint16_t port) {
         reinterpret_cast<sockaddr_in*>(resolved->ai_addr)->sin_addr;
     ::freeaddrinfo(resolved);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status status = socket_error("connect " + host + ":" +
-                                 std::to_string(port));
+
+  const std::string endpoint = host + ":" + std::to_string(port);
+  if (connect_timeout_ms > 0.0) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int rc =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc < 0) {
+      if (errno != EINPROGRESS) {
+        Status status = socket_error("connect " + endpoint);
+        ::close(fd);
+        return status;
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int pr = ::poll(
+          &pfd, 1, static_cast<int>(std::ceil(connect_timeout_ms)));
+      if (pr == 0) {
+        ::close(fd);
+        return Status(StatusCode::kUnavailable,
+                      "connect " + endpoint + " timed out");
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (pr < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+          so_error != 0) {
+        if (so_error != 0) errno = so_error;
+        Status status = socket_error("connect " + endpoint);
+        ::close(fd);
+        return status;
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking for send/recv
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) < 0) {
+    Status status = socket_error("connect " + endpoint);
     ::close(fd);
     return status;
   }
@@ -107,14 +173,17 @@ Result<int> dial(const std::string& host, std::uint16_t port) {
 
 Result<Client> Client::connect(const std::string& host, std::uint16_t port,
                                ClientOptions options) {
-  Result<int> fd = dial(host, port);
-  if (!fd.ok()) return fd.status();
-
   Client client;
-  client.fd_ = *fd;
-  client.options_ = options;
+  client.options_ = std::move(options);
   client.host_ = host;
   client.port_ = port;
+  if (client.poll_fault(FaultPoint::kConnect).action == FaultAction::kReset) {
+    return Status(StatusCode::kUnavailable,
+                  "injected fault: connect reset");
+  }
+  Result<int> fd = dial(host, port, client.options_.connect_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  client.fd_ = *fd;
   return client;
 }
 
@@ -123,7 +192,10 @@ Status Client::reconnect() {
   if (host_.empty()) {
     return Status(StatusCode::kUnavailable, "no remembered endpoint");
   }
-  Result<int> fd = dial(host_, port_);
+  if (poll_fault(FaultPoint::kConnect).action == FaultAction::kReset) {
+    return Status(StatusCode::kUnavailable, "injected fault: connect reset");
+  }
+  Result<int> fd = dial(host_, port_, options_.connect_timeout_ms);
   if (!fd.ok()) return fd.status();
   fd_ = *fd;
   return Status::Ok();
@@ -131,10 +203,24 @@ Status Client::reconnect() {
 
 Status Client::send_all(const std::vector<std::uint8_t>& bytes) {
   if (fd_ < 0) return Status(StatusCode::kUnavailable, "client not connected");
+  std::size_t limit = bytes.size();
+  if (FaultDecision fault = poll_fault(FaultPoint::kClientSend)) {
+    if (fault.action == FaultAction::kReset) {
+      close();
+      return Status(StatusCode::kUnavailable, "injected fault: send reset");
+    }
+    if (fault.action == FaultAction::kShortWrite ||
+        fault.action == FaultAction::kTruncate) {
+      // Die mid-send: the server receives a truncated frame followed by a
+      // close — exactly what a client crash between write() calls leaves.
+      limit = std::min<std::size_t>(
+          bytes.size(), static_cast<std::size_t>(fault.magnitude));
+    }
+  }
   std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
+  while (sent < limit) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, limit - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       close();
@@ -142,12 +228,19 @@ Status Client::send_all(const std::vector<std::uint8_t>& bytes) {
     }
     sent += static_cast<std::size_t>(n);
   }
+  if (limit < bytes.size()) {
+    close();
+    return Status(StatusCode::kUnavailable,
+                  "injected fault: short write (" + std::to_string(limit) +
+                      " of " + std::to_string(bytes.size()) + " bytes)");
+  }
   return Status::Ok();
 }
 
 Result<Frame> Client::read_matching(std::uint64_t request_id,
                                     double timeout_ms) {
   const ClientClock::time_point start = ClientClock::now();
+  int stale_this_call = 0;
   while (true) {
     // Frames already buffered first.
     while (true) {
@@ -165,7 +258,20 @@ Result<Frame> Client::read_matching(std::uint64_t request_id,
       in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(
                                                consumed));
       if (frame.header.request_id == request_id) return frame;
-      // A stale frame (response to an id we stopped waiting for): drop it.
+      // A stale frame (response to an id we stopped waiting for): drop it,
+      // but only so many times — an unbounded run of mismatched ids means
+      // the stream is poisoned (or the peer is not our server), and
+      // discarding forever would turn that into a silent hang.
+      ++stale_discarded_;
+      if (options_.max_stale_frames > 0 &&
+          ++stale_this_call > options_.max_stale_frames) {
+        close();
+        return Status(StatusCode::kInternal,
+                      "protocol error from server: more than " +
+                          std::to_string(options_.max_stale_frames) +
+                          " stale frames while waiting for request " +
+                          std::to_string(request_id));
+      }
     }
 
     double remaining_ms = -1.0;
@@ -182,8 +288,20 @@ Result<Frame> Client::read_matching(std::uint64_t request_id,
     }
     set_recv_timeout(fd_, remaining_ms > 0.0 ? remaining_ms : 0.0);
 
+    std::size_t want = sizeof(std::uint8_t) * 16 * 1024;
+    if (FaultDecision fault = poll_fault(FaultPoint::kClientRecv)) {
+      if (fault.action == FaultAction::kReset) {
+        close();
+        return Status(StatusCode::kUnavailable, "injected fault: recv reset");
+      }
+      if (fault.action == FaultAction::kShortRead) {
+        want = std::max<std::size_t>(
+            1, static_cast<std::size_t>(fault.magnitude));
+      }
+    }
     std::uint8_t chunk[16 * 1024];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    want = std::min(want, sizeof(chunk));
+    const ssize_t n = ::recv(fd_, chunk, want, 0);
     if (n > 0) {
       in_.insert(in_.end(), chunk, chunk + n);
       continue;
@@ -239,53 +357,107 @@ Result<RemoteResponse> Client::solve(const SolveRequest& request) {
     if (!sent.ok()) return sent;
     return read_matching(wire.request_id, timeout_ms);
   };
-  Result<Frame> frame = round_trip();
-  if (!frame.ok() && frame.status().code() == StatusCode::kUnavailable) {
-    // The connection died mid-round-trip (server restart, idle reset,
-    // ECONNRESET/EPIPE): dial again and resend the identical frame once.
-    // Only kUnavailable retries — a timeout or protocol error means the
-    // server is alive and re-sending would double the damage.
-    if (reconnect().ok()) frame = round_trip();
-  }
-  if (!frame.ok()) return frame.status();
 
-  if (frame->header.type == MessageType::kError) {
-    Result<WireErrorMessage> error = decode_error(*frame);
-    if (!error.ok()) {
-      close();
-      return Status(StatusCode::kInternal,
-                    "undecodable error frame: " + error.status().message());
+  // Retry loop: capped exponential backoff with deterministic jitter (see
+  // RetryPolicy). Retryable = the transport died (kUnavailable from a dead
+  // socket — safe because the old connection is closed, so the daemon can
+  // never answer the original) or the server said kUnavailable /
+  // kShuttingDown. Everything else — timeouts, protocol errors, and
+  // notably kOverloaded sheds — returns immediately. On exhaustion the
+  // LAST error is returned, not the first: the freshest failure is the one
+  // that describes the endpoint's current state.
+  const RetryPolicy& retry = options_.retry;
+  const int max_attempts = std::max(retry.max_attempts, 1);
+  const ClientClock::time_point overall_start = ClientClock::now();
+  std::uint64_t jitter_state =
+      retry.seed ^ (wire.request_id * 0x9E3779B97F4A7C15ull);
+  double backoff_ms = std::max(retry.initial_backoff_ms, 0.0);
+  Status last_error = Status::Ok();
+
+  for (int attempt = 1;; ++attempt) {
+    Status conn_status =
+        fd_ >= 0 ? Status::Ok() : reconnect();
+    if (!conn_status.ok()) {
+      last_error = conn_status;
+    } else {
+      ++attempts_;
+      Result<Frame> frame = round_trip();
+      if (!frame.ok()) {
+        if (frame.status().code() != StatusCode::kUnavailable) {
+          return frame.status();  // timeout/protocol: never retried
+        }
+        last_error = frame.status();
+      } else if (frame->header.type == MessageType::kError) {
+        Result<WireErrorMessage> error = decode_error(*frame);
+        if (!error.ok()) {
+          close();
+          return Status(StatusCode::kInternal, "undecodable error frame: " +
+                                                   error.status().message());
+        }
+        if (error->code == WireError::kUnavailable ||
+            error->code == WireError::kShuttingDown) {
+          last_error = error->to_status();  // conn stays open; just back off
+        } else {
+          return error->to_status();
+        }
+      } else if (frame->header.type != MessageType::kSolveResponse) {
+        close();
+        return Status(StatusCode::kInternal,
+                      std::string("unexpected frame type ") +
+                          message_type_name(frame->header.type));
+      } else {
+        Result<WireResponse> wire_response = decode_solve_response(*frame);
+        if (!wire_response.ok()) {
+          close();
+          return Status(StatusCode::kInternal,
+                        "undecodable response frame: " +
+                            wire_response.status().message());
+        }
+        RemoteResponse out;
+        out.period = wire_response->period;
+        out.winner = static_cast<StrategyId>(wire_response->winner);
+        out.from_cache = wire_response->from_cache != 0;
+        out.coalesced = wire_response->coalesced != 0;
+        out.brownout = wire_response->brownout != 0;
+        out.solve_ms = wire_response->solve_ms;
+        out.total_ms = wire_response->total_ms;
+        out.queue_ms = wire_response->queue_ms;
+        out.certified = static_cast<int>(wire_response->certified);
+        out.failed = static_cast<int>(wire_response->failed);
+        out.skipped = static_cast<int>(wire_response->skipped);
+        out.pruned = static_cast<int>(wire_response->pruned);
+        out.proven_lower_bound = wire_response->proven_lower_bound;
+        out.outcomes = std::move(wire_response->outcomes);
+        return out;
+      }
     }
-    return error->to_status();
-  }
-  if (frame->header.type != MessageType::kSolveResponse) {
-    close();
-    return Status(StatusCode::kInternal,
-                  std::string("unexpected frame type ") +
-                      message_type_name(frame->header.type));
-  }
-  Result<WireResponse> wire_response = decode_solve_response(*frame);
-  if (!wire_response.ok()) {
-    close();
-    return Status(StatusCode::kInternal, "undecodable response frame: " +
-                                             wire_response.status().message());
-  }
 
-  RemoteResponse out;
-  out.period = wire_response->period;
-  out.winner = static_cast<StrategyId>(wire_response->winner);
-  out.from_cache = wire_response->from_cache != 0;
-  out.coalesced = wire_response->coalesced != 0;
-  out.solve_ms = wire_response->solve_ms;
-  out.total_ms = wire_response->total_ms;
-  out.queue_ms = wire_response->queue_ms;
-  out.certified = static_cast<int>(wire_response->certified);
-  out.failed = static_cast<int>(wire_response->failed);
-  out.skipped = static_cast<int>(wire_response->skipped);
-  out.pruned = static_cast<int>(wire_response->pruned);
-  out.proven_lower_bound = wire_response->proven_lower_bound;
-  out.outcomes = std::move(wire_response->outcomes);
-  return out;
+    // Only retryable failures fall through to here; back off and go again.
+    if (attempt >= max_attempts) return last_error;
+    double elapsed_ms =
+        std::chrono::duration<double, std::milli>(ClientClock::now() -
+                                                  overall_start)
+            .count();
+    if (retry.attempt_deadline_ms > 0.0 &&
+        elapsed_ms >= retry.attempt_deadline_ms) {
+      return last_error;
+    }
+    double sleep_ms = backoff_ms;
+    if (retry.jitter > 0.0 && sleep_ms > 0.0) {
+      const double u =
+          static_cast<double>(splitmix64(jitter_state) >> 11) * 0x1.0p-53;
+      sleep_ms *= 1.0 + retry.jitter * (2.0 * u - 1.0);
+    }
+    if (retry.attempt_deadline_ms > 0.0) {
+      sleep_ms = std::min(sleep_ms, retry.attempt_deadline_ms - elapsed_ms);
+    }
+    if (sleep_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(sleep_ms));
+    }
+    backoff_ms = std::min(backoff_ms * std::max(retry.backoff_multiplier, 1.0),
+                          retry.max_backoff_ms);
+  }
 }
 
 Status Client::cancel(std::uint64_t request_id) {

@@ -20,13 +20,43 @@
 /// deadline'd requests, ClientOptions::response_timeout_ms otherwise.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "net/faultpoint.hpp"
 #include "net/protocol.hpp"
 #include "pmcast/request.hpp"
 #include "pmcast/status.hpp"
 
 namespace pmcast::net {
+
+/// Capped-exponential-backoff retry policy for solve(). Retries happen only
+/// for conditions where resending is safe AND useful: the transport died
+/// (kUnavailable from a dead socket — the old connection is closed first,
+/// so the daemon cannot answer the original twice) or the server explicitly
+/// said kUnavailable/kShuttingDown. kOverloaded is deliberately *not*
+/// retried: hammering a shedding server amplifies the overload it is
+/// shedding. Timeouts and protocol errors are never retried either — there
+/// the server may still be working on (or confused by) the original.
+///
+/// Solves are idempotent on the server (same canonical instance key,
+/// cache-backed), so the worst a retry can do is recompute.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = never retry). The default
+  /// preserves the historical dial-again-once behaviour.
+  int max_attempts = 2;
+  double initial_backoff_ms = 10.0;
+  double max_backoff_ms = 1'000.0;
+  double backoff_multiplier = 2.0;
+  /// Jitter fraction: each backoff is scaled by a factor drawn uniformly
+  /// from [1 - jitter, 1 + jitter]. Drawn from a PRNG seeded by (seed,
+  /// request id), so a seeded client's backoff schedule is reproducible.
+  double jitter = 0.2;
+  std::uint64_t seed = 0;
+  /// Wall-clock cap across *all* attempts of one solve(), backoffs
+  /// included (0 = none). When exceeded, solve() returns the last error.
+  double attempt_deadline_ms = 0.0;
+};
 
 struct ClientOptions {
   /// Tenant id stamped on every frame (admission control key).
@@ -37,6 +67,19 @@ struct ClientOptions {
   /// Extra wait beyond a request's own deadline before giving up on the
   /// socket (covers transfer + scheduling noise).
   double response_slack_ms = 2'000.0;
+  /// Cap on establishing a TCP connection (non-blocking connect + poll);
+  /// 0 = the OS default. A timeout maps to kUnavailable, so the retry
+  /// policy covers unreachable endpoints too.
+  double connect_timeout_ms = 0.0;
+  /// Stale response frames (ids solve() stopped waiting for) discarded per
+  /// read before the stream is declared poisoned and the connection closed
+  /// with a protocol error. 0 = unbounded discard (historical behaviour).
+  int max_stale_frames = 256;
+  /// Retry/backoff policy for solve().
+  RetryPolicy retry;
+  /// Optional deterministic fault injection (tests/chaos benches only);
+  /// null = production, zero cost.
+  std::shared_ptr<FaultPlan> fault_plan;
 };
 
 /// What a remote solve returns: the certified answer plus the server-side
@@ -46,6 +89,9 @@ struct RemoteResponse {
   StrategyId winner = StrategyId::Mcph;
   bool from_cache = false;
   bool coalesced = false;
+  /// True when the server admitted this request under brownout: the answer
+  /// came from the cheap heuristic allowlist only (no exact/CG arm ran).
+  bool brownout = false;
   double solve_ms = 0.0;
   double total_ms = 0.0;
   double queue_ms = 0.0;
@@ -80,13 +126,12 @@ class Client {
   /// deadline (incl. kNoDeadline), priority, strategy allowlist, limits,
   /// pruning override, known_lower_bound — travels on the wire.
   ///
-  /// Resilience: when the round-trip fails because the *connection* died
-  /// (kUnavailable — server restart, idle reset, ECONNRESET/EPIPE mapped
-  /// by send/recv), the client dials the remembered endpoint again and
-  /// resends the identical frame exactly once. Solves are idempotent on
-  /// the server (same instance key, cache-backed), so a retry can at
-  /// worst recompute. Timeouts (kDeadlineExceeded), protocol errors
-  /// (kInternal) and server-reported errors are never retried.
+  /// Resilience: retried per ClientOptions::retry (capped exponential
+  /// backoff, deterministic jitter) when the connection died mid-round-trip
+  /// or the server answered kUnavailable/kShuttingDown. On exhaustion the
+  /// *last* error is returned. Timeouts (kDeadlineExceeded), protocol
+  /// errors (kInternal), kOverloaded sheds and all other server-reported
+  /// errors are never retried (see RetryPolicy).
   Result<RemoteResponse> solve(const SolveRequest& request);
 
   /// Fire-and-forget cancel for the most recent solve's request id — only
@@ -104,17 +149,28 @@ class Client {
   /// The id solve() will stamp on its next request.
   std::uint64_t next_request_id() const { return next_request_id_; }
 
+  /// Round trips actually attempted by solve() over this client's lifetime
+  /// (first tries + retries). attempts / solves = retry amplification.
+  std::uint64_t total_attempts() const { return attempts_; }
+  /// Stale response frames discarded by read_matching. Nonzero means a
+  /// response arrived for an id nobody was waiting for any more — the
+  /// double-answer signal chaos tests assert is zero.
+  std::uint64_t stale_frames_discarded() const { return stale_discarded_; }
+
   void close();
 
  private:
   Status send_all(const std::vector<std::uint8_t>& bytes);
   /// Read frames until one with \p request_id arrives (or timeout_ms < 0 =
-  /// forever). Stale responses for earlier, timed-out ids are discarded.
+  /// forever). Stale responses for earlier, timed-out ids are discarded,
+  /// at most ClientOptions::max_stale_frames per call.
   Result<Frame> read_matching(std::uint64_t request_id, double timeout_ms);
   /// Dial the remembered endpoint again after a lost connection (solve()'s
-  /// retry-once path). Any half-read input buffer is dropped with the
-  /// old socket.
+  /// retry path). Any half-read input buffer is dropped with the old
+  /// socket.
   Status reconnect();
+  /// Poll the optional fault plan (null = no-op); applies kDelay inline.
+  FaultDecision poll_fault(FaultPoint point);
 
   int fd_ = -1;
   ClientOptions options_;
@@ -122,6 +178,8 @@ class Client {
   std::vector<std::uint8_t> in_;
   std::string host_;  ///< remembered endpoint for reconnect()
   std::uint16_t port_ = 0;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t stale_discarded_ = 0;
 };
 
 }  // namespace pmcast::net

@@ -1,0 +1,92 @@
+#include "net/faultpoint.hpp"
+
+namespace pmcast::net {
+namespace {
+
+/// splitmix64: tiny, well-mixed, and stable across platforms — the schedule
+/// must be bit-identical everywhere, so no std:: engine (implementation-
+/// defined streams) is used.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::uint64_t seed, std::vector<FaultRule> rules)
+    : seed_(seed) {
+  rules_.reserve(rules.size());
+  std::uint64_t index = 0;
+  for (FaultRule& rule : rules) {
+    RuleState state;
+    state.rule = rule;
+    // Independent stream per rule: mixing the index in twice decorrelates
+    // adjacent rules even for adjacent seeds.
+    std::uint64_t mix = seed ^ (0xD1B54A32D192ED03ull * (index + 1));
+    splitmix64(mix);
+    state.prng = mix;
+    rules_.push_back(state);
+    ++index;
+  }
+}
+
+double FaultPlan::next_uniform(RuleState& state) {
+  // 53-bit mantissa -> uniform in [0, 1).
+  return static_cast<double>(splitmix64(state.prng) >> 11) * 0x1.0p-53;
+}
+
+FaultDecision FaultPlan::poll(FaultPoint point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t p = static_cast<std::size_t>(point);
+  const std::uint64_t hit = ++hits_[p];
+
+  FaultDecision decision;
+  for (RuleState& state : rules_) {
+    if (state.rule.point != point) continue;
+    bool fires = false;
+    switch (state.rule.trigger) {
+      case FaultTrigger::kNth:
+        fires = state.rule.nth > 0 && hit % state.rule.nth == 0;
+        break;
+      case FaultTrigger::kProbability:
+        // Draw exactly once per poll whether it fires or not: the k-th
+        // decision depends only on (seed, rule, k), never on other points.
+        fires = next_uniform(state) < state.rule.probability;
+        break;
+      case FaultTrigger::kOneShot:
+        fires = state.fired == 0 && hit >= state.rule.nth;
+        break;
+    }
+    if (!fires || decision) {
+      continue;  // keep draining PRNGs even after a decision is made
+    }
+    ++state.fired;
+    ++fired_[p];
+    decision.action = state.rule.action;
+    decision.magnitude = state.rule.magnitude;
+    decision.delay_ms = state.rule.delay_ms;
+  }
+  return decision;
+}
+
+std::uint64_t FaultPlan::hits(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_[static_cast<std::size_t>(point)];
+}
+
+std::uint64_t FaultPlan::fired(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_[static_cast<std::size_t>(point)];
+}
+
+std::uint64_t FaultPlan::total_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (std::uint64_t f : fired_) total += f;
+  return total;
+}
+
+}  // namespace pmcast::net

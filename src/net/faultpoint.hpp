@@ -1,0 +1,153 @@
+#pragma once
+/// \file faultpoint.hpp
+/// Deterministic fault injection for the pmcast serving stack. Named fault
+/// points (accept, read, write, dispatch, response-enqueue on the server;
+/// connect, send, recv on the client) are threaded through src/net/ and
+/// consult an optional FaultPlan before every I/O step. A null plan is the
+/// production configuration — every site guards with a single branch on a
+/// null pointer, so the layer is zero-cost when disabled.
+///
+/// Determinism contract: the decision a plan returns for the k-th poll of a
+/// fault point is a pure function of (seed, rule set, k). Nth-hit and
+/// one-shot triggers count hits; probability triggers draw from a per-rule
+/// PRNG seeded from (plan seed, rule index) that advances exactly once per
+/// matching poll. Two plans built from the same seed and rules therefore
+/// produce bit-identical fault schedules — chaos runs are reproducible and
+/// a failing seed is a complete repro.
+///
+/// The plan serialises its own state with a mutex so one plan may be shared
+/// across threads (server loop + many clients); note that under sharing the
+/// per-point *sequence* stays deterministic but its interleaving across
+/// threads follows the callers. For strict end-to-end reproducibility give
+/// each thread its own plan (seed + thread index).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace pmcast::net {
+
+/// Where a fault can fire. Server points run on the event-loop thread;
+/// client points run on the calling client's thread.
+enum class FaultPoint : std::uint8_t {
+  kAccept = 0,        ///< server: a connection is about to be accepted
+  kServerRead = 1,    ///< server: about to read() from a connection
+  kServerWrite = 2,   ///< server: about to send() queued output
+  kDispatch = 3,      ///< server: decoded solve about to enter admission
+  kResponseEnqueue = 4,  ///< server: completion bytes about to be queued
+  kConnect = 5,       ///< client: about to dial the daemon
+  kClientSend = 6,    ///< client: about to send a request frame
+  kClientRecv = 7,    ///< client: about to recv() response bytes
+};
+
+inline constexpr std::size_t kFaultPointCount = 8;
+
+inline const char* fault_point_name(FaultPoint p) {
+  switch (p) {
+    case FaultPoint::kAccept: return "accept";
+    case FaultPoint::kServerRead: return "server_read";
+    case FaultPoint::kServerWrite: return "server_write";
+    case FaultPoint::kDispatch: return "dispatch";
+    case FaultPoint::kResponseEnqueue: return "response_enqueue";
+    case FaultPoint::kConnect: return "connect";
+    case FaultPoint::kClientSend: return "client_send";
+    case FaultPoint::kClientRecv: return "client_recv";
+  }
+  return "?";
+}
+
+/// What happens when a rule fires. Not every action is meaningful at every
+/// point; the site applies the closest sensible interpretation (a kReset at
+/// kAccept closes the just-accepted socket, at kServerRead it closes the
+/// connection as if the peer sent RST, ...).
+enum class FaultAction : std::uint8_t {
+  kNone = 0,
+  kReset,       ///< ECONNRESET semantics: the connection dies here
+  kShortRead,   ///< deliver at most `magnitude` bytes this read
+  kShortWrite,  ///< write at most `magnitude` bytes this call
+  kTruncate,    ///< drop the last `magnitude` bytes of the outgoing frame
+  kDelay,       ///< sleep `delay_ms` before proceeding
+  kEmfile,      ///< accept fails as if the fd table were full
+};
+
+inline const char* fault_action_name(FaultAction a) {
+  switch (a) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kReset: return "reset";
+    case FaultAction::kShortRead: return "short_read";
+    case FaultAction::kShortWrite: return "short_write";
+    case FaultAction::kTruncate: return "truncate";
+    case FaultAction::kDelay: return "delay";
+    case FaultAction::kEmfile: return "emfile";
+  }
+  return "?";
+}
+
+/// When a rule fires.
+enum class FaultTrigger : std::uint8_t {
+  kNth,          ///< every `nth` poll of the point (1 = every poll)
+  kProbability,  ///< each poll independently with `probability`
+  kOneShot,      ///< exactly once, on the `nth`-th poll
+};
+
+struct FaultRule {
+  FaultPoint point = FaultPoint::kServerRead;
+  FaultAction action = FaultAction::kReset;
+  FaultTrigger trigger = FaultTrigger::kProbability;
+  std::uint64_t nth = 1;        ///< kNth period / kOneShot target (1-based)
+  double probability = 0.0;     ///< kProbability per-poll chance
+  std::uint64_t magnitude = 1;  ///< bytes for short read/write/truncate
+  double delay_ms = 0.0;        ///< kDelay sleep
+};
+
+/// The decision one poll returns. Falsy when nothing fires.
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  std::uint64_t magnitude = 0;
+  double delay_ms = 0.0;
+
+  explicit operator bool() const { return action != FaultAction::kNone; }
+};
+
+/// A seeded schedule of injected faults. Build once, hand to ServerOptions
+/// and/or ClientOptions via shared_ptr, and every instrumented I/O site
+/// polls it. poll() is cheap (one mutex, one counter bump, rule scan) but
+/// the real fast path is the *absence* of a plan: instrumented sites test
+/// a raw pointer and skip everything when it is null.
+class FaultPlan {
+ public:
+  FaultPlan(std::uint64_t seed, std::vector<FaultRule> rules);
+
+  /// Count one arrival at \p point and return the first firing rule's
+  /// decision (rules are consulted in construction order).
+  FaultDecision poll(FaultPoint point);
+
+  /// Total polls observed at \p point.
+  std::uint64_t hits(FaultPoint point) const;
+  /// Total decisions fired at \p point (any action).
+  std::uint64_t fired(FaultPoint point) const;
+  /// Total decisions fired across all points.
+  std::uint64_t total_fired() const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  /// splitmix64 over (seed, rule index): every rule gets an independent,
+  /// reproducible PRNG stream.
+  struct RuleState {
+    FaultRule rule;
+    std::uint64_t prng = 0;
+    std::uint64_t fired = 0;
+  };
+
+  double next_uniform(RuleState& state);
+
+  std::uint64_t seed_;
+  mutable std::mutex mutex_;
+  std::vector<RuleState> rules_;
+  std::uint64_t hits_[kFaultPointCount] = {};
+  std::uint64_t fired_[kFaultPointCount] = {};
+};
+
+}  // namespace pmcast::net

@@ -361,6 +361,20 @@ std::uint32_t mask_from_strategies(std::span<const StrategyId> strategies) {
   return mask;
 }
 
+// --------------------------------------------------------- fault injection --
+
+FaultDecision apply_frame_fault(FaultPlan* plan, FaultPoint point,
+                                std::vector<std::uint8_t>* bytes) {
+  if (plan == nullptr) return {};
+  FaultDecision decision = plan->poll(point);
+  if (decision.action == FaultAction::kTruncate && bytes != nullptr) {
+    const std::size_t drop =
+        std::min<std::size_t>(decision.magnitude, bytes->size());
+    bytes->resize(bytes->size() - drop);
+  }
+  return decision;
+}
+
 // ----------------------------------------------------------------- request --
 
 SolveRequest WireRequest::to_solve_request() const {
@@ -442,13 +456,14 @@ Result<WireRequest> decode_solve_request(const Frame& frame) {
 
 WireResponse make_wire_response(std::uint64_t request_id,
                                 const SolveResponse& response,
-                                double queue_ms) {
+                                double queue_ms, bool brownout) {
   WireResponse out;
   out.request_id = request_id;
   out.period = response.period;
   out.winner = static_cast<std::uint8_t>(response.winner);
   out.from_cache = response.provenance.from_cache ? 1 : 0;
   out.coalesced = response.provenance.coalesced ? 1 : 0;
+  out.brownout = brownout ? 1 : 0;
   out.solve_ms = response.timing.solve_ms;
   out.total_ms = response.timing.total_ms;
   out.queue_ms = queue_ms;
@@ -473,6 +488,7 @@ std::vector<std::uint8_t> encode_solve_response(const WireResponse& response,
   p.u8(response.winner);
   p.u8(response.from_cache);
   p.u8(response.coalesced);
+  p.u8(response.brownout);
   p.f64(response.solve_ms);
   p.f64(response.total_ms);
   p.f64(response.queue_ms);
@@ -506,6 +522,7 @@ Result<WireResponse> decode_solve_response(const Frame& frame) {
   out.winner = r.u8();
   out.from_cache = r.u8();
   out.coalesced = r.u8();
+  out.brownout = r.u8();
   out.solve_ms = r.f64();
   out.total_ms = r.f64();
   out.queue_ms = r.f64();
@@ -593,6 +610,7 @@ std::vector<std::uint8_t> encode_stats_response(const ServerWireStats& stats,
   p.u64(stats.connections_accepted);
   p.u64(stats.connections_open);
   p.u64(stats.requests_admitted);
+  p.u64(stats.brownout_admitted);
   p.u64(stats.responses_sent);
   p.u64(stats.errors_sent);
   p.u64(stats.shed_qps);
@@ -600,6 +618,10 @@ std::vector<std::uint8_t> encode_stats_response(const ServerWireStats& stats,
   p.u64(stats.shed_deadline);
   p.u64(stats.shed_shutdown);
   p.u64(stats.protocol_errors);
+  p.u64(stats.closed_idle_timeout);
+  p.u64(stats.closed_read_timeout);
+  p.u64(stats.closed_backpressure);
+  p.u64(stats.faults_injected);
   p.u64(stats.in_flight);
   p.u32(stats.worker_threads);
   p.u32(stats.cache_shards);
@@ -621,6 +643,7 @@ Result<ServerWireStats> decode_stats_response(const Frame& frame) {
   out.connections_accepted = r.u64();
   out.connections_open = r.u64();
   out.requests_admitted = r.u64();
+  out.brownout_admitted = r.u64();
   out.responses_sent = r.u64();
   out.errors_sent = r.u64();
   out.shed_qps = r.u64();
@@ -628,6 +651,10 @@ Result<ServerWireStats> decode_stats_response(const Frame& frame) {
   out.shed_deadline = r.u64();
   out.shed_shutdown = r.u64();
   out.protocol_errors = r.u64();
+  out.closed_idle_timeout = r.u64();
+  out.closed_read_timeout = r.u64();
+  out.closed_backpressure = r.u64();
+  out.faults_injected = r.u64();
   out.in_flight = r.u64();
   out.worker_threads = r.u32();
   out.cache_shards = r.u32();

@@ -45,6 +45,7 @@
 #include <string_view>
 #include <vector>
 
+#include "net/faultpoint.hpp"
 #include "pmcast/problem.hpp"
 #include "pmcast/request.hpp"
 #include "pmcast/response.hpp"
@@ -191,6 +192,9 @@ struct WireResponse {
   std::uint8_t winner = 0;
   std::uint8_t from_cache = 0;
   std::uint8_t coalesced = 0;
+  /// 1 when admission degraded this request to the cheap-arm allowlist
+  /// (brownout): the answer is heuristic-only, no exact/CG arm ran.
+  std::uint8_t brownout = 0;
   double solve_ms = 0.0;
   double total_ms = 0.0;
   /// Server-side delay between frame decode and Service submission (the
@@ -204,10 +208,11 @@ struct WireResponse {
   std::vector<WireOutcome> outcomes;
 };
 
-/// Flatten a certified SolveResponse for the wire.
+/// Flatten a certified SolveResponse for the wire. \p brownout marks a
+/// response produced under the degraded heuristic-only allowlist.
 WireResponse make_wire_response(std::uint64_t request_id,
                                 const SolveResponse& response,
-                                double queue_ms);
+                                double queue_ms, bool brownout = false);
 
 std::vector<std::uint8_t> encode_solve_response(const WireResponse& response,
                                                 std::uint32_t tenant = 0);
@@ -245,6 +250,7 @@ struct ServerWireStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_open = 0;
   std::uint64_t requests_admitted = 0;
+  std::uint64_t brownout_admitted = 0;  ///< admitted under the cheap allowlist
   std::uint64_t responses_sent = 0;
   std::uint64_t errors_sent = 0;
   std::uint64_t shed_qps = 0;        ///< token bucket empty
@@ -252,6 +258,10 @@ struct ServerWireStats {
   std::uint64_t shed_deadline = 0;   ///< est. queue delay > request deadline
   std::uint64_t shed_shutdown = 0;   ///< rejected while draining
   std::uint64_t protocol_errors = 0;
+  std::uint64_t closed_idle_timeout = 0;  ///< idle past ServerOptions bound
+  std::uint64_t closed_read_timeout = 0;  ///< partial frame stalled too long
+  std::uint64_t closed_backpressure = 0;  ///< output queue exceeded its cap
+  std::uint64_t faults_injected = 0;      ///< fired fault-plan decisions
   std::uint64_t in_flight = 0;
   std::uint32_t worker_threads = 0;
   std::uint32_t cache_shards = 0;
@@ -344,5 +354,16 @@ Result<Problem> decode_problem(std::span<const std::uint8_t> bytes,
 /// Expand a strategy bitmask into the allowlist vector (empty = all).
 std::vector<StrategyId> strategies_from_mask(std::uint32_t mask);
 std::uint32_t mask_from_strategies(std::span<const StrategyId> strategies);
+
+// --------------------------------------------------------- fault injection --
+
+/// Poll \p plan at \p point and apply any frame-level fault to \p bytes in
+/// place: kTruncate drops the last `magnitude` bytes of the encoded frame
+/// (at most the whole frame), which is indistinguishable on the wire from a
+/// peer dying mid-send. Connection-level actions (kReset, kDelay, short
+/// writes) are returned untouched for the I/O site to act on. A null plan
+/// is a no-op returning an empty decision.
+FaultDecision apply_frame_fault(FaultPlan* plan, FaultPoint point,
+                                std::vector<std::uint8_t>* bytes);
 
 }  // namespace pmcast::net

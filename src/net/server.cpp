@@ -9,12 +9,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -53,7 +55,14 @@ struct Server::Impl {
             options.default_quota, options.tenant_quotas,
             options.global_max_in_flight, options.shed_safety_factor,
             /*ewma_alpha=*/0.2}),
-        start_time(ServerClock::now()) {}
+        start_time(ServerClock::now()) {
+    brownout_strategies =
+        options.brownout.strategies.empty()
+            ? std::vector<StrategyId>{StrategyId::Mcph,
+                                      StrategyId::PrunedDijkstra,
+                                      StrategyId::Kmb}
+            : options.brownout.strategies;
+  }
 
   ~Impl() {
     if (epoll_fd >= 0) ::close(epoll_fd);
@@ -73,6 +82,7 @@ struct Server::Impl {
   struct Pending {
     SolveFuture future;
     std::uint32_t tenant = 0;
+    bool brownout = false;
   };
 
   struct Connection {
@@ -83,6 +93,10 @@ struct Server::Impl {
     std::size_t out_offset = 0;
     bool epollout_armed = false;
     bool close_after_flush = false;
+    double last_activity_ms = 0.0;  ///< last accept/read, for idle timeout
+    /// When the oldest buffered partial frame arrived; < 0 = no partial
+    /// frame. Drives the slow-loris read timeout.
+    double read_started_ms = -1.0;
     std::unordered_map<std::uint64_t, Pending> pending;
 
     bool flushed() const { return out_offset >= out.size(); }
@@ -96,6 +110,7 @@ struct Server::Impl {
     std::uint32_t tenant = 0;
     double solve_ms = -1.0;  ///< < 0: no EWMA update (errored before solving)
     bool is_error = false;
+    bool brownout = false;
     std::vector<std::uint8_t> bytes;
   };
 
@@ -105,6 +120,10 @@ struct Server::Impl {
   Service service;
   AdmissionController admission;
   ServerClock::time_point start_time;
+  /// Raw view of options.fault_plan: every instrumented site branches on
+  /// this pointer, so a null plan costs one predictable compare.
+  FaultPlan* faults = options.fault_plan.get();
+  std::vector<StrategyId> brownout_strategies;
 
   int listen_fd = -1;
   int epoll_fd = -1;
@@ -134,7 +153,31 @@ struct Server::Impl {
   std::atomic<std::uint64_t> shed_deadline{0};
   std::atomic<std::uint64_t> shed_shutdown{0};
   std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> brownout_admitted{0};
+  std::atomic<std::uint64_t> closed_idle_timeout{0};
+  std::atomic<std::uint64_t> closed_read_timeout{0};
+  std::atomic<std::uint64_t> closed_backpressure{0};
+  std::atomic<std::uint64_t> faults_injected{0};
   std::atomic<std::uint64_t> in_flight{0};
+
+  // ---------------------------------------------------------------- faults --
+
+  /// Poll the fault plan at \p point (no-op without a plan). Delay actions
+  /// are applied here — stalling the loop thread is exactly what a delay
+  /// fault means for a single-threaded server — so call sites only need to
+  /// handle actions that change control flow.
+  FaultDecision poll_fault(FaultPoint point) {
+    if (faults == nullptr) return {};
+    FaultDecision decision = faults->poll(point);
+    if (decision) {
+      faults_injected.fetch_add(1, std::memory_order_relaxed);
+      if (decision.action == FaultAction::kDelay && decision.delay_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(decision.delay_ms));
+      }
+    }
+    return decision;
+  }
 
   // ---------------------------------------------------------------- start --
 
@@ -217,6 +260,9 @@ struct Server::Impl {
         }
       }
       drain_completions();
+      if (options.idle_timeout_ms > 0.0 || options.read_timeout_ms > 0.0) {
+        scan_timeouts();
+      }
       if (drain_requested.load(std::memory_order_acquire) && !draining) {
         begin_drain();
       }
@@ -237,10 +283,17 @@ struct Server::Impl {
         ::close(fd);
         continue;
       }
+      if (poll_fault(FaultPoint::kAccept)) {
+        // kEmfile: the fd table is "full"; kReset: the connection dies
+        // before it exists. Either way the peer sees an abrupt close.
+        ::close(fd);
+        continue;
+      }
       set_nodelay(fd);
       auto conn = std::make_unique<Connection>();
       conn->fd = fd;
       conn->id = next_conn_id++;
+      conn->last_activity_ms = now_ms();
       epoll_event ev{};
       ev.events = EPOLLIN;
       ev.data.u64 = conn->id;
@@ -269,14 +322,29 @@ struct Server::Impl {
 
   /// Returns false when the connection was closed.
   bool read_ready(Connection* conn) {
+    std::size_t chunk = kReadChunk;
+    bool single_read = false;
+    if (FaultDecision fault = poll_fault(FaultPoint::kServerRead)) {
+      if (fault.action == FaultAction::kReset) {
+        close_connection(conn);
+        return false;
+      }
+      if (fault.action == FaultAction::kShortRead) {
+        // Deliver at most `magnitude` bytes this readiness event; the rest
+        // stays in the kernel buffer for the next (level-triggered) wakeup.
+        chunk = static_cast<std::size_t>(std::max<std::uint64_t>(
+            fault.magnitude, 1));
+        single_read = true;
+      }
+    }
     while (true) {
       const std::size_t old_size = conn->in.size();
-      conn->in.resize(old_size + kReadChunk);
-      const ssize_t n =
-          ::read(conn->fd, conn->in.data() + old_size, kReadChunk);
+      conn->in.resize(old_size + chunk);
+      const ssize_t n = ::read(conn->fd, conn->in.data() + old_size, chunk);
       if (n > 0) {
         conn->in.resize(old_size + static_cast<std::size_t>(n));
-        if (static_cast<std::size_t>(n) < kReadChunk) break;
+        conn->last_activity_ms = now_ms();
+        if (single_read || static_cast<std::size_t>(n) < chunk) break;
         continue;
       }
       conn->in.resize(old_size);
@@ -321,6 +389,13 @@ struct Server::Impl {
       conn->in.erase(conn->in.begin(),
                      conn->in.begin() +
                          static_cast<std::ptrdiff_t>(consumed_total));
+    }
+    // Read-timeout bookkeeping: a non-empty buffer here is a partial frame.
+    // Start the clock when one appears; stop it when the buffer drains.
+    if (conn->in.empty()) {
+      conn->read_started_ms = -1.0;
+    } else if (conn->read_started_ms < 0.0) {
+      conn->read_started_ms = now_ms();
     }
     return true;
   }
@@ -380,6 +455,16 @@ struct Server::Impl {
       return;
     }
 
+    // Fault point BEFORE admission: an injected failure here must not leak
+    // admission accounting (nothing has been charged yet).
+    if (FaultDecision fault = poll_fault(FaultPoint::kDispatch)) {
+      if (fault.action == FaultAction::kReset) {
+        close_connection(conn);
+        return;
+      }
+      // Other actions at dispatch reduce to the delay poll_fault applied.
+    }
+
     // Admission: the deadline the shed policy sees is the same one the
     // Service will enforce (wire value, or the server default; negative =
     // none). No-deadline requests skip the deadline shed but not the caps.
@@ -393,9 +478,10 @@ struct Server::Impl {
     }
     const AdmissionDecision decision =
         admission.admit(tenant, now_ms(), admission_deadline,
-                        service.thread_count());
+                        service.thread_count(), options.brownout.enabled);
     switch (decision) {
       case AdmissionDecision::kAdmit:
+      case AdmissionDecision::kAdmitBrownout:
         break;
       case AdmissionDecision::kShedQps:
         shed_qps.fetch_add(1, std::memory_order_relaxed);
@@ -420,30 +506,42 @@ struct Server::Impl {
       }
     }
 
+    const bool brownout = decision == AdmissionDecision::kAdmitBrownout;
     requests_admitted.fetch_add(1, std::memory_order_relaxed);
+    if (brownout) {
+      brownout_admitted.fetch_add(1, std::memory_order_relaxed);
+    }
     in_flight.store(
         static_cast<std::uint64_t>(admission.global_in_flight()),
         std::memory_order_relaxed);
 
     SolveRequest request = decoded->to_solve_request();
     request.cancel = CancelToken();
+    if (brownout) {
+      // Degraded admission: override the strategy allowlist with the cheap
+      // arms. The client asked for the full portfolio and gets an honest
+      // brownout bit on the response instead.
+      request.strategies = brownout_strategies;
+    }
     const std::uint64_t conn_id = conn->id;
     std::vector<SolveRequest> one;
     one.push_back(std::move(request));
     SolveBatch batch = service.submit_batch(
         std::move(one),
-        [this, conn_id, request_id, tenant](
+        [this, conn_id, request_id, tenant, brownout](
             std::size_t, const Result<SolveResponse>& result) {
           Completion completion;
           completion.conn_id = conn_id;
           completion.request_id = request_id;
           completion.tenant = tenant;
+          completion.brownout = brownout;
           if (result.ok()) {
             completion.solve_ms = result->timing.solve_ms;
             completion.bytes = encode_solve_response(
                 make_wire_response(request_id, *result,
                                    result->timing.total_ms -
-                                       result->timing.solve_ms),
+                                       result->timing.solve_ms,
+                                   brownout),
                 tenant);
           } else {
             completion.is_error = true;
@@ -460,7 +558,8 @@ struct Server::Impl {
         });
     // Cache hits complete inline above; the pending entry is still recorded
     // and will be settled by drain_completions() later this iteration.
-    conn->pending.emplace(request_id, Pending{batch.future(0), tenant});
+    conn->pending.emplace(request_id,
+                          Pending{batch.future(0), tenant, brownout});
   }
 
   void drain_completions() {
@@ -470,7 +569,8 @@ struct Server::Impl {
       ready.swap(completions);
     }
     for (Completion& completion : ready) {
-      admission.complete(completion.tenant, completion.solve_ms);
+      admission.complete(completion.tenant, completion.solve_ms,
+                         completion.brownout);
       in_flight.store(
           static_cast<std::uint64_t>(admission.global_in_flight()),
           std::memory_order_relaxed);
@@ -478,6 +578,26 @@ struct Server::Impl {
       if (it == connections.end()) continue;  // peer left; accounting only
       Connection* conn = it->second.get();
       conn->pending.erase(completion.request_id);
+      if (faults != nullptr) {
+        FaultDecision fault = apply_frame_fault(
+            faults, FaultPoint::kResponseEnqueue, &completion.bytes);
+        if (fault) {
+          faults_injected.fetch_add(1, std::memory_order_relaxed);
+          if (fault.action == FaultAction::kDelay && fault.delay_ms > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(fault.delay_ms));
+          }
+          if (fault.action == FaultAction::kReset) {
+            close_connection(conn);
+            continue;  // admission already settled above
+          }
+          if (fault.action == FaultAction::kTruncate) {
+            // The peer gets a cut-off frame and then a close — exactly what
+            // a server dying mid-send looks like.
+            conn->close_after_flush = true;
+          }
+        }
+      }
       if (completion.is_error) {
         errors_sent.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -502,14 +622,35 @@ struct Server::Impl {
       conn->out_offset = 0;
     }
     conn->out.insert(conn->out.end(), bytes.begin(), bytes.end());
+    // Backpressure cap: a peer that stops reading its responses cannot hold
+    // unbounded memory hostage. Closing loses the queued responses, but the
+    // peer was not consuming them anyway.
+    if (options.max_output_buffer_bytes > 0 &&
+        conn->out.size() - conn->out_offset >
+            options.max_output_buffer_bytes) {
+      closed_backpressure.fetch_add(1, std::memory_order_relaxed);
+      close_connection(conn);
+      return;
+    }
     flush(conn);
   }
 
   void flush(Connection* conn) {
     while (!conn->flushed()) {
+      std::size_t want = conn->out.size() - conn->out_offset;
+      if (FaultDecision fault = poll_fault(FaultPoint::kServerWrite)) {
+        if (fault.action == FaultAction::kReset) {
+          close_connection(conn);
+          return;
+        }
+        if (fault.action == FaultAction::kShortWrite) {
+          want = std::min<std::size_t>(
+              want, static_cast<std::size_t>(
+                        std::max<std::uint64_t>(fault.magnitude, 1)));
+        }
+      }
       const ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_offset,
-                               conn->out.size() - conn->out_offset,
-                               MSG_NOSIGNAL);
+                               want, MSG_NOSIGNAL);
       if (n > 0) {
         conn->out_offset += static_cast<std::size_t>(n);
         continue;
@@ -532,6 +673,36 @@ struct Server::Impl {
     ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
     ev.data.u64 = conn->id;
     ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+
+  // ------------------------------------------------------------- timeouts --
+
+  /// Per-tick sweep (epoll_wait bounds the tick at 200 ms, so sub-tick
+  /// timeouts resolve at that granularity). Read timeout outranks idle: a
+  /// connection trickling header bytes is "active" but still hostile.
+  void scan_timeouts() {
+    const double now = now_ms();
+    std::vector<Connection*> doomed_read;
+    std::vector<Connection*> doomed_idle;
+    for (auto& [id, conn] : connections) {
+      if (options.read_timeout_ms > 0.0 && conn->read_started_ms >= 0.0 &&
+          now - conn->read_started_ms > options.read_timeout_ms) {
+        doomed_read.push_back(conn.get());
+      } else if (options.idle_timeout_ms > 0.0 && conn->pending.empty() &&
+                 conn->flushed() && conn->in.empty() &&
+                 now - conn->last_activity_ms > options.idle_timeout_ms) {
+        // Idle only counts when nothing is owed in either direction.
+        doomed_idle.push_back(conn.get());
+      }
+    }
+    for (Connection* conn : doomed_read) {
+      closed_read_timeout.fetch_add(1, std::memory_order_relaxed);
+      close_connection(conn);
+    }
+    for (Connection* conn : doomed_idle) {
+      closed_idle_timeout.fetch_add(1, std::memory_order_relaxed);
+      close_connection(conn);
+    }
   }
 
   void close_connection(Connection* conn) {
@@ -604,6 +775,8 @@ struct Server::Impl {
     stats.connections_open = connections_open.load(std::memory_order_relaxed);
     stats.requests_admitted =
         requests_admitted.load(std::memory_order_relaxed);
+    stats.brownout_admitted =
+        brownout_admitted.load(std::memory_order_relaxed);
     stats.responses_sent = responses_sent.load(std::memory_order_relaxed);
     stats.errors_sent = errors_sent.load(std::memory_order_relaxed);
     stats.shed_qps = shed_qps.load(std::memory_order_relaxed);
@@ -611,6 +784,13 @@ struct Server::Impl {
     stats.shed_deadline = shed_deadline.load(std::memory_order_relaxed);
     stats.shed_shutdown = shed_shutdown.load(std::memory_order_relaxed);
     stats.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    stats.closed_idle_timeout =
+        closed_idle_timeout.load(std::memory_order_relaxed);
+    stats.closed_read_timeout =
+        closed_read_timeout.load(std::memory_order_relaxed);
+    stats.closed_backpressure =
+        closed_backpressure.load(std::memory_order_relaxed);
+    stats.faults_injected = faults_injected.load(std::memory_order_relaxed);
     stats.in_flight = in_flight.load(std::memory_order_relaxed);
     stats.worker_threads = static_cast<std::uint32_t>(service.thread_count());
     CacheMetrics cache = service.cache_metrics();
@@ -678,6 +858,8 @@ ServerStats Server::stats() const {
       impl.connections_open.load(std::memory_order_relaxed);
   stats.requests_admitted =
       impl.requests_admitted.load(std::memory_order_relaxed);
+  stats.brownout_admitted =
+      impl.brownout_admitted.load(std::memory_order_relaxed);
   stats.responses_sent = impl.responses_sent.load(std::memory_order_relaxed);
   stats.errors_sent = impl.errors_sent.load(std::memory_order_relaxed);
   stats.shed_qps = impl.shed_qps.load(std::memory_order_relaxed);
@@ -686,6 +868,14 @@ ServerStats Server::stats() const {
   stats.shed_shutdown = impl.shed_shutdown.load(std::memory_order_relaxed);
   stats.protocol_errors =
       impl.protocol_errors.load(std::memory_order_relaxed);
+  stats.closed_idle_timeout =
+      impl.closed_idle_timeout.load(std::memory_order_relaxed);
+  stats.closed_read_timeout =
+      impl.closed_read_timeout.load(std::memory_order_relaxed);
+  stats.closed_backpressure =
+      impl.closed_backpressure.load(std::memory_order_relaxed);
+  stats.faults_injected =
+      impl.faults_injected.load(std::memory_order_relaxed);
   stats.in_flight = impl.in_flight.load(std::memory_order_relaxed);
   return stats;
 }

@@ -25,15 +25,31 @@
 /// response byte is written (or its connection is gone).
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/admission.hpp"
+#include "net/faultpoint.hpp"
 #include "pmcast/service.hpp"
 #include "pmcast/status.hpp"
+#include "pmcast/strategy.hpp"
 
 namespace pmcast::net {
+
+/// Brownout degradation policy: when the deadline-feasibility check would
+/// shed a request, admit it anyway restricted to cheap heuristic arms — the
+/// service degrades answer quality before availability. Responses produced
+/// this way carry an explicit brownout provenance bit on the wire.
+struct BrownoutOptions {
+  bool enabled = false;
+  /// Allowlist used for browned-out requests. Empty = the default cheap
+  /// set {Mcph, PrunedDijkstra, Kmb}: pure tree heuristics, no LP and no
+  /// exact enumeration.
+  std::vector<StrategyId> strategies;
+};
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
@@ -53,6 +69,26 @@ struct ServerOptions {
   /// Grace period for draining in-flight work after request_drain();
   /// afterwards the stragglers are cancelled (still answered explicitly).
   double drain_timeout_ms = 10'000.0;
+
+  /// Close a connection with no traffic at all for this long (0 = never).
+  /// Protects the fd table from abandoned peers.
+  double idle_timeout_ms = 0.0;
+  /// Close a connection that has held a *partial* frame for this long
+  /// (0 = never). This is the slow-loris defense: a peer trickling header
+  /// bytes cannot pin a connection past this bound.
+  double read_timeout_ms = 0.0;
+  /// Close a connection whose queued-but-unsent output exceeds this many
+  /// bytes (0 = unbounded). Bounds memory held hostage by a peer that
+  /// stops reading its responses.
+  std::size_t max_output_buffer_bytes = 0;
+
+  /// Optional deterministic fault-injection schedule (tests and chaos
+  /// benches only). Null — the default — is the production configuration:
+  /// every instrumented site reduces to one branch on a null pointer.
+  std::shared_ptr<FaultPlan> fault_plan;
+
+  /// Brownout degradation (see BrownoutOptions).
+  BrownoutOptions brownout;
 };
 
 /// Counter snapshot (also served remotely as a kStatsResponse).
@@ -60,6 +96,7 @@ struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_open = 0;
   std::uint64_t requests_admitted = 0;
+  std::uint64_t brownout_admitted = 0;
   std::uint64_t responses_sent = 0;
   std::uint64_t errors_sent = 0;
   std::uint64_t shed_qps = 0;
@@ -67,6 +104,10 @@ struct ServerStats {
   std::uint64_t shed_deadline = 0;
   std::uint64_t shed_shutdown = 0;
   std::uint64_t protocol_errors = 0;
+  std::uint64_t closed_idle_timeout = 0;
+  std::uint64_t closed_read_timeout = 0;
+  std::uint64_t closed_backpressure = 0;
+  std::uint64_t faults_injected = 0;
   std::uint64_t in_flight = 0;
 };
 

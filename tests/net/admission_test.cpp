@@ -158,6 +158,69 @@ TEST(Admission, TenantBucketsAreIsolated) {
   EXPECT_EQ(ctl.admit(2, 0.0, -1.0, 1), AdmissionDecision::kAdmit);
 }
 
+TEST(Admission, BrownoutAdmitsWhatDeadlineShedWouldReject) {
+  AdmissionController ctl({});
+  // Prime the full-portfolio EWMA at 100 ms and leave 7 requests in flight:
+  // estimated delay 700 ms on one worker.
+  for (int i = 0; i < 8; ++i) ctl.admit(1, 0.0, -1.0, 1);
+  ctl.complete(1, 100.0);
+
+  // Shed-only: a 500 ms budget loses to the 700 ms estimate.
+  EXPECT_EQ(ctl.admit(1, 0.0, 500.0, 1), AdmissionDecision::kShedDeadline);
+  // Brownout: no cheap-arm completion observed yet, so the cheap estimate
+  // is zero — never shed on no data; the first brownout wave always goes
+  // through.
+  EXPECT_EQ(ctl.admit(1, 0.0, 500.0, 1, /*brownout_enabled=*/true),
+            AdmissionDecision::kAdmitBrownout);
+  // Brownout admissions charge state exactly like kAdmit.
+  EXPECT_EQ(ctl.global_in_flight(), 8);
+}
+
+TEST(Admission, BrownoutShedsWhenEvenCheapArmsCannotMakeIt) {
+  AdmissionController ctl({});
+  for (int i = 0; i < 8; ++i) ctl.admit(1, 0.0, -1.0, 1);
+  ctl.complete(1, 100.0);             // full EWMA: 100 ms
+  ctl.complete(1, 100.0);             // 6 left in flight
+  ctl.admit(1, 0.0, -1.0, 1);         // back to 7
+  ctl.complete(1, 90.0, /*brownout=*/true);  // cheap EWMA primes at 90 ms
+  EXPECT_DOUBLE_EQ(ctl.ewma_brownout_solve_ms(), 90.0);
+  // 6 in flight / 1 worker: full estimate 600 ms, cheap estimate 540 ms.
+  EXPECT_DOUBLE_EQ(ctl.estimated_queue_delay_ms(1), 600.0);
+  EXPECT_DOUBLE_EQ(ctl.estimated_brownout_delay_ms(1), 540.0);
+
+  // A 570 ms budget fails the full check but survives the cheap one.
+  EXPECT_EQ(ctl.admit(1, 0.0, 570.0, 1, true),
+            AdmissionDecision::kAdmitBrownout);
+  ctl.complete(1, -1.0);
+  // A 500 ms budget fails both: shed, and nothing is charged.
+  const int before = ctl.global_in_flight();
+  EXPECT_EQ(ctl.admit(1, 0.0, 500.0, 1, true),
+            AdmissionDecision::kShedDeadline);
+  EXPECT_EQ(ctl.global_in_flight(), before);
+}
+
+TEST(Admission, BrownoutCompletionsFeedOnlyTheCheapEwma) {
+  AdmissionController ctl({});
+  ctl.admit(1, 0.0, -1.0, 1);
+  ctl.admit(1, 0.0, -1.0, 1);
+  ctl.complete(1, 200.0);
+  ctl.complete(1, 40.0, /*brownout=*/true);
+  EXPECT_DOUBLE_EQ(ctl.ewma_solve_ms(), 200.0);
+  EXPECT_DOUBLE_EQ(ctl.ewma_brownout_solve_ms(), 40.0);
+}
+
+TEST(Admission, BrownoutDisabledIsPlainDeadlineShed) {
+  // The default admit() signature (no brownout flag) must behave exactly
+  // as before this option existed.
+  AdmissionController ctl({});
+  ctl.admit(1, 0.0, -1.0, 1);
+  ctl.admit(1, 0.0, -1.0, 1);
+  ctl.complete(1, 100.0);
+  ctl.complete(1, 10.0, /*brownout=*/true);  // cheap EWMA would pass
+  ctl.admit(1, 0.0, -1.0, 1);
+  EXPECT_EQ(ctl.admit(1, 0.0, 50.0, 1), AdmissionDecision::kShedDeadline);
+}
+
 TEST(Admission, EwmaSmoothsAndSkipsErroredRequests) {
   AdmissionController::Options options;
   options.ewma_alpha = 0.5;

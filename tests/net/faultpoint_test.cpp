@@ -1,0 +1,200 @@
+/// FaultPlan suite: the determinism contract (same seed + rules =>
+/// bit-identical schedule), the three trigger kinds, and the independence
+/// of per-rule PRNG streams. No I/O — the plan is pure bookkeeping.
+
+#include "net/faultpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/protocol.hpp"  // apply_frame_fault
+
+namespace pmcast::net {
+namespace {
+
+FaultRule reset_every(FaultPoint point, std::uint64_t nth) {
+  FaultRule rule;
+  rule.point = point;
+  rule.action = FaultAction::kReset;
+  rule.trigger = FaultTrigger::kNth;
+  rule.nth = nth;
+  return rule;
+}
+
+FaultRule reset_with_probability(FaultPoint point, double p) {
+  FaultRule rule;
+  rule.point = point;
+  rule.action = FaultAction::kReset;
+  rule.trigger = FaultTrigger::kProbability;
+  rule.probability = p;
+  return rule;
+}
+
+TEST(FaultPlan, NthTriggerFiresEveryNthPoll) {
+  FaultPlan plan(1, {reset_every(FaultPoint::kServerRead, 3)});
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(static_cast<bool>(plan.poll(FaultPoint::kServerRead)));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+  EXPECT_EQ(plan.hits(FaultPoint::kServerRead), 9u);
+  EXPECT_EQ(plan.fired(FaultPoint::kServerRead), 3u);
+}
+
+TEST(FaultPlan, OneShotFiresExactlyOnceAtItsTarget) {
+  FaultRule rule;
+  rule.point = FaultPoint::kDispatch;
+  rule.action = FaultAction::kReset;
+  rule.trigger = FaultTrigger::kOneShot;
+  rule.nth = 4;
+  FaultPlan plan(7, {rule});
+  int fired = 0;
+  int fired_at = -1;
+  for (int i = 1; i <= 10; ++i) {
+    if (plan.poll(FaultPoint::kDispatch)) {
+      ++fired;
+      fired_at = i;
+    }
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(fired_at, 4);
+}
+
+TEST(FaultPlan, SameSeedSameRulesIsBitIdentical) {
+  const std::vector<FaultRule> rules = {
+      reset_with_probability(FaultPoint::kServerRead, 0.3),
+      reset_with_probability(FaultPoint::kServerWrite, 0.1),
+      reset_every(FaultPoint::kAccept, 5),
+  };
+  FaultPlan a(0xDEADBEEF, rules);
+  FaultPlan b(0xDEADBEEF, rules);
+  for (int i = 0; i < 500; ++i) {
+    const FaultPoint p = static_cast<FaultPoint>(i % 3);  // read/write/accept
+    const FaultDecision da = a.poll(p);
+    const FaultDecision db = b.poll(p);
+    EXPECT_EQ(da.action, db.action) << "poll " << i;
+  }
+  EXPECT_EQ(a.total_fired(), b.total_fired());
+}
+
+TEST(FaultPlan, DifferentSeedsProduceDifferentSchedules) {
+  const std::vector<FaultRule> rules = {
+      reset_with_probability(FaultPoint::kServerRead, 0.5)};
+  FaultPlan a(1, rules);
+  FaultPlan b(2, rules);
+  int differ = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (static_cast<bool>(a.poll(FaultPoint::kServerRead)) !=
+        static_cast<bool>(b.poll(FaultPoint::kServerRead))) {
+      ++differ;
+    }
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(FaultPlan, ProbabilityRateIsRoughlyHonoured) {
+  FaultPlan plan(42, {reset_with_probability(FaultPoint::kClientSend, 0.2)});
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) plan.poll(FaultPoint::kClientSend);
+  const double rate =
+      static_cast<double>(plan.fired(FaultPoint::kClientSend)) / n;
+  EXPECT_NEAR(rate, 0.2, 0.02);
+}
+
+TEST(FaultPlan, DecisionSequencePerPointIgnoresOtherPoints) {
+  // The k-th decision at a point must be a pure function of (seed, rules,
+  // k): interleaving polls of other points must not perturb it.
+  const std::vector<FaultRule> rules = {
+      reset_with_probability(FaultPoint::kServerRead, 0.4),
+      reset_with_probability(FaultPoint::kServerWrite, 0.4),
+  };
+  FaultPlan lone(9, rules);
+  FaultPlan mixed(9, rules);
+  std::vector<bool> lone_reads;
+  for (int i = 0; i < 64; ++i) {
+    lone_reads.push_back(
+        static_cast<bool>(lone.poll(FaultPoint::kServerRead)));
+  }
+  std::vector<bool> mixed_reads;
+  for (int i = 0; i < 64; ++i) {
+    mixed.poll(FaultPoint::kServerWrite);  // interleaved noise
+    mixed_reads.push_back(
+        static_cast<bool>(mixed.poll(FaultPoint::kServerRead)));
+    mixed.poll(FaultPoint::kServerWrite);
+  }
+  EXPECT_EQ(lone_reads, mixed_reads);
+}
+
+TEST(FaultPlan, FirstFiringRuleWinsButLaterStreamsStayAligned) {
+  // Two probabilistic rules share a point; rule 0 wins any poll where both
+  // fire. Rule 1's PRNG must advance exactly once per poll anyway, so its
+  // schedule stays aligned with a reference plan where rule 0 matches a
+  // different point (same index, same seed — identical stream).
+  FaultRule shadow = reset_with_probability(FaultPoint::kServerRead, 0.5);
+  shadow.action = FaultAction::kDelay;
+  const FaultRule maybe =
+      reset_with_probability(FaultPoint::kServerRead, 0.5);
+
+  FaultRule elsewhere = shadow;
+  elsewhere.point = FaultPoint::kAccept;  // never matches kServerRead
+
+  FaultPlan contended(11, {shadow, maybe});
+  FaultPlan reference(11, {elsewhere, maybe});
+  for (int i = 0; i < 200; ++i) {
+    const FaultDecision got = contended.poll(FaultPoint::kServerRead);
+    const FaultDecision ref = reference.poll(FaultPoint::kServerRead);
+    if (got.action == FaultAction::kReset) {
+      // Rule 1 won in the contended plan => it fired in the reference too.
+      EXPECT_EQ(ref.action, FaultAction::kReset) << "poll " << i;
+    } else if (!got) {
+      // Neither rule fired => rule 1 must be silent in the reference too.
+      EXPECT_FALSE(static_cast<bool>(ref)) << "poll " << i;
+    }
+    // got == kDelay says nothing about rule 1 (it may have fired and lost).
+  }
+}
+
+TEST(FaultPlan, DecisionCarriesMagnitudeAndDelay) {
+  FaultRule rule;
+  rule.point = FaultPoint::kResponseEnqueue;
+  rule.action = FaultAction::kTruncate;
+  rule.trigger = FaultTrigger::kNth;
+  rule.nth = 1;
+  rule.magnitude = 17;
+  FaultPlan plan(3, {rule});
+  const FaultDecision d = plan.poll(FaultPoint::kResponseEnqueue);
+  EXPECT_EQ(d.action, FaultAction::kTruncate);
+  EXPECT_EQ(d.magnitude, 17u);
+}
+
+TEST(FaultPlan, ApplyFrameFaultTruncatesInPlace) {
+  FaultRule rule;
+  rule.point = FaultPoint::kResponseEnqueue;
+  rule.action = FaultAction::kTruncate;
+  rule.trigger = FaultTrigger::kNth;
+  rule.nth = 2;  // second frame only
+  rule.magnitude = 4;
+  FaultPlan plan(5, {rule});
+
+  std::vector<std::uint8_t> first(10, 0xAB);
+  EXPECT_FALSE(static_cast<bool>(
+      apply_frame_fault(&plan, FaultPoint::kResponseEnqueue, &first)));
+  EXPECT_EQ(first.size(), 10u);
+
+  std::vector<std::uint8_t> second(10, 0xCD);
+  const FaultDecision d =
+      apply_frame_fault(&plan, FaultPoint::kResponseEnqueue, &second);
+  EXPECT_EQ(d.action, FaultAction::kTruncate);
+  EXPECT_EQ(second.size(), 6u);
+
+  // Null plan: zero-cost no-op.
+  std::vector<std::uint8_t> untouched(3, 0xEE);
+  EXPECT_FALSE(static_cast<bool>(apply_frame_fault(
+      nullptr, FaultPoint::kResponseEnqueue, &untouched)));
+  EXPECT_EQ(untouched.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pmcast::net

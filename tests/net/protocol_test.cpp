@@ -340,6 +340,7 @@ TEST(Protocol, SolveResponseRoundTripsEveryField) {
   original.winner = static_cast<std::uint8_t>(StrategyId::ReducedBroadcast);
   original.from_cache = 1;
   original.coalesced = 0;
+  original.brownout = 1;
   original.solve_ms = 3.25;
   original.total_ms = 4.5;
   original.queue_ms = 1.25;
@@ -361,6 +362,7 @@ TEST(Protocol, SolveResponseRoundTripsEveryField) {
   EXPECT_DOUBLE_EQ(decoded->period, original.period);
   EXPECT_EQ(decoded->winner, original.winner);
   EXPECT_EQ(decoded->from_cache, 1);
+  EXPECT_EQ(decoded->brownout, 1);
   EXPECT_DOUBLE_EQ(decoded->solve_ms, original.solve_ms);
   EXPECT_DOUBLE_EQ(decoded->total_ms, original.total_ms);
   EXPECT_DOUBLE_EQ(decoded->queue_ms, original.queue_ms);
@@ -432,6 +434,7 @@ TEST(Protocol, StatsRoundTripsEveryCounter) {
   original.connections_accepted = 300;
   original.connections_open = 12;
   original.requests_admitted = 5000;
+  original.brownout_admitted = 70;
   original.responses_sent = 4800;
   original.errors_sent = 150;
   original.shed_qps = 40;
@@ -439,6 +442,10 @@ TEST(Protocol, StatsRoundTripsEveryCounter) {
   original.shed_deadline = 30;
   original.shed_shutdown = 30;
   original.protocol_errors = 2;
+  original.closed_idle_timeout = 7;
+  original.closed_read_timeout = 3;
+  original.closed_backpressure = 1;
+  original.faults_injected = 19;
   original.in_flight = 8;
   original.worker_threads = 4;
   original.cache_shards = 2;
@@ -453,14 +460,43 @@ TEST(Protocol, StatsRoundTripsEveryCounter) {
   EXPECT_DOUBLE_EQ(decoded->uptime_ms, original.uptime_ms);
   EXPECT_EQ(decoded->connections_accepted, original.connections_accepted);
   EXPECT_EQ(decoded->requests_admitted, original.requests_admitted);
+  EXPECT_EQ(decoded->brownout_admitted, original.brownout_admitted);
   EXPECT_EQ(decoded->responses_sent, original.responses_sent);
   EXPECT_EQ(decoded->errors_sent, original.errors_sent);
   EXPECT_EQ(decoded->total_shed(), 150u);
   EXPECT_EQ(decoded->protocol_errors, original.protocol_errors);
+  EXPECT_EQ(decoded->closed_idle_timeout, original.closed_idle_timeout);
+  EXPECT_EQ(decoded->closed_read_timeout, original.closed_read_timeout);
+  EXPECT_EQ(decoded->closed_backpressure, original.closed_backpressure);
+  EXPECT_EQ(decoded->faults_injected, original.faults_injected);
   EXPECT_EQ(decoded->worker_threads, original.worker_threads);
   EXPECT_EQ(decoded->cache_shards, original.cache_shards);
   EXPECT_DOUBLE_EQ(decoded->cache_hit_rate(), 0.9);
   EXPECT_DOUBLE_EQ(decoded->ewma_solve_ms, original.ewma_solve_ms);
+}
+
+TEST(Protocol, StatsTruncatedBodyIsMalformed) {
+  // Drop the last counter's worth of bytes: a peer speaking the pre-resilience
+  // stats layout must be rejected, not silently zero-filled.
+  std::vector<std::uint8_t> bytes = encode_stats_response({}, 0);
+  bytes.resize(bytes.size() - 8);
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(bytes.size() - kHeaderBytes);
+  std::memcpy(bytes.data() + 20, &len, sizeof(len));
+  Result<ServerWireStats> decoded = decode_stats_response(must_extract(bytes));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(Protocol, StatsTrailingBytesAreMalformed) {
+  std::vector<std::uint8_t> bytes = encode_stats_response({}, 0);
+  bytes.push_back(0);
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(bytes.size() - kHeaderBytes);
+  std::memcpy(bytes.data() + 20, &len, sizeof(len));
+  Result<ServerWireStats> decoded = decode_stats_response(must_extract(bytes));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("trailing"), std::string::npos);
 }
 
 // -------------------------------------------------------------------- trace --

@@ -1,0 +1,358 @@
+/// Negative end-to-end suite: the failure paths ISSUE 10 hardens. Every
+/// test runs a real daemon on loopback and breaks something on purpose —
+/// client death mid-solve, injected short writes, slow-loris partial
+/// frames, idle peers, exhausted retry budgets — then asserts the server
+/// stays consistent and the client surfaces the contract error.
+
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "topology/tiers.hpp"
+
+namespace pmcast::net {
+namespace {
+
+Problem diamond_problem() {
+  Digraph g(4);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 2, 3.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(2, 3, 1.5);
+  return Problem(std::move(g), 0, {1, 3});
+}
+
+/// A second small instance with different weights so it cannot collide
+/// with diamond_problem() in the daemon's result cache.
+Problem kite_problem() {
+  Digraph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 4.0);
+  g.add_edge(1, 3, 2.0);
+  g.add_edge(2, 3, 0.5);
+  g.add_edge(3, 4, 1.0);
+  return Problem(std::move(g), 0, {2, 4});
+}
+
+/// Big enough that the solve reliably stays in flight while the test
+/// breaks the connection under it (LP heuristics over 30 nodes).
+Problem slow_problem() {
+  topo::Platform platform =
+      topo::generate_tiers(topo::TiersParams::small30(), 7);
+  std::vector<NodeId> targets(platform.lan.begin(),
+                              platform.lan.begin() + 8);
+  return Problem(platform.graph, platform.source, std::move(targets));
+}
+
+struct TestDaemon {
+  explicit TestDaemon(ServerOptions options) : server(std::move(options)) {
+    Status started = server.start();
+    EXPECT_TRUE(started.ok()) << started.to_string();
+    loop = std::thread([this] { server.run(); });
+  }
+  ~TestDaemon() {
+    server.request_drain();
+    if (loop.joinable()) loop.join();
+  }
+
+  Server server;
+  std::thread loop;
+};
+
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+FaultRule client_rule(FaultPoint point, FaultAction action,
+                      FaultTrigger trigger, std::uint64_t nth = 1,
+                      std::uint64_t magnitude = 1) {
+  FaultRule rule;
+  rule.point = point;
+  rule.action = action;
+  rule.trigger = trigger;
+  rule.nth = nth;
+  rule.magnitude = magnitude;
+  return rule;
+}
+
+TEST(ResilienceTest, ClientDisconnectMidSolveLeavesAccountingClean) {
+  // The client vanishes while its request is on a worker. The completion
+  // must be dropped (no fd to write to), admission must still settle back
+  // to zero in flight, and the daemon must keep serving.
+  ServerOptions options;
+  options.service.threads = 1;
+  TestDaemon daemon(options);
+
+  WireRequest wire;
+  wire.request_id = 1;
+  wire.no_deadline = true;
+  wire.problem = slow_problem();
+  const std::vector<std::uint8_t> bytes = encode_solve_request(wire);
+
+  const int fd = raw_connect(daemon.server.port());
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  for (int i = 0; i < 5000 && daemon.server.stats().requests_admitted == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(daemon.server.stats().requests_admitted, 1u);
+  ::close(fd);  // walk away mid-solve
+
+  // The orphaned completion drains without a receiver; accounting settles.
+  for (int i = 0; i < 60'000 && daemon.server.stats().in_flight != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ServerStats stats = daemon.server.stats();
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.responses_sent, 0u);  // nobody left to answer
+  EXPECT_EQ(stats.protocol_errors, 0u);
+
+  // The daemon is still healthy: a fresh client round-trips normally.
+  Result<Client> client = Client::connect("127.0.0.1", daemon.server.port());
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  SolveRequest request;
+  request.problem = diamond_problem();
+  EXPECT_TRUE(client->solve(request).ok());
+}
+
+TEST(ResilienceTest, InjectedShortWriteTruncatesFrameAndRetryRecovers) {
+  // One-shot kShortWrite on the client send path: the first attempt puts
+  // 10 bytes of a frame on the wire and dies. The server sees a truncated
+  // frame followed by EOF — a dead peer, NOT a protocol error — and the
+  // client's retry resends the identical request on a new connection.
+  ServerOptions options;
+  options.service.threads = 1;
+  TestDaemon daemon(options);
+
+  ClientOptions copts;
+  copts.fault_plan = std::make_shared<FaultPlan>(
+      1, std::vector<FaultRule>{
+             client_rule(FaultPoint::kClientSend, FaultAction::kShortWrite,
+                         FaultTrigger::kOneShot, 1, 10)});
+  copts.retry.initial_backoff_ms = 1.0;
+  Result<Client> client =
+      Client::connect("127.0.0.1", daemon.server.port(), copts);
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+
+  SolveRequest request;
+  request.problem = diamond_problem();
+  Result<RemoteResponse> response = client->solve(request);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_GT(response->period, 0.0);
+  EXPECT_EQ(client->total_attempts(), 2u);  // short write + clean resend
+  EXPECT_EQ(client->stale_frames_discarded(), 0u);
+  EXPECT_EQ(daemon.server.stats().protocol_errors, 0u)
+      << "a truncated frame at EOF is a dead peer, not malformed input";
+}
+
+TEST(ResilienceTest, IdleTimeoutReapsQuietConnectionAndClientReconnects) {
+  ServerOptions options;
+  options.service.threads = 1;
+  options.idle_timeout_ms = 150.0;  // epoll tick is 200 ms; reap next sweep
+  TestDaemon daemon(options);
+
+  ClientOptions copts;
+  copts.retry.initial_backoff_ms = 1.0;
+  Result<Client> client =
+      Client::connect("127.0.0.1", daemon.server.port(), copts);
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  SolveRequest request;
+  request.problem = diamond_problem();
+  ASSERT_TRUE(client->solve(request).ok());
+
+  // Go quiet past the idle bound; the sweep closes the connection.
+  for (int i = 0;
+       i < 5000 && daemon.server.stats().closed_idle_timeout == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(daemon.server.stats().closed_idle_timeout, 1u);
+
+  // The next solve hits the dead socket; the retry path dials back in.
+  Result<RemoteResponse> after = client->solve(request);
+  ASSERT_TRUE(after.ok()) << after.status().to_string();
+  EXPECT_TRUE(after->from_cache);
+}
+
+TEST(ResilienceTest, SlowLorisPartialFrameIsClosedByReadTimeout) {
+  ServerOptions options;
+  options.service.threads = 1;
+  options.read_timeout_ms = 150.0;
+  TestDaemon daemon(options);
+
+  // Trickle half a header, then stall. The read timeout must reap the
+  // connection even though it is not "idle" by the traffic definition.
+  const int fd = raw_connect(daemon.server.port());
+  const std::uint8_t half_header[12] = {'P', 'M', 'C', '1'};
+  ASSERT_EQ(::send(fd, half_header, sizeof(half_header), 0),
+            static_cast<ssize_t>(sizeof(half_header)));
+
+  for (int i = 0;
+       i < 5000 && daemon.server.stats().closed_read_timeout == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(daemon.server.stats().closed_read_timeout, 1u);
+
+  // The server closed us: the socket reads EOF.
+  std::uint8_t buf[16];
+  EXPECT_EQ(::read(fd, buf, sizeof(buf)), 0);
+  ::close(fd);
+}
+
+TEST(ResilienceTest, RetryBudgetExhaustionSurfacesTheLastError) {
+  // First attempt dies with a one-shot send reset; every resend after it
+  // dies with a short write. Exhaustion must report the LAST failure (the
+  // short write) — the freshest evidence of why the endpoint is unusable —
+  // not the first.
+  ServerOptions options;
+  options.service.threads = 1;
+  TestDaemon daemon(options);
+
+  ClientOptions copts;
+  copts.fault_plan = std::make_shared<FaultPlan>(
+      2, std::vector<FaultRule>{
+             client_rule(FaultPoint::kClientSend, FaultAction::kReset,
+                         FaultTrigger::kOneShot),
+             client_rule(FaultPoint::kClientSend, FaultAction::kShortWrite,
+                         FaultTrigger::kNth, 1, 5)});
+  copts.retry.max_attempts = 3;
+  copts.retry.initial_backoff_ms = 1.0;
+  Result<Client> client =
+      Client::connect("127.0.0.1", daemon.server.port(), copts);
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+
+  SolveRequest request;
+  request.problem = diamond_problem();
+  Result<RemoteResponse> response = client->solve(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(response.status().message().find("short write"),
+            std::string::npos)
+      << "expected the LAST error, got: " << response.status().to_string();
+  EXPECT_EQ(client->total_attempts(), 3u);  // full budget spent
+}
+
+TEST(ResilienceTest, ConnectTimeoutPathMapsFailuresToUnavailable) {
+  // The bounded-connect path (non-blocking connect + poll + SO_ERROR)
+  // must behave like the blocking one against both a live daemon and a
+  // dead port. A true half-open blackhole cannot be manufactured on
+  // loopback (the kernel completes the client side of the handshake even
+  // with a full accept queue), so this covers the reachable halves:
+  // success restores a blocking socket, refusal maps to kUnavailable
+  // within the bound instead of the kernel default.
+  ServerOptions options;
+  options.service.threads = 1;
+  TestDaemon daemon(options);
+
+  ClientOptions copts;
+  copts.connect_timeout_ms = 2'000.0;
+  Result<Client> live =
+      Client::connect("127.0.0.1", daemon.server.port(), copts);
+  ASSERT_TRUE(live.ok()) << live.status().to_string();
+  SolveRequest request;
+  request.problem = diamond_problem();
+  EXPECT_TRUE(live->solve(request).ok());  // the socket is blocking again
+
+  // A port nobody listens on: refused through the same bounded path.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);  // bound but never listened: connects are refused
+
+  const auto start = std::chrono::steady_clock::now();
+  Result<Client> refused = Client::connect("127.0.0.1", dead_port, copts);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_LT(elapsed_ms, 5'000.0);
+}
+
+TEST(ResilienceTest, BrownoutResponseCarriesHeuristicOnlyProvenance) {
+  // Prime the full-portfolio EWMA, pin one slow request in flight, then
+  // send a deadline'd request the estimator must call infeasible (the
+  // safety factor is cranked so any queue estimate overshoots). With
+  // brownout on, the request is admitted on the cheap allowlist and the
+  // response says so: brownout bit set, winner and every outcome from the
+  // heuristic-only set.
+  ServerOptions options;
+  options.service.threads = 2;
+  options.shed_safety_factor = 1e6;
+  options.brownout.enabled = true;
+  TestDaemon daemon(options);
+
+  Result<Client> primer = Client::connect("127.0.0.1", daemon.server.port());
+  ASSERT_TRUE(primer.ok()) << primer.status().to_string();
+  SolveRequest prime;
+  prime.problem = diamond_problem();
+  ASSERT_TRUE(primer->solve(prime).ok());  // primes ewma_solve_ms
+
+  std::thread slow([&] {
+    Result<Client> slow_client =
+        Client::connect("127.0.0.1", daemon.server.port());
+    if (!slow_client.ok()) return;
+    SolveRequest request;
+    request.problem = slow_problem();
+    request.deadline_ms = SolveRequest::kNoDeadline;
+    (void)slow_client->solve(request);
+  });
+  for (int i = 0; i < 5000 && daemon.server.stats().in_flight == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(daemon.server.stats().in_flight, 1u);
+
+  SolveRequest degraded;
+  degraded.problem = kite_problem();
+  degraded.deadline_ms = 10'000.0;
+  Result<RemoteResponse> response = primer->solve(degraded);
+  slow.join();
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_TRUE(response->brownout);
+  EXPECT_GT(response->period, 0.0);
+  const auto is_cheap = [](std::uint8_t strategy) {
+    return strategy == static_cast<std::uint8_t>(StrategyId::Mcph) ||
+           strategy == static_cast<std::uint8_t>(StrategyId::PrunedDijkstra) ||
+           strategy == static_cast<std::uint8_t>(StrategyId::Kmb);
+  };
+  EXPECT_TRUE(is_cheap(static_cast<std::uint8_t>(response->winner)));
+  for (const WireOutcome& outcome : response->outcomes) {
+    EXPECT_TRUE(is_cheap(outcome.strategy))
+        << "non-heuristic arm ran under brownout: " << int(outcome.strategy);
+  }
+  ServerStats stats = daemon.server.stats();
+  EXPECT_EQ(stats.brownout_admitted, 1u);
+  EXPECT_EQ(stats.shed_deadline, 0u);
+}
+
+}  // namespace
+}  // namespace pmcast::net

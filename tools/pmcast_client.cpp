@@ -33,8 +33,10 @@ void print_stats(const pmcast::net::ServerWireStats& s) {
   std::printf("connections         %llu accepted, %llu open\n",
               static_cast<unsigned long long>(s.connections_accepted),
               static_cast<unsigned long long>(s.connections_open));
-  std::printf("requests            %llu admitted, %llu in flight\n",
+  std::printf("requests            %llu admitted (%llu brownout), "
+              "%llu in flight\n",
               static_cast<unsigned long long>(s.requests_admitted),
+              static_cast<unsigned long long>(s.brownout_admitted),
               static_cast<unsigned long long>(s.in_flight));
   std::printf("responses / errors  %llu / %llu\n",
               static_cast<unsigned long long>(s.responses_sent),
@@ -48,6 +50,13 @@ void print_stats(const pmcast::net::ServerWireStats& s) {
               static_cast<unsigned long long>(s.shed_shutdown));
   std::printf("protocol errors     %llu\n",
               static_cast<unsigned long long>(s.protocol_errors));
+  std::printf("closed              %llu idle-timeout, %llu read-timeout, "
+              "%llu backpressure\n",
+              static_cast<unsigned long long>(s.closed_idle_timeout),
+              static_cast<unsigned long long>(s.closed_read_timeout),
+              static_cast<unsigned long long>(s.closed_backpressure));
+  std::printf("faults injected     %llu\n",
+              static_cast<unsigned long long>(s.faults_injected));
   std::printf("cache               %.0f%% hit rate (%llu hits / %llu "
               "misses), %llu entries, %u shard(s)\n",
               100.0 * s.cache_hit_rate(),

@@ -8,6 +8,8 @@
 ///                [--threads N] [--cache N] [--deadline-ms MS]
 ///                [--qps Q] [--burst B] [--max-in-flight N]
 ///                [--global-max-in-flight N] [--drain-timeout-ms MS]
+///                [--idle-timeout-ms MS] [--read-timeout-ms MS]
+///                [--max-output-buffer BYTES] [--brownout]
 ///
 /// --port 0 (the default) binds an ephemeral port; --port-file writes the
 /// bound port to PATH once listening, so scripts can start the daemon and
@@ -36,10 +38,14 @@ int usage(const char* argv0) {
       "usage: %s [--host H] [--port P] [--port-file PATH] [--threads N]\n"
       "          [--cache N] [--deadline-ms MS] [--qps Q] [--burst B]\n"
       "          [--max-in-flight N] [--global-max-in-flight N]\n"
-      "          [--drain-timeout-ms MS]\n"
+      "          [--drain-timeout-ms MS] [--idle-timeout-ms MS]\n"
+      "          [--read-timeout-ms MS] [--max-output-buffer BYTES]\n"
+      "          [--brownout]\n"
       "Serve the pmcast portfolio engine over the binary wire protocol.\n"
       "SIGTERM/SIGINT drain gracefully: in-flight requests finish (or are\n"
-      "cancelled after the drain timeout) and every response is flushed.\n",
+      "cancelled after the drain timeout) and every response is flushed.\n"
+      "--brownout admits deadline-infeasible requests on the cheap\n"
+      "heuristic allowlist instead of shedding them outright.\n",
       argv0);
   return 2;
 }
@@ -90,6 +96,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--drain-timeout-ms") == 0) {
       options.drain_timeout_ms =
           std::strtod(next_value("--drain-timeout-ms"), nullptr);
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+      options.idle_timeout_ms =
+          std::strtod(next_value("--idle-timeout-ms"), nullptr);
+    } else if (std::strcmp(argv[i], "--read-timeout-ms") == 0) {
+      options.read_timeout_ms =
+          std::strtod(next_value("--read-timeout-ms"), nullptr);
+    } else if (std::strcmp(argv[i], "--max-output-buffer") == 0) {
+      options.max_output_buffer_bytes = static_cast<std::size_t>(
+          std::strtoull(next_value("--max-output-buffer"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--brownout") == 0) {
+      options.brownout.enabled = true;
     } else {
       return usage(argv[0]);
     }
